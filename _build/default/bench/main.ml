@@ -1,0 +1,359 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Section VII) and times the computational kernels with
+   Bechamel.
+
+   Usage:
+     dune exec bench/main.exe            -- everything (figures, ablations, kernels)
+     dune exec bench/main.exe quick      -- reduced-scale smoke run
+     dune exec bench/main.exe fig4a      -- a single figure (fig4a..fig7b)
+     dune exec bench/main.exe ablation   -- design-choice ablations
+     dune exec bench/main.exe bechamel   -- kernel timings only
+
+   Figures (paper <-> here):
+     fig4a/fig4b  energy vs delay constraint, (FR-)EEDCB, N in {10,20,30}
+     fig5a/fig5b  energy vs delay constraint, three (FR-)algorithms
+     fig6a/fig6b  energy and Monte-Carlo delivery vs network size, all six
+     fig7a/fig7b  per-window energy and average degree over [5000 s, 15000 s]
+
+   Absolute numbers depend on the synthetic Haggle-like trace (the real
+   iMote trace is not redistributable); the shapes and orderings are
+   the reproduction target.  See EXPERIMENTS.md. *)
+
+open Tmedb
+
+let bench_config =
+  { Experiment.default_config with Experiment.sources = 2; mc_trials = 300 }
+
+let quick_config =
+  {
+    Experiment.default_config with
+    Experiment.n = 10;
+    horizon = 8000.;
+    sources = 1;
+    mc_trials = 100;
+    dts_cap = 800;
+  }
+
+let deadlines_of config =
+  (* The paper sweeps 2000..6000 in 500 s steps. *)
+  if config.Experiment.n <= 10 then [ 1000.; 2000.; 3000. ]
+  else List.init 9 (fun k -> 2000. +. (500. *. float_of_int k))
+
+let sizes_of config = if config.Experiment.n <= 10 then [ 6; 10 ] else [ 10; 20; 30 ]
+let fig6_sizes config = if config.Experiment.n <= 10 then [ 6; 10 ] else [ 10; 20; 30; 40 ]
+
+let section title = Printf.printf "\n################ %s ################\n%!" title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s completed in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+let fig4 config variant =
+  let name = match variant with `Static -> "fig4a" | `Fading -> "fig4b" in
+  timed name (fun () ->
+      let series =
+        Experiment.fig4 ~config ~variant ~deadlines:(deadlines_of config) ~ns:(sizes_of config) ()
+      in
+      let label =
+        match variant with
+        | `Static -> "Fig 4(a): EEDCB energy vs delay constraint (static channel)"
+        | `Fading -> "Fig 4(b): FR-EEDCB energy vs delay constraint (Rayleigh)"
+      in
+      Experiment.print_series ~title:label ~xlabel:"T (s)" series)
+
+let fig5 config variant =
+  let name = match variant with `Static -> "fig5a" | `Fading -> "fig5b" in
+  timed name (fun () ->
+      let series = Experiment.fig5 ~config ~variant ~deadlines:(deadlines_of config) () in
+      let label =
+        match variant with
+        | `Static -> "Fig 5(a): energy vs delay constraint, static algorithms"
+        | `Fading -> "Fig 5(b): energy vs delay constraint, fading-resistant algorithms"
+      in
+      Experiment.print_series ~title:label ~xlabel:"T (s)" series)
+
+let fig6 config part =
+  let name = match part with `Energy -> "fig6a" | `Delivery -> "fig6b" in
+  timed name (fun () ->
+      let energy, delivery = Experiment.fig6 ~config ~ns:(fig6_sizes config) () in
+      match part with
+      | `Energy ->
+          Experiment.print_series
+            ~title:"Fig 6(a): scheduled energy vs network size (fading environment)"
+            ~xlabel:"N" energy
+      | `Delivery ->
+          Experiment.print_series
+            ~title:"Fig 6(b): Monte-Carlo delivery ratio vs network size (Rayleigh)"
+            ~xlabel:"N" delivery)
+
+let fig7 config variant =
+  let name = match variant with `Static -> "fig7a" | `Fading -> "fig7b" in
+  timed name (fun () ->
+      let energy, degree = Experiment.fig7 ~config ~variant () in
+      let label =
+        match variant with
+        | `Static -> "Fig 7(a): per-window energy, static algorithms (density-ramp trace)"
+        | `Fading -> "Fig 7(b): per-window energy, fading-resistant algorithms"
+      in
+      Experiment.print_series ~title:label ~xlabel:"window start (s)" energy;
+      Experiment.print_series ~title:"Fig 7: average node degree per 500 s window"
+        ~xlabel:"window start (s)" [ degree ])
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (design choices called out in DESIGN.md) *)
+
+let ablation_steiner_level config =
+  section "Ablation: recursive-greedy level (paper's epsilon = 1/i)";
+  let trace = Experiment.make_trace config ~n:config.Experiment.n in
+  let deadline = config.Experiment.deadline in
+  let sources = Experiment.choose_sources config ~trace ~deadline in
+  Printf.printf "%-8s %16s %16s\n" "source" "level-1 energy" "level-2 energy";
+  List.iter
+    (fun source ->
+      let energy level =
+        let config = { config with Experiment.steiner_level = level } in
+        (Experiment.run_alg config ~trace ~source ~deadline ~rng:(Tmedb_prelude.Rng.create 3)
+           Experiment.EEDCB).Experiment.energy
+      in
+      Printf.printf "%-8d %16.1f %16.1f\n%!" source (energy 1) (energy 2))
+    sources
+
+let ablation_nlp config =
+  section "Ablation: NLP energy allocation vs uniform single-hop w0";
+  (* A pruned EEDCB backbone has little coverage redundancy for the
+     NLP to exploit; GREED's few large transmissions overlap heavily,
+     which is where the allocation shines. *)
+  let trace = Experiment.make_trace config ~n:config.Experiment.n in
+  let deadline = config.Experiment.deadline in
+  let sources = Experiment.choose_sources config ~trace ~deadline in
+  Printf.printf "%-8s %-8s %16s %16s %9s\n" "backbone" "source" "uniform w0" "NLP alloc" "saved";
+  List.iter
+    (fun (name, backbone) ->
+      List.iter
+        (fun source ->
+          let problem =
+            Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline
+          in
+          let r =
+            Fr.run ~level:config.Experiment.steiner_level ~cap_per_node:config.Experiment.dts_cap
+              ~backbone problem
+          in
+          let uniform = Metrics.normalized_energy problem r.Fr.backbone in
+          let nlp = Metrics.normalized_energy problem r.Fr.schedule in
+          Printf.printf "%-8s %-8d %16.1f %16.1f %8.1f%%\n%!" name source uniform nlp
+            (100. *. (1. -. (nlp /. Float.max uniform 1e-9))))
+        sources)
+    [ ("eedcb", `Eedcb); ("greedy", `Greedy) ]
+
+let ablation_dts_cap config =
+  section "Ablation: DTS per-node point cap (schedule-space fidelity knob)";
+  let trace = Experiment.make_trace config ~n:config.Experiment.n in
+  let deadline = config.Experiment.deadline in
+  let source = List.hd (Experiment.choose_sources config ~trace ~deadline) in
+  Printf.printf "%-8s %16s %10s %10s\n" "cap" "EEDCB energy" "feasible" "time (s)";
+  List.iter
+    (fun cap ->
+      let config = { config with Experiment.dts_cap = cap } in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Experiment.run_alg config ~trace ~source ~deadline ~rng:(Tmedb_prelude.Rng.create 3)
+          Experiment.EEDCB
+      in
+      Printf.printf "%-8d %16.1f %10b %10.2f\n%!" cap r.Experiment.energy r.Experiment.feasible
+        (Unix.gettimeofday () -. t0))
+    [ 100; 400; 1500 ]
+
+let ablation_tau config =
+  section "Ablation: traversal latency tau (DTS size and propagation)";
+  let trace = Experiment.make_trace config ~n:(Stdlib.min 10 config.Experiment.n) in
+  Printf.printf "%-8s %14s %12s\n" "tau (s)" "DTS points" "time (s)";
+  List.iter
+    (fun tau ->
+      let graph = Tmedb_tveg.Tveg.of_trace ~tau trace in
+      let t0 = Unix.gettimeofday () in
+      let dts =
+        Tmedb_tveg.Dts.compute ~cap_per_node:config.Experiment.dts_cap ~source:0 graph
+          ~deadline:config.Experiment.deadline
+      in
+      Printf.printf "%-8g %14d %12.2f\n%!" tau (Tmedb_tveg.Dts.total_points dts)
+        (Unix.gettimeofday () -. t0))
+    [ 0.; 0.5; 2. ]
+
+let extension_robustness config =
+  section "Extension: contact-level uncertainty (non-deterministic TVGs, paper future work)";
+  let n = Stdlib.min 12 config.Experiment.n in
+  let trace = Experiment.make_trace config ~n in
+  let deadline = config.Experiment.deadline in
+  let source = List.hd (Experiment.choose_sources config ~trace ~deadline) in
+  let graph = Tmedb_tveg.Tveg.of_trace ~tau:0. trace in
+  let phy = Tmedb_channel.Phy.default in
+  Printf.printf "%-8s %18s %18s %18s\n" "p(link)" "support delivery" "support waste"
+    "energy (m^2)";
+  List.iter
+    (fun prob ->
+      let nd = Tmedb_tveg.Nondet.of_tveg graph ~presence_prob:prob in
+      let schedule =
+        Robustness.plan_on_support ~level:config.Experiment.steiner_level nd ~phy
+          ~channel:`Static ~source ~deadline
+      in
+      let r =
+        Robustness.evaluate_schedule ~trials:150 ~rng:(Tmedb_prelude.Rng.create 11) nd ~phy
+          ~channel:`Static ~source ~deadline schedule
+      in
+      let energy =
+        Tmedb_channel.Phy.normalized_energy phy (Schedule.total_cost schedule)
+      in
+      Printf.printf "%-8.2f %17.1f%% %17.1f%% %18.1f\n%!" prob
+        (100. *. r.Tmedb_tveg.Nondet.mean_delivery)
+        (100.
+        *. r.Tmedb_tveg.Nondet.mean_energy_wasted
+        /. Float.max (Schedule.total_cost schedule) 1e-300)
+        energy)
+    [ 1.0; 0.9; 0.75; 0.5 ]
+
+let ablations config =
+  timed "ablations" (fun () ->
+      ablation_steiner_level config;
+      ablation_nlp config;
+      ablation_dts_cap config;
+      ablation_tau config;
+      extension_robustness config)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernels: one Test.make per figure, timing the pipeline
+   that produces a single data point of that figure at small scale. *)
+
+let kernel_config =
+  {
+    Experiment.default_config with
+    Experiment.n = 10;
+    horizon = 6000.;
+    deadline = 1500.;
+    sources = 1;
+    mc_trials = 50;
+    dts_cap = 600;
+  }
+
+let kernel_trace = lazy (Experiment.make_trace kernel_config ~n:10)
+
+let kernel_point algorithm () =
+  let trace = Lazy.force kernel_trace in
+  let r =
+    Experiment.run_alg kernel_config ~trace ~source:0 ~deadline:1500.
+      ~rng:(Tmedb_prelude.Rng.create 9) algorithm
+  in
+  ignore (Sys.opaque_identity r.Experiment.energy)
+
+let kernel_simulate () =
+  let trace = Lazy.force kernel_trace in
+  let problem = Experiment.make_problem kernel_config ~trace ~channel:`Rayleigh ~source:0 ~deadline:1500. in
+  let schedule = (Greedy.run ~cap_per_node:600 problem).Greedy.schedule in
+  let sim =
+    Simulate.run ~trials:50 ~rng:(Tmedb_prelude.Rng.create 2) ~eval_channel:`Rayleigh problem
+      schedule
+  in
+  ignore (Sys.opaque_identity sim.Simulate.delivery_ratio)
+
+let kernel_window () =
+  let trace = Lazy.force kernel_trace in
+  let sub =
+    Tmedb_trace.Trace.restrict trace ~span:(Tmedb_prelude.Interval.make ~lo:2000. ~hi:4000.)
+  in
+  let r =
+    Experiment.run_alg kernel_config ~trace:sub ~source:0 ~deadline:4000.
+      ~rng:(Tmedb_prelude.Rng.create 9) Experiment.EEDCB
+  in
+  ignore (Sys.opaque_identity r.Experiment.energy)
+
+let kernel_degree () =
+  let trace = Lazy.force kernel_trace in
+  let graph = Tmedb_tveg.Tveg.of_trace ~tau:0. trace in
+  let d =
+    Tmedb_tveg.Tveg.average_degree_over graph
+      ~window:(Tmedb_prelude.Interval.make ~lo:1000. ~hi:1500.)
+  in
+  ignore (Sys.opaque_identity d)
+
+let bechamel_kernels () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Bechamel kernels (one per figure; single data point, N=10 scale)";
+  let tests =
+    Test.make_grouped ~name:"figures"
+      [
+        Test.make ~name:"fig4a-eedcb-point" (Staged.stage (kernel_point Experiment.EEDCB));
+        Test.make ~name:"fig4b-fr-eedcb-point" (Staged.stage (kernel_point Experiment.FR_EEDCB));
+        Test.make ~name:"fig5a-greed-point" (Staged.stage (kernel_point Experiment.GREED));
+        Test.make ~name:"fig5b-fr-greed-point" (Staged.stage (kernel_point Experiment.FR_GREED));
+        Test.make ~name:"fig6a-rand-point" (Staged.stage (kernel_point Experiment.RAND));
+        Test.make ~name:"fig6b-mc-delivery" (Staged.stage kernel_simulate);
+        Test.make ~name:"fig7a-window-eedcb" (Staged.stage kernel_window);
+        Test.make ~name:"fig7b-average-degree" (Staged.stage kernel_degree);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  Printf.printf "%-40s %16s\n" "kernel" "time/run";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) ->
+          let pretty =
+            if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else Printf.sprintf "%.2f us" (t /. 1e3)
+          in
+          Printf.printf "%-40s %16s\n%!" name pretty
+      | Some [] | None -> Printf.printf "%-40s %16s\n%!" name "-")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let all_figures config =
+  fig4 config `Static;
+  fig4 config `Fading;
+  fig5 config `Static;
+  fig5 config `Fading;
+  fig6 config `Energy;
+  fig6 config `Delivery;
+  fig7 config `Static;
+  fig7 config `Fading
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel]";
+  exit 2
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  (match Array.to_list Sys.argv with
+  | [ _ ] ->
+      all_figures bench_config;
+      ablations bench_config;
+      bechamel_kernels ()
+  | [ _; "quick" ] ->
+      all_figures quick_config;
+      ablations quick_config;
+      bechamel_kernels ()
+  | [ _; "fig4a" ] -> fig4 bench_config `Static
+  | [ _; "fig4b" ] -> fig4 bench_config `Fading
+  | [ _; "fig5a" ] -> fig5 bench_config `Static
+  | [ _; "fig5b" ] -> fig5 bench_config `Fading
+  | [ _; "fig6a" ] -> fig6 bench_config `Energy
+  | [ _; "fig6b" ] -> fig6 bench_config `Delivery
+  | [ _; "fig7a" ] -> fig7 bench_config `Static
+  | [ _; "fig7b" ] -> fig7 bench_config `Fading
+  | [ _; "ablation" ] -> ablations bench_config
+  | [ _; "bechamel" ] -> bechamel_kernels ()
+  | _ -> usage ());
+  Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

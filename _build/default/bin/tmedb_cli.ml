@@ -1,0 +1,265 @@
+(* tmedb command-line interface.
+
+   Subcommands:
+     gen       generate a synthetic contact trace (Haggle-like or mobility) to CSV
+     stats     print statistics of a trace CSV
+     run       run one algorithm on a trace and print the schedule + feasibility
+     compare   run all six algorithms on a trace and print the comparison table
+     simulate  Monte-Carlo replay of an algorithm's schedule in a fading channel
+
+   Examples:
+     tmedb_cli gen --kind haggle --nodes 20 --horizon 17000 --seed 42 -o trace.csv
+     tmedb_cli run --algorithm EEDCB --deadline 2000 trace.csv
+     tmedb_cli compare --deadline 2000 --trials 500 trace.csv *)
+
+open Cmdliner
+open Tmedb_prelude
+open Tmedb
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt float 2000.
+    & info [ "deadline"; "T" ] ~docv:"SECONDS" ~doc:"Broadcast delay constraint T.")
+
+let source_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "source" ] ~docv:"NODE" ~doc:"Source node (default: a random reachable node).")
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.CSV" ~doc:"Contact trace CSV.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "level" ] ~docv:"L" ~doc:"Recursive-greedy level for (FR-)EEDCB (1 or 2).")
+
+let load_trace path =
+  match Tmedb_trace.Trace.load ~path with
+  | Ok t -> t
+  | Error e ->
+      Printf.eprintf "error loading %s: %s\n" path e;
+      exit 1
+
+let pick_source trace deadline seed = function
+  | Some s -> s
+  | None -> (
+      let config = { Experiment.default_config with Experiment.seed; sources = 1 } in
+      match Experiment.choose_sources config ~trace ~deadline with
+      | s :: _ -> s
+      | [] -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("haggle", `Haggle); ("mobility", `Mobility) ]) `Haggle
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Generator: $(b,haggle) or $(b,mobility).")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 20 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 17000. & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Trace length.")
+  in
+  let out_arg =
+    Arg.(
+      required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV.")
+  in
+  let run kind nodes horizon seed out =
+    let rng = Rng.create seed in
+    let trace =
+      match kind with
+      | `Haggle ->
+          Tmedb_trace.Synth.generate rng
+            { (Tmedb_trace.Synth.with_n Tmedb_trace.Synth.default_params nodes) with
+              Tmedb_trace.Synth.horizon }
+      | `Mobility ->
+          Tmedb_trace.Mobility.generate rng
+            { Tmedb_trace.Mobility.default_params with Tmedb_trace.Mobility.n = nodes; horizon }
+    in
+    Tmedb_trace.Trace.save trace ~path:out;
+    Format.printf "wrote %a to %s@." Tmedb_trace.Trace.pp trace out
+  in
+  let term = Term.(const run $ kind_arg $ nodes_arg $ horizon_arg $ seed_arg $ out_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic contact trace.") term
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run path =
+    let trace = load_trace path in
+    Format.printf "%a@.%a@." Tmedb_trace.Trace.pp trace Tmedb_trace.Trace.pp_stats
+      (Tmedb_trace.Trace.stats trace)
+  in
+  let term = Term.(const run $ trace_file_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print contact-trace statistics.") term
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let algorithm_arg =
+  let parse s =
+    match Experiment.algorithm_of_string s with Ok a -> Ok a | Error e -> Error (`Msg e)
+  in
+  let print ppf a = Format.pp_print_string ppf (Experiment.algorithm_name a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Experiment.EEDCB
+    & info [ "algorithm"; "a" ] ~docv:"ALG"
+        ~doc:"One of EEDCB, GREED, RAND, FR-EEDCB, FR-GREED, FR-RAND.")
+
+let run_cmd =
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "save-schedule" ] ~docv:"FILE" ~doc:"Write the schedule as CSV.")
+  in
+  let run algorithm deadline source seed level verbose save path =
+    let trace = load_trace path in
+    let source = pick_source trace deadline seed source in
+    let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
+    let result =
+      Experiment.run_alg config ~trace ~source ~deadline ~rng:(Rng.create seed) algorithm
+    in
+    Format.printf "algorithm: %s  source: %d  deadline: %g s@."
+      (Experiment.algorithm_name algorithm) source deadline;
+    Format.printf "transmissions: %d  normalized energy: %.1f m^alpha  feasible: %b@."
+      (Schedule.num_transmissions result.Experiment.schedule)
+      result.Experiment.energy result.Experiment.feasible;
+    let channel = if Experiment.is_fading algorithm then `Rayleigh else `Static in
+    let problem = Experiment.make_problem config ~trace ~channel ~source ~deadline in
+    let lb =
+      Tmedb_channel.Phy.normalized_energy problem.Problem.phy (Metrics.energy_lower_bound problem)
+    in
+    if Float.is_finite lb && lb > 0. then
+      Format.printf "certified lower bound: %.1f m^alpha (gap %.2fx)@." lb
+        (result.Experiment.energy /. lb);
+    if result.Experiment.unreached <> [] then
+      Format.printf "unreached nodes: %a@."
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        result.Experiment.unreached;
+    (match save with
+    | Some file ->
+        Schedule.save result.Experiment.schedule ~path:file;
+        Format.printf "schedule written to %s@." file
+    | None -> ());
+    if verbose then Format.printf "%a@." Schedule.pp result.Experiment.schedule
+  in
+  let term =
+    Term.(
+      const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ level_arg $ verbose_arg
+      $ save_arg $ trace_file_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one broadcast algorithm on a trace.") term
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let trials_arg =
+  Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trials.")
+
+let compare_cmd =
+  let run deadline source seed level trials path =
+    let trace = load_trace path in
+    let source = pick_source trace deadline seed source in
+    let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
+    Format.printf "source: %d  deadline: %g s  trials: %d@.@." source deadline trials;
+    Format.printf "%-10s %14s %6s %10s %9s@." "algorithm" "energy" "txs" "delivery" "feasible";
+    List.iter
+      (fun algorithm ->
+        let rng = Rng.create seed in
+        let result = Experiment.run_alg config ~trace ~source ~deadline ~rng algorithm in
+        let eval = Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
+        let sim =
+          Simulate.run ~trials ~rng ~eval_channel:`Rayleigh eval result.Experiment.schedule
+        in
+        Format.printf "%-10s %14.1f %6d %9.1f%% %9b@."
+          (Experiment.algorithm_name algorithm)
+          result.Experiment.energy
+          (Schedule.num_transmissions result.Experiment.schedule)
+          (100. *. sim.Simulate.delivery_ratio)
+          result.Experiment.feasible)
+      Experiment.all_algorithms
+  in
+  let term =
+    Term.(
+      const run $ deadline_arg $ source_arg $ seed_arg $ level_arg $ trials_arg $ trace_file_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run all six algorithms and compare energy/delivery (Fig. 6 style).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Replay a saved schedule CSV instead of computing one.")
+  in
+  let run algorithm deadline source seed trials schedule_file path =
+    let trace = load_trace path in
+    let source = pick_source trace deadline seed source in
+    let config = { Experiment.default_config with Experiment.seed } in
+    let schedule =
+      match schedule_file with
+      | Some file -> (
+          match Schedule.load ~path:file with
+          | Ok s -> s
+          | Error e ->
+              Printf.eprintf "error loading schedule %s: %s\n" file e;
+              exit 1)
+      | None ->
+          (Experiment.run_alg config ~trace ~source ~deadline ~rng:(Rng.create seed) algorithm)
+            .Experiment.schedule
+    in
+    let eval = Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
+    let sim =
+      Simulate.run ~trials ~rng:(Rng.create (seed + 1)) ~eval_channel:`Rayleigh eval schedule
+    in
+    Format.printf
+      "%s in Rayleigh environment (%d trials):@.  delivery %.2f%% (sd %.2f)  full delivery \
+       %.1f%%  mean spent energy %.3e W@."
+      (Experiment.algorithm_name algorithm)
+      trials
+      (100. *. sim.Simulate.delivery_ratio)
+      (100. *. sim.Simulate.delivery_stddev)
+      (100. *. sim.Simulate.full_delivery_rate)
+      sim.Simulate.mean_energy_spent;
+    match sim.Simulate.mean_completion_time with
+    | Some t -> Format.printf "  mean completion time %.1f s@." t
+    | None -> Format.printf "  broadcast never fully completed in any trial@."
+  in
+  let term =
+    Term.(
+      const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ trials_arg
+      $ schedule_arg $ trace_file_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo replay of a schedule in a fading channel.") term
+
+let () =
+  let doc = "Energy-efficient delay-constrained broadcast in time-varying energy-demand graphs" in
+  let info = Cmd.info "tmedb_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; stats_cmd; run_cmd; compare_cmd; simulate_cmd ]))

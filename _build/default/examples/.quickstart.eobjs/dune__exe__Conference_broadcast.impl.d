@@ -1,0 +1,1 @@
+examples/conference_broadcast.ml: Experiment Format List Rng Schedule Simulate Tmedb Tmedb_prelude Tmedb_trace

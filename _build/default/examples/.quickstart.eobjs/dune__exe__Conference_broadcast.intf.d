@@ -1,0 +1,1 @@
+examples/conference_broadcast.mli:

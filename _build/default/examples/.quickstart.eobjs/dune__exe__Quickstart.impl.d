@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Interval Tmedb Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+examples/sensor_dutycycle.ml: Array Dist Eedcb Feasibility Float Format Interval Interval_set List Metrics Problem Rng Schedule Tmedb Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+examples/uncertain_contacts.ml: Experiment Float Format Interference Interval List Nondet Problem Rng Robustness Schedule Tmedb Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+examples/uncertain_contacts.mli:

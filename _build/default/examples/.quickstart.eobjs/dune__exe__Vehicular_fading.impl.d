@@ -1,0 +1,1 @@
+examples/vehicular_fading.ml: Feasibility Float Format Fr Metrics Problem Rng Schedule Simulate Tmedb Tmedb_channel Tmedb_prelude Tmedb_trace Tmedb_tveg

@@ -1,0 +1,1 @@
+examples/vehicular_fading.mli:

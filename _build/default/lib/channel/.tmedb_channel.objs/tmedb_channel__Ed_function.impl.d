@@ -1,0 +1,1 @@
+lib/channel/ed_function.ml: Array Float Format Phy Specfun

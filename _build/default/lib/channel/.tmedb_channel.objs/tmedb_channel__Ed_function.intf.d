@@ -1,0 +1,1 @@
+lib/channel/ed_function.mli: Format Phy

@@ -1,0 +1,1 @@
+lib/channel/phy.ml: Format Futil Tmedb_prelude

@@ -1,0 +1,1 @@
+lib/channel/phy.mli: Format

@@ -1,0 +1,1 @@
+lib/channel/specfun.ml: Array Float

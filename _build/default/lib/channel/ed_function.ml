@@ -1,0 +1,106 @@
+type t =
+  | Absent
+  | Step of { w_th : float }
+  | Rayleigh of { beta : float }
+  | Nakagami of { beta : float; m : float }
+  | Lognormal of { beta : float; sigma : float }
+
+let step ~w_th =
+  if w_th < 0. then invalid_arg "Ed_function.step: negative threshold";
+  Step { w_th }
+
+let rayleigh ~beta =
+  if beta <= 0. then invalid_arg "Ed_function.rayleigh: beta must be positive";
+  Rayleigh { beta }
+
+let nakagami ~beta ~m =
+  if beta <= 0. then invalid_arg "Ed_function.nakagami: beta must be positive";
+  if m < 0.5 then invalid_arg "Ed_function.nakagami: m < 1/2";
+  Nakagami { beta; m }
+
+let lognormal ~beta ~sigma =
+  if beta <= 0. then invalid_arg "Ed_function.lognormal: beta must be positive";
+  if sigma <= 0. then invalid_arg "Ed_function.lognormal: sigma must be positive";
+  Lognormal { beta; sigma }
+
+let rician ~beta ~k =
+  if k < 0. then invalid_arg "Ed_function.rician: K < 0";
+  let m = ((k +. 1.) ** 2.) /. ((2. *. k) +. 1.) in
+  nakagami ~beta ~m
+
+let of_distance phy model ~dist =
+  if dist <= 0. then invalid_arg "Ed_function.of_distance: non-positive distance";
+  match model with
+  | `Static -> step ~w_th:(Phy.min_cost phy ~dist)
+  | `Rayleigh -> rayleigh ~beta:(Phy.beta phy ~dist)
+  | `Nakagami m -> nakagami ~beta:(Phy.beta phy ~dist) ~m
+  | `Lognormal sigma -> lognormal ~beta:(Phy.beta phy ~dist) ~sigma
+
+let failure_prob t ~w =
+  if w < 0. then invalid_arg "Ed_function.failure_prob: negative cost";
+  if w = 0. then 1.
+  else
+    match t with
+    | Absent -> 1.
+    | Step { w_th } -> if w >= w_th then 0. else 1.
+    | Rayleigh { beta } -> 1. -. exp (-.beta /. w)
+    | Nakagami { beta; m } -> Specfun.gammp ~a:m ~x:(m *. beta /. w)
+    | Lognormal { beta; sigma } -> Specfun.normal_cdf (log (beta /. w) /. sigma)
+
+let success_prob t ~w = 1. -. failure_prob t ~w
+
+(* Monotone-decreasing bisection inverse for the fading variants. *)
+let invert_by_bisection ~f ~target =
+  (* Find an upper bracket where f <= target. *)
+  let rec bracket hi tries =
+    if tries = 0 then None
+    else if f hi <= target then Some hi
+    else bracket (hi *. 4.) (tries - 1)
+  in
+  match bracket 1e-18 200 with
+  | None -> None
+  | Some hi0 ->
+      let lo = ref 0. and hi = ref hi0 in
+      for _ = 1 to 200 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if mid > 0. && f mid <= target then hi := mid else lo := mid
+      done;
+      Some !hi
+
+let cost_for_failure t ~target =
+  if not (0. < target && target <= 1.) then
+    invalid_arg "Ed_function.cost_for_failure: target outside (0,1]";
+  match t with
+  | Absent -> if target >= 1. then Some 0. else None
+  | Step { w_th } -> if target >= 1. then Some 0. else Some w_th
+  | Rayleigh { beta } ->
+      if target >= 1. then Some 0. else Some (beta /. log (1. /. (1. -. target)))
+  | Nakagami { beta; m } ->
+      if target >= 1. then Some 0.
+      else invert_by_bisection ~f:(fun w -> Specfun.gammp ~a:m ~x:(m *. beta /. w)) ~target
+  | Lognormal { beta; sigma } ->
+      if target >= 1. then Some 0.
+      else
+        invert_by_bisection ~f:(fun w -> Specfun.normal_cdf (log (beta /. w) /. sigma)) ~target
+
+let satisfies_property_3_1 t ~costs =
+  let sorted = Array.copy costs in
+  Array.sort Float.compare sorted;
+  let ok = ref true in
+  let prev = ref 1.0 in
+  Array.iter
+    (fun w ->
+      if w >= 0. then begin
+        let p = failure_prob t ~w in
+        if p > !prev +. 1e-12 || p < 0. || p > 1. then ok := false;
+        prev := p
+      end)
+    sorted;
+  !ok
+
+let pp ppf = function
+  | Absent -> Format.pp_print_string ppf "absent"
+  | Step { w_th } -> Format.fprintf ppf "step(w_th=%g)" w_th
+  | Rayleigh { beta } -> Format.fprintf ppf "rayleigh(beta=%g)" beta
+  | Nakagami { beta; m } -> Format.fprintf ppf "nakagami(beta=%g, m=%g)" beta m
+  | Lognormal { beta; sigma } -> Format.fprintf ppf "lognormal(beta=%g, sigma=%g)" beta sigma

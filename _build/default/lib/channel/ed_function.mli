@@ -1,0 +1,60 @@
+(** Energy-demand functions (paper Section III-B/C).
+
+    An ED-function φ maps a transmit cost w to the probability that a
+    single transmission over the edge *fails* at the given time.  All
+    variants satisfy Property 3.1: non-increasing in w, φ(w) → 0 as
+    w → ∞ when the edge is present, φ ≡ 1 when absent. *)
+
+type t =
+  | Absent  (** ρ(e,t) = 0: failure probability 1 at every cost. *)
+  | Step of { w_th : float }
+      (** Static channel (Eq. 2): fails iff w < w_th = N₀B·γ_th·d^α. *)
+  | Rayleigh of { beta : float }
+      (** Rayleigh fading (Eq. 5): φ(w) = 1 − exp(−β/w). *)
+  | Nakagami of { beta : float; m : float }
+      (** Nakagami-m fading (footnote 1 extension): |h|² ~ Γ(m, σ²/m),
+          φ(w) = P(m, m·β/w) with P the regularized lower incomplete
+          gamma.  [m = 1] coincides with Rayleigh. *)
+  | Lognormal of { beta : float; sigma : float }
+      (** Log-normal shadowing: received SNR log-normally distributed
+          around the path-loss mean, φ(w) = Φ(ln(β/w)/σ) with Φ the
+          standard normal CDF and σ the shadowing spread in nepers
+          (σ_dB · ln 10 / 10).  φ(β) = 1/2. *)
+
+val step : w_th:float -> t
+(** @raise Invalid_argument on negative threshold. *)
+
+val rayleigh : beta:float -> t
+val nakagami : beta:float -> m:float -> t
+
+val rician : beta:float -> k:float -> t
+(** Rician-K fading via the standard Nakagami-m moment matching
+    m = (K+1)²/(2K+1). *)
+
+val lognormal : beta:float -> sigma:float -> t
+
+val of_distance :
+  Phy.t ->
+  [ `Static | `Rayleigh | `Nakagami of float | `Lognormal of float ] ->
+  dist:float ->
+  t
+(** Build the ED-function of an edge from its length under the given
+    channel model. *)
+
+val failure_prob : t -> w:float -> float
+(** φ(w).  By convention φ(0) = 1 for every variant (footnote 2).
+    @raise Invalid_argument on negative cost. *)
+
+val success_prob : t -> w:float -> float
+
+val cost_for_failure : t -> target:float -> float option
+(** Least cost w with φ(w) ≤ [target] (unbounded search; the caller
+    clamps against its cost set).  [None] when no finite cost reaches
+    the target (absent edge, or target ≤ 0 under fading).
+    @raise Invalid_argument unless target ∈ (0, 1]. *)
+
+val satisfies_property_3_1 : t -> costs:float array -> bool
+(** Monotonicity/limit spot-check over a cost grid; used by tests and
+    assertions on user-supplied functions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+open Tmedb_prelude
+
+type t = {
+  n0 : float;
+  bandwidth : float;
+  gamma_th_db : float;
+  alpha : float;
+  w_min : float;
+  w_max : float;
+  eps : float;
+}
+
+let gamma_th t = Futil.db_to_linear t.gamma_th_db
+let noise_power t = t.n0 *. t.bandwidth
+let min_cost t ~dist = noise_power t *. gamma_th t *. (dist ** t.alpha)
+let beta = min_cost
+
+let validate t =
+  if t.n0 <= 0. || t.bandwidth <= 0. then invalid_arg "Phy.make: noise/bandwidth must be positive";
+  if t.alpha <= 0. then invalid_arg "Phy.make: alpha must be positive";
+  if t.w_min < 0. then invalid_arg "Phy.make: w_min < 0";
+  if t.w_max <= t.w_min then invalid_arg "Phy.make: w_max <= w_min";
+  if not (0. < t.eps && t.eps < 1.) then invalid_arg "Phy.make: eps outside (0,1)";
+  t
+
+let default =
+  let base =
+    {
+      n0 = 4.32e-21;
+      bandwidth = 1e6;
+      gamma_th_db = 25.9;
+      alpha = 2.;
+      w_min = 0.;
+      w_max = 0.;
+      eps = 0.01;
+    }
+  in
+  (* W large enough for a 250 m fading hop at error rate eps. *)
+  let w_max =
+    min_cost base ~dist:250. /. log (1. /. (1. -. base.eps))
+  in
+  validate { base with w_max }
+
+let make ?(n0 = default.n0) ?(bandwidth = default.bandwidth) ?(gamma_th_db = default.gamma_th_db)
+    ?(alpha = default.alpha) ?(w_min = default.w_min) ?(w_max = default.w_max)
+    ?(eps = default.eps) () =
+  validate { n0; bandwidth; gamma_th_db; alpha; w_min; w_max; eps }
+
+let fading_reference_cost t ~dist = beta t ~dist /. log (1. /. (1. -. t.eps))
+let normalized_energy t w = w /. (noise_power t *. gamma_th t)
+let in_cost_set t w = t.w_min <= w && w <= t.w_max
+
+let pp ppf t =
+  Format.fprintf ppf
+    "phy{N0=%g W/Hz, B=%g Hz, gamma=%g dB, alpha=%g, W=[%g, %g], eps=%g}" t.n0 t.bandwidth
+    t.gamma_th_db t.alpha t.w_min t.w_max t.eps

@@ -1,0 +1,60 @@
+(** Physical-layer parameters of the evaluation (paper Section VII).
+
+    The decoding condition for the static channel is SNR = w·h/N₀B ≥
+    γ_th with propagation gain h = d^{-α}; for the Rayleigh channel the
+    failure probability is 1 − exp(−β/w) with β = N₀B·γ_th·d^{α}
+    (Equations 1–5; N₀ in the paper stands for total noise power, which
+    we expose as [noise_power] = density × bandwidth). *)
+
+type t = {
+  n0 : float;  (** Noise power density, W/Hz. *)
+  bandwidth : float;  (** Hz (the paper's 1 Mbit/s data rate). *)
+  gamma_th_db : float;  (** Decoding threshold, dB. *)
+  alpha : float;  (** Path-loss exponent. *)
+  w_min : float;  (** Lower bound of the cost set W, watts. *)
+  w_max : float;  (** Upper bound of the cost set W, watts. *)
+  eps : float;  (** Acceptable error rate ε. *)
+}
+
+val default : t
+(** Paper values: N₀ = 4.32e-21 W/Hz, B = 1 MHz, γ_th = 25.9 dB,
+    α = 2, ε = 0.01; W spans [0, w_for 250 m]. *)
+
+val make :
+  ?n0:float ->
+  ?bandwidth:float ->
+  ?gamma_th_db:float ->
+  ?alpha:float ->
+  ?w_min:float ->
+  ?w_max:float ->
+  ?eps:float ->
+  unit ->
+  t
+(** [default] with overrides.  @raise Invalid_argument on non-positive
+    bandwidth/threshold, [w_min < 0], [w_max <= w_min] or ε ∉ (0,1). *)
+
+val gamma_th : t -> float
+(** Linear decoding threshold. *)
+
+val noise_power : t -> float
+(** N₀·B, watts. *)
+
+val min_cost : t -> dist:float -> float
+(** Static channel: the minimum cost N₀B·γ_th/h for successful
+    decoding over distance [dist] (Equation 2's threshold). *)
+
+val beta : t -> dist:float -> float
+(** Rayleigh ED-function parameter β = N₀B·γ_th·d^α (Equation 5).
+    Numerically equal to [min_cost]; kept separate for clarity. *)
+
+val fading_reference_cost : t -> dist:float -> float
+(** w₀ = β / ln(1/(1−ε)): the cost making a single Rayleigh hop fail
+    with probability exactly ε (Section VI-B backbone weights). *)
+
+val normalized_energy : t -> float -> float
+(** Energy divided by noise_power·γ_th (the paper's "normalized by the
+    decoding threshold" metric); for the static channel this equals
+    Σ d^α over scheduled transmissions, in m^α. *)
+
+val in_cost_set : t -> float -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Special functions needed by the Nakagami-m ED-function. *)
+
+val ln_gamma : float -> float
+(** Natural log of Γ(x) for x > 0 (Lanczos approximation, ~15 digits). *)
+
+val gammp : a:float -> x:float -> float
+(** Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a) for
+    [a > 0], [x >= 0]; series expansion for [x < a+1], continued
+    fraction otherwise. *)
+
+val gammq : a:float -> x:float -> float
+(** Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x). *)
+
+val erf : float -> float
+(** Error function, via erf(x) = sgn(x)·P(1/2, x²). *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF Φ(x) = (1 + erf(x/√2))/2, used by the
+    log-normal shadowing ED-function. *)

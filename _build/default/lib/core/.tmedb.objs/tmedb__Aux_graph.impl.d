@@ -1,0 +1,1 @@
+lib/core/aux_graph.ml: Array Dcs Digraph Dst Dts Hashtbl List Problem Schedule Tmedb_steiner Tmedb_tveg Tveg

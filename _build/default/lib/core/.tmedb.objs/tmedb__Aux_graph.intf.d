@@ -1,0 +1,1 @@
+lib/core/aux_graph.mli: Digraph Dst Problem Schedule Tmedb_steiner Tmedb_tveg

@@ -1,0 +1,1 @@
+lib/core/eedcb.ml: Array Aux_graph Digraph Dst Feasibility List Problem Schedule Tmedb_prelude Tmedb_steiner Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+lib/core/eedcb.mli: Feasibility Problem Schedule

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Problem Rng Schedule Tmedb_prelude Tmedb_trace Tmedb_tveg Trace

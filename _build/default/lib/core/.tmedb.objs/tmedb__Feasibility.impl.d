@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Array Ed_function Float Format List Phy Problem Queue Schedule Tmedb_channel Tmedb_tveg Tveg

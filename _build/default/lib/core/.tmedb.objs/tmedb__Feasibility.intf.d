@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Format Problem Schedule

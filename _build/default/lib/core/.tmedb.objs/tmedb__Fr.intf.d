@@ -1,0 +1,1 @@
+lib/core/fr.mli: Feasibility Problem Rng Schedule Tmedb_prelude

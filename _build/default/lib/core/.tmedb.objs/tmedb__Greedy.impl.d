@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Dcs Dts Feasibility Float Hashtbl List Problem Schedule Tmedb_tveg Tveg

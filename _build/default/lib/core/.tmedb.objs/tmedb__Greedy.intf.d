@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Feasibility Hashtbl Problem Schedule Tmedb_tveg

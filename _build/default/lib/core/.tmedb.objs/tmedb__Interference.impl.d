@@ -1,0 +1,1 @@
+lib/core/interference.ml: Array Float Format List Problem Schedule Tmedb_tveg Tveg

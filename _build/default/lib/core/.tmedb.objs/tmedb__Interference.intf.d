@@ -1,0 +1,1 @@
+lib/core/interference.mli: Format Problem Schedule

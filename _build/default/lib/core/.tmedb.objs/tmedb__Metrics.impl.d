@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Ed_function Feasibility Float Interval List Phy Problem Schedule Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Problem Schedule

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Dts Format Int Interval List Phy Printf Tmedb_channel Tmedb_prelude Tmedb_tveg Tmedb_tvg Tveg

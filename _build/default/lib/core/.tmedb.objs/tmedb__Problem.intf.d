@@ -1,0 +1,1 @@
+lib/core/problem.mli: Dts Format Phy Tmedb_channel Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+lib/core/random_relay.ml: Array Feasibility Float Greedy Hashtbl Int List Option Problem Rng Schedule Tmedb_prelude

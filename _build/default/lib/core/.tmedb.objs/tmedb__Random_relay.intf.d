@@ -1,0 +1,1 @@
+lib/core/random_relay.mli: Feasibility Problem Rng Schedule Tmedb_prelude

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Eedcb Feasibility List Nondet Problem Schedule Tmedb_tveg Tveg

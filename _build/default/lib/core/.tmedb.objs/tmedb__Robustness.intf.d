@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Nondet Rng Schedule Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Buffer Float Format Fun Futil Int List Option Printf Scanf String Tmedb_prelude Tmedb_tveg

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Dist Ed_function Float List Problem Queue Schedule Stats Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

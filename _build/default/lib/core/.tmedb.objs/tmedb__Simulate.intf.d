@@ -1,0 +1,1 @@
+lib/core/simulate.mli: Problem Rng Schedule Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+lib/core/static_bip.ml: Array Feasibility Float Futil Interval List Phy Pqueue Problem Schedule Tmedb_channel Tmedb_prelude Tmedb_tveg Tveg

@@ -1,0 +1,1 @@
+lib/core/static_bip.mli: Feasibility Problem Schedule

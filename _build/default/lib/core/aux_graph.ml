@@ -1,0 +1,142 @@
+open Tmedb_tveg
+open Tmedb_steiner
+
+type vertex =
+  | Wait of { node : int; point_idx : int; time : float }
+  | Level of { node : int; point_idx : int; time : float; level_idx : int; cum_cost : float }
+
+type t = {
+  graph : Digraph.t;
+  vertex : vertex array;
+  source_vertex : int;
+  terminals : int list;
+}
+
+let build (problem : Problem.t) dts =
+  let g = problem.Problem.graph in
+  let phy = problem.Problem.phy in
+  let channel = problem.Problem.channel in
+  let n = Tveg.n g in
+  let tau = Tveg.tau g in
+  let deadline = Dts.deadline dts in
+  (* Wait vertices first, contiguous per node. *)
+  let base = Array.make n 0 in
+  let total_wait = ref 0 in
+  for i = 0 to n - 1 do
+    base.(i) <- !total_wait;
+    total_wait := !total_wait + Array.length (Dts.node_points dts i)
+  done;
+  let vertices = ref [] (* level vertices, reversed *) in
+  let next_id = ref !total_wait in
+  let edges = ref [] in
+  let add_edge u v w = edges := (u, v, w) :: !edges in
+  for i = 0 to n - 1 do
+    let pts = Dts.node_points dts i in
+    Array.iteri
+      (fun l t ->
+        (* Waiting chain. *)
+        if l + 1 < Array.length pts then add_edge (base.(i) + l) (base.(i) + l + 1) 0.;
+        (* Transmission level chain, when the transmission can finish. *)
+        if t +. tau <= deadline then begin
+          let levels = Dcs.at g ~phy ~channel ~node:i ~time:t in
+          let prev_vertex = ref (base.(i) + l) in
+          let prev_cost = ref 0. in
+          let prev_covered = ref [] in
+          List.iteri
+            (fun level_idx { Dcs.cost; covered } ->
+              let x = !next_id in
+              incr next_id;
+              vertices :=
+                Level { node = i; point_idx = l; time = t; level_idx; cum_cost = cost }
+                :: !vertices;
+              add_edge !prev_vertex x (cost -. !prev_cost);
+              let fresh = List.filter (fun j -> not (List.mem j !prev_covered)) covered in
+              List.iter
+                (fun j ->
+                  let t_recv = t +. tau in
+                  let target_idx =
+                    match Dts.index_of_point dts j t_recv with
+                    | Some f -> Some f
+                    | None -> (
+                        (* The exact receive instant fell to the DTS
+                           propagation cap: round forward, which only
+                           delays j's informed time — sound, possibly
+                           suboptimal. *)
+                        match Dts.earliest_at_or_after dts j t_recv with
+                        | Some p -> Dts.index_of_point dts j p
+                        | None -> None)
+                  in
+                  match target_idx with
+                  | Some f -> add_edge x (base.(j) + f) 0.
+                  | None -> ())
+                fresh;
+              prev_vertex := x;
+              prev_cost := cost;
+              prev_covered := covered)
+            levels
+        end)
+      pts
+  done;
+  let vertex = Array.make !next_id (Wait { node = 0; point_idx = 0; time = 0. }) in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun l t -> vertex.(base.(i) + l) <- Wait { node = i; point_idx = l; time = t })
+      (Dts.node_points dts i)
+  done;
+  List.iteri
+    (fun k v -> vertex.(!next_id - 1 - k) <- v)
+    !vertices;
+  let graph = Digraph.of_edges ~n:!next_id !edges in
+  let source_vertex = base.(problem.Problem.source) in
+  let terminals =
+    List.filter_map
+      (fun i ->
+        if i = problem.Problem.source then None
+        else begin
+          let len = Array.length (Dts.node_points dts i) in
+          if len = 0 then None else Some (base.(i) + len - 1)
+        end)
+      (List.init n (fun i -> i))
+  in
+  { graph; vertex; source_vertex; terminals }
+
+let wait_vertex t ~node ~point_idx =
+  let found = ref None in
+  Array.iteri
+    (fun id v ->
+      match v with
+      | Wait w when w.node = node && w.point_idx = point_idx -> found := Some id
+      | Wait _ | Level _ -> ())
+    t.vertex;
+  !found
+
+let extract_schedule t (tree : Dst.tree) =
+  (* Deepest chosen level per (node, DTS point). *)
+  let best = Hashtbl.create 16 in
+  let note id =
+    match t.vertex.(id) with
+    | Wait _ -> ()
+    | Level { node; point_idx; time; cum_cost; _ } -> (
+        let key = (node, point_idx) in
+        match Hashtbl.find_opt best key with
+        | Some (c, _) when c >= cum_cost -> ()
+        | Some _ | None -> Hashtbl.replace best key (cum_cost, (node, time)))
+  in
+  List.iter
+    (fun (u, v, _) ->
+      note u;
+      note v)
+    tree.Dst.edges;
+  let txs =
+    Hashtbl.fold
+      (fun _ (cost, (relay, time)) acc -> { Schedule.relay; time; cost } :: acc)
+      best []
+  in
+  Schedule.of_transmissions txs
+
+let num_wait_vertices t =
+  Array.fold_left
+    (fun acc v -> match v with Wait _ -> acc + 1 | Level _ -> acc)
+    0 t.vertex
+
+let num_level_vertices t = Array.length t.vertex - num_wait_vertices t

@@ -1,0 +1,51 @@
+(** The auxiliary graph of paper Section VI-A, mapping TMEDB on a DTS
+    to a minimum-energy multicast (directed Steiner tree) instance.
+
+    Vertices:
+    - a *wait* vertex u_{i,l} for every node i and DTS point t_{i,l},
+      chained by 0-weight edges u_{i,l} → u_{i,l+1} ("informed at
+      t_{i,l} implies informed at t_{i,l+1}");
+    - a *level* vertex x_{i,l,k} for every discrete-cost-set level k of
+      node i at t_{i,l} (only when the transmission completes by the
+      deadline, t + τ ≤ T), chained with *incremental* weights
+      u_{i,l} →(w¹) x_{i,l,1} →(w²−w¹) x_{i,l,2} → …, so that a tree
+      reaching level k pays exactly w^k — the broadcast nature of
+      Property 6.1;
+    - 0-weight edges x_{i,l,k} → u_{j,f} for each neighbour j newly
+      covered at level k, where t_{j,f} = t_{i,l} + τ (the DTS closure
+      guarantees this point exists).
+
+    The source vertex is u_{s,0}; terminals are each node's last wait
+    vertex, as in the paper's Fig. 3. *)
+
+open Tmedb_steiner
+
+type vertex =
+  | Wait of { node : int; point_idx : int; time : float }
+  | Level of {
+      node : int;
+      point_idx : int;
+      time : float;
+      level_idx : int;
+      cum_cost : float;  (** Total transmit cost of this level, w^k. *)
+    }
+
+type t = {
+  graph : Digraph.t;
+  vertex : vertex array;  (** Vertex id → description. *)
+  source_vertex : int;
+  terminals : int list;  (** Last wait vertex of every non-source node. *)
+}
+
+val build : Problem.t -> Tmedb_tveg.Dts.t -> t
+(** Uses the instance's design channel for the DCS costs: static
+    minimum costs under [`Static], single-hop ε-costs under the fading
+    models (the FR backbone of Section VI-B). *)
+
+val wait_vertex : t -> node:int -> point_idx:int -> int option
+val extract_schedule : t -> Dst.tree -> Schedule.t
+(** Transmissions implied by a Steiner tree: per (node, DTS point)
+    chain the deepest chosen level, at its cumulative cost. *)
+
+val num_wait_vertices : t -> int
+val num_level_vertices : t -> int

@@ -1,0 +1,47 @@
+open Tmedb_steiner
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  unreached : int list;
+  tree_cost : float;
+  aux_vertices : int;
+  aux_edges : int;
+  dts_points : int;
+}
+
+let node_of_terminal aux term =
+  match aux.Aux_graph.vertex.(term) with
+  | Aux_graph.Wait { node; _ } -> node
+  | Aux_graph.Level { node; _ } -> node
+
+let run ?(level = 2) ?cap_per_node problem =
+  (* Contacts after the deadline can never matter: clip them away so
+     the DTS closure and the DCS queries walk shorter link lists. *)
+  let problem =
+    let open Tmedb_tveg in
+    let span = Tveg.span problem.Problem.graph in
+    let sub = Tmedb_prelude.Interval.make ~lo:span.Tmedb_prelude.Interval.lo
+        ~hi:problem.Problem.deadline in
+    { problem with Problem.graph = Tveg.restrict problem.Problem.graph ~span:sub }
+  in
+  let dts = Problem.dts ?cap_per_node problem in
+  let aux = Aux_graph.build problem dts in
+  let outcome =
+    Dst.solve ~level aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex
+      ~terminals:aux.Aux_graph.terminals
+  in
+  let pruned = Dst.prune aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex outcome.Dst.tree in
+  let schedule = Aux_graph.extract_schedule aux pruned in
+  let report = Feasibility.check problem schedule in
+  {
+    schedule;
+    report;
+    unreached = List.map (node_of_terminal aux) outcome.Dst.uncovered;
+    tree_cost = pruned.Dst.cost;
+    aux_vertices = Digraph.n aux.Aux_graph.graph;
+    aux_edges = Digraph.m aux.Aux_graph.graph;
+    dts_points = Tmedb_tveg.Dts.total_points dts;
+  }
+
+let schedule_only ?level ?cap_per_node problem = (run ?level ?cap_per_node problem).schedule

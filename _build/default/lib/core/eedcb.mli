@@ -1,0 +1,27 @@
+(** EEDCB — energy-efficient delay-constrained broadcast (paper Section
+    VI-A): DTS → auxiliary graph → approximate directed Steiner tree →
+    schedule.
+
+    Under a static design channel this is the paper's TMEDB-S
+    algorithm with approximation ratio O(N^ε); under a fading design
+    channel the same pipeline computes the FR-EEDCB broadcast backbone
+    (relays and times) using single-hop ε-costs as edge weights. *)
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  unreached : int list;
+      (** Nodes whose auxiliary-graph terminal the Steiner tree could
+          not cover (journey-unreachable by the deadline). *)
+  tree_cost : float;  (** Steiner tree cost after pruning. *)
+  aux_vertices : int;
+  aux_edges : int;
+  dts_points : int;
+}
+
+val run : ?level:int -> ?cap_per_node:int -> Problem.t -> result
+(** [level] is the recursive-greedy level (default 2; level 1 is the
+    shortest-path-tree ablation). *)
+
+val schedule_only : ?level:int -> ?cap_per_node:int -> Problem.t -> Schedule.t
+(** Convenience accessor skipping the feasibility report. *)

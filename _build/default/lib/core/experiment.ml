@@ -1,0 +1,284 @@
+open Tmedb_prelude
+open Tmedb_channel
+open Tmedb_trace
+open Tmedb_tveg
+
+type algorithm = EEDCB | GREED | RAND | FR_EEDCB | FR_GREED | FR_RAND
+
+let all_algorithms = [ EEDCB; GREED; RAND; FR_EEDCB; FR_GREED; FR_RAND ]
+
+let algorithm_name = function
+  | EEDCB -> "EEDCB"
+  | GREED -> "GREED"
+  | RAND -> "RAND"
+  | FR_EEDCB -> "FR-EEDCB"
+  | FR_GREED -> "FR-GREED"
+  | FR_RAND -> "FR-RAND"
+
+let algorithm_of_string s =
+  match String.uppercase_ascii s with
+  | "EEDCB" -> Ok EEDCB
+  | "GREED" -> Ok GREED
+  | "RAND" -> Ok RAND
+  | "FR-EEDCB" | "FR_EEDCB" -> Ok FR_EEDCB
+  | "FR-GREED" | "FR_GREED" -> Ok FR_GREED
+  | "FR-RAND" | "FR_RAND" -> Ok FR_RAND
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+let is_fading = function
+  | FR_EEDCB | FR_GREED | FR_RAND -> true
+  | EEDCB | GREED | RAND -> false
+
+type config = {
+  seed : int;
+  n : int;
+  horizon : float;
+  deadline : float;
+  sources : int;
+  mc_trials : int;
+  steiner_level : int;
+  dts_cap : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    n = 20;
+    horizon = 17000.;
+    deadline = 2000.;
+    sources = 3;
+    mc_trials = 300;
+    steiner_level = 2;
+    dts_cap = 1500;
+  }
+
+let make_trace ?density_profile config ~n =
+  let params = { (Synth.with_n Synth.default_params n) with
+                 Synth.horizon = config.horizon;
+                 density_profile } in
+  Synth.generate (Rng.create (config.seed + (7919 * n))) params
+
+let make_problem config ~trace ~channel ~source ~deadline =
+  ignore config;
+  let graph = Tveg.of_trace ~tau:0. trace in
+  Problem.make ~graph ~phy:Phy.default ~channel ~source ~deadline ()
+
+let choose_sources config ~trace ~deadline =
+  let rng = Rng.create (config.seed lxor 0x5eed) in
+  let n = Trace.n trace in
+  let graph = Trace.to_tvg trace in
+  let reachable src =
+    Tmedb_tvg.Reachability.is_broadcastable graph ~tau:0. ~src ~t0:0. ~deadline
+  in
+  let rec draw k acc tries =
+    if k = 0 then List.rev acc
+    else begin
+      let src = Rng.int rng n in
+      if List.mem src acc then draw k acc tries
+      else if reachable src || tries > 50 then draw (k - 1) (src :: acc) 0
+      else draw k acc (tries + 1)
+    end
+  in
+  draw (Stdlib.min config.sources n) [] 0
+
+type run_result = {
+  algorithm : algorithm;
+  energy : float;
+  feasible : bool;
+  analytic_delivery : float;
+  schedule : Schedule.t;
+  unreached : int list;
+}
+
+let run_alg config ~trace ~source ~deadline ~rng algorithm =
+  let channel = if is_fading algorithm then `Rayleigh else `Static in
+  let problem = make_problem config ~trace ~channel ~source ~deadline in
+  let cap_per_node = config.dts_cap in
+  let schedule, report, unreached =
+    match algorithm with
+    | EEDCB ->
+        let r = Eedcb.run ~level:config.steiner_level ~cap_per_node problem in
+        (r.Eedcb.schedule, r.Eedcb.report, r.Eedcb.unreached)
+    | GREED ->
+        let r = Greedy.run ~cap_per_node problem in
+        (r.Greedy.schedule, r.Greedy.report, r.Greedy.unreached)
+    | RAND ->
+        let r = Random_relay.run ~cap_per_node ~rng problem in
+        (r.Random_relay.schedule, r.Random_relay.report, r.Random_relay.unreached)
+    | FR_EEDCB | FR_GREED | FR_RAND ->
+        let backbone =
+          match algorithm with
+          | FR_EEDCB -> `Eedcb
+          | FR_GREED -> `Greedy
+          | FR_RAND | EEDCB | GREED | RAND -> `Random
+        in
+        let r = Fr.run ~level:config.steiner_level ~cap_per_node ~rng ~backbone problem in
+        (r.Fr.schedule, r.Fr.report, r.Fr.unreached)
+  in
+  {
+    algorithm;
+    energy = Metrics.normalized_energy problem schedule;
+    feasible = report.Feasibility.feasible;
+    analytic_delivery = Feasibility.delivery_ratio report;
+    schedule;
+    unreached;
+  }
+
+type series = { label : string; points : (float * float) list }
+
+(* Mean result over the configured sources for one data point. *)
+let mean_energy config ~trace ~deadline algorithm =
+  let sources = choose_sources config ~trace ~deadline in
+  let energies =
+    List.mapi
+      (fun k source ->
+        let rng = Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm)) in
+        (run_alg config ~trace ~source ~deadline ~rng algorithm).energy)
+      sources
+  in
+  Stats.mean (Array.of_list energies)
+
+let fig4 ?(config = default_config) ~variant ~deadlines ~ns () =
+  let algorithm = match variant with `Static -> EEDCB | `Fading -> FR_EEDCB in
+  List.map
+    (fun n ->
+      let trace = make_trace config ~n in
+      let points =
+        List.map (fun t -> (t, mean_energy config ~trace ~deadline:t algorithm)) deadlines
+      in
+      { label = Printf.sprintf "%s N=%d" (algorithm_name algorithm) n; points })
+    ns
+
+let fig5 ?(config = default_config) ~variant ~deadlines () =
+  let algorithms =
+    match variant with
+    | `Static -> [ EEDCB; GREED; RAND ]
+    | `Fading -> [ FR_EEDCB; FR_GREED; FR_RAND ]
+  in
+  let trace = make_trace config ~n:config.n in
+  List.map
+    (fun algorithm ->
+      let points =
+        List.map (fun t -> (t, mean_energy config ~trace ~deadline:t algorithm)) deadlines
+      in
+      { label = algorithm_name algorithm; points })
+    algorithms
+
+let fig6 ?(config = default_config) ~ns () =
+  let per_algorithm = Hashtbl.create 8 in
+  let note alg kind x y =
+    let key = (algorithm_name alg, kind) in
+    let old = Option.value ~default:[] (Hashtbl.find_opt per_algorithm key) in
+    Hashtbl.replace per_algorithm key ((x, y) :: old)
+  in
+  List.iter
+    (fun n ->
+      let trace = make_trace config ~n in
+      let deadline = config.deadline in
+      let sources = choose_sources config ~trace ~deadline in
+      List.iter
+        (fun algorithm ->
+          let energies = ref [] and deliveries = ref [] in
+          List.iteri
+            (fun k source ->
+              let rng =
+                Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
+              in
+              let result = run_alg config ~trace ~source ~deadline ~rng algorithm in
+              (* Delivery is evaluated in the fading environment
+                 regardless of the design channel (Fig. 6). *)
+              let problem =
+                make_problem config ~trace ~channel:`Rayleigh ~source ~deadline
+              in
+              let sim =
+                Simulate.run ~trials:config.mc_trials ~rng ~eval_channel:`Rayleigh problem
+                  result.schedule
+              in
+              energies := result.energy :: !energies;
+              deliveries := sim.Simulate.delivery_ratio :: !deliveries)
+            sources;
+          note algorithm `Energy (float_of_int n) (Stats.mean (Array.of_list !energies));
+          note algorithm `Delivery (float_of_int n) (Stats.mean (Array.of_list !deliveries)))
+        all_algorithms)
+    ns;
+  let series kind =
+    List.map
+      (fun alg ->
+        let pts =
+          Option.value ~default:[] (Hashtbl.find_opt per_algorithm (algorithm_name alg, kind))
+        in
+        { label = algorithm_name alg; points = List.sort compare pts })
+      all_algorithms
+  in
+  (series `Energy, series `Delivery)
+
+let fig7 ?(config = default_config) ~variant () =
+  let algorithms =
+    match variant with
+    | `Static -> [ EEDCB; GREED; RAND ]
+    | `Fading -> [ FR_EEDCB; FR_GREED; FR_RAND ]
+  in
+  (* Ramp bounds scale with the horizon so reduced-scale configs keep
+     the Fig. 7 shape: density low early, rising to full by ~half. *)
+  let ramp_lo = 0.29 *. config.horizon and ramp_hi = 0.47 *. config.horizon in
+  let profile = Synth.ramp_profile ~t0:ramp_lo ~t1:ramp_hi ~low:0.25 in
+  let trace = make_trace ~density_profile:profile config ~n:config.n in
+  let window_starts =
+    (* The paper samples every 500 s over [5000, 15000] with a 17000 s
+       horizon; keep that on the default config and shrink otherwise.
+       Every window must fit a full broadcast: t0 + deadline <= horizon. *)
+    let first = ramp_lo in
+    let last = config.horizon -. config.deadline in
+    let rec build t acc =
+      if t > last +. 1e-9 then List.rev acc else build (t +. 500.) (t :: acc)
+    in
+    build first []
+  in
+  let graph = Tveg.of_trace ~tau:0. trace in
+  let degree =
+    {
+      label = "avg degree";
+      points =
+        List.map
+          (fun t0 ->
+            (t0, Tveg.average_degree_over graph ~window:(Interval.make ~lo:t0 ~hi:(t0 +. 500.))))
+          window_starts;
+    }
+  in
+  let energy_series =
+    List.map
+      (fun algorithm ->
+        let points =
+          List.map
+            (fun t0 ->
+              let hi = Float.min config.horizon (t0 +. config.deadline) in
+              let sub = Trace.restrict trace ~span:(Interval.make ~lo:t0 ~hi) in
+              (t0, mean_energy config ~trace:sub ~deadline:hi algorithm))
+            window_starts
+        in
+        { label = algorithm_name algorithm; points })
+      algorithms
+  in
+  (energy_series, degree)
+
+let print_series ~title ~xlabel series =
+  Printf.printf "\n== %s ==\n" title;
+  match series with
+  | [] -> Printf.printf "(no series)\n"
+  | first :: _ ->
+      let xs = List.map fst first.points in
+      Printf.printf "%-12s" xlabel;
+      List.iter (fun s -> Printf.printf " %16s" s.label) series;
+      print_newline ();
+      List.iteri
+        (fun row x ->
+          Printf.printf "%-12g" x;
+          List.iter
+            (fun s ->
+              match List.nth_opt s.points row with
+              | Some (_, y) -> Printf.printf " %16.6g" y
+              | None -> Printf.printf " %16s" "-")
+            series;
+          print_newline ())
+        xs;
+      flush stdout

@@ -1,0 +1,85 @@
+(** Experiment drivers regenerating every figure of the paper's
+    Section VII.  Used by [bench/main.exe], the CLI and the examples.
+
+    Each figure function returns labelled series of (x, y) points and
+    is deterministic in the configuration seed. *)
+
+open Tmedb_prelude
+open Tmedb_trace
+
+type algorithm = EEDCB | GREED | RAND | FR_EEDCB | FR_GREED | FR_RAND
+
+val all_algorithms : algorithm list
+val algorithm_name : algorithm -> string
+val algorithm_of_string : string -> (algorithm, string) result
+val is_fading : algorithm -> bool
+(** FR variants design for the Rayleigh channel. *)
+
+type config = {
+  seed : int;
+  n : int;
+  horizon : float;
+  deadline : float;
+  sources : int;  (** Random source draws averaged per data point. *)
+  mc_trials : int;  (** Monte-Carlo trials for delivery ratios. *)
+  steiner_level : int;  (** Recursive-greedy level for (FR-)EEDCB. *)
+  dts_cap : int;  (** Per-node DTS point cap. *)
+}
+
+val default_config : config
+(** Paper defaults: 20 nodes, 17000 s horizon, 2000 s deadline, seed
+    42, 3 sources, 300 trials, level 2. *)
+
+val make_trace : ?density_profile:(float -> float) -> config -> n:int -> Trace.t
+(** The Haggle-like synthetic trace of the given size (see
+    {!Tmedb_trace.Synth}), seeded from the configuration. *)
+
+val make_problem :
+  config -> trace:Trace.t -> channel:Tmedb_tveg.Tveg.channel -> source:int -> deadline:float ->
+  Problem.t
+(** τ = 0 instance over the trace with the paper's default PHY. *)
+
+val choose_sources : config -> trace:Trace.t -> deadline:float -> int list
+(** [config.sources] distinct random sources, preferring ones from
+    which the broadcast is completable by the deadline. *)
+
+type run_result = {
+  algorithm : algorithm;
+  energy : float;  (** Normalised scheduled energy Σw / (noise·γ_th). *)
+  feasible : bool;
+  analytic_delivery : float;
+  schedule : Schedule.t;
+  unreached : int list;
+}
+
+val run_alg :
+  config -> trace:Trace.t -> source:int -> deadline:float -> rng:Rng.t -> algorithm -> run_result
+(** Builds the per-algorithm instance (static design channel for
+    EEDCB/GREED/RAND, Rayleigh for the FR variants) and runs it. *)
+
+(** {1 Figures} *)
+
+type series = { label : string; points : (float * float) list }
+
+val fig4 :
+  ?config:config -> variant:[ `Static | `Fading ] -> deadlines:float list -> ns:int list ->
+  unit -> series list
+(** Fig. 4: normalised energy vs delay constraint for (FR-)EEDCB, one
+    series per network size. *)
+
+val fig5 :
+  ?config:config -> variant:[ `Static | `Fading ] -> deadlines:float list -> unit -> series list
+(** Fig. 5: energy vs delay constraint for the three (FR-)algorithms. *)
+
+val fig6 : ?config:config -> ns:int list -> unit -> series list * series list
+(** Fig. 6: (a) energy and (b) Monte-Carlo Rayleigh delivery ratio vs
+    network size, for all six algorithms. *)
+
+val fig7 :
+  ?config:config -> variant:[ `Static | `Fading ] -> unit -> series list * series
+(** Fig. 7: per-500 s-window energy for the three (FR-)algorithms over
+    [5000 s, 15000 s] on a density-ramp trace, plus the average node
+    degree series. *)
+
+val print_series : title:string -> xlabel:string -> series list -> unit
+(** Aligned text table on stdout, one column per series. *)

@@ -1,0 +1,148 @@
+open Tmedb_channel
+open Tmedb_tveg
+
+type report = {
+  relays_informed : bool;
+  all_informed : bool;
+  within_deadline : bool;
+  within_budget : bool;
+  costs_in_range : bool;
+  feasible : bool;
+  informed_time : float option array;
+  uninformed : int list;
+  uninformed_probability : float array;
+  total_cost : float;
+}
+
+type event = { effective : float; node : int; factor : float }
+
+let check (problem : Problem.t) schedule =
+  let g = problem.Problem.graph in
+  let phy = problem.Problem.phy in
+  let n = Tveg.n g in
+  let tau = Tveg.tau g in
+  let eps = phy.Phy.eps in
+  let p = Array.make n 1. in
+  let informed_time = Array.make n None in
+  p.(problem.Problem.source) <- 0.;
+  informed_time.(problem.Problem.source) <- Some (Problem.span_start problem);
+  (* Pending receive events, ordered by effective time (transmissions
+     are time-sorted and τ constant, so insertion order is sorted). *)
+  let pending = Queue.create () in
+  let apply_until t =
+    let rec drain () =
+      match Queue.peek_opt pending with
+      | Some ev when ev.effective <= t ->
+          ignore (Queue.pop pending);
+          p.(ev.node) <- p.(ev.node) *. ev.factor;
+          if p.(ev.node) <= eps && informed_time.(ev.node) = None then
+            informed_time.(ev.node) <- Some ev.effective;
+          drain ()
+      | Some _ | None -> ()
+    in
+    drain ()
+  in
+  let relays_informed = ref true in
+  let costs_in_range = ref true in
+  let process_tx tx =
+    let open Schedule in
+    if not (Phy.in_cost_set phy tx.cost) then costs_in_range := false;
+    for j = 0 to n - 1 do
+      if j <> tx.relay then begin
+        let ed = Tveg.ed_at g ~phy ~channel:problem.Problem.channel tx.relay j tx.time in
+        match ed with
+        | Ed_function.Absent -> ()
+        | Ed_function.Step _ | Ed_function.Rayleigh _ | Ed_function.Nakagami _
+        | Ed_function.Lognormal _ ->
+            let factor = Ed_function.failure_prob ed ~w:tx.cost in
+            Queue.add { effective = tx.time +. tau; node = j; factor } pending
+      end
+    done
+  in
+  (* Transmissions sharing an instant may chain when τ = 0 (journeys
+     only require t_{l+1} >= t_l + τ): process each same-time group to
+     a fixpoint, releasing a transmission once its relay is informed. *)
+  let same_time_groups txs =
+    let rec group acc current = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | tx :: rest -> (
+          match current with
+          | [] -> group acc [ tx ] rest
+          | first :: _ ->
+              if Float.equal first.Schedule.time tx.Schedule.time then
+                group acc (tx :: current) rest
+              else group (List.rev current :: acc) [ tx ] rest)
+    in
+    group [] [] txs
+  in
+  List.iter
+    (fun group ->
+      match group with
+      | [] -> ()
+      | first :: _ ->
+          let t = first.Schedule.time in
+          apply_until t;
+          let waiting = ref group in
+          let progress = ref true in
+          while !waiting <> [] && !progress do
+            let ready, blocked =
+              List.partition (fun tx -> p.(tx.Schedule.relay) <= eps) !waiting
+            in
+            progress := ready <> [];
+            if ready <> [] then begin
+              List.iter process_tx ready;
+              (* τ = 0 receive events land at this same instant. *)
+              if tau = 0. then apply_until t
+            end;
+            waiting := blocked
+          done;
+          (* Leftovers transmit uninformed: condition (i) violated; the
+             cost is spent but nobody is informed by them. *)
+          if !waiting <> [] then begin
+            relays_informed := false;
+            List.iter
+              (fun tx ->
+                if not (Phy.in_cost_set phy tx.Schedule.cost) then costs_in_range := false)
+              !waiting
+          end)
+    (same_time_groups (Schedule.transmissions schedule));
+  apply_until problem.Problem.deadline;
+  let uninformed =
+    List.filter (fun i -> p.(i) > eps) (List.init n (fun i -> i))
+  in
+  let within_deadline =
+    match Schedule.latest_time schedule with
+    | None -> true
+    | Some t -> t +. tau <= problem.Problem.deadline
+  in
+  let total_cost = Schedule.total_cost schedule in
+  let within_budget =
+    match problem.Problem.budget with None -> true | Some c -> total_cost <= c
+  in
+  let all_informed = uninformed = [] in
+  {
+    relays_informed = !relays_informed;
+    all_informed;
+    within_deadline;
+    within_budget;
+    costs_in_range = !costs_in_range;
+    feasible = !relays_informed && all_informed && within_deadline && within_budget && !costs_in_range;
+    informed_time;
+    uninformed;
+    uninformed_probability = p;
+    total_cost;
+  }
+
+let informed_count r =
+  Array.fold_left (fun acc t -> match t with Some _ -> acc + 1 | None -> acc) 0 r.informed_time
+
+let delivery_ratio r =
+  float_of_int (informed_count r) /. float_of_int (Array.length r.informed_time)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "feasible=%b (relays=%b informed=%b deadline=%b budget=%b costs=%b) cost=%.4e uninformed=[%a]"
+    r.feasible r.relays_informed r.all_informed r.within_deadline r.within_budget r.costs_in_range
+    r.total_cost
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Format.pp_print_int)
+    r.uninformed

@@ -1,0 +1,34 @@
+(** Feasibility checking of schedules against TMEDB instances: the four
+    conditions of the decision problem (paper Section IV), with node
+    status evolved exactly per Equation (6):
+
+      p_{i,t} = Π over completed transmissions adjacent to i of φ(w).
+
+    A transmission at t_k affects receivers at t_k + τ.  Under the
+    static channel φ ∈ {0,1}, so the same code yields deterministic
+    informed/uninformed status. *)
+
+type report = {
+  relays_informed : bool;  (** (i): every relay has p ≤ ε when it transmits. *)
+  all_informed : bool;  (** (ii): every node has p ≤ ε by the deadline. *)
+  within_deadline : bool;  (** (iii): max t_k + τ ≤ T. *)
+  within_budget : bool;  (** (iv): Σ w ≤ C (vacuously true without a budget). *)
+  costs_in_range : bool;  (** Every w ∈ [w_min, w_max]. *)
+  feasible : bool;  (** Conjunction of the five above. *)
+  informed_time : float option array;
+      (** Per node: first instant its uninformed probability reached ε
+          (the source is informed at the span start). *)
+  uninformed : int list;  (** Nodes never informed by the deadline. *)
+  uninformed_probability : float array;  (** Final p_i at the deadline. *)
+  total_cost : float;
+}
+
+val check : Problem.t -> Schedule.t -> report
+
+val informed_count : report -> int
+
+val delivery_ratio : report -> float
+(** Fraction of nodes informed by the deadline (analytic, not
+    Monte-Carlo — see [Simulate] for the empirical metric). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,434 @@
+open Tmedb_prelude
+open Tmedb_channel
+open Tmedb_tveg
+open Tmedb_nlp
+
+type backbone = [ `Eedcb | `Greedy | `Random ]
+
+type allocation = {
+  costs : float array;
+  nlp_feasible : bool;
+  repaired : bool;
+  unsatisfiable : int list;
+  outer_iterations : int;
+}
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  backbone : Schedule.t;
+  allocation : allocation;
+  unreached : int list;
+}
+
+(* log φ(w) and its derivative for the fading ED-functions.  The
+   Rayleigh case is analytic; Nakagami falls back to differences. *)
+let log_failure ~channel ~beta w =
+  if w <= 0. then 0.
+  else begin
+    match channel with
+    | `Rayleigh -> Futil.log1p_safe (-.exp (-.beta /. w))
+    | `Nakagami m -> Float.log (Float.max 1e-300 (Specfun.gammp ~a:m ~x:(m *. beta /. w)))
+    | `Lognormal sigma ->
+        Float.log (Float.max 1e-300 (Specfun.normal_cdf (log (beta /. w) /. sigma)))
+    | `Static -> assert false
+  end
+
+let dlog_failure ~channel ~beta w =
+  if w <= 0. then 0.
+  else begin
+    match channel with
+    | `Rayleigh ->
+        let e = exp (-.beta /. w) in
+        let phi = 1. -. e in
+        if phi <= 0. then 0. else -.(e *. beta /. (w *. w)) /. phi
+    | `Nakagami _ | `Lognormal _ ->
+        let h = 1e-6 *. Float.max w 1e-15 in
+        (log_failure ~channel ~beta (w +. h) -. log_failure ~channel ~beta (w -. h)) /. (2. *. h)
+    | `Static -> assert false
+  end
+
+(* One allocation constraint: Σ_k log φ_{k}(w_k) ≤ log ε over the
+   member transmissions (paper Eq. 15 for plain nodes, Eq. 16 for
+   relays). *)
+type coverage_constraint = {
+  about : int;  (** Node the constraint protects. *)
+  members : (int * float) list;  (** (transmission index, β). *)
+}
+
+let constraint_value ~channel ~log_eps c w =
+  List.fold_left (fun acc (k, beta) -> acc +. log_failure ~channel ~beta w.(k)) 0. c.members
+  -. log_eps
+
+(* Firing order of backbone transmissions under Eq. 6 with the
+   backbone's own costs: the global sequence in which relays actually
+   become able to transmit.  Same-instant groups release in fixpoint
+   rounds (τ = 0 chains), so the order is acyclic by construction;
+   [None] marks transmissions whose relay can never fire.  Constraint
+   (16) below is restricted to earlier-firing transmissions — the
+   paper's "t_k ≤ t_j" read as a causal order, which is what keeps the
+   NLP from relying on same-instant mutual coverage cycles. *)
+let firing_ranks (problem : Problem.t) arr =
+  let g = problem.Problem.graph in
+  let phy = problem.Problem.phy in
+  let n = Tveg.n g in
+  let tau = Tveg.tau g in
+  (* Backbone costs sit exactly on φ = ε; a hair of slack keeps float
+     round-off from blocking a release (this only orders transmissions,
+     the allocation itself carries its own safety margin). *)
+  let eps = phy.Phy.eps *. (1. +. 1e-6) in
+  let ntx = Array.length arr in
+  let p = Array.make n 1. in
+  p.(problem.Problem.source) <- 0.;
+  let rank = Array.make ntx None in
+  let next_rank = ref 0 in
+  let pending = Queue.create () in
+  let apply_until t =
+    let rec drain () =
+      match Queue.peek_opt pending with
+      | Some (effective, node, factor) when effective <= t ->
+          ignore (Queue.pop pending);
+          p.(node) <- p.(node) *. factor;
+          drain ()
+      | Some _ | None -> ()
+    in
+    drain ()
+  in
+  let fire k =
+    let tx = arr.(k) in
+    rank.(k) <- Some !next_rank;
+    incr next_rank;
+    for j = 0 to n - 1 do
+      if j <> tx.Schedule.relay then begin
+        match Tveg.ed_at g ~phy ~channel:problem.Problem.channel tx.Schedule.relay j tx.Schedule.time with
+        | Ed_function.Absent -> ()
+        | ed ->
+            Queue.add
+              (tx.Schedule.time +. tau, j, Ed_function.failure_prob ed ~w:tx.Schedule.cost)
+              pending
+      end
+    done
+  in
+  let rec groups = function
+    | [] -> []
+    | k :: _ as ks ->
+        let t = arr.(k).Schedule.time in
+        let same, rest = List.partition (fun k' -> Float.equal arr.(k').Schedule.time t) ks in
+        same :: groups rest
+  in
+  List.iter
+    (fun group ->
+      match group with
+      | [] -> ()
+      | first :: _ ->
+          let t = arr.(first).Schedule.time in
+          apply_until t;
+          let waiting = ref group in
+          let progress = ref true in
+          while !waiting <> [] && !progress do
+            let ready, blocked =
+              List.partition (fun k -> p.(arr.(k).Schedule.relay) <= eps) !waiting
+            in
+            progress := ready <> [];
+            List.iter fire ready;
+            if ready <> [] && tau = 0. then apply_until t;
+            waiting := blocked
+          done)
+    (groups (List.init ntx (fun k -> k)));
+  rank
+
+let build_constraints problem txs =
+  let g = problem.Problem.graph in
+  let phy = problem.Problem.phy in
+  let tau = Tveg.tau g in
+  let arr = Array.of_list txs in
+  let ranks = firing_ranks problem arr in
+  let coverage k =
+    let tx = arr.(k) in
+    List.map
+      (fun (j, dist) -> (j, Phy.beta phy ~dist))
+      (Tveg.neighbors_at g tx.Schedule.relay tx.Schedule.time)
+  in
+  let coverages = Array.init (Array.length arr) coverage in
+  let node_members = Array.make (Tveg.n g) [] in
+  Array.iteri
+    (fun k cov ->
+      (* Unranked transmissions never fire: they inform nobody. *)
+      if ranks.(k) <> None then
+        List.iter (fun (j, beta) -> node_members.(j) <- (k, beta) :: node_members.(j)) cov)
+    coverages;
+  (* Eq. 15: every non-source node must end up informed. *)
+  let node_constraints =
+    List.filter_map
+      (fun j ->
+        if j = problem.Problem.source then None
+        else Some { about = j; members = node_members.(j) })
+      (List.init (Tveg.n g) (fun j -> j))
+  in
+  (* Eq. 16: each relay informed before it transmits — members are the
+     τ-respecting, strictly earlier-firing transmissions covering it. *)
+  let relay_constraints =
+    Array.to_list arr
+    |> List.mapi (fun k' tx ->
+           let r = tx.Schedule.relay in
+           if r = problem.Problem.source then None
+           else begin
+             let members =
+               List.filter
+                 (fun (k, _) ->
+                   k <> k'
+                   && arr.(k).Schedule.time +. tau <= tx.Schedule.time
+                   &&
+                   match (ranks.(k), ranks.(k')) with
+                   | Some rk, Some rk' -> rk < rk'
+                   | Some _, None -> true
+                   | None, (Some _ | None) -> false)
+                 node_members.(r)
+             in
+             Some { about = r; members }
+           end)
+    |> List.filter_map Fun.id
+  in
+  (node_constraints, relay_constraints, coverages)
+
+let allocate problem backbone_schedule =
+  (match problem.Problem.channel with
+  | `Static -> invalid_arg "Fr.allocate: design channel must be a fading model"
+  | `Rayleigh | `Nakagami _ | `Lognormal _ -> ());
+  let channel = problem.Problem.channel in
+  let phy = problem.Problem.phy in
+  (* Slightly tighter than ε so that float round-off in the feasibility
+     checker's running product can never flip a boundary solution. *)
+  let log_eps = log phy.Phy.eps -. 1e-6 in
+  let txs = Schedule.transmissions backbone_schedule in
+  let nvars = List.length txs in
+  if nvars = 0 then
+    ( backbone_schedule,
+      {
+        costs = [||];
+        nlp_feasible = true;
+        repaired = false;
+        unsatisfiable = [];
+        outer_iterations = 0;
+      } )
+  else begin
+    let node_constraints, relay_constraints, coverages = build_constraints problem txs in
+    let unsatisfiable_empty =
+      List.filter_map
+        (fun c -> if c.members = [] then Some c.about else None)
+        (node_constraints @ relay_constraints)
+      |> List.sort_uniq Int.compare
+    in
+    let live_constraints =
+      List.filter (fun c -> c.members <> []) (node_constraints @ relay_constraints)
+    in
+    (* Variable scaling: x_k = w_k / scale_k with scale the single-hop
+       ε-cost of the transmission's farthest neighbour. *)
+    let scale =
+      Array.map
+        (fun cov ->
+          let beta_max = List.fold_left (fun acc (_, b) -> Float.max acc b) 0. cov in
+          if beta_max > 0. then beta_max /. log (1. /. (1. -. phy.Phy.eps))
+          else Float.max phy.Phy.w_min (1e-6 *. phy.Phy.w_max))
+        coverages
+    in
+    let to_w x = Array.mapi (fun k xk -> scale.(k) *. xk) x in
+    let scale_sum = Array.fold_left ( +. ) 0. scale in
+    let objective x =
+      Futil.kahan_sum (Array.mapi (fun k xk -> scale.(k) *. xk) x) /. scale_sum
+    in
+    let objective_grad _ = Array.map (fun s -> s /. scale_sum) scale in
+    let mk_constraint c =
+      {
+        Nlp.label = Printf.sprintf "inform-%d" c.about;
+        g = (fun x -> constraint_value ~channel ~log_eps c (to_w x));
+        g_grad =
+          Some
+            (fun x ->
+              let w = to_w x in
+              let grad = Array.make nvars 0. in
+              List.iter
+                (fun (k, beta) ->
+                  grad.(k) <- grad.(k) +. (dlog_failure ~channel ~beta w.(k) *. scale.(k)))
+                c.members;
+              grad);
+      }
+    in
+    let lower = Array.map (fun s -> phy.Phy.w_min /. s) scale in
+    let upper = Array.map (fun s -> phy.Phy.w_max /. s) scale in
+    let x0 = Array.map (fun s -> Futil.clamp ~lo:(phy.Phy.w_min /. s) ~hi:(phy.Phy.w_max /. s) 1.) scale in
+    let nlp_problem =
+      {
+        Nlp.objective;
+        objective_grad = Some objective_grad;
+        constraints = List.map mk_constraint live_constraints;
+        lower;
+        upper;
+      }
+    in
+    (* Multi-start: the penalty landscape is non-convex; seed once at
+       the backbone point and once below it (where the solver must
+       climb back to feasibility, often onto a cheaper face). *)
+    let solve_from factor =
+      let x0 = Array.map (fun x -> Futil.clamp ~lo:0. ~hi:Float.infinity (factor *. x)) x0 in
+      let x0 = Array.mapi (fun k x -> Futil.clamp ~lo:lower.(k) ~hi:upper.(k) x) x0 in
+      Nlp.solve nlp_problem ~x0
+    in
+    let candidates_solved = List.map solve_from [ 1.; 0.5 ] in
+    (* Monotone repair: grow the members of any violated constraint by
+       a common factor found by bisection; costs only increase, so
+       every already-satisfied constraint stays satisfied.  Two
+       sweeps: relay constraints can tighten node constraints'
+       members and vice versa, but growth is monotone, so a fixed
+       small number of passes settles. *)
+    let tol = 1e-9 in
+    let repair_all w =
+      let unsatisfiable = ref unsatisfiable_empty in
+      let repaired = ref false in
+      let repair c =
+        if constraint_value ~channel ~log_eps c w > tol then begin
+          repaired := true;
+          let apply lambda =
+            List.iter
+              (fun (k, _) -> w.(k) <- Float.min phy.Phy.w_max (lambda *. w.(k)))
+              c.members
+          in
+          let value_at lambda =
+            List.fold_left
+              (fun acc (k, beta) ->
+                acc +. log_failure ~channel ~beta (Float.min phy.Phy.w_max (lambda *. w.(k))))
+              0. c.members
+            -. log_eps
+          in
+          let lambda_max =
+            List.fold_left
+              (fun acc (k, _) -> Float.max acc (phy.Phy.w_max /. Float.max w.(k) 1e-300))
+              1. c.members
+          in
+          match
+            Bisect.least_satisfying (fun lambda -> value_at lambda <= 0.) ~lo:1. ~hi:lambda_max
+          with
+          | Some lambda -> apply lambda
+          | None ->
+              apply lambda_max;
+              unsatisfiable := List.sort_uniq Int.compare (c.about :: !unsatisfiable)
+        end
+      in
+      List.iter repair live_constraints;
+      List.iter repair live_constraints;
+      (!unsatisfiable, !repaired)
+    in
+    (* Repair every multi-start solution plus the uniform-w0 backbone
+       (the penalty method is not guaranteed to land below its
+       starting point) and keep the cheapest. *)
+    let repaired_candidates =
+      List.map
+        (fun (r : Nlp.result) ->
+          let w = to_w r.Nlp.x in
+          let unsat, rep = repair_all w in
+          (w, unsat, rep, r))
+        candidates_solved
+    in
+    let w_backbone = Array.of_list (Schedule.costs backbone_schedule) in
+    let backbone_unsat, _ = repair_all w_backbone in
+    let w, unsatisfiable, repaired, solved =
+      List.fold_left
+        (fun ((bw, _, _, _) as best) ((cw, _, _, _) as cand) ->
+          if Futil.kahan_sum cw < Futil.kahan_sum bw then cand else best)
+        (w_backbone, backbone_unsat, true, List.hd candidates_solved)
+        repaired_candidates
+    in
+    (* Coordinate-descent polish: lower each cost to the minimum that
+       still satisfies every constraint it appears in, given the
+       others.  Each step preserves feasibility and strictly decreases
+       Σw, so this deterministically reclaims coverage redundancy the
+       penalty solver missed. *)
+    let ed_of beta =
+      match channel with
+      | `Rayleigh -> Ed_function.rayleigh ~beta
+      | `Nakagami m -> Ed_function.nakagami ~beta ~m
+      | `Lognormal sigma -> Ed_function.lognormal ~beta ~sigma
+      | `Static -> assert false
+    in
+    let constraints_of = Array.make nvars [] in
+    List.iter
+      (fun c ->
+        List.iter (fun (k, _) -> constraints_of.(k) <- c :: constraints_of.(k)) c.members)
+      live_constraints;
+    let polish_tol = 1e-4 in
+    let sweep () =
+      let changed = ref false in
+      for k = 0 to nvars - 1 do
+        let required =
+          List.fold_left
+            (fun acc c ->
+              if constraint_value ~channel ~log_eps c w > tol then
+                (* Already violated (w_max saturation): do not move. *)
+                Float.max acc w.(k)
+              else begin
+                let beta_k = List.assoc k c.members in
+                let others =
+                  List.fold_left
+                    (fun s (k', beta') ->
+                      if k' = k then s else s +. log_failure ~channel ~beta:beta' w.(k'))
+                    0. c.members
+                in
+                let rhs = log_eps -. others in
+                if rhs >= 0. then acc
+                else begin
+                  match Ed_function.cost_for_failure (ed_of beta_k) ~target:(exp rhs) with
+                  | Some need -> Float.max acc need
+                  | None -> Float.max acc w.(k)
+                end
+              end)
+            phy.Phy.w_min constraints_of.(k)
+        in
+        if required < w.(k) *. (1. -. polish_tol) then begin
+          w.(k) <- required;
+          changed := true
+        end
+      done;
+      !changed
+    in
+    let sweeps = ref 0 in
+    while sweep () && !sweeps < 25 do
+      incr sweeps
+    done;
+    (* Transmissions allocated zero cost are no-ops (φ(0) = 1): drop
+       them rather than scheduling silent sends. *)
+    let schedule =
+      Schedule.of_transmissions
+        (List.filteri
+           (fun k _ -> w.(k) > 0.)
+           (Schedule.transmissions (Schedule.map_costs backbone_schedule (fun k _ -> w.(k)))))
+    in
+    ( schedule,
+      {
+        costs = w;
+        nlp_feasible = solved.Nlp.feasible;
+        repaired;
+        unsatisfiable;
+        outer_iterations = solved.Nlp.outer_iterations;
+      } )
+  end
+
+let run ?level ?cap_per_node ?rng ~backbone problem =
+  (match problem.Problem.channel with
+  | `Static -> invalid_arg "Fr.run: design channel must be a fading model"
+  | `Rayleigh | `Nakagami _ | `Lognormal _ -> ());
+  let backbone_schedule, unreached =
+    match backbone with
+    | `Eedcb ->
+        let r = Eedcb.run ?level ?cap_per_node problem in
+        (r.Eedcb.schedule, r.Eedcb.unreached)
+    | `Greedy ->
+        let r = Greedy.run ?cap_per_node problem in
+        (r.Greedy.schedule, r.Greedy.unreached)
+    | `Random ->
+        let rng = match rng with Some r -> r | None -> Rng.create 17 in
+        let r = Random_relay.run ?cap_per_node ~rng problem in
+        (r.Random_relay.schedule, r.Random_relay.unreached)
+  in
+  let schedule, allocation = allocate problem backbone_schedule in
+  let report = Feasibility.check problem schedule in
+  { schedule; report; backbone = backbone_schedule; allocation; unreached }

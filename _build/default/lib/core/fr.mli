@@ -1,0 +1,48 @@
+(** Fading-resistant broadcast (paper Section VI-B): FR-EEDCB,
+    FR-GREED and FR-RAND.
+
+    Two stages: (1) *broadcast backbone selection* — run the chosen
+    static-style algorithm with single-hop ε-costs as edge weights
+    (the problem's design channel must be a fading model), fixing
+    relays R and times T; (2) *optimal energy allocation* — solve the
+    nonlinear program (14)–(17) for the costs W:
+
+      min Σ w_k  s.t.  Π_{k covering j} φ(w_k) ≤ ε  for every node j,
+      and the same for every relay restricted to transmissions before
+      its own, with w ∈ [w_min, w_max].
+
+    Constraints are handled in log space (sums of log φ ≤ log ε) with
+    analytic gradients, a quadratic-penalty outer loop, and a final
+    monotone bisection repair pass that guarantees the returned costs
+    satisfy every satisfiable constraint. *)
+
+open Tmedb_prelude
+
+type backbone = [ `Eedcb | `Greedy | `Random ]
+
+type allocation = {
+  costs : float array;  (** Per transmission, in backbone time order. *)
+  nlp_feasible : bool;  (** NLP reached feasibility before repair. *)
+  repaired : bool;  (** The repair pass had to adjust costs. *)
+  unsatisfiable : int list;
+      (** Nodes no cost assignment can serve (not covered by any
+          backbone transmission, or needing w > w_max). *)
+  outer_iterations : int;
+}
+
+type result = {
+  schedule : Schedule.t;  (** Backbone times/relays with NLP costs. *)
+  report : Feasibility.report;
+  backbone : Schedule.t;  (** The stage-1 schedule (ε-cost weights). *)
+  allocation : allocation;
+  unreached : int list;  (** Nodes the backbone never covers. *)
+}
+
+val allocate : Problem.t -> Schedule.t -> Schedule.t * allocation
+(** Stage 2 alone: re-cost an arbitrary relay/time skeleton.
+    @raise Invalid_argument when the problem's design channel is
+    [`Static] (there is nothing to allocate: costs are thresholds). *)
+
+val run :
+  ?level:int -> ?cap_per_node:int -> ?rng:Rng.t -> backbone:backbone -> Problem.t -> result
+(** [rng] is required (and only used) for the [`Random] backbone. *)

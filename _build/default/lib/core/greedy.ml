@@ -1,0 +1,86 @@
+open Tmedb_tveg
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  unreached : int list;
+  steps : int;
+}
+
+type candidate = {
+  relay : int;
+  time : float;
+  cost : float;
+  informs : int list;  (** Currently uninformed nodes this covers. *)
+}
+
+(* Shared with Random_relay: enumerate productive candidates given the
+   informed-time array. *)
+let candidates problem dts ~dcs_memo ~informed_time =
+  let g = problem.Problem.graph in
+  let tau = Tveg.tau g in
+  let deadline = problem.Problem.deadline in
+  let acc = ref [] in
+  Array.iteri
+    (fun i informed ->
+      match informed with
+      | None -> ()
+      | Some a_i ->
+          Array.iter
+            (fun t ->
+              if t >= a_i && t +. tau <= deadline then begin
+                let levels =
+                  match Hashtbl.find_opt dcs_memo (i, t) with
+                  | Some ls -> ls
+                  | None ->
+                      let ls =
+                        Dcs.at g ~phy:problem.Problem.phy ~channel:problem.Problem.channel
+                          ~node:i ~time:t
+                      in
+                      Hashtbl.add dcs_memo (i, t) ls;
+                      ls
+                in
+                List.iter
+                  (fun { Dcs.cost; covered } ->
+                    let informs =
+                      List.filter (fun j -> informed_time.(j) = None) covered
+                    in
+                    if informs <> [] then acc := { relay = i; time = t; cost; informs } :: !acc)
+                  levels
+              end)
+            (Dts.node_points dts i))
+    informed_time;
+  !acc
+
+let better a b =
+  let ca = List.length a.informs and cb = List.length b.informs in
+  if ca <> cb then ca > cb
+  else if not (Float.equal a.cost b.cost) then a.cost < b.cost
+  else a.time < b.time
+
+let run ?cap_per_node problem =
+  let dts = Problem.dts ?cap_per_node problem in
+  let n = Problem.n problem in
+  let tau = Problem.tau problem in
+  let informed_time = Array.make n None in
+  informed_time.(problem.Problem.source) <- Some (Problem.span_start problem);
+  let dcs_memo = Hashtbl.create 256 in
+  let schedule = ref [] in
+  let steps = ref 0 in
+  let stalled = ref false in
+  let uninformed_left () = Array.exists (fun t -> t = None) informed_time in
+  while uninformed_left () && not !stalled do
+    match candidates problem dts ~dcs_memo ~informed_time with
+    | [] -> stalled := true
+    | first :: rest ->
+        let best = List.fold_left (fun b c -> if better c b then c else b) first rest in
+        incr steps;
+        schedule := { Schedule.relay = best.relay; time = best.time; cost = best.cost } :: !schedule;
+        List.iter (fun j -> informed_time.(j) <- Some (best.time +. tau)) best.informs
+  done;
+  let schedule = Schedule.of_transmissions !schedule in
+  let report = Feasibility.check problem schedule in
+  let unreached =
+    List.filter (fun i -> informed_time.(i) = None) (List.init n (fun i -> i))
+  in
+  { schedule; report; unreached; steps = !steps }

@@ -1,0 +1,39 @@
+(** GREED baseline (paper Section VII): at each step, among all
+    (informed relay, DTS transmission time, DCS level) candidates,
+    schedule the one informing the largest number of still-uninformed
+    nodes — ties broken by lower cost, then earlier time.
+
+    The paper states GREED's cost is "the minimum cost in the relay's
+    discrete cost set"; read literally a relay could never reach
+    beyond its nearest neighbour, so we use the minimum DCS cost
+    *sufficient for the selected coverage* (see DESIGN.md).  Under a
+    fading design channel the DCS costs are single-hop ε-costs,
+    making this the FR-GREED backbone. *)
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  unreached : int list;  (** Uninformed when the greedy loop stalled. *)
+  steps : int;
+}
+
+val run : ?cap_per_node:int -> Problem.t -> result
+
+(** {1 Shared with the RAND baseline} *)
+
+type candidate = {
+  relay : int;
+  time : float;
+  cost : float;
+  informs : int list;  (** Currently uninformed nodes this covers. *)
+}
+
+val candidates :
+  Problem.t ->
+  Tmedb_tveg.Dts.t ->
+  dcs_memo:(int * float, Tmedb_tveg.Dcs.level list) Hashtbl.t ->
+  informed_time:float option array ->
+  candidate list
+(** Every productive (relay, time, level) triple given the current
+    informed set: relay informed by [time], transmission completes by
+    the deadline, and at least one uninformed node covered. *)

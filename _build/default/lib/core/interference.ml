@@ -1,0 +1,50 @@
+open Tmedb_tveg
+
+type conflict =
+  | Half_duplex of { node : int; time : float; other_relay : int }
+  | Collision of { node : int; time : float; relays : int * int }
+
+let conflict_time = function
+  | Half_duplex { time; _ } -> time
+  | Collision { time; _ } -> time
+
+(* Two active windows [t, t+tau] overlap (closed intervals: equal
+   instants under tau = 0 do overlap). *)
+let windows_overlap ~tau t1 t2 = Float.abs (t1 -. t2) <= tau || Float.equal t1 t2
+
+let check (problem : Problem.t) schedule =
+  let g = problem.Problem.graph in
+  let tau = Tveg.tau g in
+  let n = Tveg.n g in
+  let txs = Array.of_list (Schedule.transmissions schedule) in
+  let conflicts = ref [] in
+  let ntx = Array.length txs in
+  for a = 0 to ntx - 2 do
+    for b = a + 1 to ntx - 1 do
+      let ta = txs.(a).Schedule.time and tb = txs.(b).Schedule.time in
+      let ra = txs.(a).Schedule.relay and rb = txs.(b).Schedule.relay in
+      if ra <> rb && windows_overlap ~tau ta tb then begin
+        let t = Float.max ta tb in
+        (* Half-duplex: either relay exposed to the other. *)
+        if Tveg.rho_tau g ra rb (Float.min ta tb) then begin
+          conflicts := Half_duplex { node = ra; time = ta; other_relay = rb } :: !conflicts;
+          conflicts := Half_duplex { node = rb; time = tb; other_relay = ra } :: !conflicts
+        end;
+        (* Collisions at third parties exposed to both. *)
+        for j = 0 to n - 1 do
+          if j <> ra && j <> rb && Tveg.rho_tau g ra j ta && Tveg.rho_tau g rb j tb then
+            conflicts := Collision { node = j; time = t; relays = (ra, rb) } :: !conflicts
+        done
+      end
+    done
+  done;
+  List.sort (fun c1 c2 -> Float.compare (conflict_time c1) (conflict_time c2)) !conflicts
+
+let is_interference_free problem schedule = check problem schedule = []
+
+let pp_conflict ppf = function
+  | Half_duplex { node; time; other_relay } ->
+      Format.fprintf ppf "half-duplex: node %d transmits at t=%g while hearing node %d" node
+        time other_relay
+  | Collision { node; time; relays = (a, b) } ->
+      Format.fprintf ppf "collision: node %d hears nodes %d and %d at t=%g" node a b time

@@ -1,0 +1,32 @@
+(** Transmission-interference analysis — the paper's second future-work
+    item (Section VIII: "the interference among transmissions").
+
+    TMEDB's channel model treats links independently; this module
+    audits a schedule under the protocol interference model, reporting
+    where that assumption breaks.  A transmission by relay r at time t
+    is *active* during [t, t+τ] (a single instant when τ = 0); a node
+    is *exposed* to it when ρ_τ-adjacent to r at t.
+
+    Two conflict classes:
+    - {e half-duplex}: a relay is exposed to another active
+      transmission while transmitting — it cannot decode that packet;
+    - {e collision}: a non-transmitting node is exposed to two or more
+      simultaneously active transmissions — under protocol
+      interference it decodes none of them.
+
+    The checker is conservative: it flags every such overlap, whether
+    or not the schedule actually relied on the collided reception. *)
+
+type conflict =
+  | Half_duplex of { node : int; time : float; other_relay : int }
+      (** [node] transmits while exposed to [other_relay]'s packet. *)
+  | Collision of { node : int; time : float; relays : int * int }
+      (** [node] hears both [relays] at once. *)
+
+val check : Problem.t -> Schedule.t -> conflict list
+(** All conflicts, ordered by time. *)
+
+val is_interference_free : Problem.t -> Schedule.t -> bool
+
+val conflict_time : conflict -> float
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,114 @@
+open Tmedb_prelude
+open Tmedb_channel
+open Tmedb_tveg
+
+let normalized_energy (problem : Problem.t) schedule =
+  Phy.normalized_energy problem.Problem.phy (Schedule.total_cost schedule)
+
+let analytic_delivery_ratio problem schedule =
+  Feasibility.delivery_ratio (Feasibility.check problem schedule)
+
+let broadcast_latency problem schedule =
+  let report = Feasibility.check problem schedule in
+  if not report.Feasibility.all_informed then None
+  else begin
+    let latest =
+      Array.fold_left
+        (fun acc t -> match t with Some x -> Float.max acc x | None -> acc)
+        neg_infinity report.Feasibility.informed_time
+    in
+    Some (latest -. Problem.span_start problem)
+  end
+
+(* Best per-watt log-failure efficiency of the channel at parameter β:
+   sup_w −ln φ(w) / w over the cost set, found on a log-spaced grid
+   (the objective is smooth and single-peaked for our ED-functions). *)
+let best_efficiency (problem : Problem.t) ~beta =
+  let phy = problem.Problem.phy in
+  let ed = function
+    | `Rayleigh -> Ed_function.rayleigh ~beta
+    | `Nakagami m -> Ed_function.nakagami ~beta ~m
+    | `Lognormal sigma -> Ed_function.lognormal ~beta ~sigma
+    | `Static -> assert false
+  in
+  let ed = ed problem.Problem.channel in
+  let lo = Float.max (beta *. 1e-3) (Float.max phy.Phy.w_min 1e-300) in
+  let hi = phy.Phy.w_max in
+  if lo >= hi then 0.
+  else begin
+    let best = ref 0. in
+    let steps = 400 in
+    for k = 0 to steps do
+      let w = lo *. ((hi /. lo) ** (float_of_int k /. float_of_int steps)) in
+      let phi = Ed_function.failure_prob ed ~w in
+      if phi > 0. && phi < 1. then best := Float.max !best (-.Float.log phi /. w)
+    done;
+    !best
+  end
+
+let energy_lower_bound (problem : Problem.t) =
+  let g = problem.Problem.graph in
+  let phy = problem.Problem.phy in
+  let n = Problem.n problem in
+  if n <= 1 then 0.
+  else begin
+    let deadline = problem.Problem.deadline in
+    (* Smallest β (closest-ever approach) per node, over contacts that
+       can host a transmission completing by the deadline. *)
+    let beta_min = Array.make n Float.infinity in
+    let adjacent_to_source = Array.make n false in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        List.iter
+          (fun l ->
+            if l.Tveg.iv.Interval.lo +. Tveg.tau g <= deadline then begin
+              let beta = Phy.beta phy ~dist:l.Tveg.dist in
+              beta_min.(i) <- Float.min beta_min.(i) beta;
+              beta_min.(j) <- Float.min beta_min.(j) beta;
+              if i = problem.Problem.source then adjacent_to_source.(j) <- true;
+              if j = problem.Problem.source then adjacent_to_source.(i) <- true
+            end)
+          (Tveg.links g i j)
+      done
+    done;
+    let node_bound j =
+      if j = problem.Problem.source then 0.
+      else if not (Float.is_finite beta_min.(j)) then Float.infinity
+      else begin
+        match problem.Problem.channel with
+        | `Static -> beta_min.(j)
+        | `Rayleigh | `Nakagami _ | `Lognormal _ ->
+            let eff = best_efficiency problem ~beta:beta_min.(j) in
+            if eff > 0. then -.Float.log phy.Phy.eps /. eff else Float.infinity
+      end
+    in
+    let max_single =
+      List.fold_left
+        (fun acc j -> Float.max acc (node_bound j))
+        0.
+        (Problem.non_source_nodes problem)
+    in
+    (* Additive refinement: the first node informed is informed by
+       source transmissions alone (relays must be informed before they
+       transmit), which cost at least the source's own single-node
+       bound; a node never adjacent to the source needs a further,
+       distinct transmission. *)
+    let source_bound =
+      let src = problem.Problem.source in
+      if not (Float.is_finite beta_min.(src)) then 0.
+      else begin
+        match problem.Problem.channel with
+        | `Static -> beta_min.(src)
+        | `Rayleigh | `Nakagami _ | `Lognormal _ ->
+            let eff = best_efficiency problem ~beta:beta_min.(src) in
+            if eff > 0. then -.Float.log phy.Phy.eps /. eff else 0.
+      end
+    in
+    let far_bound =
+      List.fold_left
+        (fun acc j -> if adjacent_to_source.(j) then acc else Float.max acc (node_bound j))
+        0.
+        (Problem.non_source_nodes problem)
+    in
+    Float.max max_single (source_bound +. far_bound)
+  end

@@ -1,0 +1,30 @@
+(** The two metrics of the paper's Section VII. *)
+
+val normalized_energy : Problem.t -> Schedule.t -> float
+(** Total scheduled cost Σ w normalised by noise·γ_th (the paper's
+    "normalized energy consumption"); in m^α units under the static
+    channel. *)
+
+val analytic_delivery_ratio : Problem.t -> Schedule.t -> float
+(** Fraction of nodes whose Eq.-6 uninformed probability reaches ε by
+    the deadline, under the instance's design channel. *)
+
+val broadcast_latency : Problem.t -> Schedule.t -> float option
+(** Last informed time minus span start (analytic, design channel);
+    [None] when somebody stays uninformed. *)
+
+val energy_lower_bound : Problem.t -> float
+(** A certified lower bound on the cost of any feasible schedule.
+
+    Per node j, the cheapest conceivable way to inform it uses its
+    best-ever link (smallest β over all contact opportunities).  Under
+    the static channel that costs β outright; under a fading channel
+    the cheapest accumulation of transmissions driving
+    Π φ(w_i) ≤ ε spends at least −ln ε / max_w (−ln φ(w)/w) — the
+    per-watt log-failure efficiency maximised over the cost set.
+
+    The bound combines max_j LB_j with the additive refinement
+    LB_source + max over nodes never adjacent to the source of LB_j
+    (their covering transmission cannot be the source's).  Returns 0
+    for a single-node instance, infinity when some node has no contact
+    opportunity at all. *)

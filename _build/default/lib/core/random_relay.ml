@@ -1,0 +1,62 @@
+open Tmedb_prelude
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  unreached : int list;
+  steps : int;
+}
+
+let run ?cap_per_node ~rng problem =
+  let dts = Problem.dts ?cap_per_node problem in
+  let n = Problem.n problem in
+  let tau = Problem.tau problem in
+  let informed_time = Array.make n None in
+  informed_time.(problem.Problem.source) <- Some (Problem.span_start problem);
+  let dcs_memo = Hashtbl.create 256 in
+  let schedule = ref [] in
+  let steps = ref 0 in
+  let stalled = ref false in
+  let uninformed_left () = Array.exists (fun t -> t = None) informed_time in
+  while uninformed_left () && not !stalled do
+    let cands = Greedy.candidates problem dts ~dcs_memo ~informed_time in
+    (* Keep, per (relay, time), only the cheapest productive level:
+       RAND pays the minimum useful cost. *)
+    let cheapest = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        let key = (c.Greedy.relay, c.Greedy.time) in
+        match Hashtbl.find_opt cheapest key with
+        | Some c0 when c0.Greedy.cost <= c.Greedy.cost -> ()
+        | Some _ | None -> Hashtbl.replace cheapest key c)
+      cands;
+    let per_relay = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ c ->
+        let old = Option.value ~default:[] (Hashtbl.find_opt per_relay c.Greedy.relay) in
+        Hashtbl.replace per_relay c.Greedy.relay (c :: old))
+      cheapest;
+    let relays = Hashtbl.fold (fun r _ acc -> r :: acc) per_relay [] in
+    match relays with
+    | [] -> stalled := true
+    | _ ->
+        let relay = Rng.pick_list rng (List.sort Int.compare relays) in
+        let opportunities = Hashtbl.find per_relay relay in
+        let chosen =
+          Rng.pick_list rng
+            (List.sort (fun a b -> Float.compare a.Greedy.time b.Greedy.time) opportunities)
+        in
+        incr steps;
+        schedule :=
+          { Schedule.relay = chosen.Greedy.relay; time = chosen.Greedy.time; cost = chosen.Greedy.cost }
+          :: !schedule;
+        List.iter
+          (fun j -> informed_time.(j) <- Some (chosen.Greedy.time +. tau))
+          chosen.Greedy.informs
+  done;
+  let schedule = Schedule.of_transmissions !schedule in
+  let report = Feasibility.check problem schedule in
+  let unreached =
+    List.filter (fun i -> informed_time.(i) = None) (List.init n (fun i -> i))
+  in
+  { schedule; report; unreached; steps = !steps }

@@ -1,0 +1,16 @@
+(** RAND baseline (paper Section VII): at each step pick a uniformly
+    random informed node among those with at least one productive
+    transmission opportunity, then a random opportunity of that node,
+    paying the cheapest DCS cost that still informs somebody new.
+    Under a fading design channel this is the FR-RAND backbone. *)
+
+open Tmedb_prelude
+
+type result = {
+  schedule : Schedule.t;
+  report : Feasibility.report;
+  unreached : int list;
+  steps : int;
+}
+
+val run : ?cap_per_node:int -> rng:Rng.t -> Problem.t -> result

@@ -1,0 +1,26 @@
+open Tmedb_tveg
+
+let evaluate_schedule ?trials ~rng nondet ~phy ~channel ~source ~deadline schedule =
+  Nondet.evaluate ?trials ~rng nondet ~check:(fun realization ->
+      let problem = Problem.make ~graph:realization ~phy ~channel ~source ~deadline () in
+      let report = Feasibility.check problem schedule in
+      let wasted =
+        List.fold_left
+          (fun acc tx ->
+            if Tveg.neighbors_at realization tx.Schedule.relay tx.Schedule.time = [] then
+              acc +. tx.Schedule.cost
+            else acc)
+          0.
+          (Schedule.transmissions schedule)
+      in
+      (Feasibility.delivery_ratio report, report.Feasibility.all_informed, wasted))
+
+let plan_on graph ?level ~phy ~channel ~source ~deadline () =
+  let problem = Problem.make ~graph ~phy ~channel ~source ~deadline () in
+  Eedcb.schedule_only ?level problem
+
+let plan_on_support ?level nondet ~phy ~channel ~source ~deadline =
+  plan_on (Nondet.support nondet) ?level ~phy ~channel ~source ~deadline ()
+
+let plan_on_threshold ?level ~min_prob nondet ~phy ~channel ~source ~deadline =
+  plan_on (Nondet.threshold nondet ~min_prob) ?level ~phy ~channel ~source ~deadline ()

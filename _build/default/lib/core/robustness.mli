@@ -1,0 +1,36 @@
+(** Schedule robustness under contact-level uncertainty: the TMEDB
+    wrapper over {!Tmedb_tveg.Nondet}, addressing the paper's
+    future-work question of non-deterministic TVGs.
+
+    A schedule is planned against some deterministic graph (typically
+    the optimistic support, or a probability-thresholded subgraph) and
+    then replayed against sampled realizations: each missing contact
+    silences the transmissions that relied on it. *)
+
+open Tmedb_prelude
+open Tmedb_tveg
+
+val evaluate_schedule :
+  ?trials:int ->
+  rng:Rng.t ->
+  Nondet.t ->
+  phy:Tmedb_channel.Phy.t ->
+  channel:Tveg.channel ->
+  source:int ->
+  deadline:float ->
+  Schedule.t ->
+  Nondet.robustness
+(** Replay the schedule on sampled realizations, scoring analytic
+    delivery (Eq. 6 on each realization), full-delivery rate, and
+    energy wasted on transmissions with no live contact. *)
+
+val plan_on_support :
+  ?level:int -> Nondet.t -> phy:Tmedb_channel.Phy.t -> channel:Tveg.channel -> source:int ->
+  deadline:float -> Schedule.t
+(** EEDCB planned against the optimistic support graph. *)
+
+val plan_on_threshold :
+  ?level:int -> min_prob:float -> Nondet.t -> phy:Tmedb_channel.Phy.t ->
+  channel:Tveg.channel -> source:int -> deadline:float -> Schedule.t
+(** EEDCB planned against the [min_prob]-thresholded graph: trading
+    optimistic energy for realization robustness. *)

@@ -1,0 +1,100 @@
+open Tmedb_prelude
+
+type transmission = { relay : int; time : float; cost : float }
+type t = transmission list (* sorted by (time, relay, cost) *)
+
+let compare_tx a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare a.relay b.relay in
+    if c <> 0 then c else Float.compare a.cost b.cost
+  end
+
+let of_transmissions txs =
+  List.iter
+    (fun tx ->
+      if tx.relay < 0 then invalid_arg "Schedule.of_transmissions: negative relay id";
+      if tx.cost < 0. || Float.is_nan tx.cost then
+        invalid_arg "Schedule.of_transmissions: negative cost")
+    txs;
+  List.sort compare_tx txs
+
+let empty = []
+let transmissions t = t
+let relays t = List.map (fun tx -> tx.relay) t
+let times t = List.map (fun tx -> tx.time) t
+let costs t = List.map (fun tx -> tx.cost) t
+let num_transmissions = List.length
+let total_cost t = Futil.kahan_sum (Array.of_list (costs t))
+
+let latest_time t =
+  List.fold_left (fun acc tx -> Some (Float.max tx.time (Option.value ~default:tx.time acc))) None t
+
+let add t tx = of_transmissions (tx :: t)
+
+let map_costs t f =
+  of_transmissions (List.mapi (fun k tx -> { tx with cost = f k tx }) t)
+
+let normalize_et t dts ~informed_time =
+  let move tx =
+    match Tmedb_tveg.Dts.latest_at_or_before dts tx.relay tx.time with
+    | None -> tx
+    | Some interval_start -> (
+        match informed_time tx.relay with
+        | None -> { tx with time = interval_start }
+        | Some informed -> { tx with time = Float.max interval_start informed })
+  in
+  of_transmissions (List.map move t)
+
+let equal a b = List.equal (fun x y -> compare_tx x y = 0) a b
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# tmedb-schedule relay,time,cost\n";
+  List.iter
+    (fun tx ->
+      Buffer.add_string buf (Printf.sprintf "%d,%.17g,%.17g\n" tx.relay tx.time tx.cost))
+    t;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (of_transmissions acc)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || (String.length line > 0 && line.[0] = '#') then go (lineno + 1) acc rest
+        else begin
+          match Scanf.sscanf line "%d,%f,%f" (fun relay time cost -> { relay; time; cost }) with
+          | tx -> go (lineno + 1) (tx :: acc) rest
+          | exception (Scanf.Scan_failure msg | Failure msg | Invalid_argument msg) ->
+              Error (Printf.sprintf "line %d: %s" lineno msg)
+          | exception End_of_file -> Error (Printf.sprintf "line %d: truncated record" lineno)
+        end)
+  in
+  match go 1 [] lines with
+  | Ok t -> Ok t
+  | Error _ as e -> e
+  | exception Invalid_argument msg -> Error msg
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let load ~path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_csv (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+let pp_transmission ppf tx =
+  Format.fprintf ppf "(relay=%d t=%g w=%.3e)" tx.relay tx.time tx.cost
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule (%d txs, cost %.3e):@,%a@]" (num_transmissions t)
+    (total_cost t)
+    (Format.pp_print_list pp_transmission)
+    t

@@ -1,0 +1,54 @@
+(** Broadcast relay schedules: the S = [R, T, W] matrices of paper
+    Section IV.
+
+    A schedule is an ordered list of transmissions (relay, time, cost).
+    A relay may appear several times; order is kept sorted by time with
+    ties broken by relay id so that equal schedules compare equal. *)
+
+
+type transmission = { relay : int; time : float; cost : float }
+type t
+
+val of_transmissions : transmission list -> t
+(** Sorts by (time, relay, cost).  @raise Invalid_argument on negative
+    cost or relay id. *)
+
+val empty : t
+val transmissions : t -> transmission list
+val relays : t -> int list
+(** R vector (with repetitions, in time order). *)
+
+val times : t -> float list
+val costs : t -> float list
+val num_transmissions : t -> int
+val total_cost : t -> float
+(** The objective Σ w_k. *)
+
+val latest_time : t -> float option
+val add : t -> transmission -> t
+val map_costs : t -> (int -> transmission -> float) -> t
+(** New schedule with per-transmission costs rewritten (index is the
+    position in time order); used by the FR energy allocation. *)
+
+val normalize_et : t -> Tmedb_tveg.Dts.t -> informed_time:(int -> float option) -> t
+(** ET-law normalisation (Prop. 5.1): move every transmission to the
+    earliest equivalent instant — the later of (a) the start of its
+    DTS interval and (b) the relay's informed time.  [informed_time]
+    gives each relay's receive time ([None] = never, transmission kept
+    as is). *)
+
+val equal : t -> t -> bool
+
+(** {1 Serialisation}
+
+    One transmission per line: [relay,time,cost]; ['#'] lines are
+    comments.  Round-trips exactly (floats printed with 17 significant
+    digits). *)
+
+val to_csv : t -> string
+val of_csv : string -> (t, string) result
+val save : t -> path:string -> unit
+val load : path:string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+val pp_transmission : Format.formatter -> transmission -> unit

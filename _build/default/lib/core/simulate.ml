@@ -1,0 +1,111 @@
+open Tmedb_prelude
+open Tmedb_channel
+open Tmedb_tveg
+
+type result = {
+  trials : int;
+  delivery_ratio : float;
+  delivery_stddev : float;
+  full_delivery_rate : float;
+  mean_energy_spent : float;
+  mean_completion_time : float option;
+}
+
+type receive_event = { effective : float; node : int }
+
+let one_trial ~rng ~eval_channel problem schedule =
+  let g = problem.Problem.graph in
+  let phy = problem.Problem.phy in
+  let n = Tveg.n g in
+  let tau = Tveg.tau g in
+  let informed_at = Array.make n Float.infinity in
+  informed_at.(problem.Problem.source) <- Problem.span_start problem;
+  let pending = Queue.create () in
+  let apply_until t =
+    let rec drain () =
+      match Queue.peek_opt pending with
+      | Some ev when ev.effective <= t ->
+          ignore (Queue.pop pending);
+          if ev.effective < informed_at.(ev.node) then informed_at.(ev.node) <- ev.effective;
+          drain ()
+      | Some _ | None -> ()
+    in
+    drain ()
+  in
+  let energy = ref 0. in
+  let fire tx =
+    let open Schedule in
+    energy := !energy +. tx.cost;
+    List.iter
+      (fun (j, dist) ->
+        let ed = Ed_function.of_distance phy eval_channel ~dist in
+        let p_success = Ed_function.success_prob ed ~w:tx.cost in
+        if Dist.bernoulli rng ~p:p_success then
+          Queue.add { effective = tx.time +. tau; node = j } pending)
+      (Tveg.neighbors_at g tx.relay tx.time)
+  in
+  (* Same-instant transmissions may chain under τ = 0; fixpoint per
+     time group, mirroring Feasibility.check. *)
+  let rec groups = function
+    | [] -> []
+    | tx :: _ as txs ->
+        let same, rest =
+          List.partition (fun t -> Float.equal t.Schedule.time tx.Schedule.time) txs
+        in
+        same :: groups rest
+  in
+  List.iter
+    (fun group ->
+      match group with
+      | [] -> ()
+      | first :: _ ->
+          let t = first.Schedule.time in
+          apply_until t;
+          let waiting = ref group in
+          let progress = ref true in
+          while !waiting <> [] && !progress do
+            let ready, blocked =
+              List.partition (fun tx -> informed_at.(tx.Schedule.relay) <= t) !waiting
+            in
+            progress := ready <> [];
+            List.iter fire ready;
+            if ready <> [] && tau = 0. then apply_until t;
+            waiting := blocked
+          done)
+    (groups (Schedule.transmissions schedule));
+  apply_until problem.Problem.deadline;
+  let informed =
+    Array.fold_left (fun acc t -> if Float.is_finite t then acc + 1 else acc) 0 informed_at
+  in
+  let completion =
+    if informed = n then Some (Array.fold_left Float.max 0. informed_at) else None
+  in
+  (float_of_int informed /. float_of_int n, !energy, completion)
+
+let run ?(trials = 500) ~rng ~eval_channel problem schedule =
+  if trials <= 0 then invalid_arg "Simulate.run: trials <= 0";
+  let deliveries = Array.make trials 0. in
+  let energies = Array.make trials 0. in
+  let completions = ref [] in
+  let full = ref 0 in
+  for k = 0 to trials - 1 do
+    let delivery, energy, completion = one_trial ~rng ~eval_channel problem schedule in
+    deliveries.(k) <- delivery;
+    energies.(k) <- energy;
+    match completion with
+    | Some t ->
+        incr full;
+        completions := t :: !completions
+    | None -> ()
+  done;
+  {
+    trials;
+    delivery_ratio = Stats.mean deliveries;
+    delivery_stddev = Stats.stddev deliveries;
+    full_delivery_rate = float_of_int !full /. float_of_int trials;
+    mean_energy_spent = Stats.mean energies;
+    mean_completion_time =
+      (match !completions with
+      | [] -> None
+      | cs -> Some (Stats.mean (Array.of_list cs)));
+  }

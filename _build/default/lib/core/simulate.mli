@@ -1,0 +1,31 @@
+(** Monte-Carlo execution of schedules in a (possibly different)
+    evaluation channel — the paper's Fig. 6 experiment, where
+    static-channel schedules are replayed in a Rayleigh environment.
+
+    Per trial: the source owns the packet; transmissions run in time
+    order; a relay forwards only if it has itself received the packet
+    by its scheduled time (so its energy is only spent then); every
+    ρ_τ-adjacent node independently receives with probability
+    1 − φ(w) of the evaluation channel's ED-function. *)
+
+open Tmedb_prelude
+open Tmedb_tveg
+
+type result = {
+  trials : int;
+  delivery_ratio : float;  (** Mean fraction of nodes informed. *)
+  delivery_stddev : float;
+  full_delivery_rate : float;  (** Fraction of trials informing everyone. *)
+  mean_energy_spent : float;  (** Costs of relays that actually transmitted. *)
+  mean_completion_time : float option;
+      (** Mean last-receive time over trials that informed everyone. *)
+}
+
+val run :
+  ?trials:int ->
+  rng:Rng.t ->
+  eval_channel:Tveg.channel ->
+  Problem.t ->
+  Schedule.t ->
+  result
+(** Default 500 trials.  Deterministic in the generator state. *)

@@ -1,0 +1,34 @@
+(** Broadcast Incremental Power (Wieselthier, Nguyen, Ephremides) on a
+    static snapshot of the TVEG — the classic minimum-energy broadcast
+    protocol for *static* wireless networks that the paper's
+    introduction argues is "not applicable to dynamic networks".
+
+    Included as a motivating baseline: BIP plans a broadcast tree on
+    the union snapshot (each pair at its best-ever distance), then the
+    plan is replayed on the real time-varying graph, where links are
+    often absent — or longer — when a relay actually gets to transmit.
+    The resulting delivery gap quantifies the paper's motivation.
+
+    Snapshot: d_ij = the minimum distance over all contacts of the
+    pair.  BIP: grow a tree from the source, each step adding the
+    uncovered node whose *incremental* transmit power (raising one
+    tree node's power just enough to reach it) is smallest.
+
+    Replay: every tree node transmits once, at its BIP power, at the
+    earliest instant after being informed at which at least one of its
+    still-uninformed tree children is ρ_τ-adjacent; a child is
+    informed only if additionally the distance *at that instant*
+    is within the power's static range. *)
+
+type result = {
+  schedule : Schedule.t;  (** Transmissions that actually fired. *)
+  report : Feasibility.report;
+  planned_energy : float;  (** Σ of BIP tree powers (the static plan). *)
+  unreached : int list;  (** Nodes the replay failed to inform. *)
+  snapshot_unreachable : int list;
+      (** Nodes with no snapshot path at all (BIP cannot even plan). *)
+}
+
+val run : Problem.t -> result
+(** Uses the instance's PHY for static costs; the design channel is
+    ignored (BIP predates fading-aware planning). *)

@@ -1,0 +1,1 @@
+lib/nlp/bisect.mli:

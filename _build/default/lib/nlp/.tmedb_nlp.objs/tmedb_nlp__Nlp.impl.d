@@ -1,0 +1,1 @@
+lib/nlp/nlp.ml: Array Float List Numdiff Projgrad

@@ -1,0 +1,1 @@
+lib/nlp/numdiff.ml: Array Float

@@ -1,0 +1,1 @@
+lib/nlp/projgrad.ml: Array Futil List Numdiff Tmedb_prelude

@@ -1,0 +1,38 @@
+let root ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then Some lo
+  else if fhi = 0. then Some hi
+  else if flo *. fhi > 0. then None
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    Some (0.5 *. (!lo +. !hi))
+  end
+
+let least_satisfying ?(tol = 1e-12) ?(max_iter = 200) p ~lo ~hi =
+  if not (p hi) then None
+  else if p lo then Some lo
+  else begin
+    let lo = ref lo and hi = ref hi in
+    let iter = ref 0 in
+    while !hi -. !lo > tol *. Float.max 1. (Float.abs !hi) && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      if p mid then hi := mid else lo := mid
+    done;
+    Some !hi
+  end

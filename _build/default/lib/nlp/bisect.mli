@@ -1,0 +1,9 @@
+(** Scalar root/threshold finding on monotone functions. *)
+
+val root : ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float option
+(** A zero of a continuous function with [f lo] and [f hi] of opposite
+    signs (or zero); [None] when the bracket is invalid. *)
+
+val least_satisfying : ?tol:float -> ?max_iter:int -> (float -> bool) -> lo:float -> hi:float -> float option
+(** Least x in [lo, hi] with [p x], assuming [p] monotone
+    (false … false true … true); [None] if even [hi] fails. *)

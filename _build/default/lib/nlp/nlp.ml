@@ -1,0 +1,98 @@
+type constraint_fn = {
+  g : float array -> float;
+  g_grad : (float array -> float array) option;
+  label : string;
+}
+
+type problem = {
+  objective : float array -> float;
+  objective_grad : (float array -> float array) option;
+  constraints : constraint_fn list;
+  lower : float array;
+  upper : float array;
+}
+
+type options = {
+  mu_init : float;
+  mu_growth : float;
+  outer_iter : int;
+  feas_tol : float;
+  inner : Projgrad.options;
+}
+
+let default_options =
+  {
+    mu_init = 10.;
+    mu_growth = 8.;
+    outer_iter = 12;
+    feas_tol = 1e-8;
+    inner = { Projgrad.default_options with max_iter = 300 };
+  }
+
+type result = {
+  x : float array;
+  objective : float;
+  max_violation : float;
+  feasible : bool;
+  outer_iterations : int;
+}
+
+let max_violation problem x =
+  List.fold_left (fun acc c -> Float.max acc (Float.max 0. (c.g x))) 0. problem.constraints
+
+let penalized problem ~mu x =
+  let violation_sq =
+    List.fold_left
+      (fun acc c ->
+        let v = Float.max 0. (c.g x) in
+        acc +. (v *. v))
+      0. problem.constraints
+  in
+  problem.objective x +. (mu *. violation_sq)
+
+let penalized_grad problem ~mu x =
+  let n = Array.length x in
+  let base =
+    match problem.objective_grad with
+    | Some g -> g x
+    | None -> Numdiff.gradient problem.objective x
+  in
+  let grad = Array.copy base in
+  List.iter
+    (fun c ->
+      let v = c.g x in
+      if v > 0. then begin
+        let cg = match c.g_grad with Some g -> g x | None -> Numdiff.gradient c.g x in
+        for i = 0 to n - 1 do
+          grad.(i) <- grad.(i) +. (2. *. mu *. v *. cg.(i))
+        done
+      end)
+    problem.constraints;
+  grad
+
+let solve ?(options = default_options) problem ~x0 =
+  let mu = ref options.mu_init in
+  let x = ref (Array.copy x0) in
+  let outer = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !outer < options.outer_iter do
+    incr outer;
+    let mu_now = !mu in
+    let inner_result =
+      Projgrad.minimize ~options:options.inner
+        ~f:(penalized problem ~mu:mu_now)
+        ~grad:(penalized_grad problem ~mu:mu_now)
+        ~lower:problem.lower ~upper:problem.upper ~x0:!x ()
+    in
+    x := inner_result.Projgrad.x;
+    if max_violation problem !x <= options.feas_tol then finished := true
+    else mu := !mu *. options.mu_growth
+  done;
+  let violation = max_violation problem !x in
+  {
+    x = !x;
+    objective = problem.objective !x;
+    max_violation = violation;
+    feasible = violation <= options.feas_tol;
+    outer_iterations = !outer;
+  }

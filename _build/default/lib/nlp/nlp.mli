@@ -1,0 +1,43 @@
+(** Nonlinear programs with inequality constraints and box bounds,
+    solved by a quadratic-penalty sequence of box-constrained
+    subproblems (the "existing methods" [19] the paper defers to for
+    its Equations 14–17).
+
+    minimise f(x)  subject to  g_i(x) <= 0,  lower <= x <= upper. *)
+
+type constraint_fn = {
+  g : float array -> float;  (** Feasible iff <= 0. *)
+  g_grad : (float array -> float array) option;
+  label : string;
+}
+
+type problem = {
+  objective : float array -> float;
+  objective_grad : (float array -> float array) option;
+  constraints : constraint_fn list;
+  lower : float array;
+  upper : float array;
+}
+
+type options = {
+  mu_init : float;  (** Initial penalty weight. *)
+  mu_growth : float;  (** Multiplier per outer iteration (> 1). *)
+  outer_iter : int;
+  feas_tol : float;  (** Constraint violation tolerance. *)
+  inner : Projgrad.options;
+}
+
+val default_options : options
+
+type result = {
+  x : float array;
+  objective : float;
+  max_violation : float;
+  feasible : bool;  (** max_violation <= feas_tol. *)
+  outer_iterations : int;
+}
+
+val solve : ?options:options -> problem -> x0:float array -> result
+
+val max_violation : problem -> float array -> float
+(** Largest positive constraint value (0 when feasible). *)

@@ -1,0 +1,24 @@
+let gradient ?(h = 1e-6) f x =
+  let n = Array.length x in
+  let grad = Array.make n 0. in
+  let probe = Array.copy x in
+  for i = 0 to n - 1 do
+    let step = h *. Float.max 1. (Float.abs x.(i)) in
+    probe.(i) <- x.(i) +. step;
+    let fp = f probe in
+    probe.(i) <- x.(i) -. step;
+    let fm = f probe in
+    probe.(i) <- x.(i);
+    grad.(i) <- (fp -. fm) /. (2. *. step)
+  done;
+  grad
+
+let directional ?(h = 1e-6) f x ~dir =
+  let n = Array.length x in
+  let norm = sqrt (Array.fold_left (fun acc d -> acc +. (d *. d)) 0. dir) in
+  if norm = 0. then 0.
+  else begin
+    let step = h /. norm in
+    let shifted sign = Array.init n (fun i -> x.(i) +. (sign *. step *. dir.(i))) in
+    (f (shifted 1.) -. f (shifted (-1.))) /. (2. *. step)
+  end

@@ -1,0 +1,9 @@
+(** Numerical differentiation for objectives/constraints supplied
+    without analytic gradients. *)
+
+val gradient : ?h:float -> (float array -> float) -> float array -> float array
+(** Central differences with per-coordinate step scaled to the
+    coordinate's magnitude (default base step 1e-6). *)
+
+val directional : ?h:float -> (float array -> float) -> float array -> dir:float array -> float
+(** Directional derivative along [dir]. *)

@@ -1,0 +1,65 @@
+open Tmedb_prelude
+
+type options = {
+  max_iter : int;
+  grad_tol : float;
+  step_init : float;
+  step_shrink : float;
+  armijo : float;
+}
+
+let default_options =
+  { max_iter = 500; grad_tol = 1e-9; step_init = 1.; step_shrink = 0.5; armijo = 1e-4 }
+
+type result = { x : float array; f : float; iterations : int; converged : bool }
+
+let project ~lower ~upper x =
+  Array.mapi (fun i xi -> Futil.clamp ~lo:lower.(i) ~hi:upper.(i) xi) x
+
+let norm2 v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
+
+let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
+  let n = Array.length x0 in
+  if Array.length lower <> n || Array.length upper <> n then
+    invalid_arg "Projgrad.minimize: dimension mismatch";
+  Array.iteri
+    (fun i lo -> if lo > upper.(i) then invalid_arg "Projgrad.minimize: empty box")
+    lower;
+  let grad = match grad with Some g -> g | None -> Numdiff.gradient f in
+  let x = ref (project ~lower ~upper x0) in
+  let fx = ref (f !x) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < options.max_iter do
+    incr iterations;
+    let g = grad !x in
+    (* Projected-gradient stationarity measure: the step to the
+       projection of a unit gradient move. *)
+    let moved = project ~lower ~upper (Array.mapi (fun i xi -> xi -. g.(i)) !x) in
+    let pg = Array.mapi (fun i mi -> !x.(i) -. mi) moved in
+    if norm2 pg <= options.grad_tol then converged := true
+    else begin
+      (* Backtracking along the projected-descent arc. *)
+      let rec backtrack step tries =
+        if tries = 0 then None
+        else begin
+          let cand =
+            project ~lower ~upper (Array.mapi (fun i xi -> xi -. (step *. g.(i))) !x)
+          in
+          let fc = f cand in
+          let decrease =
+            Array.to_list (Array.mapi (fun i ci -> g.(i) *. (!x.(i) -. ci)) cand)
+            |> List.fold_left ( +. ) 0.
+          in
+          if fc <= !fx -. (options.armijo *. decrease) && fc < !fx then Some (cand, fc)
+          else backtrack (step *. options.step_shrink) (tries - 1)
+        end
+      in
+      match backtrack options.step_init 60 with
+      | Some (cand, fc) ->
+          x := cand;
+          fx := fc
+      | None -> converged := true (* no descent available: local stationarity *)
+    end
+  done;
+  { x = !x; f = !fx; iterations = !iterations; converged = !converged }

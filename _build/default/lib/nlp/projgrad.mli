@@ -1,0 +1,32 @@
+(** Box-constrained smooth minimisation by projected gradient descent
+    with backtracking (Armijo) line search. *)
+
+type options = {
+  max_iter : int;
+  grad_tol : float;  (** Stop when the projected gradient norm falls below. *)
+  step_init : float;
+  step_shrink : float;  (** Backtracking factor in (0,1). *)
+  armijo : float;  (** Sufficient-decrease constant in (0,1). *)
+}
+
+val default_options : options
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  converged : bool;  (** Projected-gradient criterion met. *)
+}
+
+val minimize :
+  ?options:options ->
+  f:(float array -> float) ->
+  ?grad:(float array -> float array) ->
+  lower:float array ->
+  upper:float array ->
+  x0:float array ->
+  unit ->
+  result
+(** Gradient defaults to central differences.  [x0] is projected into
+    the box before starting.  @raise Invalid_argument on dimension
+    mismatch or an empty box. *)

@@ -1,0 +1,1 @@
+lib/prelude/dist.ml: Array Float Rng

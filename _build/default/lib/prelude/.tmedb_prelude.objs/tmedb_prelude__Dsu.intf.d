@@ -1,0 +1,1 @@
+lib/prelude/dsu.mli:

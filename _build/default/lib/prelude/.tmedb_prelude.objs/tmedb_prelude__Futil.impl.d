@@ -1,0 +1,1 @@
+lib/prelude/futil.ml: Array Float

@@ -1,0 +1,1 @@
+lib/prelude/interval.ml: Float Format

@@ -1,0 +1,1 @@
+lib/prelude/interval_set.ml: Float Format Interval List

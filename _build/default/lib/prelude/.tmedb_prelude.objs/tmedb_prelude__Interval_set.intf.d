@@ -1,0 +1,1 @@
+lib/prelude/interval_set.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/prelude/stats.mli: Format

@@ -1,0 +1,90 @@
+type t = { words : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let capacity t = t.n
+
+let check t i op = if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ op ^ ": out of range")
+
+let set t i =
+  check t i "set";
+  let b = Bytes.get_uint8 t.words (i / 8) in
+  Bytes.set_uint8 t.words (i / 8) (b lor (1 lsl (i mod 8)))
+
+let clear t i =
+  check t i "clear";
+  let b = Bytes.get_uint8 t.words (i / 8) in
+  Bytes.set_uint8 t.words (i / 8) (b land lnot (1 lsl (i mod 8)))
+
+let mem t i =
+  check t i "mem";
+  Bytes.get_uint8 t.words (i / 8) land (1 lsl (i mod 8)) <> 0
+
+let popcount8 =
+  let table = Array.init 256 (fun i ->
+      let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+      count i)
+  in
+  fun b -> table.(b)
+
+let cardinal t =
+  let total = ref 0 in
+  for i = 0 to Bytes.length t.words - 1 do
+    total := !total + popcount8 (Bytes.get_uint8 t.words i)
+  done;
+  !total
+
+let is_empty t = cardinal t = 0
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let same_capacity a b op = if a.n <> b.n then invalid_arg ("Bitset." ^ op ^ ": capacity mismatch")
+
+let union_into ~dst src =
+  same_capacity dst src "union_into";
+  for i = 0 to Bytes.length dst.words - 1 do
+    Bytes.set_uint8 dst.words i (Bytes.get_uint8 dst.words i lor Bytes.get_uint8 src.words i)
+  done
+
+let inter_cardinal a b =
+  same_capacity a b "inter_cardinal";
+  let total = ref 0 in
+  for i = 0 to Bytes.length a.words - 1 do
+    total := !total + popcount8 (Bytes.get_uint8 a.words i land Bytes.get_uint8 b.words i)
+  done;
+  !total
+
+let diff_cardinal a b =
+  same_capacity a b "diff_cardinal";
+  let total = ref 0 in
+  for i = 0 to Bytes.length a.words - 1 do
+    total :=
+      !total + popcount8 (Bytes.get_uint8 a.words i land lnot (Bytes.get_uint8 b.words i) land 0xff)
+  done;
+  !total
+
+let subset a b = diff_cardinal a b = 0
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list n l =
+  let t = create n in
+  List.iter (set t) l;
+  t
+
+let fill t =
+  for i = 0 to t.n - 1 do
+    set t i
+  done

@@ -1,0 +1,31 @@
+(** Fixed-capacity mutable bitsets over [0, n).
+
+    Informed-node sets in broadcast algorithms and coverage sets in the
+    Steiner solver are hot paths; this keeps them allocation-free. *)
+
+type t
+
+val create : int -> t
+(** All bits clear.  @raise Invalid_argument on negative capacity. *)
+
+val capacity : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val copy : t -> t
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ors [src] into [dst].  Capacities must match. *)
+
+val inter_cardinal : t -> t -> int
+val diff_cardinal : t -> t -> int
+(** [diff_cardinal a b] counts bits set in [a] but not in [b]. *)
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val fill : t -> unit
+(** Set every bit. *)

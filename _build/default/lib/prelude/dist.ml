@@ -1,0 +1,43 @@
+let uniform g ~lo ~hi =
+  if hi <= lo then invalid_arg "Dist.uniform: hi <= lo";
+  lo +. (Rng.unit_float g *. (hi -. lo))
+
+(* 1 - U is in (0, 1], keeping log away from 0. *)
+let exponential g ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate <= 0";
+  -.log (1. -. Rng.unit_float g) /. rate
+
+let pareto g ~xm ~alpha =
+  if xm <= 0. || alpha <= 0. then invalid_arg "Dist.pareto: xm and alpha must be positive";
+  xm /. ((1. -. Rng.unit_float g) ** (1. /. alpha))
+
+let bounded_pareto g ~lo ~hi ~alpha =
+  if not (0. < lo && lo < hi) then invalid_arg "Dist.bounded_pareto: need 0 < lo < hi";
+  if alpha <= 0. then invalid_arg "Dist.bounded_pareto: alpha <= 0";
+  let u = Rng.unit_float g in
+  (* Inverse CDF: F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a) on [lo, hi]. *)
+  let tail = 1. -. ((lo /. hi) ** alpha) in
+  lo /. ((1. -. (u *. tail)) ** (1. /. alpha))
+
+let normal g ~mu ~sigma =
+  let u1 = 1. -. Rng.unit_float g in
+  let u2 = Rng.unit_float g in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let bernoulli g ~p =
+  let p = Float.max 0. (Float.min 1. p) in
+  Rng.unit_float g < p
+
+let categorical g weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Dist.categorical: weights sum to 0";
+  let x = Rng.unit_float g *. total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

@@ -1,0 +1,26 @@
+(** Random-variate generation for the distributions used by the trace
+    generators and the Monte-Carlo fading simulator. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi).  @raise Invalid_argument if [hi <= lo]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with parameter [rate] (mean [1/rate]).
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val pareto : Rng.t -> xm:float -> alpha:float -> float
+(** Pareto type I with scale [xm] and shape [alpha]. *)
+
+val bounded_pareto : Rng.t -> lo:float -> hi:float -> alpha:float -> float
+(** Pareto truncated to [lo, hi] by inverse-CDF sampling; the
+    heavy-tailed inter-contact model of Chaintreau et al. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian via Box-Muller. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** [true] with probability [p] (clamped to [0,1]). *)
+
+val categorical : Rng.t -> float array -> int
+(** Index drawn proportionally to the (non-negative) weights.
+    @raise Invalid_argument if the weights are empty or sum to 0. *)

@@ -1,0 +1,16 @@
+(** Disjoint-set union (union-find) with path compression and union by
+    rank.  Used to validate that extracted broadcast trees are acyclic
+    and to cluster contact components in trace statistics. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two classes; [false] if already merged. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint classes. *)

@@ -1,0 +1,39 @@
+let approx_eq ?(rel = 1e-9) ?(abs = 1e-9) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= abs || diff <= rel *. Float.max (Float.abs a) (Float.abs b)
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let linspace ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Futil.linspace: need n >= 2";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> if i = n - 1 then hi else lo +. (float_of_int i *. step))
+
+let kahan_sum xs =
+  let sum = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t)
+    xs;
+  !sum
+
+let argmin xs =
+  if Array.length xs = 0 then invalid_arg "Futil.argmin: empty array";
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x < xs.(!best) then best := i) xs;
+  !best
+
+let argmax xs =
+  if Array.length xs = 0 then invalid_arg "Futil.argmax: empty array";
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > xs.(!best) then best := i) xs;
+  !best
+
+let log1p_safe x =
+  if x <= -1. then -1e300 else Float.log1p x
+
+let db_to_linear db = 10. ** (db /. 10.)
+let linear_to_db x = 10. *. log10 x

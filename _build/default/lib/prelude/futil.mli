@@ -1,0 +1,25 @@
+(** Small float utilities shared across the numeric code. *)
+
+val approx_eq : ?rel:float -> ?abs:float -> float -> float -> bool
+(** Relative-or-absolute tolerance comparison (default 1e-9 both). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+val linspace : lo:float -> hi:float -> n:int -> float array
+(** [n >= 2] evenly spaced points including both endpoints. *)
+
+val kahan_sum : float array -> float
+(** Compensated summation. *)
+
+val argmin : float array -> int
+(** Index of the smallest element.  @raise Invalid_argument on empty. *)
+
+val argmax : float array -> int
+
+val log1p_safe : float -> float
+(** [log (1 + x)] accurate near zero, [-infinity] guarded to a large
+    negative finite value for use inside objective functions. *)
+
+val db_to_linear : float -> float
+(** [10^(db/10)]. *)
+
+val linear_to_db : float -> float

@@ -1,0 +1,30 @@
+type t = { lo : float; hi : float }
+
+let make ~lo ~hi =
+  if not (Float.is_finite lo && Float.is_finite hi && lo < hi) then
+    invalid_arg "Interval.make: need finite lo < hi";
+  { lo; hi }
+
+let make_opt ~lo ~hi =
+  if Float.is_finite lo && Float.is_finite hi && lo < hi then Some { lo; hi } else None
+
+let length { lo; hi } = hi -. lo
+let mem { lo; hi } x = lo <= x && x < hi
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+let touches a b = a.lo <= b.hi && b.lo <= a.hi
+
+let inter a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let shift { lo; hi } dt = { lo = lo +. dt; hi = hi +. dt }
+let contains outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+
+let compare a b =
+  let c = Float.compare a.lo b.lo in
+  if c <> 0 then c else Float.compare a.hi b.hi
+
+let equal a b = compare a b = 0
+let pp ppf { lo; hi } = Format.fprintf ppf "[%g, %g)" lo hi
+let to_string iv = Format.asprintf "%a" pp iv

@@ -1,0 +1,42 @@
+(** Half-open time intervals [lo, hi).
+
+    All temporal structure in the TVG/TVEG layers — link presence,
+    partitions (paper Def. 5.1), contacts — is expressed with these.
+    Half-open intervals tile the time span without double-counting
+    boundary instants. *)
+
+type t = private { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** @raise Invalid_argument unless [lo < hi] and both are finite. *)
+
+val make_opt : lo:float -> hi:float -> t option
+(** [None] when the interval would be empty or invalid. *)
+
+val length : t -> float
+
+val mem : t -> float -> bool
+(** [mem iv x] is [lo <= x < hi]. *)
+
+val overlaps : t -> t -> bool
+(** Non-empty intersection. *)
+
+val touches : t -> t -> bool
+(** Overlapping or sharing an endpoint (union would be one interval). *)
+
+val inter : t -> t -> t option
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val shift : t -> float -> t
+(** Translate both endpoints. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val compare : t -> t -> int
+(** Lexicographic on [(lo, hi)]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

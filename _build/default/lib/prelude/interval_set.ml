@@ -1,0 +1,83 @@
+(* Invariant: sorted by [lo], pairwise disjoint, non-touching, non-empty. *)
+type t = Interval.t list
+
+let empty = []
+let is_empty s = s = []
+let single iv = [ iv ]
+
+let of_list ivs =
+  let sorted = List.sort Interval.compare ivs in
+  let rec merge acc current rest =
+    match rest with
+    | [] -> List.rev (current :: acc)
+    | iv :: tl ->
+        if Interval.touches current iv then merge acc (Interval.hull current iv) tl
+        else merge (current :: acc) iv tl
+  in
+  match sorted with [] -> [] | hd :: tl -> merge [] hd tl
+
+let intervals s = s
+let add s iv = of_list (iv :: s)
+let union a b = of_list (a @ b)
+
+let inter a b =
+  (* Both lists sorted: standard sweep. *)
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: xs, y :: ys -> (
+        let acc =
+          match Interval.inter x y with Some iv -> iv :: acc | None -> acc
+        in
+        match Float.compare x.Interval.hi y.Interval.hi with
+        | c when c < 0 -> go xs b acc
+        | c when c > 0 -> go a ys acc
+        | _ -> go xs ys acc)
+  in
+  go a b []
+
+let complement s ~span =
+  let lo0 = span.Interval.lo and hi0 = span.Interval.hi in
+  let clipped = inter s [ span ] in
+  let rec go cursor rest acc =
+    match rest with
+    | [] ->
+        let acc =
+          match Interval.make_opt ~lo:cursor ~hi:hi0 with
+          | Some iv -> iv :: acc
+          | None -> acc
+        in
+        List.rev acc
+    | iv :: tl ->
+        let acc =
+          match Interval.make_opt ~lo:cursor ~hi:iv.Interval.lo with
+          | Some gap -> gap :: acc
+          | None -> acc
+        in
+        go iv.Interval.hi tl acc
+  in
+  go lo0 clipped []
+
+let diff a b =
+  match a with
+  | [] -> []
+  | first :: _ ->
+      let last = List.nth a (List.length a - 1) in
+      let span = Interval.hull first last in
+      inter a (complement b ~span)
+
+let mem s x = List.exists (fun iv -> Interval.mem iv x) s
+let total_length s = List.fold_left (fun acc iv -> acc +. Interval.length iv) 0. s
+let cardinal = List.length
+let covering s x = List.find_opt (fun iv -> Interval.mem iv x) s
+
+let boundaries s =
+  let pts = List.concat_map (fun iv -> [ iv.Interval.lo; iv.Interval.hi ]) s in
+  List.sort_uniq Float.compare pts
+
+let fold f s init = List.fold_left (fun acc iv -> f iv acc) init s
+let iter f s = List.iter f s
+let subset a b = is_empty (diff a b)
+let equal a b = List.equal Interval.equal a b
+let contains_interval s iv = List.exists (fun member -> Interval.contains member iv) s
+let pp ppf s = Format.fprintf ppf "{%a}" (Format.pp_print_list Interval.pp) s

@@ -1,0 +1,49 @@
+(** Finite unions of disjoint half-open intervals, kept sorted and
+    normalised (no empty members, no touching neighbours).
+
+    This is the representation of the paper's deterministic presence
+    function restricted to one edge: the set of times at which the edge
+    exists.  Complement/intersection/union implement the partition
+    algebra of Section V. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val single : Interval.t -> t
+
+val of_list : Interval.t list -> t
+(** Normalises arbitrary (possibly overlapping, unsorted) intervals. *)
+
+val intervals : t -> Interval.t list
+(** Sorted disjoint members. *)
+
+val add : t -> Interval.t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val complement : t -> span:Interval.t -> t
+(** Times inside [span] not covered by the set. *)
+
+val mem : t -> float -> bool
+val total_length : t -> float
+val cardinal : t -> int
+(** Number of disjoint intervals. *)
+
+val covering : t -> float -> Interval.t option
+(** The member interval containing the given instant, if any. *)
+
+val boundaries : t -> float list
+(** Sorted endpoints of all member intervals (each endpoint once). *)
+
+val fold : (Interval.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Interval.t -> unit) -> t -> unit
+val subset : t -> t -> bool
+(** [subset a b]: every instant of [a] lies in [b]. *)
+
+val equal : t -> t -> bool
+val contains_interval : t -> Interval.t -> bool
+(** Whole interval covered by a single member (hence by the set). *)
+
+val pp : Format.formatter -> t -> unit

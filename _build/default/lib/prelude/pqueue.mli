@@ -1,0 +1,27 @@
+(** Mutable binary min-heap keyed by float priorities.
+
+    Used by Dijkstra on the auxiliary graph and by the discrete-event
+    broadcast simulator.  Stale-entry (lazy-deletion) usage is the
+    caller's concern: [push] never updates an existing key. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert a value with the given priority. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-priority entry without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry. *)
+
+val pop_exn : 'a t -> float * 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val clear : 'a t -> unit
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive: entries in ascending priority order. *)

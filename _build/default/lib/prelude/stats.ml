@@ -1,0 +1,103 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let require_nonempty xs op =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ op ^ ": empty input")
+
+let mean xs =
+  require_nonempty xs "mean";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_nonempty xs "variance";
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  require_nonempty xs "percentile";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.
+
+let summarize xs =
+  require_nonempty xs "summarize";
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = median xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%g sd=%g min=%g med=%g max=%g" s.count s.mean s.stddev s.min
+    s.median s.max
+
+module Online = struct
+  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+  let create () = { n = 0; mu = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mu in
+    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mu))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mu
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+end
+
+let histogram xs ~bins =
+  require_nonempty xs "histogram";
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = Stdlib.max 0 (Stdlib.min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.init bins (fun b ->
+      (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+
+let linear_fit pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-300 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)

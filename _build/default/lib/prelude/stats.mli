@@ -1,0 +1,46 @@
+(** Descriptive statistics for experiment outputs. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+(** @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for a single observation). *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    order statistics. *)
+
+val median : float array -> float
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming mean/variance (Welford), usable when the number of
+    Monte-Carlo trials is decided adaptively. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end
+
+val histogram : float array -> bins:int -> (float * float * int) array
+(** Equal-width bins over the data range: [(lo, hi, count)] per bin. *)
+
+val linear_fit : (float * float) array -> float * float
+(** Least-squares [(slope, intercept)].
+    @raise Invalid_argument with fewer than two points. *)

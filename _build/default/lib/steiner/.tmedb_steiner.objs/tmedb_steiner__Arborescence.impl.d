@@ -1,0 +1,1 @@
+lib/steiner/arborescence.ml: Array Format List Option Printf

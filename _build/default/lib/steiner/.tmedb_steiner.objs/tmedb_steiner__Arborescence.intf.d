@@ -1,0 +1,1 @@
+lib/steiner/arborescence.mli: Format

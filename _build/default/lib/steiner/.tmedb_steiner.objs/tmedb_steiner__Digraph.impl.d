@@ -1,0 +1,1 @@
+lib/steiner/digraph.ml: Array Float Format List

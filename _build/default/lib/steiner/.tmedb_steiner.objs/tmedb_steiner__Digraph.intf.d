@@ -1,0 +1,1 @@
+lib/steiner/digraph.mli: Format

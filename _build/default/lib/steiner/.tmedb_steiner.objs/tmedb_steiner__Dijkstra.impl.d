@@ -1,0 +1,1 @@
+lib/steiner/dijkstra.ml: Array Digraph Float List Pqueue Tmedb_prelude

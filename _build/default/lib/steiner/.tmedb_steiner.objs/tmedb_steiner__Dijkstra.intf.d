@@ -1,0 +1,1 @@
+lib/steiner/dijkstra.mli: Digraph

@@ -1,0 +1,1 @@
+lib/steiner/dst.ml: Array Digraph Dijkstra Float Hashtbl Int List Set Stdlib

@@ -1,0 +1,56 @@
+type t = { n : int; row : int array; dst : int array; weight : float array }
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Digraph.of_edges: n <= 0";
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Digraph.of_edges: vertex out of range";
+      if w < 0. || Float.is_nan w then invalid_arg "Digraph.of_edges: negative weight")
+    edges;
+  let m = List.length edges in
+  let counts = Array.make (n + 1) 0 in
+  List.iter (fun (u, _, _) -> counts.(u + 1) <- counts.(u + 1) + 1) edges;
+  for i = 1 to n do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  let row = Array.copy counts in
+  let cursor = Array.copy counts in
+  let dst = Array.make m 0 and weight = Array.make m 0. in
+  List.iter
+    (fun (u, v, w) ->
+      let k = cursor.(u) in
+      dst.(k) <- v;
+      weight.(k) <- w;
+      cursor.(u) <- k + 1)
+    edges;
+  { n; row; dst; weight }
+
+let n g = g.n
+let m g = Array.length g.dst
+
+let iter_succ g u f =
+  for k = g.row.(u) to g.row.(u + 1) - 1 do
+    f g.dst.(k) g.weight.(k)
+  done
+
+let fold_succ g u f init =
+  let acc = ref init in
+  iter_succ g u (fun v w -> acc := f !acc v w);
+  !acc
+
+let out_degree g u = g.row.(u + 1) - g.row.(u)
+
+let reverse g =
+  let edges = ref [] in
+  for u = 0 to g.n - 1 do
+    iter_succ g u (fun v w -> edges := (v, u, w) :: !edges)
+  done;
+  of_edges ~n:g.n !edges
+
+let edge_weight g u v =
+  fold_succ g u
+    (fun acc dst w ->
+      if dst = v then Some (match acc with None -> w | Some best -> Float.min best w) else acc)
+    None
+
+let pp ppf g = Format.fprintf ppf "digraph{n=%d m=%d}" g.n (m g)

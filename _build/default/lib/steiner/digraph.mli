@@ -1,0 +1,31 @@
+(** Immutable weighted digraphs in compressed-sparse-row form.
+
+    The auxiliary graphs of paper Section VI-A are built once and then
+    traversed heavily by Dijkstra and the Steiner solver; CSR keeps
+    traversal allocation-free. *)
+
+type t
+
+val of_edges : n:int -> (int * int * float) list -> t
+(** Parallel edges are kept (harmless for shortest paths: the cheaper
+    one wins).  @raise Invalid_argument on out-of-range endpoints or
+    negative weights. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val iter_succ : t -> int -> (int -> float -> unit) -> unit
+(** [iter_succ g u f] calls [f v w] for every edge u→v of weight w. *)
+
+val fold_succ : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+val out_degree : t -> int -> int
+val reverse : t -> t
+(** Transposed graph (weights preserved). *)
+
+val edge_weight : t -> int -> int -> float option
+(** Minimum weight among parallel u→v edges, if any. *)
+
+val pp : Format.formatter -> t -> unit

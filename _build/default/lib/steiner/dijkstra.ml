@@ -1,0 +1,95 @@
+open Tmedb_prelude
+
+type result = { dist : float array; pred : int array }
+
+(* Lazy-deletion Dijkstra: stale queue entries are skipped by the
+   distance check, which makes warm restarts (pushing extra sources
+   into an already-relaxed state) sound with non-negative weights. *)
+let drain g dist pred queue =
+  let rec go () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          Digraph.iter_succ g u (fun v w ->
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                pred.(v) <- u;
+                Pqueue.push queue nd v
+              end);
+        go ()
+  in
+  go ()
+
+let run_multi g ~sources =
+  let n = Digraph.n g in
+  if sources = [] then invalid_arg "Dijkstra.run_multi: empty sources";
+  List.iter
+    (fun src -> if src < 0 || src >= n then invalid_arg "Dijkstra.run_multi: src out of range")
+    sources;
+  let dist = Array.make n Float.infinity in
+  let pred = Array.make n (-1) in
+  let queue = Pqueue.create () in
+  List.iter
+    (fun src ->
+      dist.(src) <- 0.;
+      Pqueue.push queue 0. src)
+    sources;
+  drain g dist pred queue;
+  { dist; pred }
+
+let run g ~src =
+  if src < 0 || src >= Digraph.n g then invalid_arg "Dijkstra.run: src out of range";
+  run_multi g ~sources:[ src ]
+
+let refine g r ~new_sources =
+  let n = Digraph.n g in
+  let queue = Pqueue.create () in
+  List.iter
+    (fun src ->
+      if src < 0 || src >= n then invalid_arg "Dijkstra.refine: src out of range";
+      if r.dist.(src) > 0. then begin
+        r.dist.(src) <- 0.;
+        r.pred.(src) <- -1;
+        Pqueue.push queue 0. src
+      end)
+    new_sources;
+  drain g r.dist r.pred queue
+
+let path r ~src ~dst =
+  if not (Float.is_finite r.dist.(dst)) then None
+  else begin
+    let rec walk v acc =
+      if v = src then Some (src :: acc)
+      else begin
+        let p = r.pred.(v) in
+        if p < 0 then if v = src then Some (src :: acc) else None
+        else walk p (v :: acc)
+      end
+    in
+    (* A multi-source result may stop at a different source; accept
+       any predecessor-root as the path head in that case. *)
+    match walk dst [] with
+    | Some p -> Some p
+    | None ->
+        let rec walk_any v acc =
+          let p = r.pred.(v) in
+          if p < 0 then Some (v :: acc) else walk_any p (v :: acc)
+        in
+        walk_any dst []
+  end
+
+let path_edges g r ~src ~dst =
+  match path r ~src ~dst with
+  | None -> None
+  | Some vertices ->
+      let rec pair = function
+        | u :: (v :: _ as rest) -> (
+            match Digraph.edge_weight g u v with
+            | Some w -> (
+                match pair rest with Some tl -> Some ((u, v, w) :: tl) | None -> None)
+            | None -> None)
+        | _ -> Some []
+      in
+      pair vertices

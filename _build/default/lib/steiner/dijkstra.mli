@@ -1,0 +1,29 @@
+(** Single- and multi-source shortest paths with non-negative weights,
+    with warm restart for incrementally growing source sets (the
+    tree-growing Steiner loop adds sources every round; re-relaxing
+    only the improved region amortises to a few full passes). *)
+
+type result = {
+  dist : float array;  (** [infinity] for unreachable vertices. *)
+  pred : int array;  (** Predecessor on a shortest path; -1 at sources and unreachable vertices. *)
+}
+
+val run : Digraph.t -> src:int -> result
+
+val run_multi : Digraph.t -> sources:int list -> result
+(** Shortest paths from a vertex set (all sources at distance 0).
+    @raise Invalid_argument on an empty source list. *)
+
+val refine : Digraph.t -> result -> new_sources:int list -> unit
+(** Add sources at distance 0 to an existing result and re-relax in
+    place.  Distances only decrease; vertices whose distance is
+    unaffected are not revisited. *)
+
+val path : result -> src:int -> dst:int -> int list option
+(** Vertex sequence [src; ...; dst] on a shortest path, [None] when
+    unreachable.  With multiple sources, [src] is ignored except as
+    the stopping vertex of the predecessor walk — pass any source. *)
+
+val path_edges : Digraph.t -> result -> src:int -> dst:int -> (int * int * float) list option
+(** Same path as weighted edge triples (weights are the minimum
+    parallel-edge weights along the predecessor chain). *)

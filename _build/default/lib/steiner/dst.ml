@@ -1,0 +1,300 @@
+type tree = { edges : (int * int * float) list; cost : float; covered : int list }
+type outcome = { tree : tree; uncovered : int list }
+
+(* Edge sets keyed by u*n+v, keeping the cheapest parallel weight. *)
+module Edge_set = struct
+  type t = { n : int; table : (int, float) Hashtbl.t }
+
+  let create n = { n; table = Hashtbl.create 64 }
+
+  let add t (u, v, w) =
+    let key = (u * t.n) + v in
+    match Hashtbl.find_opt t.table key with
+    | Some w0 when w0 <= w -> ()
+    | Some _ | None -> Hashtbl.replace t.table key w
+
+  let add_list t es = List.iter (add t) es
+  let cost t = Hashtbl.fold (fun _ w acc -> acc +. w) t.table 0.
+
+  let to_list t =
+    Hashtbl.fold (fun key w acc -> (key / t.n, key mod t.n, w) :: acc) t.table []
+end
+
+let tree_cost edges =
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = Stdlib.compare
+  end) in
+  let _, total =
+    List.fold_left
+      (fun (seen, total) (u, v, w) ->
+        if S.mem (u, v) seen then (seen, total) else (S.add (u, v) seen, total +. w))
+      (S.empty, 0.) edges
+  in
+  total
+
+(* Per-terminal reversed-graph Dijkstra: distances v -> terminal and
+   the next hop of v on a shortest such path. *)
+type terminal_maps = {
+  ids : int array;  (* terminal vertex ids *)
+  dist : float array array;  (* dist.(ti).(v) *)
+  next : int array array;  (* next hop from v toward terminal ti *)
+}
+
+let build_terminal_maps g terminals =
+  let rev = Digraph.reverse g in
+  let ids = Array.of_list terminals in
+  let dist = Array.make (Array.length ids) [||] in
+  let next = Array.make (Array.length ids) [||] in
+  Array.iteri
+    (fun ti term ->
+      let r = Dijkstra.run rev ~src:term in
+      dist.(ti) <- r.Dijkstra.dist;
+      next.(ti) <- r.Dijkstra.pred)
+    ids;
+  { ids; dist; next }
+
+(* Edges of the shortest path v -> terminal ti, following next hops. *)
+let path_to_terminal g maps ~ti ~v =
+  let term = maps.ids.(ti) in
+  let rec walk u acc =
+    if u = term then List.rev acc
+    else begin
+      let nxt = maps.next.(ti).(u) in
+      if nxt < 0 then List.rev acc (* v = term handled above; unreachable defended in callers *)
+      else begin
+        match Digraph.edge_weight g u nxt with
+        | Some w -> walk nxt ((u, nxt, w) :: acc)
+        | None -> List.rev acc
+      end
+    end
+  in
+  walk v []
+
+type candidate = { cand_edges : (int * int * float) list; cand_cost : float; cand_terms : int list }
+
+(* A_1: shortest paths from v to the [need] nearest remaining terminals. *)
+let a1_candidate g maps ~need ~v ~remaining =
+  let reachable = ref [] in
+  Array.iteri
+    (fun ti alive -> if alive && Float.is_finite maps.dist.(ti).(v) then
+        reachable := (maps.dist.(ti).(v), ti) :: !reachable)
+    remaining;
+  let sorted = List.sort compare !reachable in
+  let chosen = List.filteri (fun i _ -> i < need) sorted in
+  if chosen = [] then None
+  else begin
+    let set = Edge_set.create (Digraph.n g) in
+    List.iter (fun (_, ti) -> Edge_set.add_list set (path_to_terminal g maps ~ti ~v)) chosen;
+    Some
+      {
+        cand_edges = Edge_set.to_list set;
+        cand_cost = Edge_set.cost set;
+        cand_terms = List.map snd chosen;
+      }
+  end
+
+(* Per-vertex terminal distances in ascending order, stored as
+   parallel unboxed arrays (this table dominates the level-2 scan's
+   memory traffic). *)
+type terminal_table = { term_dist : float array array; term_id : int array array }
+
+(* Fast level-2 scan: for every candidate intermediate vertex u and
+   every count cnt <= need, the density of [path tree->u] + [A_1(cnt,
+   u)] using plain distance sums; returns the best (u, cnt). *)
+let scan_level2 ~candidates ~dist_v ~remaining ~need ~table =
+  let best_density = ref Float.infinity in
+  let best = ref None in
+  let ncand = Array.length candidates in
+  for c = 0 to ncand - 1 do
+    let u = candidates.(c) in
+    let du = dist_v.(u) in
+    if Float.is_finite du then begin
+      let dists = table.term_dist.(u) and ids = table.term_id.(u) in
+      let sum = ref du in
+      let cnt = ref 0 in
+      let k = ref 0 in
+      let len = Array.length dists in
+      let continue = ref true in
+      while !continue && !k < len do
+        let d = dists.(!k) in
+        if not (Float.is_finite d) then continue := false
+        else begin
+          if remaining.(ids.(!k)) then begin
+            sum := !sum +. d;
+            incr cnt;
+            let density = !sum /. float_of_int !cnt in
+            if density < !best_density then begin
+              best_density := density;
+              best := Some (density, u, !cnt)
+            end;
+            if !cnt >= need then continue := false
+          end;
+          incr k
+        end
+      done
+    end
+  done;
+  !best
+
+(* Tree-growing recursive greedy: each round connects the best-density
+   (intermediate vertex, terminal count) candidate to the *current*
+   partial tree (multi-source Dijkstra), not only to the call root —
+   a strict improvement over connecting every pick at [v] since merged
+   path segments are paid once and inform later picks. *)
+let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
+  if level <= 1 then a1_candidate g maps ~need ~v ~remaining
+  else begin
+    let remaining = Array.copy remaining in
+    let set = Edge_set.create (Digraph.n g) in
+    let tree_members = Hashtbl.create 64 in
+    Hashtbl.replace tree_members v ();
+    let covered = ref [] in
+    let still_needed = ref need in
+    let progress = ref true in
+    (* Distances from the growing tree, warm-restarted as members are
+       added (distances only decrease). *)
+    let tree_dist = Dijkstra.run_multi g ~sources:[ v ] in
+    while !still_needed > 0 && !progress do
+      let dist_v = tree_dist.Dijkstra.dist and pred_v = tree_dist.Dijkstra.pred in
+      let pick =
+        if level = 2 then begin
+          match scan_level2 ~candidates ~dist_v ~remaining ~need:!still_needed ~table with
+          | None -> None
+          | Some (_, u, cnt) -> (
+              match a1_candidate g maps ~need:cnt ~v:u ~remaining with
+              | None -> None
+              | Some sub -> Some (u, sub))
+        end
+        else begin
+          (* Exhaustive recursive scan, only for small instances. *)
+          let best = ref None in
+          Array.iter
+            (fun u ->
+              if Float.is_finite dist_v.(u) then
+              for cnt = 1 to !still_needed do
+                match
+                  build_candidate g maps ~candidates ~table ~level:(level - 1) ~need:cnt ~v:u
+                    ~remaining
+                with
+                | None -> ()
+                | Some sub ->
+                    let density =
+                      (dist_v.(u) +. sub.cand_cost) /. float_of_int (List.length sub.cand_terms)
+                    in
+                    let better =
+                      match !best with Some (d, _, _) -> density < d | None -> true
+                    in
+                    if better then best := Some (density, u, sub)
+              done)
+            candidates;
+          match !best with None -> None | Some (_, u, sub) -> Some (u, sub)
+        end
+      in
+      match pick with
+      | None -> progress := false
+      | Some (u, sub) ->
+          (* Realize the connecting path tree -> u plus the subtree. *)
+          let rec connect x acc =
+            if pred_v.(x) < 0 then acc
+            else begin
+              let p = pred_v.(x) in
+              match Digraph.edge_weight g p x with
+              | Some w -> connect p ((p, x, w) :: acc)
+              | None -> acc
+            end
+          in
+          let fresh = ref [] in
+          let note_edges es =
+            Edge_set.add_list set es;
+            List.iter
+              (fun (a, b, _) ->
+                if not (Hashtbl.mem tree_members a) then begin
+                  Hashtbl.replace tree_members a ();
+                  fresh := a :: !fresh
+                end;
+                if not (Hashtbl.mem tree_members b) then begin
+                  Hashtbl.replace tree_members b ();
+                  fresh := b :: !fresh
+                end)
+              es
+          in
+          note_edges (connect u []);
+          note_edges sub.cand_edges;
+          Dijkstra.refine g tree_dist ~new_sources:!fresh;
+          List.iter
+            (fun ti ->
+              if remaining.(ti) then begin
+                remaining.(ti) <- false;
+                covered := ti :: !covered;
+                decr still_needed
+              end)
+            sub.cand_terms
+    done;
+    if !covered = [] then None
+    else Some { cand_edges = Edge_set.to_list set; cand_cost = Edge_set.cost set; cand_terms = !covered }
+  end
+
+let solve ?(level = 2) ?candidates g ~root ~terminals =
+  if level < 1 then invalid_arg "Dst.solve: level < 1";
+  let nv = Digraph.n g in
+  if root < 0 || root >= nv then invalid_arg "Dst.solve: root out of range";
+  List.iter
+    (fun t -> if t < 0 || t >= nv then invalid_arg "Dst.solve: terminal out of range")
+    terminals;
+  let terminals = List.filter (fun t -> t <> root) (List.sort_uniq Int.compare terminals) in
+  let candidates =
+    match candidates with
+    | None -> Array.init nv (fun v -> v)
+    | Some cs ->
+        List.iter
+          (fun c -> if c < 0 || c >= nv then invalid_arg "Dst.solve: candidate out of range")
+          cs;
+        (* The root and the terminals must stay eligible. *)
+        Array.of_list (List.sort_uniq Int.compare ((root :: terminals) @ cs))
+  in
+  let maps = build_terminal_maps g terminals in
+  let k = Array.length maps.ids in
+  (* For each vertex, terminal distances ascending: the A_1 lookup
+     table used by the level-2 scan. *)
+  let table =
+    (* Only candidate vertices are scanned, so only they need rows. *)
+    let term_dist = Array.make nv [||] and term_id = Array.make nv [||] in
+    let scratch = Array.init k (fun ti -> (0., ti)) in
+    Array.iter
+      (fun v ->
+        for ti = 0 to k - 1 do
+          scratch.(ti) <- (maps.dist.(ti).(v), ti)
+        done;
+        Array.sort compare scratch;
+        term_dist.(v) <- Array.map fst scratch;
+        term_id.(v) <- Array.map snd scratch)
+      candidates;
+    { term_dist; term_id }
+  in
+  let remaining = Array.make k true in
+  let result = build_candidate g maps ~candidates ~table ~level ~need:k ~v:root ~remaining in
+  let covered_tis = match result with None -> [] | Some c -> c.cand_terms in
+  let covered = List.sort Int.compare (List.map (fun ti -> maps.ids.(ti)) covered_tis) in
+  let uncovered =
+    List.filter (fun t -> not (List.mem t covered)) terminals
+  in
+  let edges, cost =
+    match result with None -> ([], 0.) | Some c -> (c.cand_edges, c.cand_cost)
+  in
+  { tree = { edges; cost; covered }; uncovered }
+
+let prune g ~root tree =
+  let nv = Digraph.n g in
+  let sub = Digraph.of_edges ~n:nv tree.edges in
+  let r = Dijkstra.run sub ~src:root in
+  let set = Edge_set.create nv in
+  List.iter
+    (fun term ->
+      match Dijkstra.path_edges sub r ~src:root ~dst:term with
+      | Some es -> Edge_set.add_list set es
+      | None -> ())
+    tree.covered;
+  let edges = Edge_set.to_list set in
+  { edges; cost = Edge_set.cost set; covered = tree.covered }

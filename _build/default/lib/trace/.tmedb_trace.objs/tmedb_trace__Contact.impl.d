@@ -1,0 +1,1 @@
+lib/trace/contact.ml: Format Interval Stdlib Tmedb_prelude

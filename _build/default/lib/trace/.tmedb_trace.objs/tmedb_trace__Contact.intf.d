@@ -1,0 +1,1 @@
+lib/trace/contact.mli: Format Interval Tmedb_prelude

@@ -1,0 +1,1 @@
+lib/trace/mobility.ml: Array Contact Dist Float Interval List Tmedb_prelude Trace

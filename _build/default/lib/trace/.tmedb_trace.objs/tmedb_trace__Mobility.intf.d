@@ -1,0 +1,1 @@
+lib/trace/mobility.mli: Rng Tmedb_prelude Trace

@@ -1,0 +1,1 @@
+lib/trace/synth.ml: Array Contact Dist Float Futil Interval Tmedb_prelude Trace

@@ -1,0 +1,1 @@
+lib/trace/synth.mli: Rng Tmedb_prelude Trace

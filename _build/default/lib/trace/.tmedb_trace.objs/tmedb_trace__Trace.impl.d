@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Buffer Contact Format Fun Hashtbl Interval List Option Printf Scanf Stats Stdlib String Tmedb_prelude Tmedb_tvg

@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Contact Format Interval Tmedb_prelude Tmedb_tvg

@@ -1,0 +1,168 @@
+open Tmedb_prelude
+
+type t = { n : int; span : Interval.t; contacts : Contact.t list }
+
+let make ~n ~span contacts =
+  if n <= 0 then invalid_arg "Trace.make: n <= 0";
+  List.iter
+    (fun c ->
+      if c.Contact.b >= n then invalid_arg "Trace.make: contact node out of range";
+      if not (Interval.contains span c.Contact.iv) then
+        invalid_arg "Trace.make: contact outside the span")
+    contacts;
+  { n; span; contacts = List.sort Contact.compare_by_start contacts }
+
+let n t = t.n
+let span t = t.span
+let contacts t = t.contacts
+let num_contacts t = List.length t.contacts
+
+let restrict t ~span:window =
+  if not (Interval.contains t.span window) then invalid_arg "Trace.restrict: window not contained";
+  let clip c =
+    match Interval.inter c.Contact.iv window with
+    | None -> None
+    | Some iv -> Some (Contact.make ~a:c.Contact.a ~b:c.Contact.b ~iv ~dist:c.Contact.dist)
+  in
+  { t with span = window; contacts = List.filter_map clip t.contacts }
+
+let to_tvg t =
+  List.fold_left
+    (fun g c -> Tmedb_tvg.Tvg.add_presence g c.Contact.a c.Contact.b c.Contact.iv)
+    (Tmedb_tvg.Tvg.create ~n:t.n ~span:t.span)
+    t.contacts
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# tmedb-trace n=%d span=%.17g,%.17g\n" t.n t.span.Interval.lo
+       t.span.Interval.hi);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.17g,%.17g,%.17g\n" c.Contact.a c.Contact.b c.Contact.iv.Interval.lo
+           c.Contact.iv.Interval.hi c.Contact.dist))
+    t.contacts;
+  Buffer.contents buf
+
+let parse_header line =
+  try Scanf.sscanf line "# tmedb-trace n=%d span=%f,%f" (fun n lo hi -> Some (n, lo, hi))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let parse_line lineno line =
+  try
+    Scanf.sscanf line "%d,%d,%f,%f,%f" (fun a b lo hi dist ->
+        Ok (Contact.make ~a ~b ~iv:(Interval.make ~lo ~hi) ~dist))
+  with
+  | Scanf.Scan_failure msg | Failure msg | Invalid_argument msg ->
+      Error (Printf.sprintf "line %d: %s" lineno msg)
+  | End_of_file -> Error (Printf.sprintf "line %d: truncated record" lineno)
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno header acc = function
+    | [] -> Ok (header, List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) header acc rest
+        else if String.length line > 0 && line.[0] = '#' then begin
+          match parse_header line with
+          | Some h -> go (lineno + 1) (Some h) acc rest
+          | None -> go (lineno + 1) header acc rest
+        end
+        else begin
+          match parse_line lineno line with
+          | Ok c -> go (lineno + 1) header (c :: acc) rest
+          | Error e -> Error e
+        end
+  in
+  match go 1 None [] lines with
+  | Error e -> Error e
+  | Ok (header, contacts) -> (
+      let derived_n =
+        List.fold_left (fun acc c -> Stdlib.max acc (c.Contact.b + 1)) 1 contacts
+      in
+      let derived_span =
+        match contacts with
+        | [] -> Interval.make ~lo:0. ~hi:1.
+        | first :: rest ->
+            List.fold_left (fun acc c -> Interval.hull acc c.Contact.iv) first.Contact.iv rest
+      in
+      match header with
+      | Some (hn, lo, hi) -> (
+          try Ok (make ~n:hn ~span:(Interval.make ~lo ~hi) contacts)
+          with Invalid_argument msg -> Error msg)
+      | None -> (
+          try Ok (make ~n:derived_n ~span:derived_span contacts)
+          with Invalid_argument msg -> Error msg))
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let load ~path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_csv (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+type stats = {
+  num_contacts : int;
+  mean_duration : float;
+  median_duration : float;
+  mean_inter_contact : float;
+  median_inter_contact : float;
+  contacts_per_pair : float;
+  pairs_with_contact : int;
+  mean_degree : float;
+}
+
+let stats t =
+  let durations = Array.of_list (List.map Contact.duration t.contacts) in
+  (* Group contacts per pair to extract inter-contact gaps. *)
+  let by_pair = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = (c.Contact.a, c.Contact.b) in
+      Hashtbl.replace by_pair key (c :: (Option.value ~default:[] (Hashtbl.find_opt by_pair key))))
+    t.contacts;
+  let gaps = ref [] in
+  Hashtbl.iter
+    (fun _ cs ->
+      let sorted = List.sort Contact.compare_by_start cs in
+      let rec walk = function
+        | x :: (y :: _ as rest) ->
+            let gap = y.Contact.iv.Interval.lo -. x.Contact.iv.Interval.hi in
+            if gap > 0. then gaps := gap :: !gaps;
+            walk rest
+        | _ -> ()
+      in
+      walk sorted)
+    by_pair;
+  let gaps = Array.of_list !gaps in
+  let pairs = Hashtbl.length by_pair in
+  let safe_mean xs = if Array.length xs = 0 then 0. else Stats.mean xs in
+  let safe_median xs = if Array.length xs = 0 then 0. else Stats.median xs in
+  {
+    num_contacts = List.length t.contacts;
+    mean_duration = safe_mean durations;
+    median_duration = safe_median durations;
+    mean_inter_contact = safe_mean gaps;
+    median_inter_contact = safe_median gaps;
+    contacts_per_pair =
+      (if pairs = 0 then 0. else float_of_int (List.length t.contacts) /. float_of_int pairs);
+    pairs_with_contact = pairs;
+    mean_degree = Tmedb_tvg.Tvg.average_degree_over (to_tvg t) ~window:t.span;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "contacts=%d dur(mean=%g med=%g) gap(mean=%g med=%g) pairs=%d per-pair=%g degree=%g"
+    s.num_contacts s.mean_duration s.median_duration s.mean_inter_contact s.median_inter_contact
+    s.pairs_with_contact s.contacts_per_pair s.mean_degree
+
+let pp ppf t =
+  Format.fprintf ppf "trace{n=%d span=%a contacts=%d}" t.n Interval.pp t.span
+    (List.length t.contacts)

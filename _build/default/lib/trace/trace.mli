@@ -1,0 +1,52 @@
+(** Contact traces: an ordered collection of contacts over a node set,
+    with CSV round-tripping and the descriptive statistics used to
+    validate synthetic traces against the Haggle measurements. *)
+
+open Tmedb_prelude
+
+type t
+
+val make : n:int -> span:Interval.t -> Contact.t list -> t
+(** @raise Invalid_argument if a contact references a node >= n or
+    lies outside the span. *)
+
+val n : t -> int
+val span : t -> Interval.t
+val contacts : t -> Contact.t list
+(** Sorted by start time. *)
+
+val num_contacts : t -> int
+val restrict : t -> span:Interval.t -> t
+(** Contacts clipped to the window (partially overlapping contacts are
+    truncated; fully outside dropped). *)
+
+val to_tvg : t -> Tmedb_tvg.Tvg.t
+(** Presence graph forgetting distances. *)
+
+(** {1 CSV}
+
+    One contact per line: [a,b,t_start,t_end,dist] with floats in
+    decimal notation; lines starting with ['#'] are comments.  The
+    header comment carries [n] and the span. *)
+
+val to_csv : t -> string
+val of_csv : string -> (t, string) result
+val save : t -> path:string -> unit
+val load : path:string -> (t, string) result
+
+(** {1 Statistics} *)
+
+type stats = {
+  num_contacts : int;
+  mean_duration : float;
+  median_duration : float;
+  mean_inter_contact : float;  (** Over per-pair gaps between contacts. *)
+  median_inter_contact : float;
+  contacts_per_pair : float;
+  pairs_with_contact : int;
+  mean_degree : float;  (** Time-averaged over the span. *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+val pp : Format.formatter -> t -> unit

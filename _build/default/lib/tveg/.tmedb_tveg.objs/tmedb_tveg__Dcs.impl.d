@@ -1,0 +1,1 @@
+lib/tveg/dcs.ml: Ed_function Float Int List Phy Tmedb_channel Tveg

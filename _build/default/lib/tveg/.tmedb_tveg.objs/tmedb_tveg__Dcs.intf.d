@@ -1,0 +1,1 @@
+lib/tveg/dcs.mli: Phy Tmedb_channel Tveg

@@ -1,0 +1,1 @@
+lib/tveg/dts.ml: Array Float Format Interval List Logs Queue Set Tmedb_prelude Tmedb_tvg Tveg

@@ -1,0 +1,1 @@
+lib/tveg/dts.mli: Format Tveg

@@ -1,0 +1,1 @@
+lib/tveg/nondet.ml: Array Dist Interval List Stats Tmedb_prelude Tveg

@@ -1,0 +1,1 @@
+lib/tveg/nondet.mli: Interval Rng Tmedb_prelude Tveg

@@ -1,0 +1,1 @@
+lib/tveg/tveg.ml: Array Contact Ed_function Format Interval List Tmedb_channel Tmedb_prelude Tmedb_trace Tmedb_tvg Trace

@@ -1,0 +1,1 @@
+lib/tveg/tveg.mli: Format Interval Tmedb_channel Tmedb_prelude Tmedb_trace Tmedb_tvg

@@ -1,0 +1,47 @@
+open Tmedb_channel
+
+type level = { cost : float; covered : int list }
+
+let epsilon_cost ed phy =
+  match Ed_function.cost_for_failure ed ~target:phy.Phy.eps with
+  | Some w -> w
+  | None -> Float.infinity
+
+let neighbour_cost ~phy ~channel ~dist =
+  match channel with
+  | `Static -> Phy.min_cost phy ~dist
+  | `Rayleigh -> Phy.fading_reference_cost phy ~dist
+  | `Nakagami m -> epsilon_cost (Ed_function.nakagami ~beta:(Phy.beta phy ~dist) ~m) phy
+  | `Lognormal sigma ->
+      epsilon_cost (Ed_function.lognormal ~beta:(Phy.beta phy ~dist) ~sigma) phy
+
+let at g ~phy ~channel ~node ~time =
+  let neighbours = Tveg.neighbors_at g node time in
+  let costed =
+    List.map (fun (j, dist) -> (neighbour_cost ~phy ~channel ~dist, j)) neighbours
+    |> List.filter (fun (w, _) -> w <= phy.Phy.w_max)
+    |> List.sort (fun (wa, ja) (wb, jb) ->
+           let c = Float.compare wa wb in
+           if c <> 0 then c else Int.compare ja jb)
+  in
+  (* Prefix-accumulate: level k covers the k cheapest neighbours;
+     equal costs merge into one level. *)
+  let rec build covered_rev = function
+    | [] -> []
+    | (w, j) :: rest ->
+        let covered_rev = j :: covered_rev in
+        let rec absorb covered_rev rest =
+          match rest with
+          | (w', j') :: tl when Float.equal w' w -> absorb (j' :: covered_rev) tl
+          | _ -> (covered_rev, rest)
+        in
+        let covered_rev, rest = absorb covered_rev rest in
+        let cost = Float.max phy.Phy.w_min w in
+        { cost; covered = List.sort Int.compare covered_rev } :: build covered_rev rest
+  in
+  build [] costed
+
+let min_cost_level = function [] -> None | level :: _ -> Some level
+
+let level_covering levels ~k =
+  List.find_opt (fun level -> List.length level.covered >= k) levels

@@ -1,0 +1,113 @@
+open Tmedb_prelude
+
+let log_src = Logs.Src.create "tmedb.dts" ~doc:"Discrete time set construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module FloatSet = Set.Make (Float)
+
+type t = { deadline : float; points : float array array }
+
+let base_points g ~deadline ~min_time i =
+  let pts = Tmedb_tvg.Partition.points (Tveg.adjacent_partition g i) in
+  Array.to_list pts
+  |> List.filter (fun p -> p <= deadline && p >= min_time.(i))
+  |> FloatSet.of_list
+
+let compute ?(cap_per_node = 4000) ?source g ~deadline =
+  let span = Tveg.span g in
+  if deadline > span.Interval.hi || deadline <= span.Interval.lo then
+    invalid_arg "Dts.compute: deadline outside the graph span";
+  let n = Tveg.n g in
+  let tau = Tveg.tau g in
+  (* Knowing the source lets us drop every point of a node that
+     precedes its earliest possible packet arrival: the node cannot
+     be informed there, so neither its status nor its usefulness as a
+     relay can change.  This prunes nothing the optimal schedule could
+     use and shrinks the auxiliary graph substantially. *)
+  let min_time =
+    match source with
+    | None -> Array.make n span.Interval.lo
+    | Some src ->
+        Tmedb_tvg.Journey.earliest_arrival (Tveg.to_tvg g) ~tau ~src ~t0:span.Interval.lo
+  in
+  let sets = Array.init n (fun i -> base_points g ~deadline ~min_time i) in
+  begin
+    (* Close the point sets under τ-propagation along possible
+       transmissions, bounded by non-stop journey length.  With τ = 0
+       this copies each point to the nodes reachable at that instant,
+       so receive times are always points of the receiver. *)
+    let queue = Queue.create () in
+    Array.iteri (fun i set -> FloatSet.iter (fun p -> Queue.add (0, i, p) queue) set) sets;
+    let truncated = ref false in
+    while not (Queue.is_empty queue) do
+      let depth, i, p = Queue.pop queue in
+      if depth < n - 1 then
+        List.iter
+          (fun (j, _dist) ->
+            let p' = p +. tau in
+            if p' <= deadline && p' >= min_time.(j) && not (FloatSet.mem p' sets.(j)) then begin
+              if FloatSet.cardinal sets.(j) < cap_per_node then begin
+                sets.(j) <- FloatSet.add p' sets.(j);
+                Queue.add (depth + 1, j, p') queue
+              end
+              else truncated := true
+            end)
+          (Tveg.neighbors_at g i p)
+    done;
+    if !truncated then
+      Log.warn (fun m -> m "DTS propagation truncated at %d points per node" cap_per_node)
+  end;
+  (* Every node keeps at least one point so that it can serve as an
+     auxiliary-graph terminal even when unreachable by the deadline. *)
+  Array.iteri
+    (fun i s -> if FloatSet.is_empty s then sets.(i) <- FloatSet.singleton span.Interval.lo)
+    sets;
+  { deadline; points = Array.map (fun s -> Array.of_list (FloatSet.elements s)) sets }
+
+let deadline t = t.deadline
+let node_points t i = t.points.(i)
+let total_points t = Array.fold_left (fun acc pts -> acc + Array.length pts) 0 t.points
+let num_nodes t = Array.length t.points
+
+let latest_at_or_before t i time =
+  let pts = t.points.(i) in
+  let n = Array.length pts in
+  if n = 0 || time < pts.(0) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi > !lo do
+      let mid = (!lo + !hi + 1) / 2 in
+      if pts.(mid) <= time then lo := mid else hi := mid - 1
+    done;
+    Some pts.(!lo)
+  end
+
+let earliest_at_or_after t i time =
+  let pts = t.points.(i) in
+  let n = Array.length pts in
+  if n = 0 || time > pts.(n - 1) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi > !lo do
+      let mid = (!lo + !hi) / 2 in
+      if pts.(mid) >= time then hi := mid else lo := mid + 1
+    done;
+    Some pts.(!lo)
+  end
+
+let index_of_point t i p =
+  let pts = t.points.(i) in
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      if Float.equal pts.(mid) p then Some mid
+      else if pts.(mid) < p then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search 0 (Array.length pts - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "dts{deadline=%g nodes=%d points=%d}" t.deadline (num_nodes t)
+    (total_points t)

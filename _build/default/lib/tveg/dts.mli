@@ -1,0 +1,51 @@
+(** Discrete time sets (paper Section V, Definition 5.2).
+
+    Each node's discrete time partition combines its adjacent partition
+    (link appear/disappear boundaries) with a status partition: the
+    times at which the node's informed/uninformed status can change.
+    Status changes happen τ after a possible ET-law transmission of a
+    neighbour, so the point sets are closed under "t at i propagates
+    t+τ to every j adjacent to i at t", up to non-stop-journey depth
+    N−1 — giving the paper's O(N³L) bound.  With τ = 0 (the paper's
+    trace-driven regime) propagation only copies existing instants onto
+    neighbouring nodes, so each adjacent-partition point creates at
+    most one point per node: O(N²L) points total, as the paper
+    observes. *)
+
+type t
+
+val compute : ?cap_per_node:int -> ?source:int -> Tveg.t -> deadline:float -> t
+(** DTS of all nodes over [\[span.lo, deadline\]].  [cap_per_node]
+    (default 4000) bounds the per-node point count under τ > 0
+    propagation; hitting the cap logs a warning and yields a coarser
+    (still valid, possibly suboptimal) schedule space.
+
+    When [source] is given, each node's points are additionally pruned
+    to those at or after its earliest journey arrival from the source
+    — instants at which the node could not possibly hold the packet
+    are useless to any schedule, so the pruning is lossless.  A node
+    unreachable by the deadline keeps a single sentinel point.
+    @raise Invalid_argument if the deadline exceeds the graph span or
+    precedes its start. *)
+
+val deadline : t -> float
+val node_points : t -> int -> float array
+(** Increasing candidate transmission/status times of a node.  Every
+    point p satisfies [span.lo <= p <= deadline]. *)
+
+val total_points : t -> int
+val num_nodes : t -> int
+
+val latest_at_or_before : t -> int -> float -> float option
+(** Largest DTS point of the node that is <= the given time: the
+    ET-law representative (Prop. 5.1) of that instant. *)
+
+val earliest_at_or_after : t -> int -> float -> float option
+(** Smallest DTS point of the node that is >= the given time: the
+    sound (conservative) rounding for receive instants that fell to
+    the propagation cap. *)
+
+val index_of_point : t -> int -> float -> int option
+(** Position of an exact point in the node's sequence. *)
+
+val pp : Format.formatter -> t -> unit

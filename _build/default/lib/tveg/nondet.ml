@@ -1,0 +1,74 @@
+open Tmedb_prelude
+
+type potential_contact = {
+  a : int;
+  b : int;
+  link : Tveg.link;
+  presence_prob : float;
+}
+
+type t = { n : int; span : Interval.t; tau : float; contacts : potential_contact list }
+
+let create ~n ~span ~tau contacts =
+  if n <= 0 then invalid_arg "Nondet.create: n <= 0";
+  if tau < 0. then invalid_arg "Nondet.create: negative tau";
+  List.iter
+    (fun c ->
+      if c.a < 0 || c.b < 0 || c.a >= n || c.b >= n || c.a = c.b then
+        invalid_arg "Nondet.create: bad contact endpoints";
+      if not (0. <= c.presence_prob && c.presence_prob <= 1.) then
+        invalid_arg "Nondet.create: probability outside [0,1]";
+      if not (Interval.contains span c.link.Tveg.iv) then
+        invalid_arg "Nondet.create: link outside the span")
+    contacts;
+  { n; span; tau; contacts }
+
+let n t = t.n
+let span t = t.span
+let tau t = t.tau
+let contacts t = t.contacts
+
+let of_tveg g ~presence_prob =
+  let acc = ref [] in
+  for i = 0 to Tveg.n g - 2 do
+    for j = i + 1 to Tveg.n g - 1 do
+      List.iter (fun link -> acc := { a = i; b = j; link; presence_prob } :: !acc) (Tveg.links g i j)
+    done
+  done;
+  create ~n:(Tveg.n g) ~span:(Tveg.span g) ~tau:(Tveg.tau g) !acc
+
+let realize t keep =
+  let entries =
+    List.filter_map (fun c -> if keep c then Some (c.a, c.b, c.link) else None) t.contacts
+  in
+  Tveg.create ~n:t.n ~span:t.span ~tau:t.tau entries
+
+let support t = realize t (fun _ -> true)
+let threshold t ~min_prob = realize t (fun c -> c.presence_prob >= min_prob)
+let sample rng t = realize t (fun c -> Dist.bernoulli rng ~p:c.presence_prob)
+
+type robustness = {
+  trials : int;
+  mean_delivery : float;
+  full_delivery_rate : float;
+  mean_energy_wasted : float;
+}
+
+let evaluate ?(trials = 200) ~rng t ~check =
+  if trials <= 0 then invalid_arg "Nondet.evaluate: trials <= 0";
+  let deliveries = Array.make trials 0. in
+  let wasted = Array.make trials 0. in
+  let full = ref 0 in
+  for k = 0 to trials - 1 do
+    let realization = sample rng t in
+    let delivery, fully, waste = check realization in
+    deliveries.(k) <- delivery;
+    wasted.(k) <- waste;
+    if fully then incr full
+  done;
+  {
+    trials;
+    mean_delivery = Stats.mean deliveries;
+    full_delivery_rate = float_of_int !full /. float_of_int trials;
+    mean_energy_wasted = Stats.mean wasted;
+  }

@@ -1,0 +1,69 @@
+(** Non-deterministic time-varying energy-demand graphs — the paper's
+    stated future work (Section VIII): the presence function becomes
+    probabilistic, ρ: E × T → [0, 1].
+
+    The model here attaches an appearance probability to every
+    potential contact.  Sampling yields deterministic TVEG
+    realizations on which all the deterministic machinery (DTS,
+    EEDCB, feasibility) runs unchanged; a schedule computed against
+    one graph (typically the {!support}) can then be stress-tested
+    across many sampled realizations, separating *link-level* fading
+    loss (handled by FR-EEDCB) from *contact-level* uncertainty
+    (handled here). *)
+
+open Tmedb_prelude
+
+type potential_contact = {
+  a : int;
+  b : int;
+  link : Tveg.link;
+  presence_prob : float;  (** Probability the contact materialises. *)
+}
+
+type t
+
+val create : n:int -> span:Interval.t -> tau:float -> potential_contact list -> t
+(** @raise Invalid_argument on invalid nodes/probabilities or links
+    outside the span. *)
+
+val n : t -> int
+val span : t -> Interval.t
+val tau : t -> float
+val contacts : t -> potential_contact list
+
+val of_tveg : Tveg.t -> presence_prob:float -> t
+(** Lift a deterministic TVEG: every contact gets the same appearance
+    probability ("flaky links" model). *)
+
+val support : t -> Tveg.t
+(** The optimistic realization with every potential contact present —
+    what a planner that ignores contact uncertainty would use. *)
+
+val threshold : t -> min_prob:float -> Tveg.t
+(** The pessimistic planner's graph: only contacts with appearance
+    probability >= [min_prob]. *)
+
+val sample : Rng.t -> t -> Tveg.t
+(** One realization: each contact kept independently with its
+    probability. *)
+
+type robustness = {
+  trials : int;
+  mean_delivery : float;  (** Mean analytic delivery ratio across realizations. *)
+  full_delivery_rate : float;  (** Fraction of realizations delivering to all. *)
+  mean_energy_wasted : float;
+      (** Mean scheduled cost of transmissions whose contact did not
+          materialise in the realization (energy spent shouting into
+          the void), in watts. *)
+}
+
+val evaluate :
+  ?trials:int ->
+  rng:Rng.t ->
+  t ->
+  check:(Tveg.t -> float * bool * float) ->
+  robustness
+(** Generic Monte-Carlo over realizations: [check] maps a realization
+    to (delivery ratio, fully delivered, wasted energy).  Default 200
+    trials.  The TMEDB-specific wrapper lives in the core library to
+    avoid a dependency cycle. *)

@@ -1,0 +1,119 @@
+open Tmedb_prelude
+
+type link = { iv : Interval.t; dist : float }
+type channel = [ `Static | `Rayleigh | `Nakagami of float | `Lognormal of float ]
+
+type t = { n : int; span : Interval.t; tau : float; links : link list array }
+
+let tri_index n i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  (i * (2 * n - i - 1) / 2) + (j - i - 1)
+
+let check_pair t i j op =
+  if i < 0 || j < 0 || i >= t.n || j >= t.n then
+    invalid_arg ("Tveg." ^ op ^ ": node out of range");
+  if i = j then invalid_arg ("Tveg." ^ op ^ ": self-loop")
+
+let sort_links links = List.sort (fun a b -> Interval.compare a.iv b.iv) links
+
+let create ~n ~span ~tau entries =
+  if n <= 0 then invalid_arg "Tveg.create: n <= 0";
+  if tau < 0. then invalid_arg "Tveg.create: negative tau";
+  let links = Array.make (n * (n - 1) / 2) [] in
+  let t = { n; span; tau; links } in
+  List.iter
+    (fun (i, j, link) ->
+      check_pair t i j "create";
+      if not (Interval.contains span link.iv) then
+        invalid_arg "Tveg.create: link outside the span";
+      if link.dist <= 0. then invalid_arg "Tveg.create: non-positive distance";
+      let k = tri_index n i j in
+      links.(k) <- link :: links.(k))
+    entries;
+  Array.iteri (fun k ls -> links.(k) <- sort_links ls) links;
+  t
+
+let of_trace ~tau trace =
+  let open Tmedb_trace in
+  let entries =
+    List.map
+      (fun c -> (c.Contact.a, c.Contact.b, { iv = c.Contact.iv; dist = c.Contact.dist }))
+      (Trace.contacts trace)
+  in
+  create ~n:(Trace.n trace) ~span:(Trace.span trace) ~tau entries
+
+let n t = t.n
+let span t = t.span
+let tau t = t.tau
+
+let links t i j =
+  if i = j then []
+  else begin
+    check_pair t i j "links";
+    t.links.(tri_index t.n i j)
+  end
+
+let covering_link t i j time =
+  List.find_opt (fun l -> Interval.mem l.iv time) (links t i j)
+
+let rho_tau t i j time =
+  match covering_link t i j time with
+  | None -> false
+  | Some l -> time +. t.tau < l.iv.Interval.hi
+
+let dist_at t i j time =
+  match covering_link t i j time with
+  | Some l when time +. t.tau < l.iv.Interval.hi -> Some l.dist
+  | Some _ | None -> None
+
+let ed_at t ~phy ~channel i j time =
+  let open Tmedb_channel in
+  match dist_at t i j time with
+  | None -> Ed_function.Absent
+  | Some dist -> Ed_function.of_distance phy channel ~dist
+
+let neighbors_at t i time =
+  let acc = ref [] in
+  for j = t.n - 1 downto 0 do
+    if j <> i then
+      match dist_at t i j time with Some d -> acc := (j, d) :: !acc | None -> ()
+  done;
+  !acc
+
+let to_tvg t =
+  let g = ref (Tmedb_tvg.Tvg.create ~n:t.n ~span:t.span) in
+  for i = 0 to t.n - 2 do
+    for j = i + 1 to t.n - 1 do
+      List.iter (fun l -> g := Tmedb_tvg.Tvg.add_presence !g i j l.iv) (links t i j)
+    done
+  done;
+  !g
+
+let adjacent_partition t i =
+  let pts = ref [] in
+  for j = 0 to t.n - 1 do
+    if j <> i then
+      List.iter
+        (fun l -> pts := l.iv.Interval.lo :: l.iv.Interval.hi :: !pts)
+        (links t i j)
+  done;
+  Tmedb_tvg.Partition.make ~span:t.span !pts
+
+let average_degree_over t ~window =
+  Tmedb_tvg.Tvg.average_degree_over (to_tvg t) ~window
+
+let restrict t ~span:sub =
+  if not (Interval.contains t.span sub) then invalid_arg "Tveg.restrict: span not contained";
+  let clip ls =
+    List.filter_map
+      (fun l ->
+        match Interval.inter l.iv sub with
+        | None -> None
+        | Some iv -> Some { l with iv })
+      ls
+  in
+  { t with span = sub; links = Array.map clip t.links }
+
+let pp ppf t =
+  Format.fprintf ppf "tveg{n=%d span=%a tau=%g links=%d}" t.n Interval.pp t.span t.tau
+    (Array.fold_left (fun acc ls -> acc + List.length ls) 0 t.links)

@@ -1,0 +1,52 @@
+(** Time-varying energy-demand graphs (paper Definition 3.2).
+
+    A TVEG couples a deterministic TVG with, for every edge and time, an
+    ED-function.  Concretely each unordered pair carries its contact
+    segments — presence interval plus distance — and the cost function
+    ψ derives the ED-function from the distance under a channel model.
+    The uniform traversal latency τ (paper Section III-A) is stored
+    with the graph. *)
+
+open Tmedb_prelude
+
+type link = { iv : Interval.t; dist : float }
+
+type channel = [ `Static | `Rayleigh | `Nakagami of float | `Lognormal of float ]
+(** Which ED-function class F instantiates ψ. *)
+
+type t
+
+val of_trace : tau:float -> Tmedb_trace.Trace.t -> t
+(** @raise Invalid_argument on negative τ. *)
+
+val create : n:int -> span:Interval.t -> tau:float -> (int * int * link) list -> t
+(** Direct construction for tests and gadget instances. *)
+
+val n : t -> int
+val span : t -> Interval.t
+val tau : t -> float
+val links : t -> int -> int -> link list
+(** Contact segments of the unordered pair, sorted by start. *)
+
+val rho_tau : t -> int -> int -> float -> bool
+(** A transmission started at the given time completes: the edge is
+    continuously present on [\[t, t+τ\]]. *)
+
+val dist_at : t -> int -> int -> float -> float option
+(** Distance during the covering segment when [rho_tau] holds. *)
+
+val ed_at : t -> phy:Tmedb_channel.Phy.t -> channel:channel -> int -> int -> float ->
+  Tmedb_channel.Ed_function.t
+(** The ψ of Definition 3.2: ED-function of edge (i,j) at a time
+    ([Absent] when the transmission cannot complete). *)
+
+val neighbors_at : t -> int -> float -> (int * float) list
+(** (neighbour, distance) pairs with ρ_τ = 1, ascending node id. *)
+
+val to_tvg : t -> Tmedb_tvg.Tvg.t
+val adjacent_partition : t -> int -> Tmedb_tvg.Partition.t
+(** P^ad_i over the graph span (Equation 9). *)
+
+val average_degree_over : t -> window:Interval.t -> float
+val restrict : t -> span:Interval.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tvg/journey.ml: Array Float Format Int Interval Interval_set List Option Pqueue Tmedb_prelude Tvg

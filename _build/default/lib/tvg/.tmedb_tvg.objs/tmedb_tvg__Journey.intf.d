@@ -1,0 +1,1 @@
+lib/tvg/journey.mli: Format Tvg

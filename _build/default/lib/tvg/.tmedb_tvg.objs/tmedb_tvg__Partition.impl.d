@@ -1,0 +1,1 @@
+lib/tvg/partition.ml: Array Float Format Interval List Tmedb_prelude

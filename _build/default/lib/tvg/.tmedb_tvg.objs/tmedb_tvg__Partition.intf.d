@@ -1,0 +1,1 @@
+lib/tvg/partition.mli: Format Interval Tmedb_prelude

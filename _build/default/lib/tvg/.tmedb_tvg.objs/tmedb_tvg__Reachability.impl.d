@@ -1,0 +1,1 @@
+lib/tvg/reachability.ml: Array Bitset Float Journey Tmedb_prelude Tvg

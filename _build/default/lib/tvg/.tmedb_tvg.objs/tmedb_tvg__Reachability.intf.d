@@ -1,0 +1,1 @@
+lib/tvg/reachability.mli: Bitset Tmedb_prelude Tvg

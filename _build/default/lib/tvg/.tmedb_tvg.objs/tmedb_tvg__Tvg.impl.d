@@ -1,0 +1,1 @@
+lib/tvg/tvg.ml: Array Format Interval Interval_set List Partition Tmedb_prelude

@@ -1,0 +1,1 @@
+lib/tvg/tvg.mli: Format Interval Interval_set Partition Tmedb_prelude

@@ -1,0 +1,61 @@
+(** Journeys in a TVG (paper Definition 3.1) and foremost-journey
+    computation (Bui-Xuan, Ferreira, Jarry [8]).
+
+    A journey is a sequence of hops [(i_l, j_l, t_l)] such that
+    consecutive hops chain ([j_l = i_{l+1}]), each edge is continuously
+    present during its traversal [\[t_l, t_l+τ\]], and departures are
+    separated by at least τ. *)
+
+type hop = { from_node : int; to_node : int; depart : float }
+type t = hop list
+(** Hops in order; the empty journey is the trivial journey at a node. *)
+
+val departure : t -> float option
+(** Starting time [t_1]. *)
+
+val arrival : tau:float -> t -> float option
+(** Ending time [t_k + τ]. *)
+
+val length : t -> int
+(** Topological length |J| (number of hops). *)
+
+val nodes : t -> int list
+(** All nodes visited, in order of first visit. *)
+
+val is_valid : Tvg.t -> tau:float -> t -> bool
+(** Checks the three conditions of Definition 3.1 plus no repeated node
+    (the paper only considers circle-free journeys). *)
+
+val is_non_stop : tau:float -> t -> bool
+(** Every relay forwards immediately: [t_{l+1} = t_l + τ]. *)
+
+val earliest_arrival : Tvg.t -> tau:float -> src:int -> t0:float -> float array
+(** Foremost-journey (earliest-arrival) times from [src] when the
+    packet originates at [t0]; [infinity] for unreachable nodes.
+    [src] itself gets [t0].  Runs a Dijkstra-style scan over contact
+    intervals. *)
+
+val foremost_journey : Tvg.t -> tau:float -> src:int -> t0:float -> dst:int -> t option
+(** A journey realising the earliest arrival at [dst], if reachable. *)
+
+val min_hop_arrivals : Tvg.t -> tau:float -> src:int -> t0:float -> float array array
+(** [a.(h).(j)]: earliest arrival at [j] using at most [h] hops
+    (h ranging over 0..n-1); the hop-bounded dynamic program behind
+    shortest journeys. *)
+
+val shortest_journey :
+  Tvg.t -> tau:float -> src:int -> t0:float -> dst:int -> deadline:float -> t option
+(** A journey with the fewest hops among those arriving by [deadline]
+    (Bui-Xuan et al.'s "shortest"); ties broken towards earlier
+    arrival.  [None] when [dst] is unreachable by the deadline. *)
+
+val fastest_journey : Tvg.t -> tau:float -> src:int -> t0:float -> dst:int -> t option
+(** A journey minimising elapsed time (arrival − departure) over all
+    departures at or after [t0] (Bui-Xuan et al.'s "fastest").
+    Candidate departures are the starts of the source's contacts —
+    delaying into a contact never shortens the elapsed time. *)
+
+val duration : tau:float -> t -> float option
+(** arrival − departure of a non-empty journey. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+open Tmedb_prelude
+
+type t = { span : Interval.t; points : float array }
+
+let make ~span pts =
+  let lo = span.Interval.lo and hi = span.Interval.hi in
+  let inside = List.filter (fun p -> lo <= p && p <= hi) pts in
+  let all = List.sort_uniq Float.compare (lo :: hi :: inside) in
+  { span; points = Array.of_list all }
+
+let trivial ~span = make ~span []
+let span t = t.span
+let points t = t.points
+let cardinal t = Array.length t.points - 1
+
+let intervals t =
+  let rec build i acc =
+    if i >= Array.length t.points - 1 then List.rev acc
+    else build (i + 1) (Interval.make ~lo:t.points.(i) ~hi:t.points.(i + 1) :: acc)
+  in
+  build 0 []
+
+(* Binary search: largest index k with points.(k) <= x. *)
+let locate t x =
+  let n = Array.length t.points in
+  if x < t.points.(0) || x >= t.points.(n - 1) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.points.(mid) <= x then lo := mid else hi := mid
+    done;
+    Some !lo
+  end
+
+let interval_containing t x =
+  match locate t x with
+  | None -> None
+  | Some k -> Some (Interval.make ~lo:t.points.(k) ~hi:t.points.(k + 1))
+
+let start_of_interval t x =
+  match locate t x with None -> None | Some k -> Some t.points.(k)
+
+let combine a b =
+  if not (Interval.equal a.span b.span) then invalid_arg "Partition.combine: span mismatch";
+  make ~span:a.span (Array.to_list a.points @ Array.to_list b.points)
+
+let combine_all ~span parts = List.fold_left combine (trivial ~span) parts
+
+let refines a b =
+  Array.for_all (fun p -> Array.exists (fun q -> Float.equal p q) a.points) b.points
+
+let equal a b =
+  Interval.equal a.span b.span
+  && Array.length a.points = Array.length b.points
+  && Array.for_all2 Float.equal a.points b.points
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    t.points

@@ -1,0 +1,47 @@
+(** Partitions of a time span (paper Definition 5.1).
+
+    A partition of span [\[lo, hi\]] is a finite increasing sequence of
+    time points [lo = t0 < t1 < ... < tm = hi]; its intervals are the
+    half-open [\[tk, tk+1)].  Adjacent partitions, status partitions and
+    discrete time partitions (paper Section V) are all values of this
+    type; [combine] implements the ∪ of Equation (8). *)
+
+open Tmedb_prelude
+
+type t
+
+val make : span:Interval.t -> float list -> t
+(** Partition from interior (or boundary) points; the span endpoints
+    are always included, duplicates and out-of-span points dropped. *)
+
+val trivial : span:Interval.t -> t
+(** The two-point partition {lo, hi}. *)
+
+val span : t -> Interval.t
+val points : t -> float array
+(** The increasing sequence [t0 ... tm] (length = cardinal + 1... i.e.
+    number of points). *)
+
+val cardinal : t -> int
+(** Number of intervals, i.e. [Array.length (points t) - 1]. *)
+
+val intervals : t -> Interval.t list
+
+val interval_containing : t -> float -> Interval.t option
+(** The partition interval [\[tk, tk+1)] containing the instant (binary
+    search); [None] outside the span (the final point [hi] belongs to
+    no interval). *)
+
+val start_of_interval : t -> float -> float option
+(** Left endpoint [tk] of the interval containing the instant — the
+    "earliest equivalent time" used by the ET-law (Prop. 5.1). *)
+
+val combine : t -> t -> t
+(** Union of point sets; both spans must coincide. *)
+
+val combine_all : span:Interval.t -> t list -> t
+val refines : t -> t -> bool
+(** [refines a b]: every point of [b] is a point of [a]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

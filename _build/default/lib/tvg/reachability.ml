@@ -1,0 +1,19 @@
+open Tmedb_prelude
+
+let reachable_set g ~tau ~src ~t0 ~deadline =
+  let arrivals = Journey.earliest_arrival g ~tau ~src ~t0 in
+  let set = Bitset.create (Tvg.n g) in
+  Array.iteri (fun i a -> if a <= deadline then Bitset.set set i) arrivals;
+  set
+
+let is_broadcastable g ~tau ~src ~t0 ~deadline =
+  Bitset.cardinal (reachable_set g ~tau ~src ~t0 ~deadline) = Tvg.n g
+
+let reachability_matrix g ~tau ~t0 ~deadline =
+  Array.init (Tvg.n g) (fun i ->
+      let arrivals = Journey.earliest_arrival g ~tau ~src:i ~t0 in
+      Array.map (fun a -> a <= deadline) arrivals)
+
+let broadcast_completion_time g ~tau ~src ~t0 =
+  let arrivals = Journey.earliest_arrival g ~tau ~src ~t0 in
+  Array.fold_left Float.max t0 arrivals

@@ -1,0 +1,22 @@
+(** Temporal reachability (Whitbeck et al. [10], used here to pre-check
+    TMEDB instance feasibility: condition (ii) of the problem requires
+    every node to be journey-reachable from the source by the
+    deadline). *)
+
+open Tmedb_prelude
+
+val reachable_set : Tvg.t -> tau:float -> src:int -> t0:float -> deadline:float -> Bitset.t
+(** Nodes whose earliest arrival from [src] (packet born at [t0]) is at
+    most [deadline]. *)
+
+val is_broadcastable : Tvg.t -> tau:float -> src:int -> t0:float -> deadline:float -> bool
+(** Every node reachable by the deadline. *)
+
+val reachability_matrix : Tvg.t -> tau:float -> t0:float -> deadline:float -> bool array array
+(** [m.(i).(j)]: j reachable from i.  Row [i] computed by one
+    earliest-arrival scan. *)
+
+val broadcast_completion_time : Tvg.t -> tau:float -> src:int -> t0:float -> float
+(** Earliest time by which all nodes can have received a packet born at
+    [t0] at [src] (infinity if some node is never reached): the lower
+    bound that any feasible TMEDB deadline must exceed. *)

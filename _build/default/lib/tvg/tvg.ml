@@ -1,0 +1,98 @@
+open Tmedb_prelude
+
+(* Presence sets are stored once per unordered pair in a flat upper
+   triangle: index of (i, j) with i < j. *)
+type t = { n : int; span : Interval.t; presence : Interval_set.t array }
+
+let tri_index n i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  (i * (2 * n - i - 1) / 2) + (j - i - 1)
+
+let create ~n ~span =
+  if n <= 0 then invalid_arg "Tvg.create: need n > 0";
+  { n; span; presence = Array.make (n * (n - 1) / 2) Interval_set.empty }
+
+let n t = t.n
+let span t = t.span
+
+let check_pair t i j op =
+  if i < 0 || j < 0 || i >= t.n || j >= t.n then invalid_arg ("Tvg." ^ op ^ ": node out of range");
+  if i = j then invalid_arg ("Tvg." ^ op ^ ": self-loop")
+
+let add_presence t i j iv =
+  check_pair t i j "add_presence";
+  if not (Interval.contains t.span iv) then
+    invalid_arg "Tvg.add_presence: interval outside the time span";
+  let presence = Array.copy t.presence in
+  let k = tri_index t.n i j in
+  presence.(k) <- Interval_set.add presence.(k) iv;
+  { t with presence }
+
+let of_presences ~n ~span entries =
+  List.fold_left (fun g (i, j, iv) -> add_presence g i j iv) (create ~n ~span) entries
+
+let presence t i j =
+  if i = j then Interval_set.empty
+  else begin
+    check_pair t i j "presence";
+    t.presence.(tri_index t.n i j)
+  end
+
+let present t i j time = Interval_set.mem (presence t i j) time
+
+let rho_tau t ~tau i j time =
+  if tau < 0. then invalid_arg "Tvg.rho_tau: negative tau";
+  match Interval_set.covering (presence t i j) time with
+  | None -> false
+  | Some iv -> time +. tau < iv.Interval.hi
+
+let neighbors_at t ~tau i time =
+  let acc = ref [] in
+  for j = t.n - 1 downto 0 do
+    if j <> i && rho_tau t ~tau i j time then acc := j :: !acc
+  done;
+  !acc
+
+let degree_at t ~tau i time = List.length (neighbors_at t ~tau i time)
+
+let edge_pairs t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    for j = t.n - 1 downto i + 1 do
+      if not (Interval_set.is_empty t.presence.(tri_index t.n i j)) then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let pair_partition t i j =
+  check_pair t i j "pair_partition";
+  Partition.make ~span:t.span (Interval_set.boundaries (presence t i j))
+
+let adjacent_partition t i =
+  let pts = ref [] in
+  for j = 0 to t.n - 1 do
+    if j <> i then pts := Interval_set.boundaries (presence t i j) @ !pts
+  done;
+  Partition.make ~span:t.span !pts
+
+let all_adjacent_partitions t = Array.init t.n (adjacent_partition t)
+
+let average_degree_over t ~window =
+  let clip set = Interval_set.inter set (Interval_set.single window) in
+  let total =
+    Array.fold_left (fun acc set -> acc +. Interval_set.total_length (clip set)) 0. t.presence
+  in
+  2. *. total /. (float_of_int t.n *. Interval.length window)
+
+let restrict t ~span:sub =
+  if not (Interval.contains t.span sub) then invalid_arg "Tvg.restrict: span not contained";
+  let clip set = Interval_set.inter set (Interval_set.single sub) in
+  { n = t.n; span = sub; presence = Array.map clip t.presence }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>TVG n=%d span=%a@," t.n Interval.pp t.span;
+  List.iter
+    (fun (i, j) ->
+      Format.fprintf ppf "  %d--%d: %a@," i j Interval_set.pp (presence t i j))
+    (edge_pairs t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Deterministic time-varying graphs (paper Section III-A).
+
+    A TVG is a node set [0..n-1], a time span, and for every unordered
+    node pair a presence set: the union of intervals during which the
+    edge exists (the deterministic presence function ρ).  The edge
+    traversal latency ζ is the uniform constant τ, carried by the
+    algorithms rather than the graph. *)
+
+open Tmedb_prelude
+
+type t
+
+val create : n:int -> span:Interval.t -> t
+(** Edgeless TVG.  @raise Invalid_argument if [n <= 0]. *)
+
+val n : t -> int
+val span : t -> Interval.t
+
+val add_presence : t -> int -> int -> Interval.t -> t
+(** Functional update: edge [i--j] additionally present during the
+    interval.  @raise Invalid_argument on [i = j] or out-of-range ids. *)
+
+val of_presences : n:int -> span:Interval.t -> (int * int * Interval.t) list -> t
+
+val presence : t -> int -> int -> Interval_set.t
+(** Presence set of the unordered pair (empty set for [i = j]). *)
+
+val present : t -> int -> int -> float -> bool
+(** ρ(e_ij, t) = 1. *)
+
+val rho_tau : t -> tau:float -> int -> int -> float -> bool
+(** Paper's ρ_τ: the edge is continuously present on [\[t, t+τ\]], i.e.
+    a transmission started at [t] completes. *)
+
+val neighbors_at : t -> tau:float -> int -> float -> int list
+(** Nodes [j] with [rho_tau i j t], ascending. *)
+
+val degree_at : t -> tau:float -> int -> float -> int
+
+val edge_pairs : t -> (int * int) list
+(** Unordered pairs with non-empty presence, [i < j]. *)
+
+val pair_partition : t -> int -> int -> Partition.t
+(** P^ad_{i,j}: boundaries where the edge appears/disappears. *)
+
+val adjacent_partition : t -> int -> Partition.t
+(** P^ad_i = ∪_j P^ad_{i,j} (Equation 9): within each interval the set
+    of nodes connected to [i] is constant. *)
+
+val all_adjacent_partitions : t -> Partition.t array
+
+val average_degree_over : t -> window:Interval.t -> float
+(** Time-averaged mean node degree over the window (Fig. 7(b)):
+    (2 Σ_{i<j} |presence_ij ∩ window|) / (n |window|). *)
+
+val restrict : t -> span:Interval.t -> t
+(** Sub-TVG clipped to the given span (new time origin is kept
+    absolute).  @raise Invalid_argument if the span is not contained in
+    the original. *)
+
+val pp : Format.formatter -> t -> unit

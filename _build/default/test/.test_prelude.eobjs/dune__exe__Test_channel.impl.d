@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Ed_function Float Format Gen List Phy Printf QCheck QCheck_alcotest Specfun Tmedb_channel

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Experiment Float List Printf Tmedb Tmedb_prelude Tmedb_trace

@@ -1,0 +1,1 @@
+test/test_nlp.ml: Alcotest Array Bisect Float Nlp Numdiff Printf Projgrad QCheck QCheck_alcotest Tmedb_nlp

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Bitset Dist Dsu Float Format Fun Futil Gen Int Interval Interval_set List Pqueue QCheck QCheck_alcotest Rng Stats Tmedb_prelude

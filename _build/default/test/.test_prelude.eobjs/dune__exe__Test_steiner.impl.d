@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Arborescence Array Digraph Dijkstra Dst Float Futil Int List QCheck QCheck_alcotest Rng Tmedb_prelude Tmedb_steiner

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Contact Filename Hashtbl Interval List Mobility Option QCheck QCheck_alcotest Rng Synth Sys Tmedb_prelude Tmedb_trace Tmedb_tvg Trace

@@ -1,0 +1,1 @@
+test/test_tvg.ml: Alcotest Array Bitset Float Interval Interval_set Journey List Option Partition QCheck QCheck_alcotest Reachability Rng Tmedb_prelude Tmedb_tvg Tvg

@@ -1,0 +1,308 @@
+(* Tests for tmedb_channel: PHY parameters, special functions and the
+   ED-functions of paper Section III-C (Property 3.1, Equations 2 and
+   5, the Corollary 4.2 threshold identities). *)
+
+open Tmedb_channel
+
+let check_bool = Alcotest.(check bool)
+let close ?(tol = 1e-9) msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.12g vs %.12g)" msg a b) true
+    (Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b)))
+
+(* ------------------------------------------------------------------ *)
+(* Phy *)
+
+let test_phy_defaults () =
+  let p = Phy.default in
+  close "noise power" (4.32e-21 *. 1e6) (Phy.noise_power p);
+  close "gamma linear" (10. ** 2.59) (Phy.gamma_th p);
+  check_bool "eps" true (p.Phy.eps = 0.01)
+
+let test_phy_min_cost_scales () =
+  let p = Phy.default in
+  (* alpha = 2: doubling distance quadruples the cost. *)
+  close "quadratic path loss" (4. *. Phy.min_cost p ~dist:10.) (Phy.min_cost p ~dist:20.)
+
+let test_phy_normalized_energy () =
+  let p = Phy.default in
+  (* Normalised energy of the min cost for d is exactly d^alpha. *)
+  close "d^2" 100. (Phy.normalized_energy p (Phy.min_cost p ~dist:10.))
+
+let test_phy_fading_reference () =
+  let p = Phy.default in
+  let w0 = Phy.fading_reference_cost p ~dist:10. in
+  (* By construction the Rayleigh failure at w0 is exactly eps. *)
+  let ed = Ed_function.rayleigh ~beta:(Phy.beta p ~dist:10.) in
+  close ~tol:1e-12 "failure at w0 = eps" p.Phy.eps (Ed_function.failure_prob ed ~w:w0)
+
+let test_phy_validation () =
+  Alcotest.check_raises "bad eps" (Invalid_argument "Phy.make: eps outside (0,1)") (fun () ->
+      ignore (Phy.make ~eps:1.5 ()));
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Phy.make: w_max <= w_min") (fun () ->
+      ignore (Phy.make ~w_min:2. ~w_max:1. ()))
+
+let test_phy_in_cost_set () =
+  let p = Phy.make ~w_min:1. ~w_max:2. () in
+  check_bool "inside" true (Phy.in_cost_set p 1.5);
+  check_bool "below" false (Phy.in_cost_set p 0.5);
+  check_bool "above" false (Phy.in_cost_set p 2.5)
+
+(* ------------------------------------------------------------------ *)
+(* Specfun *)
+
+let test_ln_gamma_known () =
+  close "Γ(1)=1" 0. (Specfun.ln_gamma 1.);
+  close "Γ(2)=1" 0. (Specfun.ln_gamma 2.);
+  close "Γ(5)=24" (log 24.) (Specfun.ln_gamma 5.);
+  close ~tol:1e-12 "Γ(1/2)=√π" (0.5 *. log Float.pi) (Specfun.ln_gamma 0.5)
+
+let test_gammp_exponential () =
+  (* P(1, x) = 1 - e^{-x}. *)
+  List.iter
+    (fun x -> close ~tol:1e-10 "P(1,x)" (1. -. exp (-.x)) (Specfun.gammp ~a:1. ~x))
+    [ 0.1; 0.5; 1.; 2.; 5.; 10. ]
+
+let test_gammp_erlang2 () =
+  (* P(2, x) = 1 - e^{-x}(1 + x). *)
+  List.iter
+    (fun x -> close ~tol:1e-10 "P(2,x)" (1. -. (exp (-.x) *. (1. +. x))) (Specfun.gammp ~a:2. ~x))
+    [ 0.3; 1.; 3.; 8. ]
+
+let test_gammp_limits () =
+  close "P(a,0)=0" 0. (Specfun.gammp ~a:2.5 ~x:0.);
+  check_bool "P(a,large)→1" true (Specfun.gammp ~a:2.5 ~x:100. > 0.999999);
+  close ~tol:1e-12 "P+Q=1" 1. (Specfun.gammp ~a:3. ~x:2. +. Specfun.gammq ~a:3. ~x:2.)
+
+let test_erf_known_values () =
+  close "erf(0)" 0. (Specfun.erf 0.);
+  close ~tol:1e-7 "erf(1)" 0.8427007929 (Specfun.erf 1.);
+  close ~tol:1e-7 "erf(-1)" (-0.8427007929) (Specfun.erf (-1.));
+  check_bool "erf(3) ~ 1" true (Specfun.erf 3. > 0.9999)
+
+let test_normal_cdf () =
+  close "phi(0)" 0.5 (Specfun.normal_cdf 0.);
+  close ~tol:1e-6 "phi(1.96)" 0.9750021 (Specfun.normal_cdf 1.96);
+  close ~tol:1e-6 "symmetry" 1.
+    (Specfun.normal_cdf 0.7 +. Specfun.normal_cdf (-0.7))
+
+let test_gammp_monotone () =
+  let prev = ref (-1.) in
+  for k = 0 to 100 do
+    let x = float_of_int k /. 10. in
+    let v = Specfun.gammp ~a:1.7 ~x in
+    check_bool "monotone" true (v >= !prev -. 1e-12);
+    prev := v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ed_function *)
+
+let test_step_threshold () =
+  let ed = Ed_function.step ~w_th:2. in
+  close "below fails" 1. (Ed_function.failure_prob ed ~w:1.99);
+  close "at threshold succeeds" 0. (Ed_function.failure_prob ed ~w:2.);
+  close "above succeeds" 0. (Ed_function.failure_prob ed ~w:5.)
+
+let test_rayleigh_formula () =
+  let ed = Ed_function.rayleigh ~beta:3. in
+  close ~tol:1e-12 "eq 5" (1. -. exp (-3. /. 2.)) (Ed_function.failure_prob ed ~w:2.)
+
+let test_zero_cost_convention () =
+  (* Footnote 2: φ(0) = 1 for every variant. *)
+  List.iter
+    (fun ed -> close "phi(0)=1" 1. (Ed_function.failure_prob ed ~w:0.))
+    [ Ed_function.step ~w_th:1.; Ed_function.rayleigh ~beta:1.;
+      Ed_function.nakagami ~beta:1. ~m:2.; Ed_function.Absent ]
+
+let test_absent_always_fails () =
+  close "absent" 1. (Ed_function.failure_prob Ed_function.Absent ~w:1e9)
+
+let test_nakagami_m1_is_rayleigh () =
+  let ray = Ed_function.rayleigh ~beta:2. in
+  let nak = Ed_function.nakagami ~beta:2. ~m:1. in
+  List.iter
+    (fun w ->
+      close ~tol:1e-9 "m=1 = Rayleigh"
+        (Ed_function.failure_prob ray ~w)
+        (Ed_function.failure_prob nak ~w))
+    [ 0.5; 1.; 2.; 8.; 50. ]
+
+let test_nakagami_sharper_with_m () =
+  (* Larger m = less fading = sharper transition: at low cost failure is
+     higher, at high cost lower. *)
+  let m1 = Ed_function.nakagami ~beta:1. ~m:1. in
+  let m4 = Ed_function.nakagami ~beta:1. ~m:4. in
+  check_bool "low cost worse" true
+    (Ed_function.failure_prob m4 ~w:0.3 > Ed_function.failure_prob m1 ~w:0.3);
+  check_bool "high cost better" true
+    (Ed_function.failure_prob m4 ~w:10. < Ed_function.failure_prob m1 ~w:10.)
+
+let test_rician_moment_matching () =
+  (* K = 0 is Rayleigh. *)
+  let r0 = Ed_function.rician ~beta:1.5 ~k:0. in
+  let ray = Ed_function.rayleigh ~beta:1.5 in
+  List.iter
+    (fun w ->
+      close ~tol:1e-9 "K=0 = Rayleigh"
+        (Ed_function.failure_prob ray ~w)
+        (Ed_function.failure_prob r0 ~w))
+    [ 0.5; 1.; 4. ]
+
+let test_cost_for_failure_rayleigh () =
+  let ed = Ed_function.rayleigh ~beta:2. in
+  match Ed_function.cost_for_failure ed ~target:0.01 with
+  | None -> Alcotest.fail "expected a cost"
+  | Some w ->
+      close ~tol:1e-12 "inverse exact" (2. /. log (1. /. 0.99)) w;
+      close ~tol:1e-12 "achieves target" 0.01 (Ed_function.failure_prob ed ~w)
+
+let test_cost_for_failure_step () =
+  let ed = Ed_function.step ~w_th:3. in
+  Alcotest.(check (option (float 1e-12))) "step inverse" (Some 3.)
+    (Ed_function.cost_for_failure ed ~target:0.5)
+
+let test_cost_for_failure_nakagami () =
+  let ed = Ed_function.nakagami ~beta:2. ~m:3. in
+  match Ed_function.cost_for_failure ed ~target:0.01 with
+  | None -> Alcotest.fail "expected a cost"
+  | Some w ->
+      check_bool "achieves target" true (Ed_function.failure_prob ed ~w <= 0.01 +. 1e-9);
+      (* Minimality: 1% less power misses the target. *)
+      check_bool "minimal" true (Ed_function.failure_prob ed ~w:(0.99 *. w) > 0.01)
+
+let test_lognormal_median () =
+  (* At w = beta the shadowing margin is zero: failure 1/2. *)
+  let ed = Ed_function.lognormal ~beta:2. ~sigma:1.5 in
+  close ~tol:1e-9 "phi(beta) = 1/2" 0.5 (Ed_function.failure_prob ed ~w:2.)
+
+let test_lognormal_sigma_widens () =
+  (* Larger shadowing spread needs more margin for the same target. *)
+  let cost sigma =
+    match
+      Ed_function.cost_for_failure (Ed_function.lognormal ~beta:1. ~sigma) ~target:0.01
+    with
+    | Some w -> w
+    | None -> Alcotest.fail "expected cost"
+  in
+  check_bool "sigma 2 dearer than sigma 1" true (cost 2. > cost 1.)
+
+let test_lognormal_inverse () =
+  let ed = Ed_function.lognormal ~beta:3. ~sigma:1. in
+  match Ed_function.cost_for_failure ed ~target:0.05 with
+  | None -> Alcotest.fail "expected cost"
+  | Some w ->
+      check_bool "achieves target" true (Ed_function.failure_prob ed ~w <= 0.05 +. 1e-9);
+      (* Analytic inverse: w = beta * exp(-sigma * Phi^-1(target));
+         Phi^-1(0.05) = -1.6448536... *)
+      close ~tol:1e-6 "matches closed form" (3. *. exp 1.6448536269514722) w
+
+let test_cost_for_failure_absent () =
+  check_bool "absent impossible" true
+    (Ed_function.cost_for_failure Ed_function.Absent ~target:0.5 = None)
+
+let test_property_3_1 () =
+  let costs = Array.init 200 (fun i -> float_of_int i *. 0.1) in
+  List.iter
+    (fun ed -> check_bool "Property 3.1" true (Ed_function.satisfies_property_3_1 ed ~costs))
+    [ Ed_function.step ~w_th:5.; Ed_function.rayleigh ~beta:2.;
+      Ed_function.nakagami ~beta:2. ~m:3.; Ed_function.lognormal ~beta:2. ~sigma:1.;
+      Ed_function.Absent ]
+
+let test_of_distance () =
+  let p = Phy.default in
+  (match Ed_function.of_distance p `Static ~dist:10. with
+  | Ed_function.Step { w_th } -> close "static threshold" (Phy.min_cost p ~dist:10.) w_th
+  | _ -> Alcotest.fail "expected step");
+  (match Ed_function.of_distance p `Rayleigh ~dist:10. with
+  | Ed_function.Rayleigh { beta } -> close "beta" (Phy.beta p ~dist:10.) beta
+  | _ -> Alcotest.fail "expected rayleigh");
+  Alcotest.check_raises "bad distance"
+    (Invalid_argument "Ed_function.of_distance: non-positive distance") (fun () ->
+      ignore (Ed_function.of_distance p `Static ~dist:0.))
+
+(* Property: failure_prob is within [0,1] and non-increasing for random
+   parameters; cost_for_failure is a true (approximate) inverse. *)
+let ed_gen =
+  let open QCheck in
+  make
+    ~print:(fun ed -> Format.asprintf "%a" Ed_function.pp ed)
+    Gen.(
+      oneof
+        [
+          map (fun b -> Ed_function.rayleigh ~beta:(0.1 +. Float.abs b)) (float_bound_exclusive 50.);
+          map2
+            (fun b m -> Ed_function.nakagami ~beta:(0.1 +. Float.abs b) ~m:(0.5 +. Float.abs m))
+            (float_bound_exclusive 50.) (float_bound_exclusive 5.);
+          map (fun w -> Ed_function.step ~w_th:(Float.abs w)) (float_bound_exclusive 50.);
+          map2
+            (fun b s ->
+              Ed_function.lognormal ~beta:(0.1 +. Float.abs b) ~sigma:(0.2 +. Float.abs s))
+            (float_bound_exclusive 50.) (float_bound_exclusive 3.);
+        ])
+
+let prop_failure_in_unit =
+  QCheck.Test.make ~name:"failure_prob in [0,1]" ~count:300
+    (QCheck.pair ed_gen (QCheck.float_range 0. 100.)) (fun (ed, w) ->
+      let p = Ed_function.failure_prob ed ~w in
+      0. <= p && p <= 1.)
+
+let prop_failure_monotone =
+  QCheck.Test.make ~name:"failure_prob non-increasing" ~count:300
+    (QCheck.triple ed_gen (QCheck.float_range 0.01 50.) (QCheck.float_range 0.01 50.))
+    (fun (ed, w1, w2) ->
+      let lo = Float.min w1 w2 and hi = Float.max w1 w2 in
+      Ed_function.failure_prob ed ~w:hi <= Ed_function.failure_prob ed ~w:lo +. 1e-9)
+
+let prop_cost_inverse =
+  QCheck.Test.make ~name:"cost_for_failure achieves its target" ~count:200
+    (QCheck.pair ed_gen (QCheck.float_range 0.001 0.5)) (fun (ed, target) ->
+      match Ed_function.cost_for_failure ed ~target with
+      | None -> true
+      | Some w -> Ed_function.failure_prob ed ~w <= target +. 1e-6)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "channel"
+    [
+      ( "phy",
+        [
+          tc "defaults" test_phy_defaults;
+          tc "min cost scales" test_phy_min_cost_scales;
+          tc "normalized energy" test_phy_normalized_energy;
+          tc "fading reference" test_phy_fading_reference;
+          tc "validation" test_phy_validation;
+          tc "in cost set" test_phy_in_cost_set;
+        ] );
+      ( "specfun",
+        [
+          tc "ln_gamma known" test_ln_gamma_known;
+          tc "gammp exponential" test_gammp_exponential;
+          tc "gammp erlang2" test_gammp_erlang2;
+          tc "gammp limits" test_gammp_limits;
+          tc "gammp monotone" test_gammp_monotone;
+          tc "erf known values" test_erf_known_values;
+          tc "normal cdf" test_normal_cdf;
+        ] );
+      ( "ed_function",
+        [
+          tc "step threshold" test_step_threshold;
+          tc "rayleigh formula" test_rayleigh_formula;
+          tc "zero-cost convention" test_zero_cost_convention;
+          tc "absent always fails" test_absent_always_fails;
+          tc "nakagami m=1 = rayleigh" test_nakagami_m1_is_rayleigh;
+          tc "nakagami sharper with m" test_nakagami_sharper_with_m;
+          tc "rician moment matching" test_rician_moment_matching;
+          tc "cost inverse rayleigh" test_cost_for_failure_rayleigh;
+          tc "cost inverse step" test_cost_for_failure_step;
+          tc "cost inverse nakagami" test_cost_for_failure_nakagami;
+          tc "lognormal median" test_lognormal_median;
+          tc "lognormal sigma widens" test_lognormal_sigma_widens;
+          tc "lognormal inverse" test_lognormal_inverse;
+          tc "cost inverse absent" test_cost_for_failure_absent;
+          tc "property 3.1" test_property_3_1;
+          tc "of_distance" test_of_distance;
+          QCheck_alcotest.to_alcotest prop_failure_in_unit;
+          QCheck_alcotest.to_alcotest prop_failure_monotone;
+          QCheck_alcotest.to_alcotest prop_cost_inverse;
+        ] );
+    ]

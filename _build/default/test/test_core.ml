@@ -1,0 +1,1054 @@
+(* Tests for the tmedb core library: schedules, TMEDB instances,
+   feasibility (conditions i-iv), the auxiliary-graph reduction,
+   EEDCB / GREED / RAND, the FR pipeline with NLP energy allocation,
+   the Monte-Carlo simulator and metrics.
+
+   Includes the constructive checks of the paper's theory:
+   - the Set-Cover gadget of Theorem 4.1 with known optima,
+   - Theorem 5.2 (DTS equivalence): perturbing a feasible schedule
+     within its DTS intervals preserves feasibility, and ET-law
+     normalisation maps it back,
+   - Property 6.1 / Proposition 6.1 via the DCS-based algorithms. *)
+
+open Tmedb_prelude
+open Tmedb_channel
+open Tmedb_tveg
+open Tmedb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let close ?(tol = 1e-9) msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.10g vs %.10g)" msg a b) true
+    (Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b)))
+
+let iv lo hi = Interval.make ~lo ~hi
+let link lo hi dist = { Tveg.iv = iv lo hi; dist }
+let phy = Phy.default
+let tx relay time cost = { Schedule.relay; time; cost }
+
+(* The quickstart topology: known optimal normalized energy 1269. *)
+let quickstart_graph () =
+  Tveg.create ~n:5 ~span:(iv 0. 100.) ~tau:0.
+    [
+      (0, 1, link 0. 30. 10.);
+      (0, 2, link 0. 40. 30.);
+      (1, 3, link 20. 60. 15.);
+      (2, 4, link 35. 70. 12.);
+      (1, 4, link 50. 75. 40.);
+    ]
+
+let quickstart_problem ?(channel = `Static) ?(deadline = 80.) () =
+  Problem.make ~graph:(quickstart_graph ()) ~phy ~channel ~source:0 ~deadline ()
+
+let w_for d = Phy.min_cost phy ~dist:d
+
+(* Random reachable-ish instances shared by several property tests. *)
+let random_instance seed =
+  let rng = Rng.create seed in
+  let n = 4 + Rng.int rng 4 in
+  let entries = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      for _ = 0 to Rng.int rng 2 do
+        let lo = Rng.float rng 80. in
+        let hi = Float.min 100. (lo +. 5. +. Rng.float rng 20.) in
+        if hi > lo then begin
+          let d = 5. +. Rng.float rng 45. in
+          entries := (i, j, link lo hi d) :: !entries
+        end
+      done
+    done
+  done;
+  let g = Tveg.create ~n ~span:(iv 0. 100.) ~tau:0. !entries in
+  Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:100. ()
+
+(* ------------------------------------------------------------------ *)
+(* Schedule *)
+
+let test_schedule_sorted_and_cost () =
+  let s = Schedule.of_transmissions [ tx 1 5. 2.; tx 0 1. 1.; tx 2 3. 4. ] in
+  Alcotest.(check (list (float 0.))) "times sorted" [ 1.; 3.; 5. ] (Schedule.times s);
+  close "total" 7. (Schedule.total_cost s);
+  check_int "count" 3 (Schedule.num_transmissions s);
+  Alcotest.(check (option (float 0.))) "latest" (Some 5.) (Schedule.latest_time s)
+
+let test_schedule_validation () =
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Schedule.of_transmissions: negative cost") (fun () ->
+      ignore (Schedule.of_transmissions [ tx 0 1. (-1.) ]))
+
+let test_schedule_map_costs () =
+  let s = Schedule.of_transmissions [ tx 0 1. 1.; tx 1 2. 2. ] in
+  let s' = Schedule.map_costs s (fun k _ -> float_of_int (10 * (k + 1))) in
+  Alcotest.(check (list (float 0.))) "rewritten" [ 10.; 20. ] (Schedule.costs s')
+
+let test_schedule_empty () =
+  close "empty cost" 0. (Schedule.total_cost Schedule.empty);
+  Alcotest.(check (option (float 0.))) "no latest" None (Schedule.latest_time Schedule.empty)
+
+let test_schedule_equal () =
+  let a = Schedule.of_transmissions [ tx 0 1. 1.; tx 1 2. 2. ] in
+  let b = Schedule.of_transmissions [ tx 1 2. 2.; tx 0 1. 1. ] in
+  check_bool "order independent" true (Schedule.equal a b)
+
+let test_schedule_csv_roundtrip () =
+  let s = Schedule.of_transmissions [ tx 0 0.1 1.513e-9; tx 3 17.25 4.2e-10 ] in
+  (match Schedule.of_csv (Schedule.to_csv s) with
+  | Ok s' -> check_bool "roundtrip" true (Schedule.equal s s')
+  | Error e -> Alcotest.fail e);
+  (match Schedule.of_csv "0,1.5,notanumber\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Schedule.of_csv "# only a comment\n\n" with
+  | Ok s' -> check_int "empty ok" 0 (Schedule.num_transmissions s')
+  | Error e -> Alcotest.fail e
+
+let test_schedule_save_load () =
+  let s = Schedule.of_transmissions [ tx 0 0. (w_for 30.); tx 1 20. (w_for 15.) ] in
+  let path = Filename.temp_file "tmedb" ".sched" in
+  Schedule.save s ~path;
+  (match Schedule.load ~path with
+  | Ok s' -> check_bool "same" true (Schedule.equal s s')
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Problem *)
+
+let test_problem_validation () =
+  Alcotest.check_raises "bad source" (Invalid_argument "Problem.make: source out of range")
+    (fun () ->
+      ignore (Problem.make ~graph:(quickstart_graph ()) ~phy ~channel:`Static ~source:9 ~deadline:50. ()));
+  Alcotest.check_raises "bad deadline"
+    (Invalid_argument "Problem.make: deadline outside the graph span") (fun () ->
+      ignore
+        (Problem.make ~graph:(quickstart_graph ()) ~phy ~channel:`Static ~source:0 ~deadline:101. ()))
+
+let test_problem_reachability () =
+  check_bool "reachable at 80" true (Problem.is_reachable (quickstart_problem ()));
+  (* By t=30 node 4 cannot have the packet (2--4 opens at 35). *)
+  check_bool "unreachable at 30" false (Problem.is_reachable (quickstart_problem ~deadline:30. ()));
+  close "completion bound" 35. (Problem.completion_lower_bound (quickstart_problem ()))
+
+let test_gadget_structure () =
+  let instance, source_cost, element_cost =
+    Problem.set_cover_gadget ~universe:3 ~sets:[ [ 0; 1 ]; [ 1; 2 ] ] ()
+  in
+  check_int "nodes" 6 (Problem.n instance);
+  check_bool "reachable" true (Problem.is_reachable instance);
+  check_bool "costs ordered" true (source_cost < element_cost)
+
+let test_gadget_validation () =
+  Alcotest.check_raises "uncovered universe"
+    (Invalid_argument "Problem.set_cover_gadget: universe not covered by the union of sets")
+    (fun () -> ignore (Problem.set_cover_gadget ~universe:3 ~sets:[ [ 0; 1 ] ] ()))
+
+(* Theorem 4.1 gadget, k* = 1: one set covers the universe. *)
+let test_gadget_optimal_single_set () =
+  let instance, source_cost, element_cost =
+    Problem.set_cover_gadget ~universe:3 ~sets:[ [ 0; 1 ]; [ 0; 1; 2 ]; [ 2 ] ] ()
+  in
+  let r = Eedcb.run instance in
+  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
+  close ~tol:1e-9 "cost = source + 1 element set" (source_cost +. element_cost)
+    (Schedule.total_cost r.Eedcb.schedule)
+
+(* k* = 2: disjoint halves. *)
+let test_gadget_optimal_two_sets () =
+  let instance, source_cost, element_cost =
+    Problem.set_cover_gadget ~universe:4 ~sets:[ [ 0; 1 ]; [ 2; 3 ]; [ 1; 2 ] ] ()
+  in
+  let r = Eedcb.run instance in
+  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
+  close ~tol:1e-9 "cost = source + 2 element sets"
+    (source_cost +. (2. *. element_cost))
+    (Schedule.total_cost r.Eedcb.schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility *)
+
+let optimal_quickstart_schedule () =
+  Schedule.of_transmissions [ tx 0 0. (w_for 30.); tx 1 20. (w_for 15.); tx 2 35. (w_for 12.) ]
+
+let test_feasibility_valid_schedule () =
+  let r = Feasibility.check (quickstart_problem ()) (optimal_quickstart_schedule ()) in
+  check_bool "feasible" true r.Feasibility.feasible;
+  Alcotest.(check (list int)) "nobody uninformed" [] r.Feasibility.uninformed;
+  close "delivery 1" 1. (Feasibility.delivery_ratio r);
+  (match r.Feasibility.informed_time.(4) with
+  | Some t -> close "node 4 informed at 35" 35. t
+  | None -> Alcotest.fail "node 4 must be informed")
+
+let test_feasibility_uninformed_relay () =
+  (* Node 1 relays before anyone told it anything. *)
+  let s = Schedule.of_transmissions [ tx 1 20. (w_for 15.) ] in
+  let r = Feasibility.check (quickstart_problem ()) s in
+  check_bool "relay flag" false r.Feasibility.relays_informed;
+  check_bool "infeasible" false r.Feasibility.feasible
+
+let test_feasibility_missing_node () =
+  (* Without 2 -> 4, node 4 stays uninformed. *)
+  let s = Schedule.of_transmissions [ tx 0 0. (w_for 30.); tx 1 20. (w_for 15.) ] in
+  let r = Feasibility.check (quickstart_problem ()) s in
+  check_bool "not all informed" false r.Feasibility.all_informed;
+  Alcotest.(check (list int)) "node 4 missing" [ 4 ] r.Feasibility.uninformed
+
+let test_feasibility_late_transmission () =
+  let s = Schedule.add (optimal_quickstart_schedule ()) (tx 1 90. (w_for 15.)) in
+  let r = Feasibility.check (quickstart_problem ()) s in
+  check_bool "deadline flag" false r.Feasibility.within_deadline
+
+let test_feasibility_budget () =
+  let p = Problem.make ~graph:(quickstart_graph ()) ~phy ~channel:`Static ~source:0 ~deadline:80.
+      ~budget:(w_for 30.) () in
+  let r = Feasibility.check p (optimal_quickstart_schedule ()) in
+  check_bool "over budget" false r.Feasibility.within_budget;
+  check_bool "infeasible" false r.Feasibility.feasible
+
+let test_feasibility_cost_out_of_range () =
+  let p = quickstart_problem () in
+  let s = Schedule.add (optimal_quickstart_schedule ()) (tx 0 1. (2. *. phy.Phy.w_max)) in
+  let r = Feasibility.check p s in
+  check_bool "cost range flag" false r.Feasibility.costs_in_range
+
+let test_feasibility_insufficient_power () =
+  (* Source transmits with only enough power for 10 m: node 2 (30 m)
+     misses it. *)
+  let s = Schedule.of_transmissions [ tx 0 0. (w_for 10.) ] in
+  let r = Feasibility.check (quickstart_problem ()) s in
+  check_bool "node 1 informed" true (r.Feasibility.informed_time.(1) <> None);
+  check_bool "node 2 not informed" true (r.Feasibility.informed_time.(2) = None)
+
+let test_feasibility_same_instant_chain () =
+  (* tau = 0: 0 -> 1 and 1 -> 3 at the same instant must chain
+     regardless of relay ids. *)
+  let g = Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (1, 2, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  let s = Schedule.of_transmissions [ tx 0 5. (w_for 10.); tx 1 5. (w_for 10.) ] in
+  let r = Feasibility.check p s in
+  check_bool "chained" true r.Feasibility.feasible
+
+let test_feasibility_fading_accumulates () =
+  (* Rayleigh: repeated transmissions multiply failure probabilities
+     (Eq. 6); enough repeats push p below eps. *)
+  let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Rayleigh ~source:0 ~deadline:10. () in
+  let beta = Phy.beta phy ~dist:10. in
+  (* One shot at w = beta fails with prob 1 - e^-1 ~ 0.63 > eps. *)
+  let one = Schedule.of_transmissions [ tx 0 1. beta ] in
+  let r1 = Feasibility.check p one in
+  check_bool "single shot insufficient" false r1.Feasibility.all_informed;
+  (* Eleven shots: (1 - e^-1)^11 ~ 0.0065 < 0.01 (ten gives 0.0102,
+     just above eps). *)
+  let eleven =
+    Schedule.of_transmissions (List.init 11 (fun k -> tx 0 (float_of_int k *. 0.5) beta))
+  in
+  let r11 = Feasibility.check p eleven in
+  check_bool "eleven shots inform" true r11.Feasibility.all_informed
+
+(* Theorem 5.2, constructive direction: shifting a feasible schedule's
+   times within their DTS/status intervals keeps it feasible, and the
+   ET-law normalisation yields an equal-cost feasible schedule. *)
+let test_dts_equivalence_perturbation () =
+  let p = quickstart_problem () in
+  let base = optimal_quickstart_schedule () in
+  check_bool "base feasible" true (Feasibility.check p base).Feasibility.feasible;
+  (* Perturb each transmission forward by 2 s: still inside the same
+     contact and after each relay's informed time. *)
+  let shifted =
+    Schedule.of_transmissions
+      (List.map
+         (fun t -> { t with Schedule.time = t.Schedule.time +. 2. })
+         (Schedule.transmissions base))
+  in
+  let r = Feasibility.check p shifted in
+  check_bool "shifted feasible" true r.Feasibility.feasible;
+  (* Normalise back with the ET law. *)
+  let dts = Problem.dts p in
+  let informed_time v = r.Feasibility.informed_time.(v) in
+  let normalized = Schedule.normalize_et shifted dts ~informed_time in
+  close "cost unchanged" (Schedule.total_cost shifted) (Schedule.total_cost normalized);
+  check_bool "normalized feasible" true (Feasibility.check p normalized).Feasibility.feasible;
+  (* Every normalised time is a DTS point of its relay. *)
+  List.iter
+    (fun t ->
+      check_bool "time on DTS" true
+        (Dts.index_of_point dts t.Schedule.relay t.Schedule.time <> None))
+    (Schedule.transmissions normalized)
+
+(* ------------------------------------------------------------------ *)
+(* Aux graph *)
+
+let test_aux_graph_shape () =
+  let p = quickstart_problem () in
+  let dts = Problem.dts p in
+  let aux = Aux_graph.build p dts in
+  check_int "wait vertices = DTS points" (Dts.total_points dts) (Aux_graph.num_wait_vertices aux);
+  check_bool "has level vertices" true (Aux_graph.num_level_vertices aux > 0);
+  check_int "terminals = n - 1" (Problem.n p - 1) (List.length aux.Aux_graph.terminals);
+  (match aux.Aux_graph.vertex.(aux.Aux_graph.source_vertex) with
+  | Aux_graph.Wait { node; point_idx; _ } ->
+      check_int "source node" 0 node;
+      check_int "first point" 0 point_idx
+  | Aux_graph.Level _ -> Alcotest.fail "source must be a wait vertex")
+
+let test_aux_graph_extract_roundtrip () =
+  (* Any Steiner tree over the aux graph extracts to a feasible
+     schedule whose cost is at most the tree cost (chains collapse to
+     the deepest level). *)
+  let p = quickstart_problem () in
+  let dts = Problem.dts p in
+  let aux = Aux_graph.build p dts in
+  let o =
+    Tmedb_steiner.Dst.solve ~level:2 aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex
+      ~terminals:aux.Aux_graph.terminals
+  in
+  check_bool "all terminals covered" true (o.Tmedb_steiner.Dst.uncovered = []);
+  let schedule = Aux_graph.extract_schedule aux o.Tmedb_steiner.Dst.tree in
+  check_bool "extracted feasible" true (Feasibility.check p schedule).Feasibility.feasible;
+  check_bool "schedule cost <= tree cost" true
+    (Schedule.total_cost schedule <= o.Tmedb_steiner.Dst.tree.Tmedb_steiner.Dst.cost +. 1e-18)
+
+let test_aux_graph_deadline_blocks_late_levels () =
+  (* With tau > 0, a transmission can only start if it finishes by the
+     deadline: points beyond deadline - tau get no level vertices. *)
+  let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:2. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:9. () in
+  let dts = Problem.dts p in
+  let aux = Aux_graph.build p dts in
+  Array.iter
+    (fun v ->
+      match v with
+      | Aux_graph.Level { time; _ } -> check_bool "level fits deadline" true (time +. 2. <= 9.)
+      | Aux_graph.Wait _ -> ())
+    aux.Aux_graph.vertex
+
+(* ------------------------------------------------------------------ *)
+(* EEDCB *)
+
+let test_eedcb_quickstart_optimal () =
+  let p = quickstart_problem () in
+  let r = Eedcb.run p in
+  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
+  close ~tol:1e-6 "known optimum 1269" 1269. (Metrics.normalized_energy p r.Eedcb.schedule);
+  Alcotest.(check (list int)) "everyone reached" [] r.Eedcb.unreached
+
+let test_eedcb_respects_deadline () =
+  (* Deadline 40: 2--4 [35,70) still allows completion; the returned
+     schedule must finish by 40. *)
+  let p = quickstart_problem ~deadline:40. () in
+  let r = Eedcb.run p in
+  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
+  (match Schedule.latest_time r.Eedcb.schedule with
+  | Some t -> check_bool "within deadline" true (t <= 40.)
+  | None -> Alcotest.fail "expected transmissions")
+
+let test_eedcb_unreachable_reported () =
+  let p = quickstart_problem ~deadline:30. () in
+  let r = Eedcb.run p in
+  check_bool "node 4 unreached" true (List.mem 4 r.Eedcb.unreached)
+
+let test_eedcb_level1_works () =
+  let p = quickstart_problem () in
+  let r = Eedcb.run ~level:1 p in
+  check_bool "level 1 feasible" true r.Eedcb.report.Feasibility.feasible
+
+let test_eedcb_positive_tau () =
+  (* Same topology with tau = 2: every hop takes 2 s, transmissions
+     must fit inside contacts and finish by the deadline. *)
+  let graph =
+    Tveg.create ~n:5 ~span:(iv 0. 100.) ~tau:2.
+      [
+        (0, 1, link 0. 30. 10.);
+        (0, 2, link 0. 40. 30.);
+        (1, 3, link 20. 60. 15.);
+        (2, 4, link 35. 70. 12.);
+        (1, 4, link 50. 75. 40.);
+      ]
+  in
+  let p = Problem.make ~graph ~phy ~channel:`Static ~source:0 ~deadline:80. () in
+  let r = Eedcb.run p in
+  check_bool "tau>0 feasible" true r.Eedcb.report.Feasibility.feasible;
+  (* Each scheduled transmission completes inside its contact. *)
+  List.iter
+    (fun t ->
+      let covered =
+        List.exists
+          (fun j -> Tveg.rho_tau graph t.Schedule.relay j t.Schedule.time)
+          (List.filter (fun j -> j <> t.Schedule.relay) [ 0; 1; 2; 3; 4 ])
+      in
+      check_bool "transmission fits a contact" true covered)
+    (Schedule.transmissions r.Eedcb.schedule)
+
+let test_eedcb_tau_too_large () =
+  (* tau = 50 exceeds every contact: nothing can ever be transmitted. *)
+  let graph = Tveg.create ~n:2 ~span:(iv 0. 100.) ~tau:50. [ (0, 1, link 0. 30. 10.) ] in
+  let p = Problem.make ~graph ~phy ~channel:`Static ~source:0 ~deadline:100. () in
+  let r = Eedcb.run p in
+  check_bool "node 1 unreached" true (List.mem 1 r.Eedcb.unreached)
+
+let test_eedcb_schedule_on_dts () =
+  (* Proposition 6.1 + Theorem 5.2: EEDCB's schedule lives on the DTS
+     and uses DCS costs. *)
+  let p = quickstart_problem () in
+  let dts = Problem.dts p in
+  let r = Eedcb.run p in
+  List.iter
+    (fun t ->
+      check_bool "time on DTS" true (Dts.index_of_point dts t.Schedule.relay t.Schedule.time <> None);
+      let levels = Dcs.at (quickstart_graph ()) ~phy ~channel:`Static ~node:t.Schedule.relay
+          ~time:t.Schedule.time in
+      check_bool "cost in DCS" true
+        (List.exists (fun l -> Futil.approx_eq l.Dcs.cost t.Schedule.cost) levels))
+    (Schedule.transmissions r.Eedcb.schedule)
+
+(* ------------------------------------------------------------------ *)
+(* GREED / RAND *)
+
+let test_greedy_feasible () =
+  let p = quickstart_problem () in
+  let r = Greedy.run p in
+  check_bool "feasible" true r.Greedy.report.Feasibility.feasible;
+  Alcotest.(check (list int)) "everyone" [] r.Greedy.unreached
+
+let test_greedy_never_beats_itself_with_less_time () =
+  let p80 = quickstart_problem () in
+  let p60 = quickstart_problem ~deadline:60. () in
+  let e80 = Metrics.normalized_energy p80 (Greedy.run p80).Greedy.schedule in
+  let e60 = Metrics.normalized_energy p60 (Greedy.run p60).Greedy.schedule in
+  (* Fewer opportunities can only cost the same or more. *)
+  check_bool "monotone in deadline" true (e60 >= e80 -. 1e-9)
+
+let test_greedy_stalls_gracefully () =
+  let p = quickstart_problem ~deadline:30. () in
+  let r = Greedy.run p in
+  check_bool "reports unreached" true (List.mem 4 r.Greedy.unreached);
+  check_bool "partial schedule infeasible" false r.Greedy.report.Feasibility.feasible
+
+let test_random_feasible_and_deterministic () =
+  let p = quickstart_problem () in
+  let a = Random_relay.run ~rng:(Rng.create 3) p in
+  let b = Random_relay.run ~rng:(Rng.create 3) p in
+  check_bool "feasible" true a.Random_relay.report.Feasibility.feasible;
+  check_bool "same seed same schedule" true
+    (Schedule.equal a.Random_relay.schedule b.Random_relay.schedule)
+
+let test_eedcb_beats_baselines_quickstart () =
+  let p = quickstart_problem () in
+  let e = Metrics.normalized_energy p (Eedcb.run p).Eedcb.schedule in
+  let g = Metrics.normalized_energy p (Greedy.run p).Greedy.schedule in
+  let r = Metrics.normalized_energy p (Random_relay.run ~rng:(Rng.create 1) p).Random_relay.schedule in
+  check_bool "EEDCB <= GREED" true (e <= g +. 1e-9);
+  check_bool "EEDCB <= RAND" true (e <= r +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* FR pipeline *)
+
+let test_fr_requires_fading_channel () =
+  Alcotest.check_raises "static rejected"
+    (Invalid_argument "Fr.run: design channel must be a fading model") (fun () ->
+      ignore (Fr.run ~backbone:`Eedcb (quickstart_problem ())))
+
+let test_fr_eedcb_feasible () =
+  let p = quickstart_problem ~channel:`Rayleigh () in
+  let r = Fr.run ~backbone:`Eedcb p in
+  check_bool "feasible under Eq. 6" true r.Fr.report.Feasibility.feasible;
+  Alcotest.(check (list int)) "nothing unsatisfiable" [] r.Fr.allocation.Fr.unsatisfiable
+
+let test_fr_allocation_saves_energy () =
+  let p = quickstart_problem ~channel:`Rayleigh () in
+  let r = Fr.run ~backbone:`Eedcb p in
+  (* The uniform-w0 backbone is already per-hop tight here, so the NLP
+     cannot beat it by much — but it must never exceed it beyond its
+     own safety margin (relative 1e-6 per constraint). *)
+  check_bool "NLP <= uniform w0 (+margin)" true
+    (Schedule.total_cost r.Fr.schedule
+    <= Schedule.total_cost r.Fr.backbone *. (1. +. 1e-4))
+
+let test_fr_costs_more_than_static () =
+  (* Fading-resistance at eps = 1% costs orders of magnitude more than
+     the static design (w0 ~ 100 beta). *)
+  let ps = quickstart_problem () in
+  let pr = quickstart_problem ~channel:`Rayleigh () in
+  let static = Metrics.normalized_energy ps (Eedcb.run ps).Eedcb.schedule in
+  let fading = Metrics.normalized_energy pr (Fr.run ~backbone:`Eedcb pr).Fr.schedule in
+  check_bool "fading >> static" true (fading > 10. *. static)
+
+let test_fr_greedy_and_random_backbones () =
+  let p = quickstart_problem ~channel:`Rayleigh () in
+  let g = Fr.run ~backbone:`Greedy p in
+  check_bool "greedy backbone feasible" true g.Fr.report.Feasibility.feasible;
+  let r = Fr.run ~rng:(Rng.create 4) ~backbone:`Random p in
+  check_bool "random backbone feasible" true r.Fr.report.Feasibility.feasible
+
+let test_fr_allocate_respects_bounds () =
+  let p = quickstart_problem ~channel:`Rayleigh () in
+  let r = Fr.run ~backbone:`Eedcb p in
+  Array.iter
+    (fun w -> check_bool "within W" true (phy.Phy.w_min <= w && w <= phy.Phy.w_max))
+    r.Fr.allocation.Fr.costs
+
+let test_fr_polish_removes_redundancy () =
+  (* Two identical transmissions both covering node 1: the allocation
+     must discover that one at the ε-cost suffices and drive the other
+     to (near) zero. *)
+  let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Rayleigh ~source:0 ~deadline:10. () in
+  let w0 = Phy.fading_reference_cost phy ~dist:10. in
+  let skeleton = Schedule.of_transmissions [ tx 0 1. w0; tx 0 2. w0 ] in
+  let schedule, alloc = Fr.allocate p skeleton in
+  Alcotest.(check (list int)) "satisfiable" [] alloc.Fr.unsatisfiable;
+  check_bool "redundancy removed" true (Schedule.total_cost schedule <= 1.02 *. w0);
+  check_bool "still feasible" true (Feasibility.check p schedule).Feasibility.feasible
+
+let test_fr_unsatisfiable_when_uncovered () =
+  (* A backbone that never covers node 4 cannot satisfy its constraint. *)
+  let p = quickstart_problem ~channel:`Rayleigh () in
+  let skeleton = Schedule.of_transmissions [ tx 0 0. 1e-9; tx 1 20. 1e-9 ] in
+  let _, alloc = Fr.allocate p skeleton in
+  check_bool "node 4 unsatisfiable" true (List.mem 4 alloc.Fr.unsatisfiable)
+
+let test_fr_nakagami_channel () =
+  let p = quickstart_problem ~channel:(`Nakagami 2.) () in
+  let r = Fr.run ~backbone:`Eedcb p in
+  check_bool "nakagami feasible" true r.Fr.report.Feasibility.feasible
+
+let test_fr_lognormal_channel () =
+  (* sigma = 1.84 nepers ~ 8 dB shadowing. *)
+  let p = quickstart_problem ~channel:(`Lognormal 1.84) () in
+  let r = Fr.run ~backbone:`Eedcb p in
+  check_bool "lognormal feasible" true r.Fr.report.Feasibility.feasible
+
+(* Regression: with τ = 0 two same-instant transmissions can cover
+   each other's relays; Eq. 16 read as plain "t_k <= t_j" lets the NLP
+   zero out the source's transmission and rely on the cycle.  The
+   firing-rank ordering must prevent that. *)
+let test_fr_same_instant_cycle () =
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (1, 2, link 0. 10. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Rayleigh ~source:0 ~deadline:10. () in
+  let w0 = Phy.fading_reference_cost phy ~dist:10. in
+  (* Chain 0 -> 1 -> 2 all at t = 1, plus a redundant 2 -> 1 shot. *)
+  let skeleton = Schedule.of_transmissions [ tx 0 1. w0; tx 1 1. w0; tx 2 1. w0 ] in
+  let schedule, alloc = Fr.allocate p skeleton in
+  Alcotest.(check (list int)) "nothing unsatisfiable" [] alloc.Fr.unsatisfiable;
+  let r = Feasibility.check p schedule in
+  check_bool "cycle-free allocation feasible" true r.Feasibility.feasible
+
+(* A skeleton whose relays can never fire (no transmission from the
+   source at all) must be reported unsatisfiable, not silently
+   accepted. *)
+let test_fr_unfireable_relays_reported () =
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (1, 2, link 0. 10. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Rayleigh ~source:0 ~deadline:10. () in
+  let w0 = Phy.fading_reference_cost phy ~dist:10. in
+  let skeleton = Schedule.of_transmissions [ tx 1 1. w0; tx 2 1. w0 ] in
+  let _, alloc = Fr.allocate p skeleton in
+  check_bool "relays unsatisfiable" true (alloc.Fr.unsatisfiable <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Static BIP baseline *)
+
+let test_bip_static_network () =
+  (* A line 0-1-2 with permanent links: the static protocol works. *)
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (1, 2, link 0. 10. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  let r = Static_bip.run p in
+  Alcotest.(check (list int)) "all informed" [] r.Static_bip.unreached;
+  check_bool "feasible on static graph" true r.Static_bip.report.Feasibility.feasible;
+  (* Tree: 0 -> 1 -> 2, two transmissions at 10 m each. *)
+  close "planned = 2 hops" (2. *. w_for 10.) r.Static_bip.planned_energy
+
+let test_bip_one_shot_misses_disjoint_contacts () =
+  (* 0 meets 1 and 2 during disjoint windows.  BIP's tree makes 0 the
+     parent of both, but a single transmission cannot serve both
+     windows: the replay must lose one child — the paper's motivating
+     failure of static protocols.  EEDCB transmits twice and wins. *)
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 40.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (0, 2, link 20. 30. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:40. () in
+  let bip = Static_bip.run p in
+  Alcotest.(check (list int)) "BIP misses node 2" [ 2 ] bip.Static_bip.unreached;
+  check_bool "BIP infeasible" false bip.Static_bip.report.Feasibility.feasible;
+  let eedcb = Eedcb.run p in
+  check_bool "EEDCB succeeds" true eedcb.Eedcb.report.Feasibility.feasible
+
+let test_bip_power_planned_on_best_distance () =
+  (* The snapshot records the pair 1-2 at its best-ever 5 m, but that
+     window closes before node 1 is informed (via 0-1 during
+     [10, 15)); the only remaining 1-2 contact is at 20 m.  BIP's
+     5 m-planned power is too weak at replay time. *)
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 40.) ~tau:0.
+      [ (0, 1, link 10. 15. 10.); (1, 2, link 0. 5. 5.); (1, 2, link 20. 30. 20.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:40. () in
+  let bip = Static_bip.run p in
+  (* Node 1 transmits at t=20 with power planned for 5 m; the actual
+     distance is 20 m: node 2 misses the packet. *)
+  check_bool "node 2 lost" true (List.mem 2 bip.Static_bip.unreached);
+  let eedcb = Eedcb.run p in
+  check_bool "EEDCB adapts power" true eedcb.Eedcb.report.Feasibility.feasible
+
+let test_bip_snapshot_unreachable () =
+  let g = Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  let r = Static_bip.run p in
+  Alcotest.(check (list int)) "isolated node" [ 2 ] r.Static_bip.snapshot_unreachable
+
+let test_bip_quickstart_comparison () =
+  (* On the quickstart instance the snapshot happens to be realisable
+     in part; BIP must never beat EEDCB when both deliver, and when
+     BIP loses nodes its delivery is below 1. *)
+  let p = quickstart_problem () in
+  let bip = Static_bip.run p in
+  let eedcb = Eedcb.run p in
+  if bip.Static_bip.unreached = [] then
+    check_bool "EEDCB no worse" true
+      (Schedule.total_cost eedcb.Eedcb.schedule
+      <= Schedule.total_cost bip.Static_bip.schedule +. 1e-18)
+  else check_bool "BIP delivery below 1" true (Feasibility.delivery_ratio bip.Static_bip.report < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Simulate *)
+
+let test_simulate_static_deterministic () =
+  let p = quickstart_problem () in
+  let s = optimal_quickstart_schedule () in
+  let sim = Simulate.run ~trials:50 ~rng:(Rng.create 1) ~eval_channel:`Static p s in
+  close "full delivery" 1. sim.Simulate.delivery_ratio;
+  close "no variance" 0. sim.Simulate.delivery_stddev;
+  close "energy = schedule cost" (Schedule.total_cost s) sim.Simulate.mean_energy_spent
+
+let test_simulate_single_link_rayleigh () =
+  (* One link at distance d, one transmission at w = beta: success
+     probability e^-1, so mean delivery over 2 nodes is
+     (1 + e^-1) / 2 ~ 0.684. *)
+  let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Rayleigh ~source:0 ~deadline:10. () in
+  let s = Schedule.of_transmissions [ tx 0 1. (Phy.beta phy ~dist:10.) ] in
+  let sim = Simulate.run ~trials:20_000 ~rng:(Rng.create 2) ~eval_channel:`Rayleigh p s in
+  close ~tol:0.02 "expected delivery" ((1. +. exp (-1.)) /. 2.) sim.Simulate.delivery_ratio
+
+let test_simulate_uninformed_relay_spends_nothing () =
+  let p = quickstart_problem () in
+  (* Node 1 transmits but never received: no energy, no delivery. *)
+  let s = Schedule.of_transmissions [ tx 1 20. (w_for 15.) ] in
+  let sim = Simulate.run ~trials:20 ~rng:(Rng.create 3) ~eval_channel:`Static p s in
+  close "no energy" 0. sim.Simulate.mean_energy_spent;
+  close "only source" (1. /. 5.) sim.Simulate.delivery_ratio
+
+let test_simulate_fr_high_delivery () =
+  let p = quickstart_problem ~channel:`Rayleigh () in
+  let r = Fr.run ~backbone:`Eedcb p in
+  let sim = Simulate.run ~trials:2000 ~rng:(Rng.create 4) ~eval_channel:`Rayleigh p r.Fr.schedule in
+  check_bool "delivery > 95%" true (sim.Simulate.delivery_ratio > 0.95)
+
+let test_simulate_static_design_suffers_in_fading () =
+  let p_static = quickstart_problem () in
+  let s = (Eedcb.run p_static).Eedcb.schedule in
+  let p_eval = quickstart_problem ~channel:`Rayleigh () in
+  let sim = Simulate.run ~trials:2000 ~rng:(Rng.create 5) ~eval_channel:`Rayleigh p_eval s in
+  check_bool "delivery well below 1" true (sim.Simulate.delivery_ratio < 0.9)
+
+let test_simulate_deterministic_in_seed () =
+  let p = quickstart_problem () in
+  let s = optimal_quickstart_schedule () in
+  let a = Simulate.run ~trials:100 ~rng:(Rng.create 6) ~eval_channel:`Rayleigh p s in
+  let b = Simulate.run ~trials:100 ~rng:(Rng.create 6) ~eval_channel:`Rayleigh p s in
+  close "same ratio" a.Simulate.delivery_ratio b.Simulate.delivery_ratio
+
+(* ------------------------------------------------------------------ *)
+(* Interference analysis (future-work extension) *)
+
+let test_interference_free_sequential () =
+  (* Disjoint transmission instants with tau = 0 never conflict. *)
+  let p = quickstart_problem () in
+  check_bool "sequential clean" true
+    (Interference.is_interference_free p (optimal_quickstart_schedule ()))
+
+let test_interference_collision () =
+  (* Nodes 1 and 2 both transmit at t = 5 while node 0 hears both. *)
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (0, 2, link 0. 10. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  let s = Schedule.of_transmissions [ tx 1 5. (w_for 10.); tx 2 5. (w_for 10.) ] in
+  let conflicts = Interference.check p s in
+  check_bool "collision found" true
+    (List.exists
+       (fun c -> match c with Interference.Collision { node = 0; _ } -> true | _ -> false)
+       conflicts)
+
+let test_interference_half_duplex () =
+  (* Adjacent nodes transmitting simultaneously cannot hear each other. *)
+  let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  let s = Schedule.of_transmissions [ tx 0 5. (w_for 10.); tx 1 5. (w_for 10.) ] in
+  let conflicts = Interference.check p s in
+  check_int "both directions flagged" 2
+    (List.length
+       (List.filter
+          (fun c -> match c with Interference.Half_duplex _ -> true | _ -> false)
+          conflicts))
+
+let test_interference_tau_window_overlap () =
+  (* tau = 2: transmissions at t=0 and t=1.5 overlap; at t=0 and t=3
+     they do not. *)
+  let g =
+    Tveg.create ~n:4 ~span:(iv 0. 20.) ~tau:2.
+      [ (0, 2, link 0. 20. 10.); (1, 2, link 0. 20. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:20. () in
+  let overlapping = Schedule.of_transmissions [ tx 0 0. (w_for 10.); tx 1 1.5 (w_for 10.) ] in
+  check_bool "overlap collides at node 2" false (Interference.is_interference_free p overlapping);
+  let sequential = Schedule.of_transmissions [ tx 0 0. (w_for 10.); tx 1 3. (w_for 10.) ] in
+  check_bool "separated windows clean" true (Interference.is_interference_free p sequential)
+
+let test_interference_out_of_range_no_collision () =
+  (* Two simultaneous transmissions whose audiences do not intersect. *)
+  let g =
+    Tveg.create ~n:4 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (2, 3, link 0. 10. 10.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  let s = Schedule.of_transmissions [ tx 0 5. (w_for 10.); tx 2 5. (w_for 10.) ] in
+  check_bool "spatially disjoint clean" true (Interference.is_interference_free p s)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness under contact uncertainty (future-work extension) *)
+
+let test_robustness_certain_contacts () =
+  (* presence_prob = 1 everywhere: replaying the EEDCB schedule on any
+     realization is the original instance. *)
+  let nd = Tmedb_tveg.Nondet.of_tveg (quickstart_graph ()) ~presence_prob:1. in
+  let schedule =
+    Robustness.plan_on_support nd ~phy ~channel:`Static ~source:0 ~deadline:80.
+  in
+  let r =
+    Robustness.evaluate_schedule ~trials:20 ~rng:(Rng.create 5) nd ~phy ~channel:`Static
+      ~source:0 ~deadline:80. schedule
+  in
+  close "always delivers" 1. r.Tmedb_tveg.Nondet.mean_delivery;
+  close "always fully" 1. r.Tmedb_tveg.Nondet.full_delivery_rate;
+  close "nothing wasted" 0. r.Tmedb_tveg.Nondet.mean_energy_wasted
+
+let test_robustness_flaky_contacts_lose_delivery () =
+  let nd = Tmedb_tveg.Nondet.of_tveg (quickstart_graph ()) ~presence_prob:0.6 in
+  let schedule =
+    Robustness.plan_on_support nd ~phy ~channel:`Static ~source:0 ~deadline:80.
+  in
+  let r =
+    Robustness.evaluate_schedule ~trials:300 ~rng:(Rng.create 6) nd ~phy ~channel:`Static
+      ~source:0 ~deadline:80. schedule
+  in
+  check_bool "delivery strictly below 1" true (r.Tmedb_tveg.Nondet.mean_delivery < 0.95);
+  check_bool "some energy wasted" true (r.Tmedb_tveg.Nondet.mean_energy_wasted > 0.)
+
+let test_robustness_threshold_planning () =
+  (* Planning against the thresholded graph only uses near-certain
+     contacts, so flakiness of the low-probability ones is harmless. *)
+  let certain = Tmedb_tveg.Nondet.of_tveg (quickstart_graph ()) ~presence_prob:1. in
+  let extra_links =
+    (* Add one unlikely shortcut contact. *)
+    { Tmedb_tveg.Nondet.a = 0; b = 4; link = { Tveg.iv = iv 0. 5.; dist = 8. };
+      presence_prob = 0.05 }
+    :: Tmedb_tveg.Nondet.contacts certain
+  in
+  let nd = Tmedb_tveg.Nondet.create ~n:5 ~span:(iv 0. 100.) ~tau:0. extra_links in
+  (* Optimistic planning grabs the cheap 8 m shortcut... *)
+  let optimistic =
+    Robustness.plan_on_support nd ~phy ~channel:`Static ~source:0 ~deadline:80.
+  in
+  (* ...thresholded planning ignores it. *)
+  let robust =
+    Robustness.plan_on_threshold ~min_prob:0.5 nd ~phy ~channel:`Static ~source:0 ~deadline:80.
+  in
+  let eval s =
+    Robustness.evaluate_schedule ~trials:200 ~rng:(Rng.create 7) nd ~phy ~channel:`Static
+      ~source:0 ~deadline:80. s
+  in
+  let r_opt = eval optimistic and r_rob = eval robust in
+  check_bool "robust plan delivers at least as often" true
+    (r_rob.Tmedb_tveg.Nondet.full_delivery_rate
+    >= r_opt.Tmedb_tveg.Nondet.full_delivery_rate);
+  close "robust plan always delivers" 1. r_rob.Tmedb_tveg.Nondet.full_delivery_rate
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_normalized_energy () =
+  let p = quickstart_problem () in
+  let s = Schedule.of_transmissions [ tx 0 0. (w_for 30.) ] in
+  close "d^2" 900. (Metrics.normalized_energy p s)
+
+let test_lower_bound_single_link_static () =
+  (* One link at 10 m: the optimum is exactly the bound. *)
+  let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  close "LB = w_th" (w_for 10.) (Metrics.energy_lower_bound p);
+  let r = Eedcb.run p in
+  close "EEDCB achieves LB" (Metrics.energy_lower_bound p) (Schedule.total_cost r.Eedcb.schedule)
+
+let test_lower_bound_additive_refinement () =
+  (* Node 2 never meets the source: the bound must include both the
+     source hop and a second transmission. *)
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0.
+      [ (0, 1, link 0. 10. 10.); (1, 2, link 0. 10. 20.) ]
+  in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  close "LB additive" (w_for 10. +. w_for 20.) (Metrics.energy_lower_bound p);
+  let r = Eedcb.run p in
+  close "EEDCB achieves it" (Metrics.energy_lower_bound p) (Schedule.total_cost r.Eedcb.schedule)
+
+let test_lower_bound_unreachable_infinite () =
+  let g = Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
+  let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
+  check_bool "infinite" true (Metrics.energy_lower_bound p = Float.infinity)
+
+let test_lower_bound_below_all_algorithms () =
+  for seed = 100 to 130 do
+    let p = random_instance seed in
+    if Problem.is_reachable p then begin
+      let lb = Metrics.energy_lower_bound p in
+      let e = Schedule.total_cost (Eedcb.run p).Eedcb.schedule in
+      check_bool "LB <= EEDCB (static)" true (lb <= e +. 1e-18);
+      let pf = { p with Problem.channel = `Rayleigh } in
+      let lbf = Metrics.energy_lower_bound pf in
+      let f = Schedule.total_cost (Fr.run ~backbone:`Eedcb pf).Fr.schedule in
+      check_bool "LB <= FR-EEDCB (fading)" true (lbf <= f +. 1e-18)
+    end
+  done
+
+let test_lower_bound_fading_exceeds_static () =
+  let ps = quickstart_problem () in
+  let pf = quickstart_problem ~channel:`Rayleigh () in
+  check_bool "fading bound dearer" true
+    (Metrics.energy_lower_bound pf > Metrics.energy_lower_bound ps)
+
+let test_metrics_latency () =
+  let p = quickstart_problem () in
+  (match Metrics.broadcast_latency p (optimal_quickstart_schedule ()) with
+  | Some l -> close "latency 35" 35. l
+  | None -> Alcotest.fail "expected latency");
+  check_bool "none when incomplete" true
+    (Metrics.broadcast_latency p (Schedule.of_transmissions [ tx 0 0. (w_for 10.) ]) = None)
+
+(* Property: on random reachable instances EEDCB returns feasible
+   schedules. *)
+let prop_eedcb_feasible_when_reachable =
+  QCheck.Test.make ~name:"EEDCB feasible on reachable instances" ~count:40 QCheck.small_int
+    (fun seed ->
+      let p = random_instance seed in
+      if not (Problem.is_reachable p) then true
+      else begin
+        let r = Eedcb.run p in
+        r.Eedcb.report.Feasibility.feasible
+      end)
+
+(* EEDCB is an approximation: on individual instances it may lose to
+   GREED (recursive-greedy density is myopic too), but the paper's
+   Fig. 5 claim is the aggregate ordering.  Check the mean ratio over
+   many random instances, plus a sanity per-instance bound. *)
+let test_eedcb_beats_greedy_on_average () =
+  let ratios = ref [] in
+  for seed = 500 to 579 do
+    let p = random_instance seed in
+    if Problem.is_reachable p then begin
+      let e = Schedule.total_cost (Eedcb.run p).Eedcb.schedule in
+      let g = Schedule.total_cost (Greedy.run p).Greedy.schedule in
+      check_bool "never catastrophically worse" true (e <= (2. *. g) +. 1e-15);
+      ratios := (e /. g) :: !ratios
+    end
+  done;
+  let mean = Stats.mean (Array.of_list !ratios) in
+  check_bool
+    (Printf.sprintf "mean EEDCB/GREED ratio < 1 (got %.3f)" mean)
+    true (mean < 1.)
+
+(* Theorem 5.2 / Prop. 5.1 on random instances: ET-law normalisation
+   of a feasible schedule is feasible at equal cost, with every time on
+   the DTS. *)
+let prop_et_law_on_random_instances =
+  QCheck.Test.make ~name:"ET-law normalisation preserves feasibility (Thm 5.2)" ~count:40
+    QCheck.small_int (fun seed ->
+      let p = random_instance (seed + 2000) in
+      if not (Problem.is_reachable p) then true
+      else begin
+        let r = Greedy.run p in
+        if not r.Greedy.report.Feasibility.feasible then true
+        else begin
+          let dts = Problem.dts p in
+          let informed v = r.Greedy.report.Feasibility.informed_time.(v) in
+          let normalized = Schedule.normalize_et r.Greedy.schedule dts ~informed_time:informed in
+          let check = Feasibility.check p normalized in
+          check.Feasibility.feasible
+          && Float.abs (Schedule.total_cost normalized -. Schedule.total_cost r.Greedy.schedule)
+             < 1e-18
+          && List.for_all
+               (fun t ->
+                 Dts.latest_at_or_before dts t.Schedule.relay t.Schedule.time
+                 = Some t.Schedule.time)
+               (Schedule.transmissions normalized)
+        end
+      end)
+
+(* The Eq.-6 analytic delivery and the Monte-Carlo delivery agree under
+   the static channel (both deterministic). *)
+let prop_static_simulation_matches_analytic =
+  QCheck.Test.make ~name:"static MC delivery = analytic delivery" ~count:25 QCheck.small_int
+    (fun seed ->
+      let p = random_instance (seed + 3000) in
+      let r = Greedy.run p in
+      let analytic = Feasibility.delivery_ratio r.Greedy.report in
+      let sim =
+        Simulate.run ~trials:3 ~rng:(Rng.create seed) ~eval_channel:`Static p r.Greedy.schedule
+      in
+      Float.abs (sim.Simulate.delivery_ratio -. analytic) < 1e-9)
+
+let prop_fr_allocation_feasible =
+  QCheck.Test.make ~name:"FR allocation satisfies Eq. 6 when satisfiable" ~count:25
+    QCheck.small_int (fun seed ->
+      let p = random_instance (seed + 900) in
+      if not (Problem.is_reachable p) then true
+      else begin
+        let p = { p with Problem.channel = `Rayleigh } in
+        let r = Fr.run ~backbone:`Eedcb p in
+        r.Fr.allocation.Fr.unsatisfiable <> [] || r.Fr.report.Feasibility.feasible
+      end)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "core"
+    [
+      ( "schedule",
+        [
+          tc "sorted and cost" test_schedule_sorted_and_cost;
+          tc "validation" test_schedule_validation;
+          tc "map costs" test_schedule_map_costs;
+          tc "empty" test_schedule_empty;
+          tc "equal" test_schedule_equal;
+          tc "csv roundtrip" test_schedule_csv_roundtrip;
+          tc "save/load" test_schedule_save_load;
+        ] );
+      ( "problem",
+        [
+          tc "validation" test_problem_validation;
+          tc "reachability" test_problem_reachability;
+          tc "gadget structure" test_gadget_structure;
+          tc "gadget validation" test_gadget_validation;
+          tc "gadget optimal k*=1" test_gadget_optimal_single_set;
+          tc "gadget optimal k*=2" test_gadget_optimal_two_sets;
+        ] );
+      ( "feasibility",
+        [
+          tc "valid schedule" test_feasibility_valid_schedule;
+          tc "uninformed relay" test_feasibility_uninformed_relay;
+          tc "missing node" test_feasibility_missing_node;
+          tc "late transmission" test_feasibility_late_transmission;
+          tc "budget" test_feasibility_budget;
+          tc "cost out of range" test_feasibility_cost_out_of_range;
+          tc "insufficient power" test_feasibility_insufficient_power;
+          tc "same-instant chain" test_feasibility_same_instant_chain;
+          tc "fading accumulates" test_feasibility_fading_accumulates;
+          tc "DTS equivalence (Thm 5.2)" test_dts_equivalence_perturbation;
+          QCheck_alcotest.to_alcotest prop_et_law_on_random_instances;
+        ] );
+      ( "aux_graph",
+        [
+          tc "shape" test_aux_graph_shape;
+          tc "extract roundtrip" test_aux_graph_extract_roundtrip;
+          tc "deadline blocks late levels" test_aux_graph_deadline_blocks_late_levels;
+        ] );
+      ( "eedcb",
+        [
+          tc "quickstart optimal" test_eedcb_quickstart_optimal;
+          tc "respects deadline" test_eedcb_respects_deadline;
+          tc "unreachable reported" test_eedcb_unreachable_reported;
+          tc "level 1 works" test_eedcb_level1_works;
+          tc "positive tau" test_eedcb_positive_tau;
+          tc "tau too large" test_eedcb_tau_too_large;
+          tc "schedule on DTS" test_eedcb_schedule_on_dts;
+          tc "beats greedy on average" test_eedcb_beats_greedy_on_average;
+          QCheck_alcotest.to_alcotest prop_eedcb_feasible_when_reachable;
+        ] );
+      ( "baselines",
+        [
+          tc "greedy feasible" test_greedy_feasible;
+          tc "greedy monotone deadline" test_greedy_never_beats_itself_with_less_time;
+          tc "greedy stalls gracefully" test_greedy_stalls_gracefully;
+          tc "random deterministic" test_random_feasible_and_deterministic;
+          tc "EEDCB beats baselines" test_eedcb_beats_baselines_quickstart;
+        ] );
+      ( "fr",
+        [
+          tc "requires fading" test_fr_requires_fading_channel;
+          tc "fr-eedcb feasible" test_fr_eedcb_feasible;
+          tc "allocation saves energy" test_fr_allocation_saves_energy;
+          tc "fading >> static" test_fr_costs_more_than_static;
+          tc "other backbones" test_fr_greedy_and_random_backbones;
+          tc "respects bounds" test_fr_allocate_respects_bounds;
+          tc "polish removes redundancy" test_fr_polish_removes_redundancy;
+          tc "unsatisfiable reported" test_fr_unsatisfiable_when_uncovered;
+          tc "nakagami channel" test_fr_nakagami_channel;
+          tc "lognormal channel" test_fr_lognormal_channel;
+          tc "same-instant cycle regression" test_fr_same_instant_cycle;
+          tc "unfireable relays reported" test_fr_unfireable_relays_reported;
+          QCheck_alcotest.to_alcotest prop_fr_allocation_feasible;
+        ] );
+      ( "static_bip",
+        [
+          tc "static network" test_bip_static_network;
+          tc "one shot misses disjoint contacts" test_bip_one_shot_misses_disjoint_contacts;
+          tc "best-distance power fails" test_bip_power_planned_on_best_distance;
+          tc "snapshot unreachable" test_bip_snapshot_unreachable;
+          tc "quickstart comparison" test_bip_quickstart_comparison;
+        ] );
+      ( "simulate",
+        [
+          tc "static deterministic" test_simulate_static_deterministic;
+          tc "single-link rayleigh" test_simulate_single_link_rayleigh;
+          tc "uninformed relay spends nothing" test_simulate_uninformed_relay_spends_nothing;
+          tc "fr high delivery" test_simulate_fr_high_delivery;
+          tc "static suffers in fading" test_simulate_static_design_suffers_in_fading;
+          tc "deterministic in seed" test_simulate_deterministic_in_seed;
+          QCheck_alcotest.to_alcotest prop_static_simulation_matches_analytic;
+        ] );
+      ( "interference",
+        [
+          tc "sequential clean" test_interference_free_sequential;
+          tc "collision" test_interference_collision;
+          tc "half duplex" test_interference_half_duplex;
+          tc "tau window overlap" test_interference_tau_window_overlap;
+          tc "out of range clean" test_interference_out_of_range_no_collision;
+        ] );
+      ( "robustness",
+        [
+          tc "certain contacts" test_robustness_certain_contacts;
+          tc "flaky contacts lose delivery" test_robustness_flaky_contacts_lose_delivery;
+          tc "threshold planning" test_robustness_threshold_planning;
+        ] );
+      ( "metrics",
+        [
+          tc "normalized energy" test_metrics_normalized_energy;
+          tc "latency" test_metrics_latency;
+          tc "LB single link" test_lower_bound_single_link_static;
+          tc "LB additive refinement" test_lower_bound_additive_refinement;
+          tc "LB unreachable infinite" test_lower_bound_unreachable_infinite;
+          tc "LB below all algorithms" test_lower_bound_below_all_algorithms;
+          tc "LB fading exceeds static" test_lower_bound_fading_exceeds_static;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the experiment drivers: small configurations of every
+   figure reproduction, checking determinism and the orderings the
+   paper reports. *)
+
+open Tmedb
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A configuration small enough for unit tests. *)
+let tiny =
+  {
+    Experiment.default_config with
+    Experiment.n = 10;
+    horizon = 6000.;
+    deadline = 1500.;
+    sources = 1;
+    mc_trials = 60;
+  }
+
+let test_algorithm_names_roundtrip () =
+  List.iter
+    (fun a ->
+      match Experiment.algorithm_of_string (Experiment.algorithm_name a) with
+      | Ok a' -> check_bool "roundtrip" true (a = a')
+      | Error e -> Alcotest.fail e)
+    Experiment.all_algorithms;
+  (match Experiment.algorithm_of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  check_int "six algorithms" 6 (List.length Experiment.all_algorithms)
+
+let test_make_trace_deterministic () =
+  let a = Experiment.make_trace tiny ~n:10 in
+  let b = Experiment.make_trace tiny ~n:10 in
+  check_bool "same trace" true (Tmedb_trace.Trace.to_csv a = Tmedb_trace.Trace.to_csv b);
+  check_int "n honoured" 10 (Tmedb_trace.Trace.n a)
+
+let test_choose_sources () =
+  let trace = Experiment.make_trace tiny ~n:10 in
+  let sources = Experiment.choose_sources tiny ~trace ~deadline:tiny.Experiment.deadline in
+  check_int "one source" 1 (List.length sources);
+  List.iter (fun s -> check_bool "in range" true (0 <= s && s < 10)) sources
+
+let test_run_alg_all_deterministic () =
+  let trace = Experiment.make_trace tiny ~n:10 in
+  let source = List.hd (Experiment.choose_sources tiny ~trace ~deadline:1500.) in
+  List.iter
+    (fun algorithm ->
+      let run () =
+        Experiment.run_alg tiny ~trace ~source ~deadline:1500.
+          ~rng:(Tmedb_prelude.Rng.create 5) algorithm
+      in
+      let a = run () and b = run () in
+      check_bool
+        (Printf.sprintf "%s deterministic" (Experiment.algorithm_name algorithm))
+        true
+        (Float.equal a.Experiment.energy b.Experiment.energy);
+      check_bool "energy finite" true (Float.is_finite a.Experiment.energy);
+      check_bool "energy non-negative" true (a.Experiment.energy >= 0.))
+    Experiment.all_algorithms
+
+let test_fr_variants_cost_more () =
+  let trace = Experiment.make_trace tiny ~n:10 in
+  let source = List.hd (Experiment.choose_sources tiny ~trace ~deadline:1500.) in
+  let energy algorithm =
+    (Experiment.run_alg tiny ~trace ~source ~deadline:1500. ~rng:(Tmedb_prelude.Rng.create 5)
+       algorithm).Experiment.energy
+  in
+  check_bool "FR-EEDCB > EEDCB" true (energy Experiment.FR_EEDCB > energy Experiment.EEDCB);
+  check_bool "FR-GREED > GREED" true (energy Experiment.FR_GREED > energy Experiment.GREED)
+
+let test_fig4_shape () =
+  let series =
+    Experiment.fig4 ~config:tiny ~variant:`Static ~deadlines:[ 1000.; 2000. ] ~ns:[ 8; 10 ] ()
+  in
+  check_int "two series" 2 (List.length series);
+  List.iter
+    (fun s ->
+      check_int "two points" 2 (List.length s.Experiment.points);
+      List.iter
+        (fun (_, y) -> check_bool "finite energy" true (Float.is_finite y && y >= 0.))
+        s.Experiment.points)
+    series
+
+let test_fig5_ordering () =
+  let series = Experiment.fig5 ~config:tiny ~variant:`Static ~deadlines:[ 1500. ] () in
+  check_int "three algorithms" 3 (List.length series);
+  let value label =
+    match List.find_opt (fun s -> s.Experiment.label = label) series with
+    | Some { Experiment.points = [ (_, y) ]; _ } -> y
+    | _ -> Alcotest.fail (label ^ " missing")
+  in
+  check_bool "EEDCB <= GREED" true (value "EEDCB" <= value "GREED" +. 1e-9)
+
+let test_fig6_delivery_ordering () =
+  let _, delivery = Experiment.fig6 ~config:tiny ~ns:[ 10 ] () in
+  check_int "six series" 6 (List.length delivery);
+  let value label =
+    match List.find_opt (fun s -> s.Experiment.label = label) delivery with
+    | Some { Experiment.points = [ (_, y) ]; _ } -> y
+    | _ -> Alcotest.fail (label ^ " missing")
+  in
+  (* The paper's Fig. 6(b): FR variants deliver (nearly) everything,
+     static designs lose nodes in fading. *)
+  check_bool "FR-EEDCB high delivery" true (value "FR-EEDCB" > 0.9);
+  check_bool "EEDCB suffers" true (value "EEDCB" < value "FR-EEDCB");
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (_, y) -> check_bool "ratio in [0,1]" true (0. <= y && y <= 1.))
+        s.Experiment.points)
+    delivery
+
+let test_print_series_runs () =
+  Experiment.print_series ~title:"smoke" ~xlabel:"x"
+    [ { Experiment.label = "a"; points = [ (1., 2.); (3., 4.) ] } ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "experiment"
+    [
+      ( "experiment",
+        [
+          tc "algorithm names" test_algorithm_names_roundtrip;
+          tc "trace deterministic" test_make_trace_deterministic;
+          tc "choose sources" test_choose_sources;
+          slow "run_alg deterministic" test_run_alg_all_deterministic;
+          slow "FR variants cost more" test_fr_variants_cost_more;
+          slow "fig4 shape" test_fig4_shape;
+          slow "fig5 ordering" test_fig5_ordering;
+          slow "fig6 delivery ordering" test_fig6_delivery_ordering;
+          tc "print series" test_print_series_runs;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+(* Tests for tmedb_trace: contacts, traces + CSV round-trip, the
+   Haggle-like synthetic generator and random-waypoint mobility. *)
+
+open Tmedb_prelude
+open Tmedb_trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let iv lo hi = Interval.make ~lo ~hi
+
+(* ------------------------------------------------------------------ *)
+(* Contact *)
+
+let test_contact_normalizes () =
+  let c = Contact.make ~a:5 ~b:2 ~iv:(iv 1. 3.) ~dist:10. in
+  check_int "a" 2 c.Contact.a;
+  check_int "b" 5 c.Contact.b;
+  Alcotest.(check (float 0.)) "duration" 2. (Contact.duration c)
+
+let test_contact_validation () =
+  Alcotest.check_raises "self" (Invalid_argument "Contact.make: self-contact") (fun () ->
+      ignore (Contact.make ~a:1 ~b:1 ~iv:(iv 0. 1.) ~dist:1.));
+  Alcotest.check_raises "distance" (Invalid_argument "Contact.make: non-positive distance")
+    (fun () -> ignore (Contact.make ~a:0 ~b:1 ~iv:(iv 0. 1.) ~dist:0.))
+
+let test_contact_ends () =
+  let c = Contact.make ~a:1 ~b:4 ~iv:(iv 0. 1.) ~dist:1. in
+  check_bool "involves" true (Contact.involves c 4);
+  check_bool "not involves" false (Contact.involves c 2);
+  check_int "other end" 1 (Contact.other_end c 4)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let sample_trace () =
+  Trace.make ~n:4 ~span:(iv 0. 100.)
+    [
+      Contact.make ~a:0 ~b:1 ~iv:(iv 10. 20.) ~dist:5.;
+      Contact.make ~a:0 ~b:1 ~iv:(iv 40. 50.) ~dist:7.;
+      Contact.make ~a:2 ~b:3 ~iv:(iv 5. 95.) ~dist:12.;
+    ]
+
+let test_trace_sorted () =
+  let t = sample_trace () in
+  let starts = List.map (fun c -> c.Contact.iv.Interval.lo) (Trace.contacts t) in
+  Alcotest.(check (list (float 0.))) "sorted by start" [ 5.; 10.; 40. ] starts
+
+let test_trace_validation () =
+  Alcotest.check_raises "node range" (Invalid_argument "Trace.make: contact node out of range")
+    (fun () ->
+      ignore
+        (Trace.make ~n:2 ~span:(iv 0. 10.) [ Contact.make ~a:0 ~b:5 ~iv:(iv 0. 1.) ~dist:1. ]))
+
+let test_trace_restrict () =
+  let t = sample_trace () in
+  let r = Trace.restrict t ~span:(iv 15. 45.) in
+  check_int "clipped count" 3 (Trace.num_contacts r);
+  List.iter
+    (fun c -> check_bool "inside window" true (Interval.contains (iv 15. 45.) c.Contact.iv))
+    (Trace.contacts r)
+
+let test_trace_to_tvg () =
+  let g = Trace.to_tvg (sample_trace ()) in
+  check_bool "0-1 at 15" true (Tmedb_tvg.Tvg.present g 0 1 15.);
+  check_bool "0-1 at 30" false (Tmedb_tvg.Tvg.present g 0 1 30.);
+  check_bool "2-3 at 50" true (Tmedb_tvg.Tvg.present g 2 3 50.)
+
+let test_csv_roundtrip () =
+  let t = sample_trace () in
+  match Trace.of_csv (Trace.to_csv t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      check_int "n" (Trace.n t) (Trace.n t');
+      check_int "contacts" (Trace.num_contacts t) (Trace.num_contacts t');
+      List.iter2
+        (fun a b ->
+          check_bool "same contact" true
+            (a.Contact.a = b.Contact.a && a.Contact.b = b.Contact.b
+            && Interval.equal a.Contact.iv b.Contact.iv
+            && a.Contact.dist = b.Contact.dist))
+        (Trace.contacts t) (Trace.contacts t')
+
+let test_csv_headerless () =
+  let body = "0,1,2.0,3.0,7.5\n2,3,1.0,9.0,12.0\n" in
+  match Trace.of_csv body with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      check_int "derived n" 4 (Trace.n t);
+      check_int "contacts" 2 (Trace.num_contacts t)
+
+let test_csv_bad_line () =
+  match Trace.of_csv "0,1,notanumber,3,1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_csv_comments_and_blanks () =
+  let body = "# a comment\n\n0,1,1.0,2.0,3.0\n" in
+  match Trace.of_csv body with
+  | Error e -> Alcotest.fail e
+  | Ok t -> check_int "one contact" 1 (Trace.num_contacts t)
+
+let test_save_load () =
+  let t = sample_trace () in
+  let path = Filename.temp_file "tmedb" ".csv" in
+  Trace.save t ~path;
+  (match Trace.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok t' -> check_int "same" (Trace.num_contacts t) (Trace.num_contacts t'));
+  Sys.remove path
+
+let test_trace_stats () =
+  let s = Trace.stats (sample_trace ()) in
+  check_int "contacts" 3 s.Trace.num_contacts;
+  check_int "pairs" 2 s.Trace.pairs_with_contact;
+  (* One gap: [20, 40) on pair 0-1. *)
+  Alcotest.(check (float 1e-9)) "gap" 20. s.Trace.mean_inter_contact;
+  Alcotest.(check (float 1e-9)) "mean duration" (110. /. 3.) s.Trace.mean_duration
+
+(* ------------------------------------------------------------------ *)
+(* Synth *)
+
+let test_synth_deterministic () =
+  let p = Synth.default_params in
+  let a = Synth.generate (Rng.create 5) p in
+  let b = Synth.generate (Rng.create 5) p in
+  check_int "same count" (Trace.num_contacts a) (Trace.num_contacts b);
+  check_bool "same csv" true (Trace.to_csv a = Trace.to_csv b)
+
+let test_synth_within_bounds () =
+  let p = { Synth.default_params with Synth.n = 10; horizon = 5000. } in
+  let t = Synth.generate (Rng.create 9) p in
+  check_int "n" 10 (Trace.n t);
+  List.iter
+    (fun c ->
+      check_bool "in span" true (Interval.contains (iv 0. 5000.) c.Contact.iv);
+      check_bool "distance range" true
+        (p.Synth.dist_lo <= c.Contact.dist && c.Contact.dist <= p.Synth.dist_hi))
+    (Trace.contacts t)
+
+let test_synth_no_pair_overlap () =
+  let t = Synth.generate (Rng.create 3) { Synth.default_params with Synth.n = 6 } in
+  let by_pair = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let key = (c.Contact.a, c.Contact.b) in
+      Hashtbl.replace by_pair key
+        (c :: Option.value ~default:[] (Hashtbl.find_opt by_pair key)))
+    (Trace.contacts t);
+  Hashtbl.iter
+    (fun _ cs ->
+      let sorted = List.sort Contact.compare_by_start cs in
+      let rec walk = function
+        | x :: (y :: _ as rest) ->
+            check_bool "no overlap within pair" true
+              (x.Contact.iv.Interval.hi <= y.Contact.iv.Interval.lo);
+            walk rest
+        | _ -> ()
+      in
+      walk sorted)
+    by_pair
+
+let test_synth_heavy_tail () =
+  (* Inter-contact gaps should be right-skewed: mean well above median. *)
+  let t = Synth.generate (Rng.create 1) Synth.default_params in
+  let s = Trace.stats t in
+  check_bool "skewed gaps" true (s.Trace.mean_inter_contact > 1.2 *. s.Trace.median_inter_contact)
+
+let test_synth_density_profile () =
+  (* A profile of 0 suppresses every contact; 1 keeps the process. *)
+  let base = { Synth.default_params with Synth.n = 8; horizon = 4000. } in
+  let none =
+    Synth.generate (Rng.create 2) { base with Synth.density_profile = Some (fun _ -> 0.) }
+  in
+  check_int "all suppressed" 0 (Trace.num_contacts none);
+  let all = Synth.generate (Rng.create 2) { base with Synth.density_profile = Some (fun _ -> 1.) } in
+  check_bool "kept" true (Trace.num_contacts all > 0)
+
+let test_synth_ramp_profile () =
+  Alcotest.(check (float 1e-9)) "before" 0.25 (Synth.ramp_profile ~t0:10. ~t1:20. ~low:0.25 5.);
+  Alcotest.(check (float 1e-9)) "after" 1. (Synth.ramp_profile ~t0:10. ~t1:20. ~low:0.25 25.);
+  Alcotest.(check (float 1e-9)) "middle" 0.625 (Synth.ramp_profile ~t0:10. ~t1:20. ~low:0.25 15.)
+
+let test_synth_ramp_raises_late_degree () =
+  let profile = Synth.ramp_profile ~t0:5000. ~t1:8000. ~low:0.2 in
+  let p = { Synth.default_params with Synth.density_profile = Some profile } in
+  let t = Synth.generate (Rng.create 4) p in
+  let g = Trace.to_tvg t in
+  let early = Tmedb_tvg.Tvg.average_degree_over g ~window:(iv 0. 5000.) in
+  let late = Tmedb_tvg.Tvg.average_degree_over g ~window:(iv 9000. 14000.) in
+  check_bool "degree ramps up" true (late > 1.5 *. early)
+
+let test_synth_validation () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Synth.generate: need n >= 2") (fun () ->
+      ignore (Synth.generate (Rng.create 0) { Synth.default_params with Synth.n = 1 }))
+
+(* ------------------------------------------------------------------ *)
+(* Mobility *)
+
+let test_mobility_deterministic () =
+  let p = { Mobility.default_params with Mobility.n = 6; horizon = 1000. } in
+  let a = Mobility.generate (Rng.create 8) p in
+  let b = Mobility.generate (Rng.create 8) p in
+  check_bool "same csv" true (Trace.to_csv a = Trace.to_csv b)
+
+let test_mobility_bounds () =
+  let p = { Mobility.default_params with Mobility.n = 6; horizon = 1000. } in
+  let t = Mobility.generate (Rng.create 8) p in
+  List.iter
+    (fun c ->
+      check_bool "in span" true (Interval.contains (iv 0. 1000.) c.Contact.iv);
+      check_bool "distance < range" true (c.Contact.dist < p.Mobility.range))
+    (Trace.contacts t)
+
+let test_mobility_positions_in_arena () =
+  let p = Mobility.default_params in
+  let pos = Mobility.positions_at (Rng.create 2) p 500. in
+  check_int "all nodes" p.Mobility.n (Array.length pos);
+  Array.iter
+    (fun (x, y) ->
+      check_bool "x in arena" true (0. <= x && x <= p.Mobility.arena);
+      check_bool "y in arena" true (0. <= y && y <= p.Mobility.arena))
+    pos
+
+let test_mobility_produces_contacts () =
+  (* A dense small arena must produce contacts. *)
+  let p = { Mobility.default_params with Mobility.n = 8; arena = 100.; horizon = 2000. } in
+  let t = Mobility.generate (Rng.create 12) p in
+  check_bool "has contacts" true (Trace.num_contacts t > 0)
+
+let test_mobility_validation () =
+  Alcotest.check_raises "range vs arena" (Invalid_argument "Mobility.generate: bad range")
+    (fun () ->
+      ignore
+        (Mobility.generate (Rng.create 0)
+           { Mobility.default_params with Mobility.range = 1000. }))
+
+(* Property: synthetic traces always make valid Trace values (round
+   trip through CSV preserves counts). *)
+let prop_synth_csv_roundtrip =
+  QCheck.Test.make ~name:"synthetic trace csv roundtrip" ~count:20
+    (QCheck.make QCheck.Gen.small_int) (fun seed ->
+      let p = { Synth.default_params with Synth.n = 5; horizon = 2000. } in
+      let t = Synth.generate (Rng.create seed) p in
+      match Trace.of_csv (Trace.to_csv t) with
+      | Error _ -> false
+      | Ok t' -> Trace.num_contacts t = Trace.num_contacts t')
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "trace"
+    [
+      ( "contact",
+        [
+          tc "normalizes" test_contact_normalizes;
+          tc "validation" test_contact_validation;
+          tc "ends" test_contact_ends;
+        ] );
+      ( "trace",
+        [
+          tc "sorted" test_trace_sorted;
+          tc "validation" test_trace_validation;
+          tc "restrict" test_trace_restrict;
+          tc "to_tvg" test_trace_to_tvg;
+          tc "stats" test_trace_stats;
+        ] );
+      ( "csv",
+        [
+          tc "roundtrip" test_csv_roundtrip;
+          tc "headerless" test_csv_headerless;
+          tc "bad line" test_csv_bad_line;
+          tc "comments/blanks" test_csv_comments_and_blanks;
+          tc "save/load" test_save_load;
+          QCheck_alcotest.to_alcotest prop_synth_csv_roundtrip;
+        ] );
+      ( "synth",
+        [
+          tc "deterministic" test_synth_deterministic;
+          tc "within bounds" test_synth_within_bounds;
+          tc "no pair overlap" test_synth_no_pair_overlap;
+          tc "heavy tail" test_synth_heavy_tail;
+          tc "density profile" test_synth_density_profile;
+          tc "ramp profile" test_synth_ramp_profile;
+          tc "ramp raises degree" test_synth_ramp_raises_late_degree;
+          tc "validation" test_synth_validation;
+        ] );
+      ( "mobility",
+        [
+          tc "deterministic" test_mobility_deterministic;
+          tc "bounds" test_mobility_bounds;
+          tc "positions in arena" test_mobility_positions_in_arena;
+          tc "produces contacts" test_mobility_produces_contacts;
+          tc "validation" test_mobility_validation;
+        ] );
+    ]

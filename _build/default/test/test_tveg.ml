@@ -1,0 +1,452 @@
+(* Tests for tmedb_tveg: the TVEG model (Def. 3.2), discrete time sets
+   (Section V) and discrete cost sets (Section VI-A). *)
+
+open Tmedb_prelude
+open Tmedb_channel
+open Tmedb_tveg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let iv lo hi = Interval.make ~lo ~hi
+let link lo hi dist = { Tveg.iv = iv lo hi; dist }
+let span10 = iv 0. 10.
+
+(* 0--1 on [0,4) at 10 m and [6,8) at 20 m; 1--2 on [3,7) at 15 m. *)
+let sample ?(tau = 0.) () =
+  Tveg.create ~n:3 ~span:span10 ~tau
+    [ (0, 1, link 0. 4. 10.); (0, 1, link 6. 8. 20.); (1, 2, link 3. 7. 15.) ]
+
+(* ------------------------------------------------------------------ *)
+(* Tveg *)
+
+let test_tveg_links_sorted () =
+  let g = sample () in
+  let ls = Tveg.links g 1 0 in
+  check_int "two contacts" 2 (List.length ls);
+  match ls with
+  | [ a; b ] -> check_bool "sorted" true (a.Tveg.iv.Interval.lo < b.Tveg.iv.Interval.lo)
+  | _ -> Alcotest.fail "expected two links"
+
+let test_tveg_dist_at () =
+  let g = sample () in
+  Alcotest.(check (option (float 0.))) "first contact" (Some 10.) (Tveg.dist_at g 0 1 2.);
+  Alcotest.(check (option (float 0.))) "second contact" (Some 20.) (Tveg.dist_at g 0 1 7.);
+  Alcotest.(check (option (float 0.))) "gap" None (Tveg.dist_at g 0 1 5.)
+
+let test_tveg_rho_tau () =
+  let g = sample ~tau:1. () in
+  check_bool "fits" true (Tveg.rho_tau g 0 1 2.9);
+  check_bool "overruns" false (Tveg.rho_tau g 0 1 3.5);
+  Alcotest.(check (option (float 0.))) "dist honours tau" None (Tveg.dist_at g 0 1 3.5)
+
+let test_tveg_ed_at () =
+  let g = sample () in
+  let phy = Phy.default in
+  (match Tveg.ed_at g ~phy ~channel:`Static 0 1 2. with
+  | Ed_function.Step { w_th } ->
+      check_bool "threshold from distance" true
+        (Futil.approx_eq w_th (Phy.min_cost phy ~dist:10.))
+  | _ -> Alcotest.fail "expected step");
+  (match Tveg.ed_at g ~phy ~channel:`Rayleigh 0 1 2. with
+  | Ed_function.Rayleigh _ -> ()
+  | _ -> Alcotest.fail "expected rayleigh");
+  match Tveg.ed_at g ~phy ~channel:`Static 0 2 2. with
+  | Ed_function.Absent -> ()
+  | _ -> Alcotest.fail "expected absent"
+
+let test_tveg_neighbors () =
+  let g = sample () in
+  Alcotest.(check (list (pair int (float 0.)))) "node 1 at 3.5"
+    [ (0, 10.); (2, 15.) ]
+    (Tveg.neighbors_at g 1 3.5)
+
+let test_tveg_of_trace () =
+  let open Tmedb_trace in
+  let trace =
+    Trace.make ~n:3 ~span:span10 [ Contact.make ~a:0 ~b:1 ~iv:(iv 1. 2.) ~dist:5. ]
+  in
+  let g = Tveg.of_trace ~tau:0. trace in
+  Alcotest.(check (option (float 0.))) "dist carried" (Some 5.) (Tveg.dist_at g 0 1 1.5)
+
+let test_tveg_adjacent_partition () =
+  let g = sample () in
+  let p = Tveg.adjacent_partition g 1 in
+  Alcotest.(check (array (float 1e-9))) "P^ad_1" [| 0.; 3.; 4.; 6.; 7.; 8.; 10. |]
+    (Tmedb_tvg.Partition.points p)
+
+let test_tveg_restrict () =
+  let g = sample () in
+  let r = Tveg.restrict g ~span:(iv 3. 7.) in
+  Alcotest.(check (option (float 0.))) "clipped still there" (Some 10.) (Tveg.dist_at r 0 1 3.5);
+  Alcotest.(check (option (float 0.))) "outside gone" None (Tveg.dist_at r 0 1 7.5)
+
+let test_tveg_validation () =
+  Alcotest.check_raises "bad distance" (Invalid_argument "Tveg.create: non-positive distance")
+    (fun () -> ignore (Tveg.create ~n:2 ~span:span10 ~tau:0. [ (0, 1, link 0. 1. 0.) ]));
+  Alcotest.check_raises "negative tau" (Invalid_argument "Tveg.create: negative tau") (fun () ->
+      ignore (Tveg.create ~n:2 ~span:span10 ~tau:(-1.) []))
+
+(* ------------------------------------------------------------------ *)
+(* Dts *)
+
+let test_dts_tau0_contains_adjacent_points () =
+  let g = sample () in
+  let dts = Dts.compute g ~deadline:10. in
+  (* Node 0's own boundaries all present. *)
+  let p0 = Dts.node_points dts 0 in
+  List.iter
+    (fun t -> check_bool (Printf.sprintf "point %g" t) true (Array.exists (Float.equal t) p0))
+    [ 0.; 4.; 6.; 8. ]
+
+let test_dts_tau0_closure_copies_points () =
+  let g = sample () in
+  let dts = Dts.compute g ~deadline:10. in
+  (* Node 2's boundary 3 happens while 0--1 is live, so it must be
+     copied onto nodes 1 and 0 (receive instants under tau = 0). *)
+  let p0 = Dts.node_points dts 0 in
+  check_bool "copied via closure" true (Array.exists (Float.equal 3.) p0)
+
+let test_dts_deadline_clips () =
+  let g = sample () in
+  let dts = Dts.compute g ~deadline:5. in
+  Array.iteri
+    (fun i _ ->
+      Array.iter
+        (fun p -> check_bool "within deadline" true (p <= 5.))
+        (Dts.node_points dts i))
+    (Array.make 3 ())
+
+let test_dts_tau_positive_propagates () =
+  let g = sample ~tau:0.5 () in
+  let dts = Dts.compute g ~deadline:10. in
+  (* Node 1 can receive at 3 + 0.5 from node 2's boundary at 3
+     (2 transmits at 3). *)
+  let p1 = Dts.node_points dts 1 in
+  check_bool "receive point 3.5" true (Array.exists (Float.equal 3.5) p1)
+
+let test_dts_latest_at_or_before () =
+  let g = sample () in
+  let dts = Dts.compute g ~deadline:10. in
+  (match Dts.latest_at_or_before dts 0 5. with
+  | Some p -> check_bool "<= query" true (p <= 5.)
+  | None -> Alcotest.fail "expected a point");
+  check_bool "before first" true (Dts.latest_at_or_before dts 0 (-1.) = None)
+
+let test_dts_index_of_point () =
+  let g = sample () in
+  let dts = Dts.compute g ~deadline:10. in
+  let p0 = Dts.node_points dts 0 in
+  Array.iteri
+    (fun idx p ->
+      Alcotest.(check (option int)) "index roundtrip" (Some idx) (Dts.index_of_point dts 0 p))
+    p0;
+  check_bool "missing point" true (Dts.index_of_point dts 0 99. = None)
+
+let test_dts_cap_truncates () =
+  (* The cap bounds propagation additions; a node always keeps its own
+     adjacent-partition points. *)
+  let g = sample ~tau:0.25 () in
+  let cap = 3 in
+  let dts = Dts.compute ~cap_per_node:cap g ~deadline:10. in
+  for i = 0 to 2 do
+    let base =
+      Array.length (Tmedb_tvg.Partition.points (Tveg.adjacent_partition g i))
+    in
+    check_bool "capped" true (Array.length (Dts.node_points dts i) <= Stdlib.max base cap)
+  done
+
+let test_dts_earliest_at_or_after () =
+  let g = sample () in
+  let dts = Dts.compute g ~deadline:10. in
+  (match Dts.earliest_at_or_after dts 0 5. with
+  | Some p -> check_bool ">= query" true (p >= 5.)
+  | None -> Alcotest.fail "expected a point");
+  check_bool "past last" true (Dts.earliest_at_or_after dts 0 99. = None);
+  (* Round-trip with latest_at_or_before around an existing point. *)
+  let p0 = Dts.node_points dts 0 in
+  Array.iter
+    (fun p ->
+      Alcotest.(check (option (float 0.))) "exact hit" (Some p) (Dts.earliest_at_or_after dts 0 p))
+    p0
+
+let test_dts_source_pruning () =
+  (* 0--1 on [0,4); 1--2 on [3,7): node 2 cannot hold the packet from
+     source 0 before t = 3, so its earlier points are pruned. *)
+  let g =
+    Tveg.create ~n:3 ~span:span10 ~tau:0. [ (0, 1, link 0. 4. 10.); (1, 2, link 3. 7. 10.) ]
+  in
+  let pruned = Dts.compute ~source:0 g ~deadline:10. in
+  let unpruned = Dts.compute g ~deadline:10. in
+  Array.iter
+    (fun p -> check_bool "node 2 points >= 3" true (p >= 3.))
+    (Dts.node_points pruned 2);
+  check_bool "pruning shrinks" true (Dts.total_points pruned <= Dts.total_points unpruned);
+  (* The source itself keeps its full point set. *)
+  check_int "source keeps points" (Array.length (Dts.node_points unpruned 0))
+    (Array.length (Dts.node_points pruned 0))
+
+let test_dts_unreachable_sentinel () =
+  let g = Tveg.create ~n:3 ~span:span10 ~tau:0. [ (0, 1, link 0. 4. 10.) ] in
+  let dts = Dts.compute ~source:0 g ~deadline:10. in
+  (* Node 2 is isolated: it still owns one sentinel point. *)
+  check_int "sentinel" 1 (Array.length (Dts.node_points dts 2))
+
+let test_dts_bad_deadline () =
+  let g = sample () in
+  Alcotest.check_raises "outside span"
+    (Invalid_argument "Dts.compute: deadline outside the graph span") (fun () ->
+      ignore (Dts.compute g ~deadline:11.))
+
+(* Paper bound: with tau = 0 total points are O(N^2 L). *)
+let test_dts_size_bound_tau0 () =
+  let rng = Rng.create 99 in
+  let entries = ref [] in
+  let n = 6 in
+  let contacts_per_pair = 3 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      for _ = 1 to contacts_per_pair do
+        let lo = Rng.float rng 8. in
+        let hi = Float.min 10. (lo +. 0.5 +. Rng.float rng 1.) in
+        if hi > lo then entries := (i, j, link lo hi 5.) :: !entries
+      done
+    done
+  done;
+  let g = Tveg.create ~n ~span:span10 ~tau:0. !entries in
+  let dts = Dts.compute g ~deadline:10. in
+  (* L = max per-node adjacent-partition size. *)
+  let l =
+    List.fold_left
+      (fun acc i ->
+        Stdlib.max acc
+          (Array.length (Tmedb_tvg.Partition.points (Tveg.adjacent_partition g i))))
+      0
+      (List.init n (fun i -> i))
+  in
+  check_bool "O(N^2 L)" true (Dts.total_points dts <= n * n * l)
+
+(* ------------------------------------------------------------------ *)
+(* Dcs *)
+
+let test_dcs_static_levels () =
+  let g = sample () in
+  let phy = Phy.default in
+  let levels = Dcs.at g ~phy ~channel:`Static ~node:1 ~time:3.5 in
+  check_int "two levels" 2 (List.length levels);
+  (match levels with
+  | [ l1; l2 ] ->
+      (* Nearest neighbour 0 at 10 m, then 2 at 15 m. *)
+      Alcotest.(check (list int)) "level 1 covers" [ 0 ] l1.Dcs.covered;
+      Alcotest.(check (list int)) "level 2 covers" [ 0; 2 ] l2.Dcs.covered;
+      check_bool "increasing" true (l1.Dcs.cost < l2.Dcs.cost);
+      check_bool "cost = min cost" true
+        (Futil.approx_eq l1.Dcs.cost (Phy.min_cost phy ~dist:10.))
+  | _ -> Alcotest.fail "expected two levels")
+
+let test_dcs_rayleigh_uses_epsilon_cost () =
+  let g = sample () in
+  let phy = Phy.default in
+  match Dcs.at g ~phy ~channel:`Rayleigh ~node:1 ~time:3.5 with
+  | l1 :: _ ->
+      check_bool "w0 weight" true
+        (Futil.approx_eq l1.Dcs.cost (Phy.fading_reference_cost phy ~dist:10.))
+  | [] -> Alcotest.fail "expected levels"
+
+let test_dcs_empty_when_isolated () =
+  let g = sample () in
+  check_int "no neighbours" 0 (List.length (Dcs.at g ~phy:Phy.default ~channel:`Static ~node:2 ~time:1.))
+
+let test_dcs_drops_beyond_wmax () =
+  let g = sample () in
+  (* A w_max below the 15 m cost keeps only the 10 m neighbour. *)
+  let phy = Phy.make ~w_max:(Phy.min_cost Phy.default ~dist:12.) () in
+  let levels = Dcs.at g ~phy ~channel:`Static ~node:1 ~time:3.5 in
+  check_int "one level" 1 (List.length levels);
+  match levels with
+  | [ l ] -> Alcotest.(check (list int)) "nearest only" [ 0 ] l.Dcs.covered
+  | _ -> Alcotest.fail "expected one level"
+
+let test_dcs_equal_costs_merge () =
+  let g =
+    Tveg.create ~n:3 ~span:span10 ~tau:0. [ (0, 1, link 0. 5. 10.); (0, 2, link 0. 5. 10.) ]
+  in
+  let levels = Dcs.at g ~phy:Phy.default ~channel:`Static ~node:0 ~time:1. in
+  check_int "merged" 1 (List.length levels);
+  match levels with
+  | [ l ] -> Alcotest.(check (list int)) "both covered" [ 1; 2 ] l.Dcs.covered
+  | _ -> Alcotest.fail "expected a single level"
+
+let test_dcs_level_covering () =
+  let g = sample () in
+  let levels = Dcs.at g ~phy:Phy.default ~channel:`Static ~node:1 ~time:3.5 in
+  (match Dcs.level_covering levels ~k:2 with
+  | Some l -> check_int "covers 2" 2 (List.length l.Dcs.covered)
+  | None -> Alcotest.fail "expected level");
+  check_bool "cannot cover 3" true (Dcs.level_covering levels ~k:3 = None)
+
+(* Property 6.1 (broadcast nature) on random instances: every level's
+   covered set contains the previous level's. *)
+let prop_dcs_nested =
+  QCheck.Test.make ~name:"DCS levels nested (Property 6.1)" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 5 in
+      let entries = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Rng.bool rng then begin
+            let d = 5. +. Rng.float rng 50. in
+            entries := (i, j, link 0. 10. d) :: !entries
+          end
+        done
+      done;
+      let g = Tveg.create ~n ~span:span10 ~tau:0. !entries in
+      let levels = Dcs.at g ~phy:Phy.default ~channel:`Static ~node:0 ~time:1. in
+      let rec nested = function
+        | a :: (b :: _ as rest) ->
+            List.for_all (fun x -> List.mem x b.Dcs.covered) a.Dcs.covered
+            && a.Dcs.cost <= b.Dcs.cost && nested rest
+        | _ -> true
+      in
+      nested levels)
+
+let prop_dts_points_in_range =
+  QCheck.Test.make ~name:"DTS points within [span.lo, deadline]" ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 4 in
+      let entries = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Rng.bool rng then begin
+            let lo = Rng.float rng 8. in
+            let hi = Float.min 10. (lo +. 0.5 +. Rng.float rng 2.) in
+            if hi > lo then entries := (i, j, link lo hi 10.) :: !entries
+          end
+        done
+      done;
+      let g = Tveg.create ~n ~span:span10 ~tau:0. !entries in
+      let deadline = 5. +. Rng.float rng 5. in
+      let dts = Dts.compute g ~deadline in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        Array.iter (fun p -> if p < 0. || p > deadline then ok := false) (Dts.node_points dts i)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Nondet *)
+
+let nondet_sample_graph () =
+  Nondet.create ~n:3 ~span:span10 ~tau:0.
+    [
+      { Nondet.a = 0; b = 1; link = link 0. 5. 10.; presence_prob = 1. };
+      { Nondet.a = 1; b = 2; link = link 4. 8. 15.; presence_prob = 0.5 };
+      { Nondet.a = 0; b = 2; link = link 6. 9. 30.; presence_prob = 0.1 };
+    ]
+
+let test_nondet_support () =
+  let nd = nondet_sample_graph () in
+  let s = Nondet.support nd in
+  check_bool "all contacts present" true
+    (Tveg.rho_tau s 0 1 1. && Tveg.rho_tau s 1 2 5. && Tveg.rho_tau s 0 2 7.)
+
+let test_nondet_threshold () =
+  let nd = nondet_sample_graph () in
+  let t = Nondet.threshold nd ~min_prob:0.4 in
+  check_bool "certain link kept" true (Tveg.rho_tau t 0 1 1.);
+  check_bool "likely link kept" true (Tveg.rho_tau t 1 2 5.);
+  check_bool "unlikely link dropped" false (Tveg.rho_tau t 0 2 7.)
+
+let test_nondet_sample_respects_probabilities () =
+  let nd = nondet_sample_graph () in
+  let rng = Rng.create 31 in
+  let kept_05 = ref 0 and kept_1 = ref 0 and trials = 2000 in
+  for _ = 1 to trials do
+    let r = Nondet.sample rng nd in
+    if Tveg.rho_tau r 1 2 5. then incr kept_05;
+    if Tveg.rho_tau r 0 1 1. then incr kept_1
+  done;
+  check_int "certain link always kept" trials !kept_1;
+  let rate = float_of_int !kept_05 /. float_of_int trials in
+  check_bool "half-probability link near 0.5" true (Float.abs (rate -. 0.5) < 0.05)
+
+let test_nondet_of_tveg () =
+  let g = sample () in
+  let nd = Nondet.of_tveg g ~presence_prob:0.7 in
+  check_int "all contacts lifted" 3 (List.length (Nondet.contacts nd));
+  List.iter
+    (fun c -> check_bool "prob carried" true (c.Nondet.presence_prob = 0.7))
+    (Nondet.contacts nd)
+
+let test_nondet_validation () =
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Nondet.create: probability outside [0,1]") (fun () ->
+      ignore
+        (Nondet.create ~n:2 ~span:span10 ~tau:0.
+           [ { Nondet.a = 0; b = 1; link = link 0. 1. 5.; presence_prob = 1.5 } ]))
+
+let test_nondet_evaluate () =
+  let nd = nondet_sample_graph () in
+  let r =
+    Nondet.evaluate ~trials:50 ~rng:(Rng.create 3) nd ~check:(fun realization ->
+        (* Score: 1 if the flaky 1-2 link materialised. *)
+        if Tveg.rho_tau realization 1 2 5. then (1., true, 0.) else (0., false, 1.))
+  in
+  check_int "trials" 50 r.Nondet.trials;
+  check_bool "rate near 1/2" true (0.2 < r.Nondet.mean_delivery && r.Nondet.mean_delivery < 0.8);
+  check_bool "waste complements delivery" true
+    (Float.abs (r.Nondet.mean_delivery +. r.Nondet.mean_energy_wasted -. 1.) < 1e-9)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tveg"
+    [
+      ( "tveg",
+        [
+          tc "links sorted" test_tveg_links_sorted;
+          tc "dist_at" test_tveg_dist_at;
+          tc "rho_tau" test_tveg_rho_tau;
+          tc "ed_at" test_tveg_ed_at;
+          tc "neighbors" test_tveg_neighbors;
+          tc "of_trace" test_tveg_of_trace;
+          tc "adjacent partition" test_tveg_adjacent_partition;
+          tc "restrict" test_tveg_restrict;
+          tc "validation" test_tveg_validation;
+        ] );
+      ( "dts",
+        [
+          tc "tau0 adjacent points" test_dts_tau0_contains_adjacent_points;
+          tc "tau0 closure copies" test_dts_tau0_closure_copies_points;
+          tc "deadline clips" test_dts_deadline_clips;
+          tc "tau>0 propagates" test_dts_tau_positive_propagates;
+          tc "latest at or before" test_dts_latest_at_or_before;
+          tc "index of point" test_dts_index_of_point;
+          tc "cap truncates" test_dts_cap_truncates;
+          tc "earliest at or after" test_dts_earliest_at_or_after;
+          tc "source pruning" test_dts_source_pruning;
+          tc "unreachable sentinel" test_dts_unreachable_sentinel;
+          tc "bad deadline" test_dts_bad_deadline;
+          tc "size bound tau0" test_dts_size_bound_tau0;
+          QCheck_alcotest.to_alcotest prop_dts_points_in_range;
+        ] );
+      ( "dcs",
+        [
+          tc "static levels" test_dcs_static_levels;
+          tc "rayleigh epsilon-cost" test_dcs_rayleigh_uses_epsilon_cost;
+          tc "empty when isolated" test_dcs_empty_when_isolated;
+          tc "drops beyond w_max" test_dcs_drops_beyond_wmax;
+          tc "equal costs merge" test_dcs_equal_costs_merge;
+          tc "level covering" test_dcs_level_covering;
+          QCheck_alcotest.to_alcotest prop_dcs_nested;
+        ] );
+      ( "nondet",
+        [
+          tc "support" test_nondet_support;
+          tc "threshold" test_nondet_threshold;
+          tc "sample respects probabilities" test_nondet_sample_respects_probabilities;
+          tc "of_tveg" test_nondet_of_tveg;
+          tc "validation" test_nondet_validation;
+          tc "evaluate" test_nondet_evaluate;
+        ] );
+    ]
