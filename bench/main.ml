@@ -4,10 +4,16 @@
 
    Usage:
      dune exec bench/main.exe            -- everything (figures, ablations, kernels)
-     dune exec bench/main.exe quick      -- reduced-scale smoke run
+     dune exec bench/main.exe quick      -- reduced-scale smoke run (writes BENCH_1.json)
      dune exec bench/main.exe fig4a      -- a single figure (fig4a..fig7b)
      dune exec bench/main.exe ablation   -- design-choice ablations
      dune exec bench/main.exe bechamel   -- kernel timings only
+     dune exec bench/main.exe baseline   -- parallel baseline only (writes BENCH_1.json)
+
+   Every mode accepts `--jobs K` (default: TMEDB_JOBS or the core
+   count): the figure sweeps and Monte-Carlo loops fan out over K
+   domains.  Results are bit-identical at any K — per-task RNG
+   splitting — which the baseline mode verifies explicitly.
 
    Figures (paper <-> here):
      fig4a/fig4b  energy vs delay constraint, (FR-)EEDCB, N in {10,20,30}
@@ -20,6 +26,10 @@
    the reproduction target.  See EXPERIMENTS.md. *)
 
 open Tmedb
+
+(* The worker pool shared by every mode; None means sequential. *)
+let pool : Tmedb_prelude.Pool.t option ref = ref None
+let jobs = ref 1
 
 let bench_config =
   { Experiment.default_config with Experiment.sources = 2; mc_trials = 300 }
@@ -57,7 +67,8 @@ let fig4 config variant =
   let name = match variant with `Static -> "fig4a" | `Fading -> "fig4b" in
   timed name (fun () ->
       let series =
-        Experiment.fig4 ~config ~variant ~deadlines:(deadlines_of config) ~ns:(sizes_of config) ()
+        Experiment.fig4 ~config ?pool:!pool ~variant ~deadlines:(deadlines_of config)
+          ~ns:(sizes_of config) ()
       in
       let label =
         match variant with
@@ -69,7 +80,9 @@ let fig4 config variant =
 let fig5 config variant =
   let name = match variant with `Static -> "fig5a" | `Fading -> "fig5b" in
   timed name (fun () ->
-      let series = Experiment.fig5 ~config ~variant ~deadlines:(deadlines_of config) () in
+      let series =
+        Experiment.fig5 ~config ?pool:!pool ~variant ~deadlines:(deadlines_of config) ()
+      in
       let label =
         match variant with
         | `Static -> "Fig 5(a): energy vs delay constraint, static algorithms"
@@ -80,7 +93,7 @@ let fig5 config variant =
 let fig6 config part =
   let name = match part with `Energy -> "fig6a" | `Delivery -> "fig6b" in
   timed name (fun () ->
-      let energy, delivery = Experiment.fig6 ~config ~ns:(fig6_sizes config) () in
+      let energy, delivery = Experiment.fig6 ~config ?pool:!pool ~ns:(fig6_sizes config) () in
       match part with
       | `Energy ->
           Experiment.print_series
@@ -94,7 +107,7 @@ let fig6 config part =
 let fig7 config variant =
   let name = match variant with `Static -> "fig7a" | `Fading -> "fig7b" in
   timed name (fun () ->
-      let energy, degree = Experiment.fig7 ~config ~variant () in
+      let energy, degree = Experiment.fig7 ~config ?pool:!pool ~variant () in
       let label =
         match variant with
         | `Static -> "Fig 7(a): per-window energy, static algorithms (density-ramp trace)"
@@ -202,8 +215,8 @@ let extension_robustness config =
           ~channel:`Static ~source ~deadline
       in
       let r =
-        Robustness.evaluate_schedule ~trials:150 ~rng:(Tmedb_prelude.Rng.create 11) nd ~phy
-          ~channel:`Static ~source ~deadline schedule
+        Robustness.evaluate_schedule ~trials:150 ?pool:!pool ~rng:(Tmedb_prelude.Rng.create 11)
+          nd ~phy ~channel:`Static ~source ~deadline schedule
       in
       let energy =
         Tmedb_channel.Phy.normalized_energy phy (Schedule.total_cost schedule)
@@ -318,6 +331,125 @@ let bechamel_kernels () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel baseline: time each figure-sweep kernel with 1 domain and
+   with the configured pool, check the results are bit-identical, and
+   write BENCH_1.json so later sessions have a perf trajectory. *)
+
+let baseline_config =
+  {
+    Experiment.default_config with
+    Experiment.n = 10;
+    horizon = 6000.;
+    deadline = 1500.;
+    sources = 2;
+    mc_trials = 60;
+    dts_cap = 600;
+  }
+
+(* Each kernel maps a pool to a result fingerprint: the full list of
+   figure values, compared exactly between the 1-domain and N-domain
+   runs. *)
+let baseline_kernels : (string * (Tmedb_prelude.Pool.t option -> float list)) list =
+  let fingerprint series =
+    List.concat_map (fun s -> List.concat_map (fun (x, y) -> [ x; y ]) s.Experiment.points) series
+  in
+  [
+    ( "fig4-sweep",
+      fun pool ->
+        fingerprint
+          (Experiment.fig4 ~config:baseline_config ?pool ~variant:`Static
+             ~deadlines:[ 1000.; 1500. ] ~ns:[ 8; 10 ] ()) );
+    ( "fig5-sweep",
+      fun pool ->
+        fingerprint
+          (Experiment.fig5 ~config:baseline_config ?pool ~variant:`Fading
+             ~deadlines:[ 1000.; 1500. ] ()) );
+    ( "fig6-sweep",
+      fun pool ->
+        let energy, delivery = Experiment.fig6 ~config:baseline_config ?pool ~ns:[ 8; 10 ] () in
+        fingerprint energy @ fingerprint delivery );
+    ( "mc-simulate",
+      fun pool ->
+        let trace = Experiment.make_trace baseline_config ~n:10 in
+        let problem =
+          Experiment.make_problem baseline_config ~trace ~channel:`Rayleigh ~source:0
+            ~deadline:1500.
+        in
+        let schedule = (Greedy.run ~cap_per_node:600 problem).Greedy.schedule in
+        let sim =
+          Simulate.run ~trials:3000 ?pool ~rng:(Tmedb_prelude.Rng.create 2)
+            ~eval_channel:`Rayleigh problem schedule
+        in
+        [ sim.Simulate.delivery_ratio; sim.Simulate.mean_energy_spent ] );
+  ]
+
+let baseline () =
+  let open Tmedb_prelude in
+  section (Printf.sprintf "Parallel baseline: 1 domain vs %d (BENCH_1.json)" !jobs);
+  let timed_run f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let deterministic = ref true in
+  Printf.printf "%-16s %12s %12s %9s %13s\n" "kernel" "1 domain (s)"
+    (Printf.sprintf "%d dom. (s)" !jobs)
+    "speedup" "deterministic";
+  let rows =
+    List.map
+      (fun (name, kernel) ->
+        let seq_result, seq_s = timed_run (fun () -> kernel None) in
+        let par_result, par_s = timed_run (fun () -> kernel !pool) in
+        let same = List.for_all2 Float.equal seq_result par_result in
+        if not same then deterministic := false;
+        let speedup = seq_s /. Float.max par_s 1e-9 in
+        Printf.printf "%-16s %12.3f %12.3f %8.2fx %13b\n%!" name seq_s par_s speedup same;
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("seconds_1", Json.Num seq_s);
+            ("seconds_jobs", Json.Num par_s);
+            ("speedup", Json.Num speedup);
+          ])
+      baseline_kernels
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench_pr", Json.Num 1.);
+        ("jobs", Json.Num (float_of_int !jobs));
+        ("deterministic", Json.Bool !deterministic);
+        ("kernels", Json.List rows);
+      ]
+  in
+  let path = "BENCH_1.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Validate the baseline round-trips before anything regresses
+     against it. *)
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  (match Json.parse contents with
+  | Ok parsed -> (
+      match Option.bind (Json.member "kernels" parsed) Json.to_list with
+      | Some (_ :: _ as ks) ->
+          Printf.printf "%s ok (%d kernels)\n%!" path (List.length ks)
+      | Some [] | None ->
+          Printf.eprintf "%s parsed but has no kernels\n" path;
+          exit 1)
+  | Error e ->
+      Printf.eprintf "%s does not parse: %s\n" path e;
+      exit 1);
+  if not !deterministic then begin
+    Printf.eprintf "parallel results differ from the sequential run\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_figures config =
   fig4 config `Static;
@@ -331,29 +463,62 @@ let all_figures config =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel]";
+    "usage: main.exe [--jobs K] \
+     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline]";
   exit 2
+
+(* Strip `--jobs K` / `-j K` anywhere in argv; the rest selects the mode. *)
+let parse_args () =
+  let rest = ref [] in
+  let i = ref 1 in
+  let argc = Array.length Sys.argv in
+  let jobs_requested = ref None in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--jobs" | "-j" ->
+        if !i + 1 >= argc then usage ();
+        incr i;
+        (match int_of_string_opt Sys.argv.(!i) with
+        | Some k when k >= 1 -> jobs_requested := Some k
+        | Some _ | None -> usage ())
+    | arg -> rest := arg :: !rest);
+    incr i
+  done;
+  let k =
+    match !jobs_requested with
+    | Some k -> k
+    | None -> Tmedb_prelude.Pool.default_num_domains ()
+  in
+  jobs := k;
+  if k > 1 then pool := Some (Tmedb_prelude.Pool.create ~num_domains:k ());
+  List.rev !rest
 
 let () =
   let t0 = Unix.gettimeofday () in
-  (match Array.to_list Sys.argv with
-  | [ _ ] ->
+  let mode = parse_args () in
+  Printf.printf "[jobs: %d]\n%!" !jobs;
+  (match mode with
+  | [] ->
       all_figures bench_config;
       ablations bench_config;
-      bechamel_kernels ()
-  | [ _; "quick" ] ->
+      bechamel_kernels ();
+      baseline ()
+  | [ "quick" ] ->
       all_figures quick_config;
       ablations quick_config;
-      bechamel_kernels ()
-  | [ _; "fig4a" ] -> fig4 bench_config `Static
-  | [ _; "fig4b" ] -> fig4 bench_config `Fading
-  | [ _; "fig5a" ] -> fig5 bench_config `Static
-  | [ _; "fig5b" ] -> fig5 bench_config `Fading
-  | [ _; "fig6a" ] -> fig6 bench_config `Energy
-  | [ _; "fig6b" ] -> fig6 bench_config `Delivery
-  | [ _; "fig7a" ] -> fig7 bench_config `Static
-  | [ _; "fig7b" ] -> fig7 bench_config `Fading
-  | [ _; "ablation" ] -> ablations bench_config
-  | [ _; "bechamel" ] -> bechamel_kernels ()
+      bechamel_kernels ();
+      baseline ()
+  | [ "fig4a" ] -> fig4 bench_config `Static
+  | [ "fig4b" ] -> fig4 bench_config `Fading
+  | [ "fig5a" ] -> fig5 bench_config `Static
+  | [ "fig5b" ] -> fig5 bench_config `Fading
+  | [ "fig6a" ] -> fig6 bench_config `Energy
+  | [ "fig6b" ] -> fig6 bench_config `Delivery
+  | [ "fig7a" ] -> fig7 bench_config `Static
+  | [ "fig7b" ] -> fig7 bench_config `Fading
+  | [ "ablation" ] -> ablations bench_config
+  | [ "bechamel" ] -> bechamel_kernels ()
+  | [ "baseline" ] -> baseline ()
   | _ -> usage ());
+  Option.iter Tmedb_prelude.Pool.shutdown !pool;
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

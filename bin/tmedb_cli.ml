@@ -43,6 +43,29 @@ let level_arg =
     & opt int 2
     & info [ "level" ] ~docv:"L" ~doc:"Recursive-greedy level for (FR-)EEDCB (1 or 2).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"K"
+        ~doc:
+          "Worker domains for the Monte-Carlo fan-out (default: $(b,TMEDB_JOBS) or the \
+           machine's core count).  Results are independent of K: each trial gets its own \
+           split of the RNG stream.")
+
+(* 0 means "not given": fall back to the TMEDB_JOBS/core-count heuristic. *)
+let make_pool jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "tmedb_cli: --jobs must be >= 0 (0 = auto)\n";
+    exit 2
+  end;
+  let k = if jobs >= 1 then jobs else Pool.default_num_domains () in
+  if k <= 1 then None else Some (Pool.create ~num_domains:k ())
+
+let with_jobs jobs f =
+  let pool = make_pool jobs in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) (fun () -> f pool)
+
 let load_trace path =
   match Tmedb_trace.Trace.load ~path with
   | Ok t -> t
@@ -178,31 +201,36 @@ let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trials.")
 
 let compare_cmd =
-  let run deadline source seed level trials path =
+  let run deadline source seed level trials jobs path =
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
     Format.printf "source: %d  deadline: %g s  trials: %d@.@." source deadline trials;
     Format.printf "%-10s %14s %6s %10s %9s@." "algorithm" "energy" "txs" "delivery" "feasible";
-    List.iter
-      (fun algorithm ->
-        let rng = Rng.create seed in
-        let result = Experiment.run_alg config ~trace ~source ~deadline ~rng algorithm in
-        let eval = Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
-        let sim =
-          Simulate.run ~trials ~rng ~eval_channel:`Rayleigh eval result.Experiment.schedule
-        in
-        Format.printf "%-10s %14.1f %6d %9.1f%% %9b@."
-          (Experiment.algorithm_name algorithm)
-          result.Experiment.energy
-          (Schedule.num_transmissions result.Experiment.schedule)
-          (100. *. sim.Simulate.delivery_ratio)
-          result.Experiment.feasible)
-      Experiment.all_algorithms
+    with_jobs jobs (fun pool ->
+        List.iter
+          (fun algorithm ->
+            let rng = Rng.create seed in
+            let result = Experiment.run_alg config ~trace ~source ~deadline ~rng algorithm in
+            let eval =
+              Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline
+            in
+            let sim =
+              Simulate.run ~trials ?pool ~rng ~eval_channel:`Rayleigh eval
+                result.Experiment.schedule
+            in
+            Format.printf "%-10s %14.1f %6d %9.1f%% %9b@."
+              (Experiment.algorithm_name algorithm)
+              result.Experiment.energy
+              (Schedule.num_transmissions result.Experiment.schedule)
+              (100. *. sim.Simulate.delivery_ratio)
+              result.Experiment.feasible)
+          Experiment.all_algorithms)
   in
   let term =
     Term.(
-      const run $ deadline_arg $ source_arg $ seed_arg $ level_arg $ trials_arg $ trace_file_arg)
+      const run $ deadline_arg $ source_arg $ seed_arg $ level_arg $ trials_arg $ jobs_arg
+      $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run all six algorithms and compare energy/delivery (Fig. 6 style).")
@@ -219,7 +247,7 @@ let simulate_cmd =
       & info [ "schedule" ] ~docv:"FILE"
           ~doc:"Replay a saved schedule CSV instead of computing one.")
   in
-  let run algorithm deadline source seed trials schedule_file path =
+  let run algorithm deadline source seed trials jobs schedule_file path =
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed } in
@@ -237,7 +265,9 @@ let simulate_cmd =
     in
     let eval = Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
     let sim =
-      Simulate.run ~trials ~rng:(Rng.create (seed + 1)) ~eval_channel:`Rayleigh eval schedule
+      with_jobs jobs (fun pool ->
+          Simulate.run ~trials ?pool ~rng:(Rng.create (seed + 1)) ~eval_channel:`Rayleigh eval
+            schedule)
     in
     Format.printf
       "%s in Rayleigh environment (%d trials):@.  delivery %.2f%% (sd %.2f)  full delivery \
@@ -254,7 +284,7 @@ let simulate_cmd =
   in
   let term =
     Term.(
-      const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ trials_arg
+      const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ trials_arg $ jobs_arg
       $ schedule_arg $ trace_file_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo replay of a schedule in a fading channel.") term

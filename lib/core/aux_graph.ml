@@ -10,6 +10,7 @@ type t = {
   vertex : vertex array;
   source_vertex : int;
   terminals : int list;
+  base : int array;
 }
 
 let build (problem : Problem.t) dts =
@@ -38,19 +39,17 @@ let build (problem : Problem.t) dts =
         if l + 1 < Array.length pts then add_edge (base.(i) + l) (base.(i) + l + 1) 0.;
         (* Transmission level chain, when the transmission can finish. *)
         if t +. tau <= deadline then begin
-          let levels = Dcs.at g ~phy ~channel ~node:i ~time:t in
+          let levels = Dcs.marginals_at g ~phy ~channel ~node:i ~time:t in
           let prev_vertex = ref (base.(i) + l) in
           let prev_cost = ref 0. in
-          let prev_covered = ref [] in
           List.iteri
-            (fun level_idx { Dcs.cost; covered } ->
+            (fun level_idx { Dcs.cost; fresh } ->
               let x = !next_id in
               incr next_id;
               vertices :=
                 Level { node = i; point_idx = l; time = t; level_idx; cum_cost = cost }
                 :: !vertices;
               add_edge !prev_vertex x (cost -. !prev_cost);
-              let fresh = List.filter (fun j -> not (List.mem j !prev_covered)) covered in
               List.iter
                 (fun j ->
                   let t_recv = t +. tau in
@@ -71,8 +70,7 @@ let build (problem : Problem.t) dts =
                   | None -> ())
                 fresh;
               prev_vertex := x;
-              prev_cost := cost;
-              prev_covered := covered)
+              prev_cost := cost)
             levels
         end)
       pts
@@ -98,17 +96,20 @@ let build (problem : Problem.t) dts =
         end)
       (List.init n (fun i -> i))
   in
-  { graph; vertex; source_vertex; terminals }
+  { graph; vertex; source_vertex; terminals; base }
 
 let wait_vertex t ~node ~point_idx =
-  let found = ref None in
-  Array.iteri
-    (fun id v ->
-      match v with
-      | Wait w when w.node = node && w.point_idx = point_idx -> found := Some id
-      | Wait _ | Level _ -> ())
-    t.vertex;
-  !found
+  (* Wait vertices are contiguous per node starting at [base.(node)],
+     so the lookup is one offset add instead of an O(V) scan. *)
+  if node < 0 || node >= Array.length t.base || point_idx < 0 then None
+  else begin
+    let id = t.base.(node) + point_idx in
+    if id >= Array.length t.vertex then None
+    else
+      match t.vertex.(id) with
+      | Wait w when w.node = node && w.point_idx = point_idx -> Some id
+      | Wait _ | Level _ -> None
+  end
 
 let extract_schedule t (tree : Dst.tree) =
   (* Deepest chosen level per (node, DTS point). *)

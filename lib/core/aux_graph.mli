@@ -35,6 +35,9 @@ type t = {
   vertex : vertex array;  (** Vertex id → description. *)
   source_vertex : int;
   terminals : int list;  (** Last wait vertex of every non-source node. *)
+  base : int array;
+      (** [base.(i)] is the id of node [i]'s first wait vertex; wait
+          vertices are contiguous per node, making {!wait_vertex} O(1). *)
 }
 
 val build : Problem.t -> Tmedb_tveg.Dts.t -> t

@@ -126,93 +126,120 @@ let run_alg config ~trace ~source ~deadline ~rng algorithm =
 
 type series = { label : string; points : (float * float) list }
 
-(* Mean result over the configured sources for one data point. *)
-let mean_energy config ~trace ~deadline algorithm =
-  let sources = choose_sources config ~trace ~deadline in
+(* Mean result over the configured sources for one data point.  Each
+   source is an independent pool task: its stream is seeded from
+   (config.seed, k, algorithm) alone, so the mean does not depend on
+   the worker count. *)
+let mean_energy ?pool config ~trace ~deadline algorithm =
+  let sources = Array.of_list (choose_sources config ~trace ~deadline) in
   let energies =
-    List.mapi
-      (fun k source ->
+    Pool.map pool
+      (fun (k, source) ->
         let rng = Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm)) in
         (run_alg config ~trace ~source ~deadline ~rng algorithm).energy)
-      sources
+      (Array.mapi (fun k s -> (k, s)) sources)
   in
-  Stats.mean (Array.of_list energies)
+  Stats.mean energies
 
-let fig4 ?(config = default_config) ~variant ~deadlines ~ns () =
+let fig4 ?(config = default_config) ?pool ~variant ~deadlines ~ns () =
   let algorithm = match variant with `Static -> EEDCB | `Fading -> FR_EEDCB in
-  List.map
-    (fun n ->
-      let trace = make_trace config ~n in
-      let points =
-        List.map (fun t -> (t, mean_energy config ~trace ~deadline:t algorithm)) deadlines
-      in
-      { label = Printf.sprintf "%s N=%d" (algorithm_name algorithm) n; points })
-    ns
+  let ns = Array.of_list ns in
+  let deadlines = Array.of_list deadlines in
+  let traces = Pool.map pool (fun n -> make_trace config ~n) ns in
+  (* One task per (network size, deadline) grid point. *)
+  let nd = Array.length deadlines in
+  let grid = Array.init (Array.length ns * nd) (fun i -> (i / nd, i mod nd)) in
+  let energies =
+    Pool.map pool
+      (fun (ni, di) ->
+        mean_energy ?pool config ~trace:traces.(ni) ~deadline:deadlines.(di) algorithm)
+      grid
+  in
+  List.init (Array.length ns) (fun ni ->
+      {
+        label = Printf.sprintf "%s N=%d" (algorithm_name algorithm) ns.(ni);
+        points = List.init nd (fun di -> (deadlines.(di), energies.((ni * nd) + di)));
+      })
 
-let fig5 ?(config = default_config) ~variant ~deadlines () =
+let fig5 ?(config = default_config) ?pool ~variant ~deadlines () =
   let algorithms =
     match variant with
     | `Static -> [ EEDCB; GREED; RAND ]
     | `Fading -> [ FR_EEDCB; FR_GREED; FR_RAND ]
   in
   let trace = make_trace config ~n:config.n in
-  List.map
-    (fun algorithm ->
-      let points =
-        List.map (fun t -> (t, mean_energy config ~trace ~deadline:t algorithm)) deadlines
-      in
-      { label = algorithm_name algorithm; points })
-    algorithms
-
-let fig6 ?(config = default_config) ~ns () =
-  let per_algorithm = Hashtbl.create 8 in
-  let note alg kind x y =
-    let key = (algorithm_name alg, kind) in
-    let old = Option.value ~default:[] (Hashtbl.find_opt per_algorithm key) in
-    Hashtbl.replace per_algorithm key ((x, y) :: old)
+  let algs = Array.of_list algorithms in
+  let deadlines = Array.of_list deadlines in
+  let nd = Array.length deadlines in
+  let grid = Array.init (Array.length algs * nd) (fun i -> (i / nd, i mod nd)) in
+  let energies =
+    Pool.map pool
+      (fun (ai, di) -> mean_energy ?pool config ~trace ~deadline:deadlines.(di) algs.(ai))
+      grid
   in
-  List.iter
-    (fun n ->
-      let trace = make_trace config ~n in
-      let deadline = config.deadline in
-      let sources = choose_sources config ~trace ~deadline in
-      List.iter
-        (fun algorithm ->
-          let energies = ref [] and deliveries = ref [] in
-          List.iteri
-            (fun k source ->
-              let rng =
-                Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
-              in
-              let result = run_alg config ~trace ~source ~deadline ~rng algorithm in
-              (* Delivery is evaluated in the fading environment
-                 regardless of the design channel (Fig. 6). *)
-              let problem =
-                make_problem config ~trace ~channel:`Rayleigh ~source ~deadline
-              in
-              let sim =
-                Simulate.run ~trials:config.mc_trials ~rng ~eval_channel:`Rayleigh problem
-                  result.schedule
-              in
-              energies := result.energy :: !energies;
-              deliveries := sim.Simulate.delivery_ratio :: !deliveries)
-            sources;
-          note algorithm `Energy (float_of_int n) (Stats.mean (Array.of_list !energies));
-          note algorithm `Delivery (float_of_int n) (Stats.mean (Array.of_list !deliveries)))
-        all_algorithms)
-    ns;
-  let series kind =
-    List.map
-      (fun alg ->
-        let pts =
-          Option.value ~default:[] (Hashtbl.find_opt per_algorithm (algorithm_name alg, kind))
+  List.init (Array.length algs) (fun ai ->
+      {
+        label = algorithm_name algs.(ai);
+        points = List.init nd (fun di -> (deadlines.(di), energies.((ai * nd) + di)));
+      })
+
+let fig6 ?(config = default_config) ?pool ~ns () =
+  let ns = Array.of_list ns in
+  let deadline = config.deadline in
+  let traces = Pool.map pool (fun n -> make_trace config ~n) ns in
+  let sources =
+    Array.map (fun trace -> Array.of_list (choose_sources config ~trace ~deadline)) traces
+  in
+  let algs = Array.of_list all_algorithms in
+  let na = Array.length algs in
+  (* One task per (size, algorithm, source): plan the schedule, then
+     Monte-Carlo its delivery in the fading environment regardless of
+     the design channel (Fig. 6). *)
+  let tasks =
+    Array.concat
+      (List.concat
+         (List.init (Array.length ns) (fun ni ->
+              List.init na (fun ai ->
+                  Array.mapi (fun k source -> (ni, ai, k, source)) sources.(ni)))))
+  in
+  let outcomes =
+    Pool.map pool
+      (fun (ni, ai, k, source) ->
+        let algorithm = algs.(ai) in
+        let trace = traces.(ni) in
+        let rng =
+          Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
         in
-        { label = algorithm_name alg; points = List.sort compare pts })
-      all_algorithms
+        let result = run_alg config ~trace ~source ~deadline ~rng algorithm in
+        let problem = make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
+        let sim =
+          Simulate.run ~trials:config.mc_trials ?pool ~rng ~eval_channel:`Rayleigh problem
+            result.schedule
+        in
+        (ni, ai, result.energy, sim.Simulate.delivery_ratio))
+      tasks
   in
-  (series `Energy, series `Delivery)
+  (* Aggregate in task order: deterministic at any worker count. *)
+  let energy_acc = Array.make_matrix (Array.length ns) na [] in
+  let delivery_acc = Array.make_matrix (Array.length ns) na [] in
+  Array.iter
+    (fun (ni, ai, e, d) ->
+      energy_acc.(ni).(ai) <- e :: energy_acc.(ni).(ai);
+      delivery_acc.(ni).(ai) <- d :: delivery_acc.(ni).(ai))
+    outcomes;
+  let series acc =
+    List.init na (fun ai ->
+        {
+          label = algorithm_name algs.(ai);
+          points =
+            List.sort compare
+              (List.init (Array.length ns) (fun ni ->
+                   (float_of_int ns.(ni), Stats.mean (Array.of_list acc.(ni).(ai)))));
+        })
+  in
+  (series energy_acc, series delivery_acc)
 
-let fig7 ?(config = default_config) ~variant () =
+let fig7 ?(config = default_config) ?pool ~variant () =
   let algorithms =
     match variant with
     | `Static -> [ EEDCB; GREED; RAND ]
@@ -245,19 +272,25 @@ let fig7 ?(config = default_config) ~variant () =
           window_starts;
     }
   in
+  let algs = Array.of_list algorithms in
+  let windows = Array.of_list window_starts in
+  let nw = Array.length windows in
+  let grid = Array.init (Array.length algs * nw) (fun i -> (i / nw, i mod nw)) in
+  let energies =
+    Pool.map pool
+      (fun (ai, wi) ->
+        let t0 = windows.(wi) in
+        let hi = Float.min config.horizon (t0 +. config.deadline) in
+        let sub = Trace.restrict trace ~span:(Interval.make ~lo:t0 ~hi) in
+        mean_energy ?pool config ~trace:sub ~deadline:hi algs.(ai))
+      grid
+  in
   let energy_series =
-    List.map
-      (fun algorithm ->
-        let points =
-          List.map
-            (fun t0 ->
-              let hi = Float.min config.horizon (t0 +. config.deadline) in
-              let sub = Trace.restrict trace ~span:(Interval.make ~lo:t0 ~hi) in
-              (t0, mean_energy config ~trace:sub ~deadline:hi algorithm))
-            window_starts
-        in
-        { label = algorithm_name algorithm; points })
-      algorithms
+    List.init (Array.length algs) (fun ai ->
+        {
+          label = algorithm_name algs.(ai);
+          points = List.init nw (fun wi -> (windows.(wi), energies.((ai * nw) + wi)));
+        })
   in
   (energy_series, degree)
 

@@ -61,22 +61,31 @@ val run_alg :
 
 type series = { label : string; points : (float * float) list }
 
+(** Each figure function takes an optional [pool]: the per-point
+    fan-out (network sizes × deadlines/windows × sources, and the
+    Monte-Carlo trials underneath) then runs across its domains.
+    Results are bit-identical at any worker count — every task seeds
+    or splits its own RNG stream up front — so a parallel sweep
+    reproduces the sequential figures exactly. *)
+
 val fig4 :
-  ?config:config -> variant:[ `Static | `Fading ] -> deadlines:float list -> ns:int list ->
-  unit -> series list
+  ?config:config -> ?pool:Pool.t -> variant:[ `Static | `Fading ] -> deadlines:float list ->
+  ns:int list -> unit -> series list
 (** Fig. 4: normalised energy vs delay constraint for (FR-)EEDCB, one
     series per network size. *)
 
 val fig5 :
-  ?config:config -> variant:[ `Static | `Fading ] -> deadlines:float list -> unit -> series list
+  ?config:config -> ?pool:Pool.t -> variant:[ `Static | `Fading ] -> deadlines:float list ->
+  unit -> series list
 (** Fig. 5: energy vs delay constraint for the three (FR-)algorithms. *)
 
-val fig6 : ?config:config -> ns:int list -> unit -> series list * series list
+val fig6 : ?config:config -> ?pool:Pool.t -> ns:int list -> unit -> series list * series list
 (** Fig. 6: (a) energy and (b) Monte-Carlo Rayleigh delivery ratio vs
     network size, for all six algorithms. *)
 
 val fig7 :
-  ?config:config -> variant:[ `Static | `Fading ] -> unit -> series list * series
+  ?config:config -> ?pool:Pool.t -> variant:[ `Static | `Fading ] -> unit ->
+  series list * series
 (** Fig. 7: per-500 s-window energy for the three (FR-)algorithms over
     [5000 s, 15000 s] on a density-ramp trace, plus the average node
     degree series. *)

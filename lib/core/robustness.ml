@@ -1,7 +1,7 @@
 open Tmedb_tveg
 
-let evaluate_schedule ?trials ~rng nondet ~phy ~channel ~source ~deadline schedule =
-  Nondet.evaluate ?trials ~rng nondet ~check:(fun realization ->
+let evaluate_schedule ?trials ?pool ~rng nondet ~phy ~channel ~source ~deadline schedule =
+  Nondet.evaluate ?trials ?pool ~rng nondet ~check:(fun realization ->
       let problem = Problem.make ~graph:realization ~phy ~channel ~source ~deadline () in
       let report = Feasibility.check problem schedule in
       let wasted =

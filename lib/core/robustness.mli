@@ -12,6 +12,7 @@ open Tmedb_tveg
 
 val evaluate_schedule :
   ?trials:int ->
+  ?pool:Pool.t ->
   rng:Rng.t ->
   Nondet.t ->
   phy:Tmedb_channel.Phy.t ->

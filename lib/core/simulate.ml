@@ -82,14 +82,26 @@ let one_trial ~rng ~eval_channel problem schedule =
   in
   (float_of_int informed /. float_of_int n, !energy, completion)
 
-let run ?(trials = 500) ~rng ~eval_channel problem schedule =
+let run ?(trials = 500) ?pool ~rng ~eval_channel problem schedule =
   if trials <= 0 then invalid_arg "Simulate.run: trials <= 0";
+  (* Split the stream per trial up front: trial k's stream is a
+     function of the incoming generator state and k alone, so the
+     result is bit-identical at any pool size (including none). *)
+  let rngs = Array.make trials rng in
+  for k = 0 to trials - 1 do
+    rngs.(k) <- Rng.split rng
+  done;
+  let outcomes =
+    (* Trials are sub-millisecond: chunk them so per-task queue traffic
+       does not dominate. *)
+    Pool.map_chunked pool (fun r -> one_trial ~rng:r ~eval_channel problem schedule) rngs
+  in
   let deliveries = Array.make trials 0. in
   let energies = Array.make trials 0. in
   let completions = ref [] in
   let full = ref 0 in
-  for k = 0 to trials - 1 do
-    let delivery, energy, completion = one_trial ~rng ~eval_channel problem schedule in
+  for k = trials - 1 downto 0 do
+    let delivery, energy, completion = outcomes.(k) in
     deliveries.(k) <- delivery;
     energies.(k) <- energy;
     match completion with

@@ -23,9 +23,13 @@ type result = {
 
 val run :
   ?trials:int ->
+  ?pool:Pool.t ->
   rng:Rng.t ->
   eval_channel:Tveg.channel ->
   Problem.t ->
   Schedule.t ->
   result
-(** Default 500 trials.  Deterministic in the generator state. *)
+(** Default 500 trials.  Deterministic in the generator state: the
+    stream is split per trial up front ({!Rng.split}), so the result
+    is bit-identical whether trials run sequentially or on [pool],
+    at any worker count. *)

@@ -1,0 +1,32 @@
+(** Minimal JSON tree, emitter and parser (no external dependency).
+
+    Exists for the machine-readable bench baselines ([BENCH_*.json]):
+    later sessions parse the previous baseline and regress against it,
+    so both directions must round-trip.  Numbers are floats (ints emit
+    without a fractional part); strings must be valid UTF-8 and are
+    escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize; [indent] > 0 pretty-prints with that step (default 2).
+    [indent] = 0 gives a compact single line. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries a
+    character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+(** The number in a [Num]; [None] otherwise. *)
+
+val to_list : t -> t list option
+(** The elements of a [List]; [None] otherwise. *)

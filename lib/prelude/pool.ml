@@ -1,0 +1,173 @@
+type t = {
+  size : int;  (* logical workers: spawned domains + caller *)
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_num_domains () =
+  let requested =
+    match Sys.getenv_opt "TMEDB_JOBS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some k when k >= 1 -> k
+        | Some _ | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  Stdlib.max 1 (Stdlib.min 128 requested)
+
+let num_domains t = t.size
+
+(* Workers block on the queue; jobs are wrapped by the batch machinery
+   and never raise. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some job -> Some job
+    | None ->
+        if t.stopping then None
+        else begin
+          Condition.wait t.work_available t.mutex;
+          next ()
+        end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+
+let create ?num_domains () =
+  let size =
+    match num_domains with
+    | None -> default_num_domains ()
+    | Some k when k >= 1 -> Stdlib.min 128 k
+    | Some k -> invalid_arg (Printf.sprintf "Pool.create: num_domains %d < 1" k)
+  in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [count] task indices through [run_one].  The caller enqueues
+   every index and then helps drain the queue until its batch
+   completes; while helping it may execute tasks of *other* batches
+   (nested parallel_map), which is what makes nesting deadlock-free. *)
+let run_batch t ~count run_one =
+  let remaining = Atomic.make count in
+  let error = Atomic.make None in
+  let done_mutex = Mutex.create () in
+  let batch_done = Condition.create () in
+  let job i () =
+    (match Atomic.get error with
+    | Some _ -> () (* batch already failed: skip the work, still count down *)
+    | None -> (
+        try run_one i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt)))));
+    if Atomic.fetch_and_add remaining (-1) = 1 then begin
+      Mutex.lock done_mutex;
+      Condition.broadcast batch_done;
+      Mutex.unlock done_mutex
+    end
+  in
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: submitted to a shut-down pool"
+  end;
+  for i = 0 to count - 1 do
+    Queue.add (job i) t.queue
+  done;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  let rec drain () =
+    if Atomic.get remaining > 0 then begin
+      Mutex.lock t.mutex;
+      let job = Queue.take_opt t.queue in
+      Mutex.unlock t.mutex;
+      match job with
+      | Some job ->
+          job ();
+          drain ()
+      | None ->
+          (* The queue is empty, so every task of this batch is done or
+             in flight on another domain: sleep until the last one
+             signals, instead of burning a timeslice spinning. *)
+          Mutex.lock done_mutex;
+          while Atomic.get remaining > 0 do
+            Condition.wait batch_done done_mutex
+          done;
+          Mutex.unlock done_mutex
+    end
+  in
+  drain ();
+  match Atomic.get error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let parallel_init t n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if n = 0 then [||]
+  else if t.size <= 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    run_batch t ~count:n (fun i -> results.(i) <- Some (f i));
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let parallel_map t f a = parallel_init t (Array.length a) (fun i -> f a.(i))
+
+let parallel_map_chunked ?chunk t f a =
+  let n = Array.length a in
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_map_chunked: chunk %d < 1" c)
+    | None -> Stdlib.max 1 (n / (4 * t.size))
+  in
+  if n = 0 then [||]
+  else if t.size <= 1 || n <= chunk then Array.map f a
+  else begin
+    let nchunks = (n + chunk - 1) / chunk in
+    let results = Array.make n None in
+    run_batch t ~count:nchunks (fun c ->
+        let lo = c * chunk in
+        let hi = Stdlib.min n (lo + chunk) - 1 in
+        for i = lo to hi do
+          results.(i) <- Some (f a.(i))
+        done);
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let run_sequential = Array.map
+let map pool f a = match pool with Some t -> parallel_map t f a | None -> Array.map f a
+
+let map_chunked ?chunk pool f a =
+  match pool with Some t -> parallel_map_chunked ?chunk t f a | None -> Array.map f a

@@ -1,0 +1,68 @@
+(** Fixed-size domain pool for embarrassingly parallel fan-out.
+
+    The experiment sweeps (figures 4–7) and Monte-Carlo trial loops are
+    independent tasks; this pool runs them across OCaml 5 domains with
+    no external dependency.  Design notes:
+
+    - A pool of [num_domains] logical workers spawns [num_domains - 1]
+      domains; the calling domain itself executes tasks while it waits
+      for a batch, so a 1-worker pool is exactly sequential execution
+      with zero synchronisation overhead.
+    - Nested use is safe: a task may call {!parallel_map} on the same
+      pool.  The inner call's tasks are drained by the blocked caller
+      (and any idle worker), so the pool never deadlocks.
+    - Determinism is the caller's contract: each task writes only its
+      own result slot, so [parallel_map pool f a] equals
+      [Array.map f a] whenever [f] is pure per element (callers split
+      RNG streams per task up front — see {!Rng.split}).
+    - The first exception raised by a task is re-raised in the caller
+      (with its backtrace) after the batch drains; remaining unstarted
+      tasks of that batch are skipped. *)
+
+type t
+
+val default_num_domains : unit -> int
+(** Worker-count heuristic: the [TMEDB_JOBS] environment variable when
+    set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()].  Clamped to [1, 128]. *)
+
+val create : ?num_domains:int -> unit -> t
+(** [create ()] sizes the pool with {!default_num_domains}.  The pool
+    holds [num_domains - 1] spawned domains until {!shutdown}.
+    @raise Invalid_argument if [num_domains < 1]. *)
+
+val num_domains : t -> int
+(** Logical worker count (spawned domains + the calling domain). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Outstanding batches must
+    have completed; submitting after shutdown raises
+    [Invalid_argument]. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** Scoped {!create}/{!shutdown}. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f a] is [Array.map f a] computed by the pool,
+    one task per element.  Result order matches input order. *)
+
+val parallel_map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map} but one task per contiguous chunk of [chunk]
+    elements (default: a heuristic giving ~4 chunks per worker), for
+    cheap per-element work where per-task overhead would dominate.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] computed by the pool. *)
+
+val run_sequential : ('a -> 'b) -> 'a array -> 'b array
+(** [Array.map], named: the [?pool:None] fallback used by callers that
+    thread an optional pool. *)
+
+val map : t option -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f a] dispatches to {!parallel_map} or [Array.map]
+    according to [pool] — the one-liner every [?pool] caller wants. *)
+
+val map_chunked : ?chunk:int -> t option -> ('a -> 'b) -> 'a array -> 'b array
+(** Likewise for {!parallel_map_chunked}: the right dispatch for large
+    arrays of cheap tasks (Monte-Carlo trials). *)

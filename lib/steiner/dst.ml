@@ -277,9 +277,18 @@ let solve ?(level = 2) ?candidates g ~root ~terminals =
   let result = build_candidate g maps ~candidates ~table ~level ~need:k ~v:root ~remaining in
   let covered_tis = match result with None -> [] | Some c -> c.cand_terms in
   let covered = List.sort Int.compare (List.map (fun ti -> maps.ids.(ti)) covered_tis) in
-  let uncovered =
-    List.filter (fun t -> not (List.mem t covered)) terminals
+  (* Both lists are id-sorted: a linear merge instead of the former
+     O(k²) List.mem filter. *)
+  let rec diff_sorted xs ys =
+    match (xs, ys) with
+    | [], _ -> []
+    | xs, [] -> xs
+    | x :: xt, y :: yt ->
+        if x < y then x :: diff_sorted xt ys
+        else if x > y then diff_sorted xs yt
+        else diff_sorted xt yt
   in
+  let uncovered = diff_sorted terminals covered in
   let edges, cost =
     match result with None -> ([], 0.) | Some c -> (c.cand_edges, c.cand_cost)
   in

@@ -1,5 +1,8 @@
 open Tmedb_channel
 
+(* [marginal] is declared first so the shared [cost] label defaults to
+   [level], which predates it. *)
+type marginal = { cost : float; fresh : int list }
 type level = { cost : float; covered : int list }
 
 let epsilon_cost ed phy =
@@ -15,7 +18,7 @@ let neighbour_cost ~phy ~channel ~dist =
   | `Lognormal sigma ->
       epsilon_cost (Ed_function.lognormal ~beta:(Phy.beta phy ~dist) ~sigma) phy
 
-let at g ~phy ~channel ~node ~time =
+let marginals_at g ~phy ~channel ~node ~time =
   let neighbours = Tveg.neighbors_at g node time in
   let costed =
     List.map (fun (j, dist) -> (neighbour_cost ~phy ~channel ~dist, j)) neighbours
@@ -24,22 +27,38 @@ let at g ~phy ~channel ~node ~time =
            let c = Float.compare wa wb in
            if c <> 0 then c else Int.compare ja jb)
   in
-  (* Prefix-accumulate: level k covers the k cheapest neighbours;
-     equal costs merge into one level. *)
-  let rec build covered_rev = function
+  (* Level k covers the k cheapest neighbours; equal costs merge into
+     one level.  Only the level's *new* neighbours are materialised —
+     equal-cost runs are contiguous and id-ascending after the sort. *)
+  let rec build = function
     | [] -> []
     | (w, j) :: rest ->
-        let covered_rev = j :: covered_rev in
-        let rec absorb covered_rev rest =
+        let rec absorb fresh_rev rest =
           match rest with
-          | (w', j') :: tl when Float.equal w' w -> absorb (j' :: covered_rev) tl
-          | _ -> (covered_rev, rest)
+          | (w', j') :: tl when Float.equal w' w -> absorb (j' :: fresh_rev) tl
+          | _ -> (fresh_rev, rest)
         in
-        let covered_rev, rest = absorb covered_rev rest in
-        let cost = Float.max phy.Phy.w_min w in
-        { cost; covered = List.sort Int.compare covered_rev } :: build covered_rev rest
+        let fresh_rev, rest = absorb [ j ] rest in
+        { cost = Float.max phy.Phy.w_min w; fresh = List.rev fresh_rev } :: build rest
   in
-  build [] costed
+  build costed
+
+let at g ~phy ~channel ~node ~time =
+  (* Prefix-accumulate the marginals: each level's covered set is the
+     previous one merged with the fresh neighbours (both id-sorted). *)
+  let rec merge a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xt, y :: yt ->
+        if x < y then x :: merge xt b else if x > y then y :: merge a yt else x :: merge xt yt
+  in
+  let rec accum covered = function
+    | [] -> []
+    | { cost; fresh } :: rest ->
+        let covered = merge covered fresh in
+        { cost; covered } :: accum covered rest
+  in
+  accum [] (marginals_at g ~phy ~channel ~node ~time)
 
 let min_cost_level = function [] -> None | level :: _ -> Some level
 

@@ -13,6 +13,11 @@
 
 open Tmedb_channel
 
+type marginal = {
+  cost : float;  (** Transmit cost of this DCS level, clamped to ≥ w_min. *)
+  fresh : int list;  (** Neighbours first served at this level, ascending id. *)
+}
+
 type level = {
   cost : float;  (** Transmit cost of this DCS level, clamped to ≥ w_min. *)
   covered : int list;  (** All neighbours served at this cost, ascending id. *)
@@ -23,6 +28,13 @@ val at :
 (** Increasing-cost levels; levels whose cost exceeds [w_max] are
     dropped (those neighbours are unreachable in one hop at this
     time).  Equal-cost neighbours share a level. *)
+
+val marginals_at :
+  Tveg.t -> phy:Phy.t -> channel:Tveg.channel -> node:int -> time:float -> marginal list
+(** Same levels as {!at} but carrying only each level's newly covered
+    neighbours.  The auxiliary-graph construction wants exactly the
+    per-level deltas; accumulating full covered lists there was O(k²)
+    list churn per (node, time). *)
 
 val neighbour_cost : phy:Phy.t -> channel:Tveg.channel -> dist:float -> float
 (** The per-neighbour cost described above. *)

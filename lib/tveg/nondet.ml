@@ -54,14 +54,20 @@ type robustness = {
   mean_energy_wasted : float;
 }
 
-let evaluate ?(trials = 200) ~rng t ~check =
+let evaluate ?(trials = 200) ?pool ~rng t ~check =
   if trials <= 0 then invalid_arg "Nondet.evaluate: trials <= 0";
+  (* Per-trial stream split, as in Simulate.run: realization k depends
+     only on the incoming state and k, never on the pool size. *)
+  let rngs = Array.make trials rng in
+  for k = 0 to trials - 1 do
+    rngs.(k) <- Rng.split rng
+  done;
+  let outcomes = Pool.map_chunked pool (fun r -> check (sample r t)) rngs in
   let deliveries = Array.make trials 0. in
   let wasted = Array.make trials 0. in
   let full = ref 0 in
   for k = 0 to trials - 1 do
-    let realization = sample rng t in
-    let delivery, fully, waste = check realization in
+    let delivery, fully, waste = outcomes.(k) in
     deliveries.(k) <- delivery;
     wasted.(k) <- waste;
     if fully then incr full

@@ -59,11 +59,13 @@ type robustness = {
 
 val evaluate :
   ?trials:int ->
+  ?pool:Pool.t ->
   rng:Rng.t ->
   t ->
   check:(Tveg.t -> float * bool * float) ->
   robustness
 (** Generic Monte-Carlo over realizations: [check] maps a realization
     to (delivery ratio, fully delivered, wasted energy).  Default 200
-    trials.  The TMEDB-specific wrapper lives in the core library to
-    avoid a dependency cycle. *)
+    trials.  The RNG stream is split per trial, so results are
+    bit-identical at any [pool] worker count.  The TMEDB-specific
+    wrapper lives in the core library to avoid a dependency cycle. *)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Quick bench smoke: run the parallel baseline at 2 domains and make
+# sure BENCH_1.json was written, re-parsed, and deterministic.
+# (bench/main.exe exits non-zero itself on parse failure or any
+# parallel/sequential divergence.)
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+out=$(dune exec bench/main.exe -- baseline --jobs 2)
+printf '%s\n' "$out"
+printf '%s\n' "$out" | grep -q "BENCH_1.json ok" || {
+  echo "bench_smoke.sh: missing 'BENCH_1.json ok' marker" >&2
+  exit 1
+}
+grep -q '"deterministic": true' BENCH_1.json || {
+  echo "bench_smoke.sh: baseline not deterministic" >&2
+  exit 1
+}
+echo "bench_smoke.sh: OK"

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: everything must build and the full test suite must pass.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest
+echo "check.sh: OK"

@@ -464,6 +464,70 @@ let test_futil_db () =
   check_float "10 dB" 10. (Futil.db_to_linear 10.);
   check_bool "roundtrip" true (Futil.approx_eq (Futil.linear_to_db (Futil.db_to_linear 25.9)) 25.9)
 
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let bench_sample =
+  Json.Obj
+    [
+      ("bench_pr", Json.Num 1.);
+      ("jobs", Json.Num 4.);
+      ("deterministic", Json.Bool true);
+      ( "kernels",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.Str "fig4-sweep");
+                ("seconds_1", Json.Num 0.25);
+                ("seconds_jobs", Json.Num 0.125);
+                ("speedup", Json.Num 2.);
+              ];
+          ] );
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match Json.parse (Json.to_string ~indent bench_sample) with
+      | Ok parsed ->
+          check_bool (Printf.sprintf "roundtrip indent=%d" indent) true (parsed = bench_sample)
+      | Error e -> Alcotest.fail e)
+    [ 0; 2 ]
+
+let test_json_parse_literals () =
+  check_bool "null" true (Json.parse "null" = Ok Json.Null);
+  check_bool "negative exponent" true (Json.parse "-1.5e2" = Ok (Json.Num (-150.)));
+  check_bool "escapes" true
+    (Json.parse {|" a\"b\nA "|} = Ok (Json.Str " a\"b\nA "));
+  check_bool "nested" true
+    (Json.parse {|{"a": [1, true, "x"]}|}
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Num 1.; Json.Bool true; Json.Str "x" ]) ]))
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "truncated" true (fails {|{"a": 1|});
+  check_bool "trailing garbage" true (fails "1 2");
+  check_bool "bare word" true (fails "nope");
+  check_bool "empty" true (fails "")
+
+let test_json_accessors () =
+  check_bool "member hit" true
+    (Json.member "jobs" bench_sample = Some (Json.Num 4.));
+  check_bool "member miss" true (Json.member "absent" bench_sample = None);
+  check_bool "member non-obj" true (Json.member "x" (Json.Num 1.) = None);
+  check_bool "to_float" true (Json.to_float (Json.Num 3.5) = Some 3.5);
+  check_bool "to_float miss" true (Json.to_float Json.Null = None);
+  (match Json.member "kernels" bench_sample with
+  | Some kernels -> (
+      match Json.to_list kernels with
+      | Some [ k ] ->
+          check_bool "kernel name" true (Json.member "name" k = Some (Json.Str "fig4-sweep"))
+      | Some _ | None -> Alcotest.fail "expected a one-kernel list")
+  | None -> Alcotest.fail "expected kernels field")
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "prelude"
@@ -551,5 +615,12 @@ let () =
           tc "kahan" test_futil_kahan;
           tc "argmin/argmax" test_futil_argmin_argmax;
           tc "db" test_futil_db;
+        ] );
+      ( "json",
+        [
+          tc "roundtrip" test_json_roundtrip;
+          tc "parse literals" test_json_parse_literals;
+          tc "parse errors" test_json_parse_errors;
+          tc "accessors" test_json_accessors;
         ] );
     ]
