@@ -9,11 +9,18 @@
      dune exec bench/main.exe ablation   -- design-choice ablations
      dune exec bench/main.exe bechamel   -- kernel timings only
      dune exec bench/main.exe baseline   -- parallel baseline only (writes BENCH_1.json)
+     dune exec bench/main.exe obs        -- telemetry overhead check (disabled-path cost)
 
    Every mode accepts `--jobs K` (default: TMEDB_JOBS or the core
    count): the figure sweeps and Monte-Carlo loops fan out over K
    domains.  Results are bit-identical at any K — per-task RNG
    splitting — which the baseline mode verifies explicitly.
+
+   `--metrics FILE` / `--trace FILE` enable the telemetry registry
+   (lib/obs) and write the counters/timers snapshot, resp. the Chrome
+   trace_event span file, on exit.  The baseline mode always runs with
+   telemetry on and embeds each kernel's counter deltas in
+   BENCH_1.json.
 
    Figures (paper <-> here):
      fig4a/fig4b  energy vs delay constraint, (FR-)EEDCB, N in {10,20,30}
@@ -30,6 +37,11 @@ open Tmedb
 (* The worker pool shared by every mode; None means sequential. *)
 let pool : Tmedb_prelude.Pool.t option ref = ref None
 let jobs = ref 1
+
+(* Telemetry sinks, set by `--metrics` / `--trace`; either one turns
+   the lib/obs registry on for the whole run. *)
+let metrics_path : string option ref = ref None
+let trace_path : string option ref = ref None
 
 let bench_config =
   { Experiment.default_config with Experiment.sources = 2; mc_trials = 300 }
@@ -383,8 +395,23 @@ let baseline_kernels : (string * (Tmedb_prelude.Pool.t option -> float list)) li
         [ sim.Simulate.delivery_ratio; sim.Simulate.mean_energy_spent ] );
   ]
 
+(* Counter deltas between two registry snapshots, as a JSON object of
+   the counters the kernel actually moved. *)
+let counter_deltas before after =
+  let base name =
+    match List.assoc_opt name before.Tmedb_obs.counters with Some v -> v | None -> 0
+  in
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - base name in
+      if d <> 0 then Some (name, Tmedb_prelude.Json.Num (float_of_int d)) else None)
+    after.Tmedb_obs.counters
+
 let baseline () =
   let open Tmedb_prelude in
+  (* Always record per-kernel counter deltas in BENCH_1.json, whether
+     or not `--metrics` was given. *)
+  Tmedb_obs.set_enabled true;
   section (Printf.sprintf "Parallel baseline: 1 domain vs %d (BENCH_1.json)" !jobs);
   let timed_run f =
     let t0 = Unix.gettimeofday () in
@@ -399,7 +426,13 @@ let baseline () =
     List.map
       (fun (name, kernel) ->
         let seq_result, seq_s = timed_run (fun () -> kernel None) in
+        (* Counter deltas are taken around the pooled run (the
+           configuration a regression would ship with); counters are
+           jobs-invariant so the sequential run would report the same
+           numbers. *)
+        let before = Tmedb_obs.snapshot () in
         let par_result, par_s = timed_run (fun () -> kernel !pool) in
+        let after = Tmedb_obs.snapshot () in
         let same = List.for_all2 Float.equal seq_result par_result in
         if not same then deterministic := false;
         let speedup = seq_s /. Float.max par_s 1e-9 in
@@ -410,6 +443,7 @@ let baseline () =
             ("seconds_1", Json.Num seq_s);
             ("seconds_jobs", Json.Num par_s);
             ("speedup", Json.Num speedup);
+            ("metrics", Json.Obj (counter_deltas before after));
           ])
       baseline_kernels
   in
@@ -436,8 +470,12 @@ let baseline () =
   (match Json.parse contents with
   | Ok parsed -> (
       match Option.bind (Json.member "kernels" parsed) Json.to_list with
-      | Some (_ :: _ as ks) ->
-          Printf.printf "%s ok (%d kernels)\n%!" path (List.length ks)
+      | Some (_ :: _ as ks) when List.for_all (fun k -> Json.member "metrics" k <> None) ks
+        ->
+          Printf.printf "%s ok (%d kernels, with metrics)\n%!" path (List.length ks)
+      | Some (_ :: _) ->
+          Printf.eprintf "%s kernel rows lack the metrics field\n" path;
+          exit 1
       | Some [] | None ->
           Printf.eprintf "%s parsed but has no kernels\n" path;
           exit 1)
@@ -446,6 +484,67 @@ let baseline () =
       exit 1);
   if not !deterministic then begin
     Printf.eprintf "parallel results differ from the sequential run\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the disabled registry must cost about a flag
+   check on the hot path, and turning it on must not change results. *)
+
+let obs_overhead () =
+  section "Telemetry overhead (lib/obs)";
+  let c = Tmedb_obs.Counter.make "bench.obs.counter" in
+  let t = Tmedb_obs.Timer.make "bench.obs.timer" in
+  let counter_iters = 20_000_000 and timer_iters = 2_000_000 in
+  let secs f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let counter_loop () =
+    for _ = 1 to counter_iters do
+      Tmedb_obs.Counter.incr c
+    done
+  in
+  let timer_loop () =
+    for _ = 1 to timer_iters do
+      let h = Tmedb_obs.Timer.start t in
+      Tmedb_obs.Timer.stop t h
+    done
+  in
+  let ns_per s iters = s /. float_of_int iters *. 1e9 in
+  let was = Tmedb_obs.enabled () in
+  Tmedb_obs.set_enabled false;
+  ignore (secs counter_loop);
+  (* warmed up *)
+  let off_counter = ns_per (secs counter_loop) counter_iters in
+  let off_timer = ns_per (secs timer_loop) timer_iters in
+  Tmedb_obs.set_enabled true;
+  let on_counter = ns_per (secs counter_loop) counter_iters in
+  let on_timer = ns_per (secs timer_loop) timer_iters in
+  Printf.printf "%-24s %14s %14s\n" "primitive" "disabled ns/op" "enabled ns/op";
+  Printf.printf "%-24s %14.2f %14.2f\n" "Counter.incr" off_counter on_counter;
+  Printf.printf "%-24s %14.2f %14.2f\n%!" "Timer.start/stop" off_timer on_timer;
+  (* Instrumentation observes, never steers: a kernel must produce
+     bit-identical results with telemetry off and on. *)
+  let kernel = List.assoc "mc-simulate" baseline_kernels in
+  Tmedb_obs.set_enabled false;
+  let off_result = kernel !pool in
+  Tmedb_obs.set_enabled true;
+  let on_result = kernel !pool in
+  Tmedb_obs.set_enabled was;
+  let same = List.for_all2 Float.equal off_result on_result in
+  Printf.printf "mc-simulate bit-identical with telemetry off/on: %b\n%!" same;
+  if not same then begin
+    Printf.eprintf "telemetry changed kernel results\n";
+    exit 1
+  end;
+  (* The disabled path is a single Atomic.get + branch; tens of ns
+     would mean a lock or allocation crept in.  The bound is generous
+     to stay robust on loaded machines. *)
+  if off_counter > 50. || off_timer > 100. then begin
+    Printf.eprintf "disabled-path overhead too high (%.1f / %.1f ns/op)\n" off_counter
+      off_timer;
     exit 1
   end
 
@@ -463,27 +562,34 @@ let all_figures config =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs K] \
-     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline]";
+    "usage: main.exe [--jobs K] [--metrics FILE] [--trace FILE] \
+     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|obs]";
   exit 2
 
-(* Strip `--jobs K` / `-j K` anywhere in argv; the rest selects the mode. *)
+(* Strip `--jobs K` / `-j K` and the telemetry sinks anywhere in argv;
+   the rest selects the mode. *)
 let parse_args () =
   let rest = ref [] in
   let i = ref 1 in
   let argc = Array.length Sys.argv in
   let jobs_requested = ref None in
+  let file_arg () =
+    if !i + 1 >= argc then usage ();
+    incr i;
+    Sys.argv.(!i)
+  in
   while !i < argc do
     (match Sys.argv.(!i) with
-    | "--jobs" | "-j" ->
-        if !i + 1 >= argc then usage ();
-        incr i;
-        (match int_of_string_opt Sys.argv.(!i) with
+    | "--jobs" | "-j" -> (
+        match int_of_string_opt (file_arg ()) with
         | Some k when k >= 1 -> jobs_requested := Some k
         | Some _ | None -> usage ())
+    | "--metrics" -> metrics_path := Some (file_arg ())
+    | "--trace" -> trace_path := Some (file_arg ())
     | arg -> rest := arg :: !rest);
     incr i
   done;
+  if !metrics_path <> None || !trace_path <> None then Tmedb_obs.set_enabled true;
   let k =
     match !jobs_requested with
     | Some k -> k
@@ -492,6 +598,37 @@ let parse_args () =
   jobs := k;
   if k > 1 then pool := Some (Tmedb_prelude.Pool.create ~num_domains:k ());
   List.rev !rest
+
+(* Flush the telemetry sinks requested on the command line; the
+   metrics file must round-trip through the in-repo parser with its
+   mandatory keys (check.sh smokes this). *)
+let write_telemetry () =
+  let read_all path =
+    let ic = open_in path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    contents
+  in
+  Option.iter
+    (fun path ->
+      Tmedb_prelude.Obs_json.write_metrics ~path;
+      (match Tmedb_prelude.Json.parse (read_all path) with
+      | Ok doc
+        when Tmedb_prelude.Json.member "counters" doc <> None
+             && Tmedb_prelude.Json.member "timers" doc <> None ->
+          Printf.eprintf "metrics written to %s\n%!" path
+      | Ok _ ->
+          Printf.eprintf "%s: missing counters/timers keys\n" path;
+          exit 1
+      | Error e ->
+          Printf.eprintf "%s does not parse: %s\n" path e;
+          exit 1))
+    !metrics_path;
+  Option.iter
+    (fun path ->
+      Tmedb_prelude.Obs_json.write_trace ~path;
+      Printf.eprintf "trace written to %s\n%!" path)
+    !trace_path
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -519,6 +656,8 @@ let () =
   | [ "ablation" ] -> ablations bench_config
   | [ "bechamel" ] -> bechamel_kernels ()
   | [ "baseline" ] -> baseline ()
+  | [ "obs" ] -> obs_overhead ()
   | _ -> usage ());
+  write_telemetry ();
   Option.iter Tmedb_prelude.Pool.shutdown !pool;
   Printf.printf "\n[bench total: %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -53,6 +53,42 @@ let jobs_arg =
            machine's core count).  Results are independent of K: each trial gets its own \
            split of the RNG stream.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the telemetry registry and write a counters/timers snapshot \
+           (tmedb.metrics/1 JSON) to $(docv) on exit.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable the telemetry registry and write the span trace to $(docv) as Chrome \
+           trace_event JSON (open in chrome://tracing or Perfetto).")
+
+(* Telemetry is off unless one of the flags asks for an output file;
+   results are bit-identical either way. *)
+let with_telemetry metrics trace f =
+  if metrics <> None || trace <> None then Tmedb_obs.set_enabled true;
+  let finish () =
+    Option.iter
+      (fun path ->
+        Obs_json.write_metrics ~path;
+        Printf.eprintf "metrics written to %s\n%!" path)
+      metrics;
+    Option.iter
+      (fun path ->
+        Obs_json.write_trace ~path;
+        Printf.eprintf "trace written to %s\n%!" path)
+      trace
+  in
+  Fun.protect ~finally:finish f
+
 (* 0 means "not given": fall back to the TMEDB_JOBS/core-count heuristic. *)
 let make_pool jobs =
   if jobs < 0 then begin
@@ -155,7 +191,8 @@ let run_cmd =
       & opt (some string) None
       & info [ "o"; "save-schedule" ] ~docv:"FILE" ~doc:"Write the schedule as CSV.")
   in
-  let run algorithm deadline source seed level verbose save path =
+  let run algorithm deadline source seed level verbose save metrics trace_file path =
+    with_telemetry metrics trace_file @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
@@ -190,7 +227,7 @@ let run_cmd =
   let term =
     Term.(
       const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ level_arg $ verbose_arg
-      $ save_arg $ trace_file_arg)
+      $ save_arg $ metrics_arg $ trace_arg $ trace_file_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one broadcast algorithm on a trace.") term
 
@@ -201,7 +238,8 @@ let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trials.")
 
 let compare_cmd =
-  let run deadline source seed level trials jobs path =
+  let run deadline source seed level trials jobs metrics trace_file path =
+    with_telemetry metrics trace_file @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
@@ -230,7 +268,7 @@ let compare_cmd =
   let term =
     Term.(
       const run $ deadline_arg $ source_arg $ seed_arg $ level_arg $ trials_arg $ jobs_arg
-      $ trace_file_arg)
+      $ metrics_arg $ trace_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run all six algorithms and compare energy/delivery (Fig. 6 style).")
@@ -247,7 +285,8 @@ let simulate_cmd =
       & info [ "schedule" ] ~docv:"FILE"
           ~doc:"Replay a saved schedule CSV instead of computing one.")
   in
-  let run algorithm deadline source seed trials jobs schedule_file path =
+  let run algorithm deadline source seed trials jobs schedule_file metrics trace_file path =
+    with_telemetry metrics trace_file @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed } in
@@ -285,7 +324,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ trials_arg $ jobs_arg
-      $ schedule_arg $ trace_file_arg)
+      $ schedule_arg $ metrics_arg $ trace_arg $ trace_file_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo replay of a schedule in a fading channel.") term
 

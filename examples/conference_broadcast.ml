@@ -10,6 +10,10 @@
    static-optimal schedules lose a third of the nodes under fading,
    while the FR variants deliver to (nearly) everyone at higher energy.
 
+   Paper mapping: one data point of Fig. 6(a)/(b) at N = 20 (energy
+   and Monte-Carlo delivery, all six algorithms), on the paper's
+   default setup — T = 2000 s, 17000 s Haggle-like horizon.
+
    Run with:  dune exec examples/conference_broadcast.exe *)
 
 open Tmedb_prelude

@@ -10,6 +10,10 @@
      1 -- 3   during [20, 60)  at 15 m      2 -- 4  during [35, 70) at 12 m
      1 -- 4   during [50, 75)  at 40 m
 
+   Paper mapping: the Section VI-A pipeline in miniature — DTS
+   (Section V) -> auxiliary graph (Fig. 3) -> directed Steiner tree ->
+   schedule, checked against conditions (i)-(iv) of Section IV.
+
    Run with:  dune exec examples/quickstart.exe *)
 
 open Tmedb_prelude

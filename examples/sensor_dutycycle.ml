@@ -8,6 +8,10 @@
    [o_i + 120k, o_i + 120k + 40) for phase offset o_i; a link exists
    while both endpoints are awake and within 45 m.
 
+   Paper mapping: the delay-energy tradeoff of Fig. 4(a) (energy
+   falling as the constraint T relaxes), on the duty-cycled-sensor
+   motivation of Section I instead of the conference trace.
+
    Run with:  dune exec examples/sensor_dutycycle.exe *)
 
 open Tmedb_prelude

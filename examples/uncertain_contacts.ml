@@ -8,6 +8,10 @@
    plans over sampled realizations, and audit the chosen plan for
    transmission interference.
 
+   Paper mapping: no figure — both Section VIII future-work items
+   (contact-level uncertainty and transmission interference),
+   exercised on the Section IV problem machinery.
+
    Run with:  dune exec examples/uncertain_contacts.exe *)
 
 open Tmedb_prelude

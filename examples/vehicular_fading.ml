@@ -10,6 +10,10 @@
    backbone alone would spend), the ablation called "uniform w0" in
    DESIGN.md.
 
+   Paper mapping: Section VI-B end to end — backbone on w0 =
+   beta / ln(1/(1-eps)), then the Eq. (14)-(17) allocation — i.e. the
+   FR-EEDCB curve of Fig. 5(b), on mobility-generated contacts.
+
    Run with:  dune exec examples/vehicular_fading.exe *)
 
 open Tmedb_prelude

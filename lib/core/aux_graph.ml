@@ -1,6 +1,14 @@
 open Tmedb_tveg
 open Tmedb_steiner
 
+(* Telemetry: the auxiliary graph's size is the paper's main scaling
+   quantity (Section VI-A); vertices/edges accumulate over builds so a
+   sweep's totals land in one snapshot. *)
+let c_builds = Tmedb_obs.Counter.make "aux_graph.builds"
+let c_vertices = Tmedb_obs.Counter.make "aux_graph.vertices"
+let c_edges = Tmedb_obs.Counter.make "aux_graph.edges"
+let t_build = Tmedb_obs.Timer.make "aux_graph.build"
+
 type vertex =
   | Wait of { node : int; point_idx : int; time : float }
   | Level of { node : int; point_idx : int; time : float; level_idx : int; cum_cost : float }
@@ -13,7 +21,7 @@ type t = {
   base : int array;
 }
 
-let build (problem : Problem.t) dts =
+let build_body (problem : Problem.t) dts =
   let g = problem.Problem.graph in
   let phy = problem.Problem.phy in
   let channel = problem.Problem.channel in
@@ -97,6 +105,17 @@ let build (problem : Problem.t) dts =
       (List.init n (fun i -> i))
   in
   { graph; vertex; source_vertex; terminals; base }
+
+let build problem dts =
+  Tmedb_obs.Counter.incr c_builds;
+  let t0 = Tmedb_obs.Timer.start t_build in
+  let t =
+    Tmedb_obs.Span.with_ "aux_graph.build" (fun () -> build_body problem dts)
+  in
+  Tmedb_obs.Timer.stop t_build t0;
+  Tmedb_obs.Counter.add c_vertices (Digraph.n t.graph);
+  Tmedb_obs.Counter.add c_edges (Digraph.m t.graph);
+  t
 
 let wait_vertex t ~node ~point_idx =
   (* Wait vertices are contiguous per node starting at [base.(node)],

@@ -46,9 +46,17 @@ val build : Problem.t -> Tmedb_tveg.Dts.t -> t
     models (the FR backbone of Section VI-B). *)
 
 val wait_vertex : t -> node:int -> point_idx:int -> int option
+(** Id of wait vertex u_{node, point_idx}; [None] when the node has no
+    DTS point of that index (pruned or past the deadline). *)
+
 val extract_schedule : t -> Dst.tree -> Schedule.t
 (** Transmissions implied by a Steiner tree: per (node, DTS point)
     chain the deepest chosen level, at its cumulative cost. *)
 
 val num_wait_vertices : t -> int
+(** Wait vertices in the graph — one per surviving DTS point, the
+    Σ|DTS_i| term of the paper's size analysis. *)
+
 val num_level_vertices : t -> int
+(** Level vertices in the graph — one per (node, point, DCS level)
+    triple whose transmission completes by the deadline. *)

@@ -1,5 +1,10 @@
 open Tmedb_steiner
 
+(* Telemetry: the whole pipeline is timed, and each stage gets a trace
+   span so a --trace file shows where a run's time goes. *)
+let c_runs = Tmedb_obs.Counter.make "eedcb.runs"
+let t_run = Tmedb_obs.Timer.make "eedcb.run"
+
 type result = {
   schedule : Schedule.t;
   report : Feasibility.report;
@@ -16,6 +21,10 @@ let node_of_terminal aux term =
   | Aux_graph.Level { node; _ } -> node
 
 let run ?(level = 2) ?cap_per_node problem =
+  Tmedb_obs.Counter.incr c_runs;
+  let t0 = Tmedb_obs.Timer.start t_run in
+  Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_run t0) @@ fun () ->
+  Tmedb_obs.Span.with_ "eedcb.run" @@ fun () ->
   (* Contacts after the deadline can never matter: clip them away so
      the DTS closure and the DCS queries walk shorter link lists. *)
   let problem =
@@ -25,15 +34,22 @@ let run ?(level = 2) ?cap_per_node problem =
         ~hi:problem.Problem.deadline in
     { problem with Problem.graph = Tveg.restrict problem.Problem.graph ~span:sub }
   in
-  let dts = Problem.dts ?cap_per_node problem in
+  let dts =
+    Tmedb_obs.Span.with_ "eedcb.dts" (fun () -> Problem.dts ?cap_per_node problem)
+  in
   let aux = Aux_graph.build problem dts in
   let outcome =
     Dst.solve ~level aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex
       ~terminals:aux.Aux_graph.terminals
   in
-  let pruned = Dst.prune aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex outcome.Dst.tree in
+  let pruned =
+    Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
+        Dst.prune aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex outcome.Dst.tree)
+  in
   let schedule = Aux_graph.extract_schedule aux pruned in
-  let report = Feasibility.check problem schedule in
+  let report =
+    Tmedb_obs.Span.with_ "eedcb.feasibility" (fun () -> Feasibility.check problem schedule)
+  in
   {
     schedule;
     report;

@@ -10,8 +10,15 @@ open Tmedb_trace
 type algorithm = EEDCB | GREED | RAND | FR_EEDCB | FR_GREED | FR_RAND
 
 val all_algorithms : algorithm list
+(** The six algorithms of the paper's evaluation, in figure order. *)
+
 val algorithm_name : algorithm -> string
+(** Display name as used in the paper's legends, e.g. ["FR-EEDCB"]. *)
+
 val algorithm_of_string : string -> (algorithm, string) result
+(** Inverse of {!algorithm_name}, case-insensitive; [Error] names the
+    accepted spellings. *)
+
 val is_fading : algorithm -> bool
 (** FR variants design for the Rayleigh channel. *)
 

@@ -24,8 +24,12 @@ type report = {
 }
 
 val check : Problem.t -> Schedule.t -> report
+(** Evolve node status under the schedule per Equation (6) and test the
+    four decision-problem conditions (plus the cost-range sanity
+    check). *)
 
 val informed_count : report -> int
+(** Nodes informed by the deadline (source included). *)
 
 val delivery_ratio : report -> float
 (** Fraction of nodes informed by the deadline (analytic, not

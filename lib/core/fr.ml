@@ -5,6 +5,12 @@ open Tmedb_nlp
 
 type backbone = [ `Eedcb | `Greedy | `Random ]
 
+(* Telemetry: stage-2 allocations (the NLP plus repair/polish) are the
+   FR pipeline's dominant cost besides the backbone itself. *)
+let c_allocations = Tmedb_obs.Counter.make "fr.allocations"
+let t_allocate = Tmedb_obs.Timer.make "fr.allocate"
+let t_fr_run = Tmedb_obs.Timer.make "fr.run"
+
 type allocation = {
   costs : float array;
   nlp_feasible : bool;
@@ -195,6 +201,13 @@ let allocate problem backbone_schedule =
   (match problem.Problem.channel with
   | `Static -> invalid_arg "Fr.allocate: design channel must be a fading model"
   | `Rayleigh | `Nakagami _ | `Lognormal _ -> ());
+  Tmedb_obs.Counter.incr c_allocations;
+  let t0 = Tmedb_obs.Timer.start t_allocate in
+  Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_allocate t0) @@ fun () ->
+  Tmedb_obs.Span.with_ "fr.allocate"
+    ~args:
+      [ ("transmissions", string_of_int (List.length (Schedule.transmissions backbone_schedule))) ]
+  @@ fun () ->
   let channel = problem.Problem.channel in
   let phy = problem.Problem.phy in
   (* Slightly tighter than ε so that float round-off in the feasibility
@@ -416,6 +429,9 @@ let run ?level ?cap_per_node ?rng ~backbone problem =
   (match problem.Problem.channel with
   | `Static -> invalid_arg "Fr.run: design channel must be a fading model"
   | `Rayleigh | `Nakagami _ | `Lognormal _ -> ());
+  let tr = Tmedb_obs.Timer.start t_fr_run in
+  Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_fr_run tr) @@ fun () ->
+  Tmedb_obs.Span.with_ "fr.run" @@ fun () ->
   let backbone_schedule, unreached =
     match backbone with
     | `Eedcb ->

@@ -27,6 +27,10 @@ val check : Problem.t -> Schedule.t -> conflict list
 (** All conflicts, ordered by time. *)
 
 val is_interference_free : Problem.t -> Schedule.t -> bool
+(** [check] returns no conflict. *)
 
 val conflict_time : conflict -> float
+(** Instant the conflict occurs at (the transmission time). *)
+
 val pp_conflict : Format.formatter -> conflict -> unit
+(** Human-readable one-line rendering of a conflict. *)

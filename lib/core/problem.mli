@@ -31,10 +31,18 @@ val make :
     outside the graph span. *)
 
 val n : t -> int
+(** Number of nodes in the underlying TVEG. *)
+
 val tau : t -> float
+(** Traversal latency τ of the TVEG (seconds per hop). *)
+
 val span_start : t -> float
+(** Start of the graph's observation span — the instant the source is
+    informed. *)
 
 val non_source_nodes : t -> int list
+(** Every node except the source, ascending: the broadcast's intended
+    receivers (the terminal set of the Steiner reduction). *)
 
 val is_reachable : t -> bool
 (** Necessary condition for feasibility: every node journey-reachable

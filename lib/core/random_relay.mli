@@ -14,3 +14,7 @@ type result = {
 }
 
 val run : ?cap_per_node:int -> rng:Rng.t -> Problem.t -> result
+(** Run the randomized baseline to completion (all nodes informed or no
+    productive opportunity left).  [cap_per_node] bounds the DTS as in
+    {!Problem.dts}; the result is a deterministic function of [rng]'s
+    state. *)

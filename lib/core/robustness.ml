@@ -1,7 +1,14 @@
 open Tmedb_tveg
 
+(* Telemetry: one [robustness.realizations] tick per sampled TVG
+   realization checked (bumped on the running domain). *)
+let c_realizations = Tmedb_obs.Counter.make "robustness.realizations"
+let t_evaluate = Tmedb_obs.Timer.make "robustness.evaluate"
+
 let evaluate_schedule ?trials ?pool ~rng nondet ~phy ~channel ~source ~deadline schedule =
+  Tmedb_obs.Timer.time t_evaluate @@ fun () ->
   Nondet.evaluate ?trials ?pool ~rng nondet ~check:(fun realization ->
+      Tmedb_obs.Counter.incr c_realizations;
       let problem = Problem.make ~graph:realization ~phy ~channel ~source ~deadline () in
       let report = Feasibility.check problem schedule in
       let wasted =

@@ -14,18 +14,33 @@ val of_transmissions : transmission list -> t
     cost or relay id. *)
 
 val empty : t
+(** The schedule with no transmissions. *)
+
 val transmissions : t -> transmission list
+(** All transmissions in canonical (time, relay, cost) order. *)
+
 val relays : t -> int list
 (** R vector (with repetitions, in time order). *)
 
 val times : t -> float list
+(** T vector, non-decreasing. *)
+
 val costs : t -> float list
+(** W vector, in time order. *)
+
 val num_transmissions : t -> int
+(** Number of transmissions K. *)
+
 val total_cost : t -> float
 (** The objective Σ w_k. *)
 
 val latest_time : t -> float option
+(** Time of the last transmission; [None] when empty. *)
+
 val add : t -> transmission -> t
+(** Insert one transmission, preserving canonical order.
+    @raise Invalid_argument as {!of_transmissions}. *)
+
 val map_costs : t -> (int -> transmission -> float) -> t
 (** New schedule with per-transmission costs rewritten (index is the
     position in time order); used by the FR energy allocation. *)
@@ -46,9 +61,19 @@ val equal : t -> t -> bool
     digits). *)
 
 val to_csv : t -> string
+(** Render in the line format above. *)
+
 val of_csv : string -> (t, string) result
+(** Parse {!to_csv} output; [Error] carries the offending line. *)
+
 val save : t -> path:string -> unit
+(** Write {!to_csv} to [path]. *)
+
 val load : path:string -> (t, string) result
+(** Read and parse a schedule file. *)
 
 val pp : Format.formatter -> t -> unit
+(** Table rendering for the CLI. *)
+
 val pp_transmission : Format.formatter -> transmission -> unit
+(** One transmission as [relay@time(cost)]. *)

@@ -13,7 +13,15 @@ type result = {
 
 type receive_event = { effective : float; node : int }
 
+(* Telemetry: [simulate.trials] counts executed trials (bumped on the
+   running domain, so the total is pool-size independent); the timer
+   wraps the whole fan-out including the statistics pass. *)
+let c_trials = Tmedb_obs.Counter.make "simulate.trials"
+let c_runs = Tmedb_obs.Counter.make "simulate.runs"
+let t_run = Tmedb_obs.Timer.make "simulate.run"
+
 let one_trial ~rng ~eval_channel problem schedule =
+  Tmedb_obs.Counter.incr c_trials;
   let g = problem.Problem.graph in
   let phy = problem.Problem.phy in
   let n = Tveg.n g in
@@ -84,6 +92,10 @@ let one_trial ~rng ~eval_channel problem schedule =
 
 let run ?(trials = 500) ?pool ~rng ~eval_channel problem schedule =
   if trials <= 0 then invalid_arg "Simulate.run: trials <= 0";
+  Tmedb_obs.Counter.incr c_runs;
+  let t0 = Tmedb_obs.Timer.start t_run in
+  Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_run t0) @@ fun () ->
+  Tmedb_obs.Span.with_ "simulate.run" ~args:[ ("trials", string_of_int trials) ] @@ fun () ->
   (* Split the stream per trial up front: trial k's stream is a
      function of the incoming generator state and k alone, so the
      result is bit-identical at any pool size (including none). *)

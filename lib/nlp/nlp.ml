@@ -37,6 +37,11 @@ type result = {
   outer_iterations : int;
 }
 
+(* Telemetry: penalty-method solves and their wall time (the inner
+   projected-gradient work is timed separately as [nlp.projgrad]). *)
+let c_solves = Tmedb_obs.Counter.make "nlp.solves"
+let t_solve = Tmedb_obs.Timer.make "nlp.solve"
+
 let max_violation problem x =
   List.fold_left (fun acc c -> Float.max acc (Float.max 0. (c.g x))) 0. problem.constraints
 
@@ -71,6 +76,8 @@ let penalized_grad problem ~mu x =
   grad
 
 let solve ?(options = default_options) problem ~x0 =
+  Tmedb_obs.Counter.incr c_solves;
+  let ts = Tmedb_obs.Timer.start t_solve in
   let mu = ref options.mu_init in
   let x = ref (Array.copy x0) in
   let outer = ref 0 in
@@ -89,6 +96,7 @@ let solve ?(options = default_options) problem ~x0 =
     else mu := !mu *. options.mu_growth
   done;
   let violation = max_violation problem !x in
+  Tmedb_obs.Timer.stop t_solve ts;
   {
     x = !x;
     objective = problem.objective !x;

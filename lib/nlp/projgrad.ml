@@ -13,12 +13,18 @@ let default_options =
 
 type result = { x : float array; f : float; iterations : int; converged : bool }
 
+(* Telemetry: inner-solver invocations, total descent iterations, and
+   the wall time of every minimize call. *)
+let c_iterations = Tmedb_obs.Counter.make "nlp.projgrad_iterations"
+let t_minimize = Tmedb_obs.Timer.make "nlp.projgrad"
+
 let project ~lower ~upper x =
   Array.mapi (fun i xi -> Futil.clamp ~lo:lower.(i) ~hi:upper.(i) xi) x
 
 let norm2 v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
 
 let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
+  let tm = Tmedb_obs.Timer.start t_minimize in
   let n = Array.length x0 in
   if Array.length lower <> n || Array.length upper <> n then
     invalid_arg "Projgrad.minimize: dimension mismatch";
@@ -62,4 +68,6 @@ let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
       | None -> converged := true (* no descent available: local stationarity *)
     end
   done;
+  Tmedb_obs.Counter.add c_iterations !iterations;
+  Tmedb_obs.Timer.stop t_minimize tm;
   { x = !x; f = !fx; iterations = !iterations; converged = !converged }

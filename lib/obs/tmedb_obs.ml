@@ -1,0 +1,183 @@
+(* Registry state.  Counters and timers are Atomic cells (any domain
+   may bump them); span events go to domain-local buffers so the hot
+   path never takes a lock.  The [registry_mutex] guards only handle
+   registration and buffer enumeration — cold paths. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let now () = Unix.gettimeofday ()
+let origin_ts = now ()
+let origin () = origin_ts
+
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+module Counter = struct
+  type t = { name : string; cell : int Atomic.t }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    with_registry (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some c -> c
+        | None ->
+            let c = { name; cell = Atomic.make 0 } in
+            Hashtbl.replace table name c;
+            c)
+
+  let name t = t.name
+  let incr t = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell 1)
+  let add t n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell n)
+  let value t = Atomic.get t.cell
+  let reset () = Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) table
+
+  let all () =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timers.  Elapsed time accumulates as integer nanoseconds so that
+   concurrent stops from several domains are single fetch-and-adds
+   (no float CAS loop); 63-bit nanoseconds overflow after ~292 years. *)
+
+module Timer = struct
+  type t = { name : string; total_ns : int Atomic.t; hits : int Atomic.t }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    with_registry (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some t -> t
+        | None ->
+            let t = { name; total_ns = Atomic.make 0; hits = Atomic.make 0 } in
+            Hashtbl.replace table name t;
+            t)
+
+  let name t = t.name
+  let start _ = if Atomic.get enabled_flag then now () else 0.
+
+  let stop t t0 =
+    if t0 > 0. then begin
+      let ns = int_of_float ((now () -. t0) *. 1e9) in
+      ignore (Atomic.fetch_and_add t.total_ns (Stdlib.max 0 ns));
+      ignore (Atomic.fetch_and_add t.hits 1)
+    end
+
+  let time t f =
+    let t0 = start t in
+    Fun.protect ~finally:(fun () -> stop t t0) f
+
+  let total_seconds t = float_of_int (Atomic.get t.total_ns) *. 1e-9
+  let count t = Atomic.get t.hits
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ t ->
+        Atomic.set t.total_ns 0;
+        Atomic.set t.hits 0)
+      table
+
+  let all () =
+    Hashtbl.fold (fun name t acc -> (name, total_seconds t, count t) :: acc) table []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans: per-domain buffers through domain-local storage.  A buffer
+   is only ever appended to by its owning domain; the global [buffers]
+   list (for harvesting) is touched once per domain, under the
+   registry mutex. *)
+
+type phase = Begin | End
+
+type event = {
+  name : string;
+  domain : int;
+  seq : int;
+  ts : float;
+  phase : phase;
+  args : (string * string) list;
+}
+
+type buffer = {
+  dom : int;
+  mutable events_rev : event list;  (* newest first *)
+  mutable next_seq : int;
+}
+
+let buffers : buffer list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { dom = (Domain.self () :> int); events_rev = []; next_seq = 0 } in
+      with_registry (fun () -> buffers := b :: !buffers);
+      b)
+
+let record name phase args =
+  let b = Domain.DLS.get buffer_key in
+  let seq = b.next_seq in
+  b.next_seq <- seq + 1;
+  b.events_rev <- { name; domain = b.dom; seq; ts = now (); phase; args } :: b.events_rev
+
+module Span = struct
+  let enter name args = if Atomic.get enabled_flag then record name Begin args
+  let exit name = if Atomic.get enabled_flag then record name End []
+
+  let with_ ?(args = []) name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      record name Begin args;
+      (* Close unconditionally so the buffer stays balanced even if
+         the registry is flipped off while [f] runs. *)
+      Fun.protect ~finally:(fun () -> record name End []) f
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Harvest *)
+
+type timer_snapshot = { timer_name : string; seconds : float; hits : int }
+type snapshot = { counters : (string * int) list; timers : timer_snapshot list }
+
+let snapshot () =
+  with_registry (fun () ->
+      {
+        counters = Counter.all ();
+        timers =
+          List.map (fun (timer_name, seconds, hits) -> { timer_name; seconds; hits })
+            (Timer.all ());
+      })
+
+let events () =
+  let bufs = with_registry (fun () -> !buffers) in
+  let per_domain =
+    List.map (fun b -> List.rev b.events_rev) bufs
+    |> List.sort (fun a b ->
+           match (a, b) with
+           | [], [] -> 0
+           | [], _ -> -1
+           | _, [] -> 1
+           | x :: _, y :: _ -> Int.compare x.domain y.domain)
+  in
+  List.concat per_domain
+
+let reset () =
+  with_registry (fun () ->
+      Counter.reset ();
+      Timer.reset ();
+      List.iter
+        (fun b ->
+          b.events_rev <- [];
+          b.next_seq <- 0)
+        !buffers)

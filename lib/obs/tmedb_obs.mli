@@ -1,0 +1,161 @@
+(** Process-wide telemetry registry: counters, timers and structured
+    trace spans.
+
+    The registry is off by default and every primitive starts with a
+    single flag check, so instrumented hot paths (DCS queries,
+    Dijkstra runs, Monte-Carlo trials) cost approximately nothing when
+    telemetry is disabled — the contract `bench/main.exe obs` and
+    [test/test_obs.ml]'s [Gc]-delta test enforce.
+
+    Concurrency model (the PR-1 domain pool):
+    - counters and timers accumulate through [Atomic] cells, so any
+      domain may bump them concurrently; totals are order-independent
+      (sums), hence identical at any worker count for a deterministic
+      workload;
+    - span events are buffered {e per domain} (domain-local storage),
+      so recording is race-free and never synchronises on the hot
+      path; {!events} merges the buffers deterministically, ordered by
+      [(domain, seq)].
+
+    Harvest ({!snapshot} / {!events}) after the instrumented workload
+    has quiesced — e.g. after [Pool.parallel_map] returned or the pool
+    shut down — which is what establishes the happens-before edge to
+    the worker domains' buffers.
+
+    Telemetry never touches algorithm state or RNG streams: results
+    are bit-identical with the registry on or off.
+
+    The JSON exporters (metrics snapshot, Chrome [trace_event] span
+    file) live in {!Tmedb_prelude.Obs_json}, keeping this library
+    dependency-free (stdlib + [unix] for the wall clock). *)
+
+val enabled : unit -> bool
+(** Whether the registry is recording.  Off at startup. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off.  Disabling does not clear existing data
+    (use {!reset}); handles created while disabled stay valid. *)
+
+val reset : unit -> unit
+(** Zero every counter and timer and drop all buffered span events.
+    Handles remain registered (a reset registry still snapshots every
+    known name, at zero). *)
+
+(** Monotonic event counts, e.g. ["dst.expansions"] or
+    ["simulate.trials"]. *)
+module Counter : sig
+  type t
+  (** A registered counter handle.  Create once at module
+      initialisation and keep; {!incr} is the hot-path operation. *)
+
+  val make : string -> t
+  (** [make name] registers (or retrieves) the counter called [name].
+      Calling [make] twice with one name yields the same counter. *)
+
+  val name : t -> string
+  (** The registration name. *)
+
+  val incr : t -> unit
+  (** Add 1 when the registry is enabled; a flag check otherwise. *)
+
+  val add : t -> int -> unit
+  (** Add [n] when the registry is enabled; a flag check otherwise. *)
+
+  val value : t -> int
+  (** Current total (0 after {!reset}). *)
+end
+
+(** Wall-clock accumulation with hit counts, e.g. ["dst.solve"] or
+    ["aux_graph.build"]. *)
+module Timer : sig
+  type t
+  (** A registered timer handle (create once, like {!Counter.t}). *)
+
+  val make : string -> t
+  (** [make name] registers (or retrieves) the timer called [name]. *)
+
+  val name : t -> string
+  (** The registration name. *)
+
+  val start : t -> float
+  (** Begin a measurement: the wall clock when enabled, [0.] when
+      disabled.  Pass the returned value to {!stop}. *)
+
+  val stop : t -> float -> unit
+  (** Close the measurement opened by {!start}: adds the elapsed wall
+      time and one hit.  A no-op when the matching {!start} returned
+      [0.] (registry disabled at start time). *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** [time t f] runs [f ()] inside a {!start}/{!stop} pair; the pair
+      closes on exceptions too. *)
+
+  val total_seconds : t -> float
+  (** Accumulated wall-clock seconds. *)
+
+  val count : t -> int
+  (** Number of completed {!stop}s. *)
+end
+
+(** Nested begin/end trace events with string attributes, buffered per
+    domain.  Spans opened and closed on one domain nest properly;
+    prefer {!Span.with_} so unwinding exceptions cannot unbalance the
+    buffer. *)
+module Span : sig
+  val enter : string -> (string * string) list -> unit
+  (** Record a begin event on the calling domain's buffer (no-op when
+      the registry is disabled).  Attributes are free-form key/value
+      strings, e.g. [("vertices", "1024")]. *)
+
+  val exit : string -> unit
+  (** Record the matching end event (no-op when disabled). *)
+
+  val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f ()] between {!enter} and {!exit}; the
+      span closes on exceptions too.  If recording was enabled at
+      entry the exit is recorded even if the registry was disabled
+      meanwhile, keeping the buffer balanced. *)
+end
+
+type phase =
+  | Begin
+  | End  (** Which side of a span an {!event} records. *)
+
+type event = {
+  name : string;  (** Span name as passed to {!Span.enter}. *)
+  domain : int;  (** Recording domain's id ([Domain.self]). *)
+  seq : int;  (** Per-domain sequence number, dense from 0. *)
+  ts : float;  (** Wall-clock seconds (Unix epoch). *)
+  phase : phase;
+  args : (string * string) list;  (** Attributes ([Begin] events only). *)
+}
+(** One buffered span event. *)
+
+type timer_snapshot = {
+  timer_name : string;
+  seconds : float;  (** Accumulated wall-clock time. *)
+  hits : int;  (** Completed start/stop pairs. *)
+}
+(** Point-in-time view of one timer. *)
+
+type snapshot = {
+  counters : (string * int) list;  (** Sorted by name. *)
+  timers : timer_snapshot list;  (** Sorted by name. *)
+}
+(** Point-in-time view of every registered counter and timer —
+    including never-touched ones (at zero), so a snapshot's key set
+    depends only on what the program links, not on the control path
+    taken. *)
+
+val snapshot : unit -> snapshot
+(** Harvest all counters and timers, sorted by name. *)
+
+val events : unit -> event list
+(** Merge every domain's span buffer into one deterministic order:
+    ascending [(domain, seq)].  Events of one domain therefore appear
+    in recording order, preserving nesting. *)
+
+val origin : unit -> float
+(** Wall-clock instant the registry was initialised (process start for
+    all practical purposes); exporters subtract it so timestamps start
+    near zero. *)

@@ -1,0 +1,66 @@
+let metrics_of_snapshot (s : Tmedb_obs.snapshot) =
+  Json.Obj
+    [
+      ("schema", Json.Str "tmedb.metrics/1");
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Num (float_of_int v))) s.counters) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun { Tmedb_obs.timer_name; seconds; hits } ->
+               ( timer_name,
+                 Json.Obj
+                   [ ("seconds", Json.Num seconds); ("count", Json.Num (float_of_int hits)) ] ))
+             s.timers) );
+    ]
+
+let metrics () = metrics_of_snapshot (Tmedb_obs.snapshot ())
+
+let trace_of_events events =
+  let origin = Tmedb_obs.origin () in
+  (* Microseconds since process start, clamped non-decreasing per
+     domain: trace viewers sort by timestamp, so a backwards wall-clock
+     step inside a span would otherwise unnest it. *)
+  let last_ts = Hashtbl.create 8 in
+  let rows =
+    List.map
+      (fun (e : Tmedb_obs.event) ->
+        let us = (e.ts -. origin) *. 1e6 in
+        let us =
+          match Hashtbl.find_opt last_ts e.domain with
+          | Some prev when prev > us -> prev
+          | Some _ | None -> us
+        in
+        Hashtbl.replace last_ts e.domain us;
+        let base =
+          [
+            ("name", Json.Str e.name);
+            ("cat", Json.Str "tmedb");
+            ("ph", Json.Str (match e.phase with Tmedb_obs.Begin -> "B" | Tmedb_obs.End -> "E"));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int e.domain));
+            ("ts", Json.Num us);
+          ]
+        in
+        let args =
+          match e.args with
+          | [] -> []
+          | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+        in
+        Json.Obj (base @ args))
+      events
+  in
+  Json.Obj [ ("displayTimeUnit", Json.Str "ms"); ("traceEvents", Json.List rows) ]
+
+let trace () = trace_of_events (Tmedb_obs.events ())
+
+let write_doc ~path ~indent doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent doc);
+      output_char oc '\n')
+
+let write_metrics ~path = write_doc ~path ~indent:2 (metrics ())
+let write_trace ~path = write_doc ~path ~indent:0 (trace ())

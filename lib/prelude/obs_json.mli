@@ -1,0 +1,37 @@
+(** JSON exporters for the {!Tmedb_obs} telemetry registry, built on
+    {!Json} (so they round-trip with the same parser the bench
+    baselines use).
+
+    Two documents:
+    - the {e metrics snapshot} ([--metrics] on the CLI and bench):
+      every registered counter and timer, schema
+      [{ "schema": "tmedb.metrics/1", "counters": {name: n, ...},
+         "timers": {name: {"seconds": s, "count": k}, ...} }];
+    - the {e span trace} ([--trace]): Chrome [trace_event]-format JSON
+      ([{ "displayTimeUnit": "ms", "traceEvents": [...] }] with
+      ["B"]/["E"] phase events), loadable directly in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+      Domains map to Chrome thread ids; timestamps are microseconds
+      since {!Tmedb_obs.origin}, clamped monotone per domain so a
+      wall-clock wobble cannot unnest a span. *)
+
+val metrics_of_snapshot : Tmedb_obs.snapshot -> Json.t
+(** The metrics document for an explicit snapshot (used by tests). *)
+
+val metrics : unit -> Json.t
+(** [metrics_of_snapshot (Tmedb_obs.snapshot ())]. *)
+
+val trace_of_events : Tmedb_obs.event list -> Json.t
+(** The Chrome [trace_event] document for an explicit event list
+    (used by tests).  Events must be grouped per domain in recording
+    order, as {!Tmedb_obs.events} returns them. *)
+
+val trace : unit -> Json.t
+(** [trace_of_events (Tmedb_obs.events ())]. *)
+
+val write_metrics : path:string -> unit
+(** Write {!metrics} to [path], pretty-printed, with a trailing
+    newline. *)
+
+val write_trace : path:string -> unit
+(** Write {!trace} to [path] (compact — span files get large). *)

@@ -1,3 +1,10 @@
+(* Telemetry: logical tasks are counted per element regardless of how
+   they are chunked onto queue jobs (so totals match at any pool
+   size); batches count actual queue submissions. *)
+let c_tasks = Tmedb_obs.Counter.make "pool.tasks"
+let c_batches = Tmedb_obs.Counter.make "pool.batches"
+let t_batch = Tmedb_obs.Timer.make "pool.run_batch"
+
 type t = {
   size : int;  (* logical workers: spawned domains + caller *)
   queue : (unit -> unit) Queue.t;
@@ -79,6 +86,8 @@ let with_pool ?num_domains f =
    completes; while helping it may execute tasks of *other* batches
    (nested parallel_map), which is what makes nesting deadlock-free. *)
 let run_batch t ~count run_one =
+  Tmedb_obs.Counter.incr c_batches;
+  let tb = Tmedb_obs.Timer.start t_batch in
   let remaining = Atomic.make count in
   let error = Atomic.make None in
   let done_mutex = Mutex.create () in
@@ -128,12 +137,14 @@ let run_batch t ~count run_one =
     end
   in
   drain ();
+  Tmedb_obs.Timer.stop t_batch tb;
   match Atomic.get error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
 let parallel_init t n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  Tmedb_obs.Counter.add c_tasks n;
   if n = 0 then [||]
   else if t.size <= 1 || n = 1 then Array.init n f
   else begin
@@ -146,6 +157,7 @@ let parallel_map t f a = parallel_init t (Array.length a) (fun i -> f a.(i))
 
 let parallel_map_chunked ?chunk t f a =
   let n = Array.length a in
+  Tmedb_obs.Counter.add c_tasks n;
   let chunk =
     match chunk with
     | Some c when c >= 1 -> c
@@ -166,8 +178,12 @@ let parallel_map_chunked ?chunk t f a =
     Array.map (function Some r -> r | None -> assert false) results
   end
 
-let run_sequential = Array.map
-let map pool f a = match pool with Some t -> parallel_map t f a | None -> Array.map f a
+let run_sequential f a =
+  Tmedb_obs.Counter.add c_tasks (Array.length a);
+  Array.map f a
+
+let map pool f a =
+  match pool with Some t -> parallel_map t f a | None -> run_sequential f a
 
 let map_chunked ?chunk pool f a =
-  match pool with Some t -> parallel_map_chunked ?chunk t f a | None -> Array.map f a
+  match pool with Some t -> parallel_map_chunked ?chunk t f a | None -> run_sequential f a

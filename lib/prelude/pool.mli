@@ -17,7 +17,12 @@
       RNG streams per task up front — see {!Rng.split}).
     - The first exception raised by a task is re-raised in the caller
       (with its backtrace) after the batch drains; remaining unstarted
-      tasks of that batch are skipped. *)
+      tasks of that batch are skipped.
+    - Telemetry ({!Tmedb_obs}): [pool.tasks] counts logical elements
+      dispatched through {!map}/{!map_chunked}/{!parallel_init} (the
+      same total at any worker count, including no pool);
+      [pool.batches]/[pool.run_batch] count and time actual queue
+      submissions (these depend on the pool size and chunking). *)
 
 type t
 

@@ -2,6 +2,13 @@ open Tmedb_prelude
 
 type result = { dist : float array; pred : int array }
 
+(* Telemetry: every (multi-source) run and warm restart is counted and
+   timed; [dijkstra.settled] counts queue pops that survived the
+   lazy-deletion check (the classic work measure of the algorithm). *)
+let c_runs = Tmedb_obs.Counter.make "dijkstra.runs"
+let c_settled = Tmedb_obs.Counter.make "dijkstra.settled"
+let t_run = Tmedb_obs.Timer.make "dijkstra.run"
+
 (* Lazy-deletion Dijkstra: stale queue entries are skipped by the
    distance check, which makes warm restarts (pushing extra sources
    into an already-relaxed state) sound with non-negative weights. *)
@@ -10,19 +17,23 @@ let drain g dist pred queue =
     match Pqueue.pop queue with
     | None -> ()
     | Some (d, u) ->
-        if d <= dist.(u) then
+        if d <= dist.(u) then begin
+          Tmedb_obs.Counter.incr c_settled;
           Digraph.iter_succ g u (fun v w ->
               let nd = d +. w in
               if nd < dist.(v) then begin
                 dist.(v) <- nd;
                 pred.(v) <- u;
                 Pqueue.push queue nd v
-              end);
+              end)
+        end;
         go ()
   in
   go ()
 
 let run_multi g ~sources =
+  Tmedb_obs.Counter.incr c_runs;
+  let tr = Tmedb_obs.Timer.start t_run in
   let n = Digraph.n g in
   if sources = [] then invalid_arg "Dijkstra.run_multi: empty sources";
   List.iter
@@ -37,6 +48,7 @@ let run_multi g ~sources =
       Pqueue.push queue 0. src)
     sources;
   drain g dist pred queue;
+  Tmedb_obs.Timer.stop t_run tr;
   { dist; pred }
 
 let run g ~src =
@@ -44,6 +56,8 @@ let run g ~src =
   run_multi g ~sources:[ src ]
 
 let refine g r ~new_sources =
+  Tmedb_obs.Counter.incr c_runs;
+  let tr = Tmedb_obs.Timer.start t_run in
   let n = Digraph.n g in
   let queue = Pqueue.create () in
   List.iter
@@ -55,7 +69,8 @@ let refine g r ~new_sources =
         Pqueue.push queue 0. src
       end)
     new_sources;
-  drain g r.dist r.pred queue
+  drain g r.dist r.pred queue;
+  Tmedb_obs.Timer.stop t_run tr
 
 let path r ~src ~dst =
   if not (Float.is_finite r.dist.(dst)) then None

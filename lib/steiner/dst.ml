@@ -1,6 +1,16 @@
 type tree = { edges : (int * int * float) list; cost : float; covered : int list }
 type outcome = { tree : tree; uncovered : int list }
 
+(* Telemetry: [dst.expansions] counts greedy rounds that realized a
+   candidate into the partial tree (the outer-loop work measure of the
+   recursive-greedy algorithm); [dst.level2_scans] counts full
+   candidate-table sweeps. *)
+let c_solves = Tmedb_obs.Counter.make "dst.solves"
+let c_expansions = Tmedb_obs.Counter.make "dst.expansions"
+let c_level2_scans = Tmedb_obs.Counter.make "dst.level2_scans"
+let t_solve = Tmedb_obs.Timer.make "dst.solve"
+let t_terminal_maps = Tmedb_obs.Timer.make "dst.terminal_maps"
+
 (* Edge sets keyed by u*n+v, keeping the cheapest parallel weight. *)
 module Edge_set = struct
   type t = { n : int; table : (int, float) Hashtbl.t }
@@ -43,6 +53,7 @@ type terminal_maps = {
 }
 
 let build_terminal_maps g terminals =
+  let tm = Tmedb_obs.Timer.start t_terminal_maps in
   let rev = Digraph.reverse g in
   let ids = Array.of_list terminals in
   let dist = Array.make (Array.length ids) [||] in
@@ -53,6 +64,7 @@ let build_terminal_maps g terminals =
       dist.(ti) <- r.Dijkstra.dist;
       next.(ti) <- r.Dijkstra.pred)
     ids;
+  Tmedb_obs.Timer.stop t_terminal_maps tm;
   { ids; dist; next }
 
 (* Edges of the shortest path v -> terminal ti, following next hops. *)
@@ -104,6 +116,7 @@ type terminal_table = { term_dist : float array array; term_id : int array array
    every count cnt <= need, the density of [path tree->u] + [A_1(cnt,
    u)] using plain distance sums; returns the best (u, cnt). *)
 let scan_level2 ~candidates ~dist_v ~remaining ~need ~table =
+  Tmedb_obs.Counter.incr c_level2_scans;
   let best_density = ref Float.infinity in
   let best = ref None in
   let ncand = Array.length candidates in
@@ -195,6 +208,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
       match pick with
       | None -> progress := false
       | Some (u, sub) ->
+          Tmedb_obs.Counter.incr c_expansions;
           (* Realize the connecting path tree -> u plus the subtree. *)
           let rec connect x acc =
             if pred_v.(x) < 0 then acc
@@ -236,7 +250,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
     else Some { cand_edges = Edge_set.to_list set; cand_cost = Edge_set.cost set; cand_terms = !covered }
   end
 
-let solve ?(level = 2) ?candidates g ~root ~terminals =
+let solve_body ~level ?candidates g ~root ~terminals =
   if level < 1 then invalid_arg "Dst.solve: level < 1";
   let nv = Digraph.n g in
   if root < 0 || root >= nv then invalid_arg "Dst.solve: root out of range";
@@ -293,6 +307,18 @@ let solve ?(level = 2) ?candidates g ~root ~terminals =
     match result with None -> ([], 0.) | Some c -> (c.cand_edges, c.cand_cost)
   in
   { tree = { edges; cost; covered }; uncovered }
+
+let solve ?(level = 2) ?candidates g ~root ~terminals =
+  Tmedb_obs.Counter.incr c_solves;
+  Tmedb_obs.Span.with_ "dst.solve"
+    ~args:
+      [
+        ("vertices", string_of_int (Digraph.n g));
+        ("terminals", string_of_int (List.length terminals));
+        ("level", string_of_int level);
+      ]
+    (fun () ->
+      Tmedb_obs.Timer.time t_solve (fun () -> solve_body ~level ?candidates g ~root ~terminals))
 
 let prune g ~root tree =
   let nv = Digraph.n g in

@@ -5,6 +5,10 @@ open Tmedb_channel
 type marginal = { cost : float; fresh : int list }
 type level = { cost : float; covered : int list }
 
+(* Telemetry: one DCS query per (node, time) asked of the auxiliary
+   graph builder — a flag check when the registry is off. *)
+let c_queries = Tmedb_obs.Counter.make "dcs.queries"
+
 let epsilon_cost ed phy =
   match Ed_function.cost_for_failure ed ~target:phy.Phy.eps with
   | Some w -> w
@@ -19,6 +23,7 @@ let neighbour_cost ~phy ~channel ~dist =
       epsilon_cost (Ed_function.lognormal ~beta:(Phy.beta phy ~dist) ~sigma) phy
 
 let marginals_at g ~phy ~channel ~node ~time =
+  Tmedb_obs.Counter.incr c_queries;
   let neighbours = Tveg.neighbors_at g node time in
   let costed =
     List.map (fun (j, dist) -> (neighbour_cost ~phy ~channel ~dist, j)) neighbours

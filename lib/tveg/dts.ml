@@ -5,6 +5,13 @@ let log_src = Logs.Src.create "tmedb.dts" ~doc:"Discrete time set construction"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module FloatSet = Set.Make (Float)
 
+(* Telemetry: [dts.points] accumulates the total points of every
+   computed DTS — with the auxiliary-graph counters it exposes how the
+   discretisation scales (the paper's O(N^2 L) / O(N^3 L) bounds). *)
+let c_computes = Tmedb_obs.Counter.make "dts.computes"
+let c_points = Tmedb_obs.Counter.make "dts.points"
+let t_compute = Tmedb_obs.Timer.make "dts.compute"
+
 type t = { deadline : float; points : float array array }
 
 let base_points g ~deadline ~min_time i =
@@ -14,6 +21,8 @@ let base_points g ~deadline ~min_time i =
   |> FloatSet.of_list
 
 let compute ?(cap_per_node = 4000) ?source g ~deadline =
+  Tmedb_obs.Counter.incr c_computes;
+  let tc = Tmedb_obs.Timer.start t_compute in
   let span = Tveg.span g in
   if deadline > span.Interval.hi || deadline <= span.Interval.lo then
     invalid_arg "Dts.compute: deadline outside the graph span";
@@ -62,7 +71,11 @@ let compute ?(cap_per_node = 4000) ?source g ~deadline =
   Array.iteri
     (fun i s -> if FloatSet.is_empty s then sets.(i) <- FloatSet.singleton span.Interval.lo)
     sets;
-  { deadline; points = Array.map (fun s -> Array.of_list (FloatSet.elements s)) sets }
+  let t = { deadline; points = Array.map (fun s -> Array.of_list (FloatSet.elements s)) sets } in
+  Tmedb_obs.Counter.add c_points
+    (Array.fold_left (fun acc pts -> acc + Array.length pts) 0 t.points);
+  Tmedb_obs.Timer.stop t_compute tc;
+  t
 
 let deadline t = t.deadline
 let node_points t i = t.points.(i)

@@ -1,7 +1,28 @@
 #!/bin/sh
-# Tier-1 gate: everything must build and the full test suite must pass.
+# Tier-1 gate: everything must build (including the odoc target), the
+# full test suite must pass, every public val in lib/core and lib/obs
+# must carry a doc comment, and the quick bench must emit a valid
+# telemetry metrics snapshot.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @all
+dune build @doc
 dune runtest
+scripts/docs_check.sh
+
+# Telemetry smoke: the metrics file must carry the schema marker, both
+# top-level sections, and counters from every major subsystem the
+# quick run exercises (bench/main.exe itself re-parses the file and
+# exits non-zero if it is not valid JSON).
+m=$(mktemp)
+trap 'rm -f "$m"' EXIT
+dune exec bench/main.exe -- quick --jobs 2 --metrics "$m" > /dev/null
+for key in '"schema": "tmedb.metrics/1"' '"counters"' '"timers"' \
+           '"aux_graph.vertices"' '"dst.solves"' '"simulate.trials"' '"pool.tasks"'; do
+  grep -q "$key" "$m" || {
+    echo "check.sh: metrics file missing $key" >&2
+    exit 1
+  }
+done
+
 echo "check.sh: OK"

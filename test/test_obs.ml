@@ -1,0 +1,285 @@
+(* Tests for the lib/obs telemetry registry: counter/timer/span
+   semantics, deterministic merge of the per-domain span buffers at
+   several worker counts, JSON export round-trips through the in-repo
+   parser, and the zero-overhead disabled path. *)
+
+open Tmedb_prelude
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* The registry is process-global; run every test from a clean, known
+   state and leave telemetry off for whoever runs next. *)
+let scrubbed f () =
+  Tmedb_obs.reset ();
+  Tmedb_obs.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Tmedb_obs.set_enabled false;
+      Tmedb_obs.reset ())
+
+(* ------------------------------------------------------------------ *)
+(* Counter / timer semantics *)
+
+let test_counter_semantics =
+  scrubbed @@ fun () ->
+  let c = Tmedb_obs.Counter.make "test.obs.counter" in
+  check_string "name" "test.obs.counter" (Tmedb_obs.Counter.name c);
+  Tmedb_obs.Counter.incr c;
+  Tmedb_obs.Counter.add c 40;
+  (* Registration is idempotent: a second handle for the same name
+     observes and feeds the same cell. *)
+  let c' = Tmedb_obs.Counter.make "test.obs.counter" in
+  Tmedb_obs.Counter.incr c';
+  check_int "same cell through both handles" 42 (Tmedb_obs.Counter.value c);
+  Tmedb_obs.set_enabled false;
+  Tmedb_obs.Counter.incr c;
+  Tmedb_obs.Counter.add c 99;
+  check_int "disabled bumps are no-ops" 42 (Tmedb_obs.Counter.value c);
+  Tmedb_obs.set_enabled true;
+  Tmedb_obs.reset ();
+  check_int "reset zeroes" 0 (Tmedb_obs.Counter.value c);
+  let snap = Tmedb_obs.snapshot () in
+  check_bool "reset keeps the registration" true
+    (List.mem_assoc "test.obs.counter" snap.Tmedb_obs.counters)
+
+let test_timer_semantics =
+  scrubbed @@ fun () ->
+  let t = Tmedb_obs.Timer.make "test.obs.timer" in
+  check_string "name" "test.obs.timer" (Tmedb_obs.Timer.name t);
+  let r =
+    Tmedb_obs.Timer.time t (fun () ->
+        Unix.sleepf 0.01;
+        17)
+  in
+  check_int "time returns f's result" 17 r;
+  check_int "one hit" 1 (Tmedb_obs.Timer.count t);
+  check_bool "accumulated the sleep" true (Tmedb_obs.Timer.total_seconds t >= 0.005);
+  (try Tmedb_obs.Timer.time t (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "pair closes on exception" 2 (Tmedb_obs.Timer.count t);
+  Tmedb_obs.set_enabled false;
+  let h = Tmedb_obs.Timer.start t in
+  check_bool "disabled start returns the 0. sentinel" true (Float.equal h 0.);
+  Tmedb_obs.Timer.stop t h;
+  check_int "disabled stop records nothing" 2 (Tmedb_obs.Timer.count t)
+
+(* ------------------------------------------------------------------ *)
+(* Span semantics on one domain *)
+
+let test_span_semantics =
+  scrubbed @@ fun () ->
+  Tmedb_obs.Span.with_ ~args:[ ("k", "v") ] "outer" (fun () ->
+      Tmedb_obs.Span.with_ "inner" (fun () -> ()));
+  (try Tmedb_obs.Span.with_ "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  Tmedb_obs.set_enabled false;
+  Tmedb_obs.Span.with_ "invisible" (fun () -> ());
+  Tmedb_obs.set_enabled true;
+  let evs = Tmedb_obs.events () in
+  let shape = List.map (fun e -> (e.Tmedb_obs.name, e.Tmedb_obs.phase)) evs in
+  check_bool "nesting preserved, disabled span absent" true
+    (shape
+    = [
+        ("outer", Tmedb_obs.Begin);
+        ("inner", Tmedb_obs.Begin);
+        ("inner", Tmedb_obs.End);
+        ("outer", Tmedb_obs.End);
+        ("raises", Tmedb_obs.Begin);
+        ("raises", Tmedb_obs.End);
+      ]);
+  (match evs with
+  | first :: _ -> check_bool "args ride the Begin event" true (first.Tmedb_obs.args = [ ("k", "v") ])
+  | [] -> Alcotest.fail "no events recorded");
+  List.iteri (fun i e -> check_int "seq dense from 0 after reset" i e.Tmedb_obs.seq) evs;
+  check_bool "timestamps at or after origin" true
+    (List.for_all (fun e -> e.Tmedb_obs.ts >= Tmedb_obs.origin ()) evs)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic merge across worker counts *)
+
+let test_merge_determinism =
+  scrubbed @@ fun () ->
+  let c = Tmedb_obs.Counter.make "test.obs.work" in
+  let n = 64 in
+  let workload pool =
+    Pool.map pool
+      (fun i ->
+        Tmedb_obs.Span.with_ "test.obs.task" ~args:[ ("i", string_of_int i) ] (fun () ->
+            Tmedb_obs.Counter.add c i;
+            i * i))
+      (Array.init n Fun.id)
+  in
+  let expected_result = Array.init n (fun i -> i * i) in
+  let totals =
+    List.map
+      (fun k ->
+        Tmedb_obs.reset ();
+        let result =
+          if k = 1 then workload None
+          else Pool.with_pool ~num_domains:k (fun pool -> workload (Some pool))
+        in
+        check_bool (Printf.sprintf "results jobs=%d" k) true (result = expected_result);
+        let evs = Tmedb_obs.events () in
+        let keys = List.map (fun e -> (e.Tmedb_obs.domain, e.Tmedb_obs.seq)) evs in
+        check_bool
+          (Printf.sprintf "merge ordered by (domain, seq) jobs=%d" k)
+          true
+          (keys = List.sort compare keys);
+        let begins =
+          List.length (List.filter (fun e -> e.Tmedb_obs.phase = Tmedb_obs.Begin) evs)
+        in
+        check_int (Printf.sprintf "one Begin per task jobs=%d" k) n begins;
+        check_int (Printf.sprintf "balanced End count jobs=%d" k) n (List.length evs - begins);
+        Tmedb_obs.Counter.value c)
+      [ 1; 2; 4 ]
+  in
+  match totals with
+  | reference :: rest ->
+      check_int "reference total" (n * (n - 1) / 2) reference;
+      List.iter (fun total -> check_int "counter total jobs-invariant" reference total) rest
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON export round-trips through Tmedb_prelude.Json *)
+
+let test_json_round_trip =
+  scrubbed @@ fun () ->
+  let c = Tmedb_obs.Counter.make "test.obs.rt" in
+  Tmedb_obs.Counter.add c 7;
+  let t = Tmedb_obs.Timer.make "test.obs.rt_timer" in
+  Tmedb_obs.Timer.time t (fun () -> ());
+  Tmedb_obs.Span.with_ "test.obs.rt_span" ~args:[ ("x", "1") ] (fun () -> ());
+  (match Json.parse (Json.to_string (Obs_json.metrics ())) with
+  | Error e -> Alcotest.fail ("metrics does not parse: " ^ e)
+  | Ok doc ->
+      check_bool "schema marker" true
+        (Json.member "schema" doc = Some (Json.Str "tmedb.metrics/1"));
+      let counter_value =
+        Option.bind (Json.member "counters" doc) (Json.member "test.obs.rt")
+        |> Fun.flip Option.bind Json.to_float
+      in
+      check_bool "counter survives the round trip" true (counter_value = Some 7.);
+      let timer_hits =
+        Option.bind (Json.member "timers" doc) (Json.member "test.obs.rt_timer")
+        |> Fun.flip Option.bind (Json.member "count")
+        |> Fun.flip Option.bind Json.to_float
+      in
+      check_bool "timer hit count survives" true (timer_hits = Some 1.));
+  match Json.parse (Json.to_string ~indent:0 (Obs_json.trace ())) with
+  | Error e -> Alcotest.fail ("trace does not parse: " ^ e)
+  | Ok doc -> (
+      check_bool "display unit" true (Json.member "displayTimeUnit" doc = Some (Json.Str "ms"));
+      match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+      | None -> Alcotest.fail "traceEvents missing"
+      | Some rows ->
+          check_int "one B and one E" 2 (List.length rows);
+          let phases = List.filter_map (Json.member "ph") rows in
+          check_bool "Chrome phases" true (phases = [ Json.Str "B"; Json.Str "E" ]);
+          check_bool "every event carries name/pid/tid/ts" true
+            (List.for_all
+               (fun row ->
+                 List.for_all
+                   (fun key -> Json.member key row <> None)
+                   [ "name"; "cat"; "pid"; "tid"; "ts" ])
+               rows);
+          let ts =
+            List.filter_map (fun row -> Option.bind (Json.member "ts" row) Json.to_float) rows
+          in
+          check_bool "timestamps non-negative and monotone" true
+            (match ts with [ b; e ] -> b >= 0. && e >= b | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path: a flag check, not an allocation site *)
+
+let test_disabled_path_allocation_free () =
+  Tmedb_obs.set_enabled false;
+  let c = Tmedb_obs.Counter.make "test.obs.noalloc" in
+  let t = Tmedb_obs.Timer.make "test.obs.noalloc_timer" in
+  let iters = 100_000 in
+  for _ = 1 to 1_000 do
+    Tmedb_obs.Counter.incr c
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    Tmedb_obs.Counter.incr c;
+    Tmedb_obs.Counter.add c 3;
+    Tmedb_obs.Span.with_ "test.obs.noalloc_span" (fun () -> ())
+  done;
+  let counter_delta = Gc.minor_words () -. before in
+  (* Counters and disabled spans take the flag-check branch only; a
+     few thousand words of slack covers Gc bookkeeping noise. *)
+  check_bool
+    (Printf.sprintf "counter/span loop allocates ~nothing (%.0f words)" counter_delta)
+    true
+    (counter_delta < 10_000.);
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    let h = Tmedb_obs.Timer.start t in
+    Tmedb_obs.Timer.stop t h
+  done;
+  let timer_delta = Gc.minor_words () -. before in
+  (* Timer.start returns a float, which closure-compiled code may box:
+     allow a handful of words per iteration but nothing beyond. *)
+  check_bool
+    (Printf.sprintf "timer loop stays within boxing (%.0f words)" timer_delta)
+    true
+    (timer_delta < (8. *. float_of_int iters) +. 10_000.);
+  check_int "nothing was recorded" 0 (Tmedb_obs.Counter.value c);
+  check_int "no timer hits" 0 (Tmedb_obs.Timer.count t);
+  check_bool "no span events" true
+    (not
+       (List.exists
+          (fun e -> e.Tmedb_obs.name = "test.obs.noalloc_span")
+          (Tmedb_obs.events ())))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry observes, never steers: identical results on and off *)
+
+let test_results_identical_on_off () =
+  let open Tmedb in
+  let config =
+    {
+      Experiment.default_config with
+      Experiment.n = 8;
+      horizon = 5000.;
+      deadline = 1200.;
+      sources = 1;
+      mc_trials = 40;
+      dts_cap = 400;
+    }
+  in
+  let trace = Experiment.make_trace config ~n:8 in
+  let run () =
+    Experiment.run_alg config ~trace ~source:0 ~deadline:1200. ~rng:(Rng.create 5)
+      Experiment.EEDCB
+  in
+  Tmedb_obs.reset ();
+  Tmedb_obs.set_enabled false;
+  let off = run () in
+  Tmedb_obs.set_enabled true;
+  let on =
+    Fun.protect run ~finally:(fun () ->
+        Tmedb_obs.set_enabled false;
+        Tmedb_obs.reset ())
+  in
+  check_bool "energy identical" true (Float.equal off.Experiment.energy on.Experiment.energy);
+  check_bool "feasibility identical" true (off.Experiment.feasible = on.Experiment.feasible)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          tc "counter semantics" test_counter_semantics;
+          tc "timer semantics" test_timer_semantics;
+          tc "span semantics" test_span_semantics;
+        ] );
+      ( "concurrency",
+        [ tc "per-domain buffers merge deterministically" test_merge_determinism ] );
+      ( "export", [ tc "metrics and trace round-trip" test_json_round_trip ] );
+      ( "overhead",
+        [
+          tc "disabled path is allocation-free" test_disabled_path_allocation_free;
+          tc "results identical with telemetry on/off" test_results_identical_on_off;
+        ] );
+    ]
