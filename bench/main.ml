@@ -550,6 +550,43 @@ let obs_overhead () =
 
 (* ------------------------------------------------------------------ *)
 
+(* `lint` mode: time a full-repo static-analysis pass.  The analyzer
+   is pure OCaml over compiler-libs parse trees, so this doubles as a
+   perf smoke (how long a check.sh lint gate costs) and as a gate (any
+   unsuppressed finding or parse error exits non-zero). *)
+let lint_smoke () =
+  let roots = [ "lib"; "bin"; "bench"; "test" ] in
+  let allowlist =
+    if Sys.file_exists "lint.allowlist" then
+      match Lint.load_allowlist "lint.allowlist" with
+      | Ok entries -> entries
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+    else []
+  in
+  let t0 = Unix.gettimeofday () in
+  match Lint.collect_files roots with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | Ok files ->
+      let findings, errors =
+        List.fold_left
+          (fun (fs, es) file ->
+            match Lint.analyze_file ~allowlist file with
+            | Ok f -> (fs @ f, es)
+            | Error msg -> (fs, es @ [ msg ]))
+          ([], []) files
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter (fun msg -> Printf.eprintf "%s\n" msg) errors;
+      Lint.report_text Format.std_formatter findings;
+      Printf.printf "lint: %d files, %d findings, %d errors in %.3f s (%.1f files/s)\n%!"
+        (List.length files) (List.length findings) (List.length errors) dt
+        (float_of_int (List.length files) /. Float.max dt 1e-9);
+      if findings <> [] || errors <> [] then exit 1
+
 let all_figures config =
   fig4 config `Static;
   fig4 config `Fading;
@@ -563,7 +600,7 @@ let all_figures config =
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs K] [--metrics FILE] [--trace FILE] \
-     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|obs]";
+     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|obs|lint]";
   exit 2
 
 (* Strip `--jobs K` / `-j K` and the telemetry sinks anywhere in argv;
@@ -657,6 +694,7 @@ let () =
   | [ "bechamel" ] -> bechamel_kernels ()
   | [ "baseline" ] -> baseline ()
   | [ "obs" ] -> obs_overhead ()
+  | [ "lint" ] -> lint_smoke ()
   | _ -> usage ());
   write_telemetry ();
   Option.iter Tmedb_prelude.Pool.shutdown !pool;

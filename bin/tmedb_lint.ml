@@ -1,0 +1,112 @@
+(* tmedb-lint: static enforcement of the project's determinism,
+   domain-safety and documentation invariants (rules R1-R6, see
+   lib/lint).  Run from the repo root:
+
+     dune exec bin/tmedb_lint.exe -- lib bin bench test
+
+   Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO/parse
+   errors.  `lint.allowlist` in the current directory is applied
+   automatically unless --no-allowlist is given. *)
+
+let usage () =
+  prerr_endline
+    "usage: tmedb_lint [--format text|json] [--only rule[,rule]] [--allowlist FILE]\n\
+    \                  [--no-allowlist] [--list-rules] PATH...\n\n\
+     Analyzes every .ml/.mli under the given paths (directories are walked\n\
+     recursively; _build and dot-directories are skipped).";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun r -> Printf.printf "%-4s %-26s %s\n" r.Lint.code r.Lint.id r.Lint.summary)
+    Lint.rules;
+  exit 0
+
+let () =
+  let format = ref `Text in
+  let only = ref [] in
+  let allowlist_path = ref (Some "lint.allowlist") in
+  let explicit_allowlist = ref false in
+  let paths = ref [] in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  let next_arg () =
+    incr i;
+    if !i >= Array.length argv then usage ();
+    argv.(!i)
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--format" -> (
+        match next_arg () with
+        | "text" -> format := `Text
+        | "json" -> format := `Json
+        | _ -> usage ())
+    | "--only" ->
+        let rules =
+          String.split_on_char ',' (next_arg ())
+          |> List.map String.trim
+          |> List.filter (( <> ) "")
+        in
+        if rules = [] then usage ();
+        List.iter
+          (fun id ->
+            if Lint.find_rule id = None then begin
+              Printf.eprintf "tmedb_lint: unknown rule %S (try --list-rules)\n" id;
+              exit 2
+            end)
+          rules;
+        only := !only @ rules
+    | "--allowlist" ->
+        allowlist_path := Some (next_arg ());
+        explicit_allowlist := true
+    | "--no-allowlist" -> allowlist_path := None
+    | "--list-rules" -> list_rules ()
+    | "--help" | "-h" -> usage ()
+    | arg when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | path -> paths := path :: !paths);
+    incr i
+  done;
+  if !paths = [] then usage ();
+  let allowlist =
+    match !allowlist_path with
+    | None -> []
+    | Some path when (not !explicit_allowlist) && not (Sys.file_exists path) -> []
+    | Some path -> (
+        match Lint.load_allowlist path with
+        | Ok entries -> entries
+        | Error msg ->
+            Printf.eprintf "tmedb_lint: %s\n" msg;
+            exit 2)
+  in
+  let files =
+    match Lint.collect_files (List.rev !paths) with
+    | Ok files -> files
+    | Error msg ->
+        Printf.eprintf "tmedb_lint: %s\n" msg;
+        exit 2
+  in
+  let errors = ref [] in
+  let findings =
+    List.concat_map
+      (fun file ->
+        match Lint.analyze_file ~only:!only ~allowlist file with
+        | Ok findings -> findings
+        | Error msg ->
+            errors := Printf.sprintf "%s: %s" file msg :: !errors;
+            [])
+      files
+  in
+  List.iter (Printf.eprintf "tmedb_lint: %s\n") (List.rev !errors);
+  (match !format with
+  | `Text ->
+      Lint.report_text Format.std_formatter findings;
+      if findings = [] && !errors = [] then
+        Printf.printf "tmedb_lint: %d files clean\n" (List.length files)
+      else if findings <> [] then
+        Printf.printf "tmedb_lint: %d finding%s in %d files\n" (List.length findings)
+          (if List.length findings = 1 then "" else "s")
+          (List.length files)
+  | `Json -> Lint.report_json Format.std_formatter findings);
+  if !errors <> [] then exit 2;
+  if findings <> [] then exit 1

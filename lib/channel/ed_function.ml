@@ -38,7 +38,7 @@ let of_distance phy model ~dist =
 
 let failure_prob t ~w =
   if w < 0. then invalid_arg "Ed_function.failure_prob: negative cost";
-  if w = 0. then 1.
+  if Float.equal w 0. then 1.
   else
     match t with
     | Absent -> 1.

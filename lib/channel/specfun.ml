@@ -71,14 +71,14 @@ let gammq_cf ~a ~x =
 let gammp ~a ~x =
   if a <= 0. then invalid_arg "Specfun.gammp: a <= 0";
   if x < 0. then invalid_arg "Specfun.gammp: x < 0";
-  if x = 0. then 0.
+  if Float.equal x 0. then 0.
   else if x < a +. 1. then gammp_series ~a ~x
   else 1. -. gammq_cf ~a ~x
 
 let gammq ~a ~x = 1. -. gammp ~a ~x
 
 let erf x =
-  if x = 0. then 0.
+  if Float.equal x 0. then 0.
   else begin
     let p = gammp ~a:0.5 ~x:(x *. x) in
     if x > 0. then p else -.p

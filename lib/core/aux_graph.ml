@@ -147,10 +147,13 @@ let extract_schedule t (tree : Dst.tree) =
       note u;
       note v)
     tree.Dst.edges;
+  (* Extract in (node, point) key order so the transmission list never
+     depends on hash-bucket layout (lint rule R1); [of_transmissions]
+     re-sorts by (time, relay, cost), which cannot distinguish exact
+     duplicates. *)
   let txs =
-    Hashtbl.fold
-      (fun _ (cost, (relay, time)) acc -> { Schedule.relay; time; cost } :: acc)
-      best []
+    List.sort compare (Hashtbl.fold (fun key payload acc -> (key, payload) :: acc) best [])
+    |> List.map (fun (_, (cost, (relay, time))) -> { Schedule.relay; time; cost })
   in
   Schedule.of_transmissions txs
 

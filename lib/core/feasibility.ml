@@ -92,7 +92,7 @@ let check (problem : Problem.t) schedule =
             if ready <> [] then begin
               List.iter process_tx ready;
               (* τ = 0 receive events land at this same instant. *)
-              if tau = 0. then apply_until t
+              if Float.equal tau 0. then apply_until t
             end;
             waiting := blocked
           done;

@@ -36,3 +36,5 @@ val delivery_ratio : report -> float
     Monte-Carlo — see [Simulate] for the empirical metric). *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Human-readable dump of a feasibility report: verdict, violations
+    and the per-node receive times. *)

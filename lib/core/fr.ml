@@ -137,7 +137,7 @@ let firing_ranks (problem : Problem.t) arr =
             in
             progress := ready <> [];
             List.iter fire ready;
-            if ready <> [] && tau = 0. then apply_until t;
+            if ready <> [] && Float.equal tau 0. then apply_until t;
             waiting := blocked
           done)
     (groups (List.init ntx (fun k -> k)));

@@ -18,6 +18,10 @@ type result = {
 }
 
 val run : ?cap_per_node:int -> Problem.t -> result
+(** Run the GREED baseline: repeatedly pick the candidate with the
+    best cost-per-newly-informed-node density until every node is
+    informed or no productive transmission remains.  [cap_per_node]
+    bounds the DTS points per node, as in [Problem.dts]. *)
 
 (** {1 Shared with the RAND baseline} *)
 

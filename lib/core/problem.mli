@@ -76,3 +76,5 @@ val set_cover_gadget :
     [0, universe) or the universe is not covered by the union. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable dump of an instance: size, source, deadline, span
+    and channel model. *)

@@ -30,22 +30,26 @@ let run ?cap_per_node ~rng problem =
         | Some c0 when c0.Greedy.cost <= c.Greedy.cost -> ()
         | Some _ | None -> Hashtbl.replace cheapest key c)
       cands;
-    let per_relay = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun _ c ->
-        let old = Option.value ~default:[] (Hashtbl.find_opt per_relay c.Greedy.relay) in
-        Hashtbl.replace per_relay c.Greedy.relay (c :: old))
-      cheapest;
-    let relays = Hashtbl.fold (fun r _ acc -> r :: acc) per_relay [] in
+    (* Extract the surviving opportunities in (relay, time) key order:
+       hash-bucket layout must not influence which relay RAND draws
+       (lint rule R1). *)
+    let by_key =
+      List.sort
+        (fun ((r1, t1), _) ((r2, t2), _) ->
+          match Int.compare r1 r2 with 0 -> Float.compare t1 t2 | c -> c)
+        (Hashtbl.fold (fun key c acc -> (key, c) :: acc) cheapest [])
+    in
+    let relays = List.sort_uniq Int.compare (List.map (fun ((r, _), _) -> r) by_key) in
     match relays with
     | [] -> stalled := true
     | _ ->
-        let relay = Rng.pick_list rng (List.sort Int.compare relays) in
-        let opportunities = Hashtbl.find per_relay relay in
-        let chosen =
-          Rng.pick_list rng
-            (List.sort (fun a b -> Float.compare a.Greedy.time b.Greedy.time) opportunities)
+        let relay = Rng.pick_list rng relays in
+        let opportunities =
+          List.filter_map
+            (fun ((r, _), c) -> if r = relay then Some c else None)
+            by_key
         in
+        let chosen = Rng.pick_list rng opportunities in
         incr steps;
         schedule :=
           { Schedule.relay = chosen.Greedy.relay; time = chosen.Greedy.time; cost = chosen.Greedy.cost }

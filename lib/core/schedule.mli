@@ -53,6 +53,9 @@ val normalize_et : t -> Tmedb_tveg.Dts.t -> informed_time:(int -> float option) 
     as is). *)
 
 val equal : t -> t -> bool
+(** Exact structural equality of two schedules: same transmissions
+    with bit-equal times and costs ([Float.compare] = 0), in the same
+    canonical order. *)
 
 (** {1 Serialisation}
 

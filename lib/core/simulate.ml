@@ -77,7 +77,7 @@ let one_trial ~rng ~eval_channel problem schedule =
             in
             progress := ready <> [];
             List.iter fire ready;
-            if ready <> [] && tau = 0. then apply_until t;
+            if ready <> [] && Float.equal tau 0. then apply_until t;
             waiting := blocked
           done)
     (groups (Schedule.transmissions schedule));

@@ -1,0 +1,113 @@
+(** Static analysis for the tmedb tree.
+
+    [tmedb-lint] parses every [.ml]/[.mli] with [compiler-libs] and
+    enforces the project invariants that the determinism and telemetry
+    work (PR 1 / PR 2) otherwise only sample at runtime:
+
+    - {b R1 nondet-iteration}: [Hashtbl.iter]/[Hashtbl.fold]/
+      [Hashtbl.to_seq*] whose result is not re-sorted, in the
+      result-affecting libraries ([lib/core], [lib/steiner],
+      [lib/tveg], [lib/tvg], [lib/trace]).  Hash-bucket order is not
+      part of any contract; iterating it unsorted makes figures depend
+      on insertion history.
+    - {b R2 hidden-rng}: any use of [Stdlib.Random] outside
+      [lib/prelude/rng.ml].  All randomness must flow through the
+      splittable [Rng] so [--jobs] stays bit-identical.
+    - {b R3 wall-clock}: [Unix.gettimeofday]/[Sys.time] outside
+      [lib/obs] and [bench/].  Kernels must not read the clock.
+    - {b R4 toplevel-mutable-state}: module-level [ref]/
+      [Hashtbl.create]/mutable-record literals outside [lib/obs];
+      such state races under the PR-1 domain pool.
+    - {b R5 float-polymorphic-compare}: polymorphic [=]/[<>]/
+      [compare]/[min]/[max] applied to syntactically float-ish
+      operands in the numeric kernels; use [Float.equal],
+      [Float.compare] etc.
+    - {b R6 undocumented-val}: a public [val] in [lib/core] or
+      [lib/obs] without an odoc comment (the [scripts/docs_check.sh]
+      gate, re-implemented on the real parsed signature).
+
+    Suppression is explicit and auditable: attach
+    [[@lint.allow "rule"]] to an expression, value binding or
+    signature item (several rule names may be comma-separated; a bare
+    [[@lint.allow]] or ["*"] allows every rule), write
+    [[@@@lint.allow "rule"]] once for a whole file, or add a
+    [lint.allowlist] line for whole-file/whole-directory exemptions. *)
+
+type rule = {
+  id : string;  (** stable rule name, e.g. ["nondet-iteration"] *)
+  code : string;  (** short code used in reports, e.g. ["R1"] *)
+  summary : string;  (** one-line description *)
+}
+(** A named invariant the analyzer enforces. *)
+
+val rules : rule list
+(** All rules, in R1..R6 order. *)
+
+val find_rule : string -> rule option
+(** [find_rule id] looks a rule up by its stable name. *)
+
+type finding = {
+  rule : rule;  (** the rule that fired *)
+  file : string;  (** repo-relative path *)
+  line : int;  (** 1-based line *)
+  col : int;  (** 0-based column, matching compiler diagnostics *)
+  message : string;  (** what was found and how to fix or suppress it *)
+}
+(** One unsuppressed rule violation. *)
+
+type allow_entry = {
+  pattern : string;
+      (** exact repo-relative file path, or a directory prefix that
+          exempts everything beneath it *)
+  allowed_rule : string;  (** a rule id, or ["*"] for every rule *)
+}
+(** One parsed [lint.allowlist] line. *)
+
+type allowlist = allow_entry list
+(** Whole-file exemptions, usually parsed from [lint.allowlist]. *)
+
+val parse_allowlist : source_name:string -> string -> (allowlist, string) result
+(** [parse_allowlist ~source_name text] parses allowlist syntax: one
+    [<path> <rule>] pair per line, [#] comments and blank lines
+    ignored.  Unknown rule names and malformed lines are errors
+    (reported with [source_name] and the line number) so stale entries
+    cannot linger unnoticed. *)
+
+val load_allowlist : string -> (allowlist, string) result
+(** [load_allowlist path] reads and parses the file at [path]. *)
+
+val analyze_source :
+  ?only:string list ->
+  ?allowlist:allowlist ->
+  path:string ->
+  string ->
+  (finding list, string) result
+(** [analyze_source ~path source] parses [source] ([Parse.interface]
+    when [path] ends in [.mli], [Parse.implementation] otherwise) and
+    returns the unsuppressed findings, sorted by position.  [path]
+    also decides which rules are in scope (see the rule table above),
+    so test fixtures pick their scope by choosing a virtual path.
+    [?only] restricts the run to the given rule ids; [?allowlist]
+    applies whole-file exemptions.  Syntax errors are [Error]. *)
+
+val analyze_file :
+  ?only:string list ->
+  ?allowlist:allowlist ->
+  string ->
+  (finding list, string) result
+(** [analyze_file path] reads [path] and runs {!analyze_source}. *)
+
+val collect_files : string list -> (string list, string) result
+(** [collect_files paths] expands each path: a file is kept when it
+    ends in [.ml]/[.mli]; a directory is walked recursively, skipping
+    [_build] and dot-directories.  The result is sorted so every run
+    visits files in the same order.  A non-existent path is an
+    [Error]. *)
+
+val report_text : Format.formatter -> finding list -> unit
+(** [report_text ppf findings] prints one [file:line:col: [code/id]
+    message] line per finding. *)
+
+val report_json : Format.formatter -> finding list -> unit
+(** [report_json ppf findings] prints a machine-readable report:
+    [{"findings": [...], "count": N}]. *)

@@ -1,7 +1,7 @@
 let root ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
   let flo = f lo and fhi = f hi in
-  if flo = 0. then Some lo
-  else if fhi = 0. then Some hi
+  if Float.equal flo 0. then Some lo
+  else if Float.equal fhi 0. then Some hi
   else if flo *. fhi > 0. then None
   else begin
     let lo = ref lo and hi = ref hi and flo = ref flo in
@@ -10,7 +10,7 @@ let root ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
       incr iter;
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
-      if fmid = 0. then begin
+      if Float.equal fmid 0. then begin
         lo := mid;
         hi := mid
       end

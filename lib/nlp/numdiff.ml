@@ -16,7 +16,7 @@ let gradient ?(h = 1e-6) f x =
 let directional ?(h = 1e-6) f x ~dir =
   let n = Array.length x in
   let norm = sqrt (Array.fold_left (fun acc d -> acc +. (d *. d)) 0. dir) in
-  if norm = 0. then 0.
+  if Float.equal norm 0. then 0.
   else begin
     let step = h /. norm in
     let shifted sign = Array.init n (fun i -> x.(i) +. (sign *. step *. dir.(i))) in

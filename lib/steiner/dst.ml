@@ -24,10 +24,16 @@ module Edge_set = struct
     | Some _ | None -> Hashtbl.replace t.table key w
 
   let add_list t es = List.iter (add t) es
-  let cost t = Hashtbl.fold (fun _ w acc -> acc +. w) t.table 0.
 
-  let to_list t =
-    Hashtbl.fold (fun key w acc -> (key / t.n, key mod t.n, w) :: acc) t.table []
+  (* Key-sorted bindings: bucket order must not leak into edge lists
+     or float summation order (lint rule R1). *)
+  let bindings t =
+    List.sort
+      (fun (k1, _) (k2, _) -> Int.compare k1 k2)
+      (Hashtbl.fold (fun key w acc -> (key, w) :: acc) t.table [])
+
+  let cost t = List.fold_left (fun acc (_, w) -> acc +. w) 0. (bindings t)
+  let to_list t = List.map (fun (key, w) -> (key / t.n, key mod t.n, w)) (bindings t)
 end
 
 let tree_cost edges =

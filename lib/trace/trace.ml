@@ -128,9 +128,17 @@ let stats t =
       let key = (c.Contact.a, c.Contact.b) in
       Hashtbl.replace by_pair key (c :: (Option.value ~default:[] (Hashtbl.find_opt by_pair key))))
     t.contacts;
+  (* Accumulate inter-contact gaps in sorted (a, b) pair order: the
+     gap list feeds float means whose summation order must not depend
+     on hash-bucket layout (lint rule R1). *)
+  let pairs_sorted =
+    List.sort
+      (fun (k1, _) (k2, _) -> compare (k1 : int * int) k2)
+      (Hashtbl.fold (fun key cs acc -> (key, cs) :: acc) by_pair [])
+  in
   let gaps = ref [] in
-  Hashtbl.iter
-    (fun _ cs ->
+  List.iter
+    (fun (_, cs) ->
       let sorted = List.sort Contact.compare_by_start cs in
       let rec walk = function
         | x :: (y :: _ as rest) ->
@@ -140,7 +148,7 @@ let stats t =
         | _ -> ()
       in
       walk sorted)
-    by_pair;
+    pairs_sorted;
   let gaps = Array.of_list !gaps in
   let pairs = Hashtbl.length by_pair in
   let safe_mean xs = if Array.length xs = 0 then 0. else Stats.mean xs in

@@ -1,14 +1,18 @@
 #!/bin/sh
 # Tier-1 gate: everything must build (including the odoc target), the
-# full test suite must pass, every public val in lib/core and lib/obs
-# must carry a doc comment, and the quick bench must emit a valid
-# telemetry metrics snapshot.
+# full test suite must pass, the static analyzer must find no
+# unsuppressed determinism/doc violations anywhere in the tree, and
+# the quick bench must emit a valid telemetry metrics snapshot.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @all
 dune build @doc
 dune runtest
-scripts/docs_check.sh
+
+# Static analysis: all six tmedb_lint rules over the whole tree
+# (subsumes the old docs_check.sh pass, which is now a wrapper over
+# rule R6 only).
+dune exec bin/tmedb_lint.exe -- lib bin bench test
 
 # Telemetry smoke: the metrics file must carry the schema marker, both
 # top-level sections, and counters from every major subsystem the

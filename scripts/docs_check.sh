@@ -1,59 +1,21 @@
 #!/bin/sh
 # Fail when a public `val` in lib/core or lib/obs lacks an odoc
-# comment.  A val counts as documented when a comment sits directly
-# above it, or when a `(**` appears between its signature and the next
-# item (`val`/`module`/`type`/`exception`/`end`) — the repo's default
-# comment-below style.
+# comment.  Thin wrapper over the tmedb_lint rule `undocumented-val`
+# (R6), which checks the real parsed signature instead of the awk
+# heuristic this script used to carry — comment-above and
+# comment-below styles are both recognised exactly as the compiler
+# attaches them.
 #
 # Usage: scripts/docs_check.sh [dir ...]   (default: lib/core lib/obs)
 
 set -eu
 cd "$(dirname "$0")/.."
 
-dirs="${*:-lib/core lib/obs}"
-status=0
+[ "$#" -gt 0 ] || set -- lib/core lib/obs
 
-for dir in $dirs; do
-  for mli in "$dir"/*.mli; do
-    [ -e "$mli" ] || continue
-    bad=$(awk '
-      { lines[NR] = $0 }
-      END {
-        for (i = 1; i <= NR; i++) {
-          if (lines[i] !~ /^[[:space:]]*val /) continue
-          documented = 0
-          # Comment-above style: the closest non-blank line above ends
-          # or opens a comment.
-          for (j = i - 1; j >= 1; j--) {
-            if (lines[j] ~ /^[[:space:]]*$/) continue
-            if (lines[j] ~ /\*\)[[:space:]]*$/ || lines[j] ~ /\(\*\*/) documented = 1
-            break
-          }
-          # Comment-below style: a (** before the next item.
-          for (j = i + 1; j <= NR && !documented; j++) {
-            if (lines[j] ~ /^[[:space:]]*(val|module|type|exception)[[:space:]]/) break
-            if (lines[j] ~ /^[[:space:]]*end([[:space:]]|$)/) break
-            if (lines[j] ~ /\(\*\*/) documented = 1
-          }
-          if (!documented) {
-            name = lines[i]
-            sub(/^[[:space:]]*val[[:space:]]+/, "", name)
-            sub(/[[:space:]:].*/, "", name)
-            print "  line " i ": val " name
-          }
-        }
-      }
-    ' "$mli")
-    if [ -n "$bad" ]; then
-      status=1
-      printf '%s: undocumented val(s):\n%s\n' "$mli" "$bad"
-    fi
-  done
-done
-
-if [ "$status" -ne 0 ]; then
-  echo "docs_check: add odoc comments ((** ... *)) to the vals above" >&2
+if dune exec bin/tmedb_lint.exe -- --only undocumented-val "$@"; then
+  echo "docs_check: every public val in $* is documented"
 else
-  echo "docs_check: every public val in $dirs is documented"
+  echo "docs_check: add odoc comments ((** ... *)) to the vals above" >&2
+  exit 1
 fi
-exit "$status"

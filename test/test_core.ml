@@ -930,6 +930,37 @@ let prop_fr_allocation_feasible =
         r.Fr.allocation.Fr.unsatisfiable <> [] || r.Fr.report.Feasibility.feasible
       end)
 
+(* Digest guard for the sorted-iteration rewrites flagged by lint rule
+   R1 (Dst.Edge_set, Random_relay, Aux_graph.extract_schedule,
+   Trace.stats): the full fig6 sweep — all six algorithms over the
+   auxiliary graph, RAND draws and the Monte-Carlo simulator — must
+   marshal to the same bytes at every worker count. *)
+let test_fig6_digest_jobs_invariant () =
+  let config =
+    {
+      Experiment.default_config with
+      Experiment.n = 8;
+      horizon = 5000.;
+      deadline = 1200.;
+      sources = 1;
+      mc_trials = 40;
+      dts_cap = 400;
+    }
+  in
+  let digest pool =
+    let series = Experiment.fig6 ~config ?pool ~ns:[ 6; 8 ] () in
+    Digest.to_hex (Digest.string (Marshal.to_string series []))
+  in
+  let reference = digest None in
+  List.iter
+    (fun k ->
+      Pool.with_pool ~num_domains:k (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "fig6 digest jobs=%d" k)
+            reference
+            (digest (Some pool))))
+    [ 1; 2; 4 ]
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "core"
@@ -1051,4 +1082,6 @@ let () =
           tc "LB below all algorithms" test_lower_bound_below_all_algorithms;
           tc "LB fading exceeds static" test_lower_bound_fading_exceeds_static;
         ] );
+      ( "determinism",
+        [ tc "fig6 digest jobs=1/2/4" test_fig6_digest_jobs_invariant ] );
     ]

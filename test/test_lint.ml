@@ -1,0 +1,277 @@
+(* Tests for the tmedb-lint static analyzer (lib/lint): each rule
+   R1-R6 fires on a minimal bad fixture, stays silent on the good
+   twin, and both suppression mechanisms ([@lint.allow] attributes and
+   the lint.allowlist file) silence exactly their target rule.  The
+   fixtures are inline sources analyzed under a virtual path, which is
+   how rule scoping is selected. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Plain-stdlib substring test for reporter assertions. *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let findings ?only ?allowlist ~path source =
+  match Lint.analyze_source ?only ?allowlist ~path source with
+  | Ok fs -> fs
+  | Error e -> Alcotest.failf "%s: unexpected parse error: %s" path e
+
+let ids fs = List.map (fun f -> f.Lint.rule.Lint.id) fs
+
+(* [fires rule ~path src] asserts exactly one finding, of [rule]. *)
+let fires rule ~path src =
+  Alcotest.(check (list string)) (Printf.sprintf "%s fires on %s" rule path) [ rule ]
+    (ids (findings ~path src))
+
+let silent ~path src =
+  Alcotest.(check (list string)) (Printf.sprintf "silent on %s" path) []
+    (ids (findings ~path src))
+
+(* ------------------------------------------------------------------ *)
+(* R1 nondet-iteration *)
+
+let bad_fold = "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []"
+
+let test_r1 () =
+  fires "nondet-iteration" ~path:"lib/core/fixture.ml" bad_fold;
+  fires "nondet-iteration" ~path:"lib/steiner/fixture.ml"
+    "let f h = Hashtbl.iter (fun _ v -> print_int v) h";
+  fires "nondet-iteration" ~path:"lib/trace/fixture.ml"
+    "let f h = Hashtbl.to_seq h";
+  (* The good twin: the iteration result is re-sorted. *)
+  silent ~path:"lib/core/fixture.ml"
+    "let f h = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])";
+  silent ~path:"lib/core/fixture.ml"
+    "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare";
+  silent ~path:"lib/core/fixture.ml"
+    "let f h = List.sort_uniq Int.compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) h []";
+  (* Order-safe accessors never fire. *)
+  silent ~path:"lib/core/fixture.ml" "let f h = Hashtbl.length h + Hashtbl.hash h";
+  (* Out of scope: only the result-affecting libraries are covered. *)
+  silent ~path:"lib/prelude/fixture.ml" bad_fold;
+  silent ~path:"lib/obs/fixture.ml" bad_fold;
+  silent ~path:"bench/fixture.ml" bad_fold
+
+(* ------------------------------------------------------------------ *)
+(* R2 hidden-rng *)
+
+let bad_rng = "let roll () = Random.int 6"
+
+let test_r2 () =
+  fires "hidden-rng" ~path:"lib/core/fixture.ml" bad_rng;
+  fires "hidden-rng" ~path:"test/fixture.ml" "let s () = Stdlib.Random.self_init ()";
+  (* The one sanctioned home for randomness. *)
+  silent ~path:"lib/prelude/rng.ml" bad_rng;
+  (* The project Rng — and modules merely named Random_something — are fine. *)
+  silent ~path:"lib/core/fixture.ml" "let roll g = Rng.int g 6";
+  silent ~path:"lib/core/fixture.ml" "let r p = Random_relay.run p"
+
+(* ------------------------------------------------------------------ *)
+(* R3 wall-clock *)
+
+let bad_clock = "let t () = Unix.gettimeofday ()"
+
+let test_r3 () =
+  fires "wall-clock" ~path:"lib/core/fixture.ml" bad_clock;
+  fires "wall-clock" ~path:"lib/prelude/fixture.ml" "let t () = Sys.time ()";
+  (* Telemetry and the bench harness are the sanctioned clock readers. *)
+  silent ~path:"lib/obs/fixture.ml" bad_clock;
+  silent ~path:"bench/fixture.ml" bad_clock
+
+(* ------------------------------------------------------------------ *)
+(* R4 toplevel-mutable-state *)
+
+let test_r4 () =
+  fires "toplevel-mutable-state" ~path:"lib/core/fixture.ml"
+    "let table = Hashtbl.create 16";
+  fires "toplevel-mutable-state" ~path:"lib/prelude/fixture.ml" "let hits = ref 0";
+  fires "toplevel-mutable-state" ~path:"lib/core/fixture.ml"
+    "let scratch : float array = Array.make 8 0.";
+  (* A mutable-record literal at module level, recognised through the
+     file's own type declarations. *)
+  fires "toplevel-mutable-state" ~path:"lib/core/fixture.ml"
+    "type state = { mutable n : int }\nlet global = { n = 0 }";
+  (* Good twins: allocation inside a function is per-call ... *)
+  silent ~path:"lib/core/fixture.ml" "let make () = Hashtbl.create 16";
+  silent ~path:"lib/core/fixture.ml" "let f () = let h = ref 0 in incr h; !h";
+  (* ... an immutable record is not state ... *)
+  silent ~path:"lib/core/fixture.ml" "type cfg = { n : int }\nlet default = { n = 0 }";
+  (* ... and lib/obs owns its registry state by design. *)
+  silent ~path:"lib/obs/fixture.ml" "let table = Hashtbl.create 16"
+
+(* ------------------------------------------------------------------ *)
+(* R5 float-polymorphic-compare *)
+
+let test_r5 () =
+  fires "float-polymorphic-compare" ~path:"lib/core/fixture.ml" "let f x = x = 0.";
+  fires "float-polymorphic-compare" ~path:"lib/nlp/fixture.ml"
+    "let f x = min x 1e-9";
+  fires "float-polymorphic-compare" ~path:"lib/channel/fixture.ml"
+    "let f a b = compare (a +. 1.) b";
+  fires "float-polymorphic-compare" ~path:"lib/core/fixture.ml"
+    "let f x y = max (float_of_int x) y";
+  (* Good twins: Float.-qualified operations, or genuinely-int uses. *)
+  silent ~path:"lib/core/fixture.ml" "let f x = Float.equal x 0.";
+  silent ~path:"lib/core/fixture.ml" "let f x = Float.min x 1e-9";
+  silent ~path:"lib/core/fixture.ml" "let f x = x = 0";
+  silent ~path:"lib/core/fixture.ml" "let f a b = min (a : int) b";
+  (* Out of scope: the prelude utility layer is not a numeric kernel. *)
+  silent ~path:"lib/prelude/fixture.ml" "let f x = x = 0."
+
+(* ------------------------------------------------------------------ *)
+(* R6 undocumented-val *)
+
+let test_r6 () =
+  fires "undocumented-val" ~path:"lib/core/fixture.mli" "val f : int -> int";
+  fires "undocumented-val" ~path:"lib/obs/fixture.mli" "val g : unit -> unit";
+  (* Both odoc styles attach to the val in the real parsetree. *)
+  silent ~path:"lib/core/fixture.mli" "(** Above. *)\nval f : int -> int";
+  silent ~path:"lib/core/fixture.mli" "val f : int -> int\n(** Below. *)";
+  (* Vals inside sub-signatures are public API too. *)
+  fires "undocumented-val" ~path:"lib/core/fixture.mli"
+    "module Sub : sig\n  val f : int -> int\nend";
+  (* A floating section heading does not document the val before it —
+     the awk script this rule replaces was fooled by exactly this. *)
+  fires "undocumented-val" ~path:"lib/core/fixture.mli"
+    "val f : int -> int\n\n(** {1 Section} *)\n\nval g : int\n(** Documented. *)";
+  (* Out of scope: the docs gate covers lib/core and lib/obs only. *)
+  silent ~path:"lib/steiner/fixture.mli" "val f : int -> int"
+
+(* ------------------------------------------------------------------ *)
+(* [@lint.allow] suppression *)
+
+let test_attribute_suppression () =
+  (* Expression-level: suppresses exactly its target rule... *)
+  silent ~path:"lib/core/fixture.ml"
+    "let f h = (Hashtbl.fold (fun k _ acc -> k :: acc) h []) [@lint.allow \
+     \"nondet-iteration\"]";
+  (* ... and not others: a mismatched allow leaves the finding alive. *)
+  fires "nondet-iteration" ~path:"lib/core/fixture.ml"
+    "let f h = (Hashtbl.fold (fun k _ acc -> k :: acc) h []) [@lint.allow \
+     \"hidden-rng\"]";
+  (* Binding-level [@@lint.allow]. *)
+  silent ~path:"lib/core/fixture.ml"
+    "let table = Hashtbl.create 16 [@@lint.allow \"toplevel-mutable-state\"]";
+  (* File-level [@@@lint.allow]. *)
+  silent ~path:"lib/core/fixture.ml"
+    "[@@@lint.allow \"wall-clock\"]\nlet t () = Unix.gettimeofday ()";
+  (* Comma-separated rule lists. *)
+  silent ~path:"lib/core/fixture.ml"
+    "[@@@lint.allow \"wall-clock, hidden-rng\"]\nlet t () = Unix.gettimeofday () \
+     +. float_of_int (Random.int 3)";
+  (* Signature items. *)
+  silent ~path:"lib/core/fixture.mli"
+    "val f : int -> int [@@lint.allow \"undocumented-val\"]";
+  (* A suppressed rule does not shadow a different live one: the
+     wall-clock allow leaves the RNG finding in place. *)
+  Alcotest.(check (list string))
+    "unrelated rule still fires" [ "hidden-rng" ]
+    (ids
+       (findings ~path:"lib/core/fixture.ml"
+          "[@@@lint.allow \"wall-clock\"]\nlet f () = Random.int 3"))
+
+(* ------------------------------------------------------------------ *)
+(* lint.allowlist *)
+
+let parse_allowlist text =
+  match Lint.parse_allowlist ~source_name:"test.allowlist" text with
+  | Ok entries -> entries
+  | Error e -> Alcotest.failf "allowlist did not parse: %s" e
+
+let test_allowlist () =
+  let allowlist =
+    parse_allowlist
+      "# comment\n\
+       lib/core/bad.ml nondet-iteration\n\
+       lib/trace *   # whole directory, every rule\n"
+  in
+  check_int "entries parsed" 2 (List.length allowlist);
+  (* Exact file + exact rule. *)
+  check_int "suppressed for the listed file" 0
+    (List.length (findings ~allowlist ~path:"lib/core/bad.ml" bad_fold));
+  (* Only the listed rule. *)
+  Alcotest.(check (list string))
+    "other rules still fire in the listed file" [ "hidden-rng" ]
+    (ids (findings ~allowlist ~path:"lib/core/bad.ml" bad_rng));
+  (* Other files unaffected. *)
+  check_int "other files still fire" 1
+    (List.length (findings ~allowlist ~path:"lib/core/other.ml" bad_fold));
+  (* Directory prefix with the wildcard rule. *)
+  check_int "directory wildcard" 0
+    (List.length (findings ~allowlist ~path:"lib/trace/anything.ml" bad_fold));
+  (* Malformed input and unknown rules are hard errors, so stale
+     entries cannot linger. *)
+  check_bool "unknown rule rejected" true
+    (Result.is_error (Lint.parse_allowlist ~source_name:"t" "lib/core/x.ml no-such-rule"));
+  check_bool "malformed line rejected" true
+    (Result.is_error (Lint.parse_allowlist ~source_name:"t" "just-one-field"))
+
+(* ------------------------------------------------------------------ *)
+(* --only, error reporting, reporters *)
+
+let test_only_filter () =
+  let both = "let f h = Hashtbl.iter (fun _ _ -> ignore (Random.int 2)) h" in
+  Alcotest.(check (list string))
+    "unfiltered reports both" [ "hidden-rng"; "nondet-iteration" ]
+    (List.sort String.compare (ids (findings ~path:"lib/core/fixture.ml" both)));
+  Alcotest.(check (list string))
+    "--only restricts" [ "hidden-rng" ]
+    (ids (findings ~only:[ "hidden-rng" ] ~path:"lib/core/fixture.ml" both))
+
+let test_syntax_error () =
+  check_bool "syntax errors are Error, not findings" true
+    (Result.is_error (Lint.analyze_source ~path:"lib/core/fixture.ml" "let let let"))
+
+let test_reporters () =
+  let fs = findings ~path:"lib/core/fixture.ml" bad_fold in
+  let text = Format.asprintf "%a" Lint.report_text fs in
+  check_bool "text reporter names file and rule" true
+    (contains ~affix:"lib/core/fixture.ml:1:" text
+    && contains ~affix:"nondet-iteration" text);
+  let json = Format.asprintf "%a" Lint.report_json fs in
+  check_bool "json reporter carries count" true
+    (contains ~affix:"\"count\": 1" json);
+  check_bool "empty json still well-formed" true
+    (contains ~affix:"\"count\": 0"
+       (Format.asprintf "%a" Lint.report_json []))
+
+let test_rules_catalogue () =
+  check_int "six rules" 6 (List.length Lint.rules);
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "%s resolvable by id" r.Lint.id)
+        true
+        (Lint.find_rule r.Lint.id = Some r))
+    Lint.rules;
+  check_bool "unknown id is None" true (Lint.find_rule "bogus" = None)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          tc "R1 nondet-iteration" test_r1;
+          tc "R2 hidden-rng" test_r2;
+          tc "R3 wall-clock" test_r3;
+          tc "R4 toplevel-mutable-state" test_r4;
+          tc "R5 float-polymorphic-compare" test_r5;
+          tc "R6 undocumented-val" test_r6;
+        ] );
+      ( "suppression",
+        [
+          tc "[@lint.allow] attributes" test_attribute_suppression;
+          tc "lint.allowlist" test_allowlist;
+        ] );
+      ( "engine",
+        [
+          tc "--only filter" test_only_filter;
+          tc "syntax error handling" test_syntax_error;
+          tc "reporters" test_reporters;
+          tc "rules catalogue" test_rules_catalogue;
+        ] );
+    ]

@@ -264,6 +264,40 @@ let test_results_identical_on_off () =
   check_bool "energy identical" true (Float.equal off.Experiment.energy on.Experiment.energy);
   check_bool "feasibility identical" true (off.Experiment.feasible = on.Experiment.feasible)
 
+(* The metrics snapshot must be byte-stable: counters and timers come
+   out name-sorted no matter the registration order, so a [--metrics]
+   file diffs cleanly between runs (and lint rule R1 never has a
+   hash-order leak to flag here). *)
+let test_snapshot_sorted_and_byte_stable =
+  scrubbed @@ fun () ->
+  (* Register in decidedly non-alphabetical order. *)
+  List.iter
+    (fun name -> Tmedb_obs.Counter.add (Tmedb_obs.Counter.make name) 1)
+    [ "test.obs.zeta"; "test.obs.alpha"; "test.obs.mid" ];
+  List.iter
+    (fun name -> ignore (Tmedb_obs.Timer.start (Tmedb_obs.Timer.make name)))
+    [ "test.obs.t_omega"; "test.obs.t_aleph" ];
+  let snap = Tmedb_obs.snapshot () in
+  let counter_names = List.map fst snap.Tmedb_obs.counters in
+  let timer_names = List.map (fun t -> t.Tmedb_obs.timer_name) snap.Tmedb_obs.timers in
+  check_bool "counters name-sorted" true
+    (counter_names = List.sort String.compare counter_names);
+  check_bool "timers name-sorted" true (timer_names = List.sort String.compare timer_names);
+  (* Two exports of the same registry state are byte-identical. *)
+  let write () =
+    let path = Filename.temp_file "tmedb_obs" ".json" in
+    Obs_json.write_metrics ~path;
+    let ic = open_in_bin path in
+    let body =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Sys.remove path;
+    body
+  in
+  check_string "metrics JSON byte-stable" (write ()) (write ())
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "obs"
@@ -276,7 +310,11 @@ let () =
         ] );
       ( "concurrency",
         [ tc "per-domain buffers merge deterministically" test_merge_determinism ] );
-      ( "export", [ tc "metrics and trace round-trip" test_json_round_trip ] );
+      ( "export",
+        [
+          tc "metrics and trace round-trip" test_json_round_trip;
+          tc "snapshot sorted, metrics byte-stable" test_snapshot_sorted_and_byte_stable;
+        ] );
       ( "overhead",
         [
           tc "disabled path is allocation-free" test_disabled_path_allocation_free;

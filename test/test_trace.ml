@@ -116,6 +116,24 @@ let test_trace_stats () =
   Alcotest.(check (float 1e-9)) "gap" 20. s.Trace.mean_inter_contact;
   Alcotest.(check (float 1e-9)) "mean duration" (110. /. 3.) s.Trace.mean_duration
 
+(* [Trace.stats] folds inter-contact gaps in sorted pair order (the
+   lint-R1 rewrite), so the result must be bit-identical no matter how
+   the contact list was ordered when the trace was built. *)
+let test_trace_stats_order_invariant () =
+  let contacts =
+    List.concat_map
+      (fun (a, b) ->
+        List.map
+          (fun (lo, hi) -> Contact.make ~a ~b ~iv:(iv lo hi) ~dist:(10. +. float_of_int (a + b)))
+          [ (0., 10.); (25., 40.); (55., 70.) ])
+      [ (0, 1); (1, 2); (0, 3); (2, 3); (1, 4) ]
+  in
+  let stats_of cs = Trace.stats (Trace.make ~n:5 ~span:(iv 0. 100.) cs) in
+  let reference = stats_of contacts in
+  List.iter
+    (fun cs -> check_bool "permuted contacts, same stats" true (stats_of cs = reference))
+    [ List.rev contacts; List.sort (fun a b -> compare b a) contacts ]
+
 (* ------------------------------------------------------------------ *)
 (* Synth *)
 
@@ -262,6 +280,7 @@ let () =
           tc "restrict" test_trace_restrict;
           tc "to_tvg" test_trace_to_tvg;
           tc "stats" test_trace_stats;
+          tc "stats order-invariant" test_trace_stats_order_invariant;
         ] );
       ( "csv",
         [
