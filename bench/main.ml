@@ -395,6 +395,26 @@ let baseline_kernels : (string * (Tmedb_prelude.Pool.t option -> float list)) li
         [ sim.Simulate.delivery_ratio; sim.Simulate.mean_energy_spent ] );
   ]
 
+(* Baseline files form a sequence BENCH_1.json, BENCH_2.json, …: each
+   baseline run appends the next file in the sequence instead of
+   overwriting the previous one, so the perf trajectory accumulates
+   (EXPERIMENTS.md documents the convention).  The directory listing
+   is sorted — Sys.readdir order is unspecified. *)
+let bench_files () =
+  Sys.readdir "." |> Array.to_list
+  |> List.filter_map (fun f ->
+         match Scanf.sscanf f "BENCH_%d.json%!" (fun n -> n) with
+         | n when n >= 1 -> Some (n, f)
+         | _ | (exception Scanf.Scan_failure _) | (exception Failure _)
+         | (exception End_of_file) ->
+             None)
+  |> List.sort compare
+
+let next_bench_path () =
+  match List.rev (bench_files ()) with
+  | (n, prev) :: _ -> (Printf.sprintf "BENCH_%d.json" (n + 1), Some prev)
+  | [] -> ("BENCH_1.json", None)
+
 (* Counter deltas between two registry snapshots, as a JSON object of
    the counters the kernel actually moved. *)
 let counter_deltas before after =
@@ -409,10 +429,11 @@ let counter_deltas before after =
 
 let baseline () =
   let open Tmedb_prelude in
-  (* Always record per-kernel counter deltas in BENCH_1.json, whether
-     or not `--metrics` was given. *)
+  let path, prev = next_bench_path () in
+  (* Always record per-kernel counter deltas in the baseline file,
+     whether or not `--metrics` was given. *)
   Tmedb_obs.set_enabled true;
-  section (Printf.sprintf "Parallel baseline: 1 domain vs %d (BENCH_1.json)" !jobs);
+  section (Printf.sprintf "Parallel baseline: 1 domain vs %d (%s)" !jobs path);
   let timed_run f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -456,7 +477,6 @@ let baseline () =
         ("kernels", Json.List rows);
       ]
   in
-  let path = "BENCH_1.json" in
   let oc = open_out path in
   output_string oc (Json.to_string doc);
   output_char oc '\n';
@@ -485,7 +505,59 @@ let baseline () =
   if not !deterministic then begin
     Printf.eprintf "parallel results differ from the sequential run\n";
     exit 1
-  end
+  end;
+  (path, prev)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: append the next baseline and diff it against the
+   previous one.  Deterministic keys (the per-kernel counter deltas
+   and structural fields) gate at `--threshold`; wall-clock keys
+   (seconds/speedup) are inherently noisy and gate only at a loose
+   fixed 0.5.  Exit 1 when either gate trips — callers that want
+   advisory behaviour (scripts/regress.sh) downgrade the exit code. *)
+
+let regress_threshold = ref 0.05
+
+let regress () =
+  let path, prev = baseline () in
+  match prev with
+  | None ->
+      Printf.printf "\nregress: %s is the first baseline, nothing to compare against\n" path
+  | Some prev ->
+      section (Printf.sprintf "Regression: %s vs %s (threshold %g)" prev path !regress_threshold);
+      let load p =
+        let ic = open_in p in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Tmedb_prelude.Json.parse contents with
+        | Ok doc -> doc
+        | Error e ->
+            Printf.eprintf "%s does not parse: %s\n" p e;
+            exit 1
+      in
+      let deltas = Tmedb_report.Diff.diff (load prev) (load path) in
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+        ln > 0 && at 0
+      in
+      let timing d =
+        contains d.Tmedb_report.Diff.key "seconds" || contains d.Tmedb_report.Diff.key "speedup"
+      in
+      let timing_deltas, stable_deltas = List.partition timing deltas in
+      print_string (Tmedb_report.Diff.render ~threshold:!regress_threshold stable_deltas);
+      let tripped = Tmedb_report.Diff.exceeding ~threshold:!regress_threshold stable_deltas in
+      let timing_tripped = Tmedb_report.Diff.exceeding ~threshold:0.5 timing_deltas in
+      List.iter
+        (fun (d : Tmedb_report.Diff.delta) ->
+          Printf.printf "! timing: %s moved more than 50%%\n" d.Tmedb_report.Diff.key)
+        timing_tripped;
+      if tripped <> [] || timing_tripped <> [] then begin
+        Printf.eprintf "regress: %d deterministic and %d timing key(s) exceed the gate\n"
+          (List.length tripped) (List.length timing_tripped);
+        exit 1
+      end
+      else Printf.printf "regress ok: no key exceeds the gate\n"
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the disabled registry must cost about a flag
@@ -599,8 +671,8 @@ let all_figures config =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs K] [--metrics FILE] [--trace FILE] \
-     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|obs|lint]";
+    "usage: main.exe [--jobs K] [--metrics FILE] [--trace FILE] [--threshold REL] \
+     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|regress|obs|lint]";
   exit 2
 
 (* Strip `--jobs K` / `-j K` and the telemetry sinks anywhere in argv;
@@ -623,6 +695,10 @@ let parse_args () =
         | Some _ | None -> usage ())
     | "--metrics" -> metrics_path := Some (file_arg ())
     | "--trace" -> trace_path := Some (file_arg ())
+    | "--threshold" -> (
+        match float_of_string_opt (file_arg ()) with
+        | Some t when t >= 0. -> regress_threshold := t
+        | Some _ | None -> usage ())
     | arg -> rest := arg :: !rest);
     incr i
   done;
@@ -676,12 +752,12 @@ let () =
       all_figures bench_config;
       ablations bench_config;
       bechamel_kernels ();
-      baseline ()
+      ignore (baseline ())
   | [ "quick" ] ->
       all_figures quick_config;
       ablations quick_config;
       bechamel_kernels ();
-      baseline ()
+      ignore (baseline ())
   | [ "fig4a" ] -> fig4 bench_config `Static
   | [ "fig4b" ] -> fig4 bench_config `Fading
   | [ "fig5a" ] -> fig5 bench_config `Static
@@ -692,7 +768,8 @@ let () =
   | [ "fig7b" ] -> fig7 bench_config `Fading
   | [ "ablation" ] -> ablations bench_config
   | [ "bechamel" ] -> bechamel_kernels ()
-  | [ "baseline" ] -> baseline ()
+  | [ "baseline" ] -> ignore (baseline ())
+  | [ "regress" ] -> regress ()
   | [ "obs" ] -> obs_overhead ()
   | [ "lint" ] -> lint_smoke ()
   | _ -> usage ());

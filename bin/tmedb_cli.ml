@@ -71,6 +71,26 @@ let trace_arg =
           "Enable the telemetry registry and write the span trace to $(docv) as Chrome \
            trace_event JSON (open in chrome://tracing or Perfetto).")
 
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and provenance recording and write a tmedb.run/1 run ledger \
+           (config, input digest, metrics, schedule, provenance log) to $(docv).  The file \
+           is byte-deterministic: identical runs produce identical ledgers at any \
+           $(b,--jobs).")
+
+let ledger_timestamp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger-timestamp" ] ~docv:"TS"
+        ~doc:
+          "Timestamp string embedded in the ledger ($(b,now) = current UTC time).  Default: \
+           none, which emits $(b,null) and keeps the ledger byte-deterministic.")
+
 (* Telemetry is off unless one of the flags asks for an output file;
    results are bit-identical either way. *)
 let with_telemetry metrics trace f =
@@ -191,7 +211,21 @@ let run_cmd =
       & opt (some string) None
       & info [ "o"; "save-schedule" ] ~docv:"FILE" ~doc:"Write the schedule as CSV.")
   in
-  let run algorithm deadline source seed level verbose save metrics trace_file path =
+  let run_trials_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "trials" ] ~docv:"K"
+          ~doc:
+            "Also Monte-Carlo replay the schedule in a Rayleigh environment with $(docv) \
+             trials (0 = skip); the delivery ratio lands in the ledger summary.")
+  in
+  let run algorithm deadline source seed level verbose save metrics trace_file ledger ledger_ts
+      trials jobs path =
+    if ledger <> None then begin
+      Tmedb_obs.set_enabled true;
+      Tmedb_report.Provenance.set_enabled true
+    end;
     with_telemetry metrics trace_file @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
@@ -217,17 +251,90 @@ let run_cmd =
         (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
            Format.pp_print_int)
         result.Experiment.unreached;
+    let sim =
+      if trials <= 0 then None
+      else begin
+        let eval = Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
+        let s =
+          with_jobs jobs (fun pool ->
+              Simulate.run ~trials ?pool ~rng:(Rng.create (seed + 1)) ~eval_channel:`Rayleigh
+                eval result.Experiment.schedule)
+        in
+        Format.printf "delivery (Rayleigh, %d trials): %.2f%%@." trials
+          (100. *. s.Simulate.delivery_ratio);
+        Some s
+      end
+    in
     (match save with
     | Some file ->
         Schedule.save result.Experiment.schedule ~path:file;
         Format.printf "schedule written to %s@." file
+    | None -> ());
+    (match ledger with
+    | Some file ->
+        let timestamp =
+          match ledger_ts with
+          | Some "now" -> Some (Tmedb_report.Clock.now_iso8601 ())
+          | Some s -> Some s
+          | None -> None
+        in
+        let input_digest =
+          Tmedb_report.Ledger.digest_string
+            (In_channel.with_open_bin path In_channel.input_all)
+        in
+        let num f = Json.Num f in
+        let config_fields =
+          [
+            ("algorithm", Json.Str (Experiment.algorithm_name algorithm));
+            ("deadline", num deadline);
+            ("source", num (float_of_int source));
+            ("seed", num (float_of_int seed));
+            ("steiner_level", num (float_of_int level));
+            ("trials", num (float_of_int trials));
+            ("trace", Json.Str (Filename.basename path));
+          ]
+        in
+        let summary =
+          [
+            ("energy", num result.Experiment.energy);
+            ( "transmissions",
+              num (float_of_int (Schedule.num_transmissions result.Experiment.schedule)) );
+            ("feasible", Json.Bool result.Experiment.feasible);
+            ("unreached", num (float_of_int (List.length result.Experiment.unreached)));
+          ]
+          @
+          match sim with
+          | Some s ->
+              [
+                ("delivery_ratio", num s.Simulate.delivery_ratio);
+                ("full_delivery_rate", num s.Simulate.full_delivery_rate);
+                ("mean_energy_spent", num s.Simulate.mean_energy_spent);
+              ]
+          | None -> []
+        in
+        let schedule =
+          List.map
+            (fun (tx : Schedule.transmission) ->
+              { Tmedb_report.Ledger.relay = tx.Schedule.relay; time = tx.Schedule.time;
+                cost = tx.Schedule.cost })
+            (Schedule.transmissions result.Experiment.schedule)
+        in
+        let ledger_doc =
+          Tmedb_report.Ledger.make ?timestamp ~config:config_fields ~input_digest ~summary
+            ~snapshot:(Tmedb_obs.snapshot ())
+            ~provenance:(Tmedb_report.Provenance.events ())
+            ~schedule ()
+        in
+        Tmedb_report.Ledger.write ledger_doc ~path:file;
+        Format.printf "ledger written to %s@." file
     | None -> ());
     if verbose then Format.printf "%a@." Schedule.pp result.Experiment.schedule
   in
   let term =
     Term.(
       const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ level_arg $ verbose_arg
-      $ save_arg $ metrics_arg $ trace_arg $ trace_file_arg)
+      $ save_arg $ metrics_arg $ trace_arg $ ledger_arg $ ledger_timestamp_arg $ run_trials_arg
+      $ jobs_arg $ trace_file_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one broadcast algorithm on a trace.") term
 
@@ -328,7 +435,171 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo replay of a schedule in a fading channel.") term
 
+(* ------------------------------------------------------------------ *)
+(* report *)
+
+let load_ledger path =
+  match Tmedb_report.Ledger.load ~path with
+  | Ok l -> l
+  | Error e ->
+      Printf.eprintf "error loading ledger %s: %s\n" path e;
+      exit 1
+
+let load_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+      Printf.eprintf "error reading %s: %s\n" path e;
+      exit 1
+  | text -> (
+      match Json.parse text with
+      | Ok doc -> doc
+      | Error e ->
+          Printf.eprintf "error parsing %s: %s\n" path e;
+          exit 1)
+
+let ledger_file_arg =
+  Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"LEDGER.JSON" ~doc:"A tmedb.run/1 ledger.")
+
+let scalar = function
+  | Json.Str s -> s
+  | v -> Json.to_string ~indent:0 v
+
+let report_show_cmd =
+  let run path =
+    let l = load_ledger path in
+    Format.printf "schema: %s@." Tmedb_report.Ledger.schema;
+    Format.printf "timestamp: %s@."
+      (match l.Tmedb_report.Ledger.timestamp with Some t -> t | None -> "-");
+    Format.printf "input digest: %s@." l.Tmedb_report.Ledger.input_digest;
+    List.iter
+      (fun (k, v) -> Format.printf "config.%s: %s@." k (scalar v))
+      l.Tmedb_report.Ledger.config;
+    List.iter
+      (fun (k, v) -> Format.printf "summary.%s: %s@." k (scalar v))
+      l.Tmedb_report.Ledger.summary;
+    Format.printf "schedule entries: %d@." (List.length l.Tmedb_report.Ledger.schedule);
+    Format.printf "provenance events: %d@." (List.length l.Tmedb_report.Ledger.provenance)
+  in
+  let term = Term.(const run $ ledger_file_arg) in
+  Cmd.v (Cmd.info "show" ~doc:"Print a ledger's header, config and summary.") term
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "threshold" ] ~docv:"REL"
+        ~doc:"Relative-change gate, e.g. $(b,0.05) = 5%.  One-sided keys always trip it.")
+
+let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable report.")
+
+let report_diff_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.JSON" ~doc:"Baseline document.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.JSON" ~doc:"Candidate document.")
+  in
+  let run threshold json a b =
+    let deltas = Tmedb_report.Diff.diff (load_json a) (load_json b) in
+    if json then
+      print_endline (Json.to_string ~indent:2 (Tmedb_report.Diff.to_json ~threshold deltas))
+    else print_string (Tmedb_report.Diff.render ~threshold deltas);
+    if Tmedb_report.Diff.exceeding ~threshold deltas <> [] then exit 1
+  in
+  let term = Term.(const run $ threshold_arg $ json_flag $ a_arg $ b_arg) in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare the numeric leaves of two JSON documents (ledgers, metrics snapshots or \
+          bench baselines); exit 1 when any relative change exceeds the threshold.")
+    term
+
+let report_explain_cmd =
+  let node_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "node" ] ~docv:"I" ~doc:"Node whose transmissions to explain.")
+  in
+  let run node path =
+    let l = load_ledger path in
+    let txs =
+      List.filter (fun (e : Tmedb_report.Ledger.entry) -> e.Tmedb_report.Ledger.relay = node)
+        l.Tmedb_report.Ledger.schedule
+    in
+    if txs = [] then Format.printf "node %d does not transmit in this schedule@." node
+    else begin
+      let events = l.Tmedb_report.Ledger.provenance in
+      let unexplained = ref 0 in
+      List.iter
+        (fun (tx : Tmedb_report.Ledger.entry) ->
+          Format.printf "node %d transmits at t=%g with cost %g:@." node
+            tx.Tmedb_report.Ledger.time tx.Tmedb_report.Ledger.cost;
+          let entry_events =
+            List.filter
+              (function
+                | Tmedb_report.Provenance.Schedule_entry s ->
+                    s.node = node && Float.equal s.time tx.Tmedb_report.Ledger.time
+                | _ -> false)
+              events
+          in
+          let alloc_events =
+            List.filter
+              (function
+                | Tmedb_report.Provenance.Allocation a ->
+                    a.relay = node && Float.equal a.time tx.Tmedb_report.Ledger.time
+                | _ -> false)
+              events
+          in
+          List.iter
+            (function
+              | Tmedb_report.Provenance.Schedule_entry s ->
+                  Format.printf
+                    "  backbone: DTS point %d, DCS level %d, cost %g, covers [%a]%s@."
+                    s.point_idx s.level_idx s.cost
+                    (Format.pp_print_list
+                       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                       Format.pp_print_int)
+                    s.covered
+                    (match s.tree_edge with
+                    | Some (u, v) -> Printf.sprintf " — selected by tree edge %d->%d" u v
+                    | None -> "")
+              | _ -> ())
+            entry_events;
+          List.iter
+            (function
+              | Tmedb_report.Provenance.Allocation a ->
+                  Format.printf "  FR allocation: backbone cost %g -> allocated %g@."
+                    a.backbone_cost a.allocated_cost
+              | _ -> ())
+            alloc_events;
+          if entry_events = [] && alloc_events = [] then begin
+            incr unexplained;
+            Format.printf "  (no provenance event recorded)@."
+          end)
+        txs;
+      if !unexplained > 0 then begin
+        Printf.eprintf "%d transmission(s) of node %d lack provenance\n" !unexplained node;
+        exit 1
+      end
+    end
+  in
+  let term = Term.(const run $ node_arg $ ledger_file_arg) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Answer \"why did node I transmit at t with cost w\" from a ledger's provenance log \
+          (DTS point, DCS level, covered neighbours, selecting Steiner-tree edge).")
+    term
+
+let report_cmd =
+  Cmd.group
+    (Cmd.info "report" ~doc:"Inspect, compare and explain tmedb.run/1 run ledgers.")
+    [ report_show_cmd; report_diff_cmd; report_explain_cmd ]
+
 let () =
   let doc = "Energy-efficient delay-constrained broadcast in time-varying energy-demand graphs" in
   let info = Cmd.info "tmedb_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; stats_cmd; run_cmd; compare_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ gen_cmd; stats_cmd; run_cmd; compare_cmd; simulate_cmd; report_cmd ]))

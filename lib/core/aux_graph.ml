@@ -8,6 +8,7 @@ let c_builds = Tmedb_obs.Counter.make "aux_graph.builds"
 let c_vertices = Tmedb_obs.Counter.make "aux_graph.vertices"
 let c_edges = Tmedb_obs.Counter.make "aux_graph.edges"
 let t_build = Tmedb_obs.Timer.make "aux_graph.build"
+let h_point_edges = Tmedb_obs.Histogram.make "aux_graph.point_edges"
 
 type vertex =
   | Wait of { node : int; point_idx : int; time : float }
@@ -19,6 +20,7 @@ type t = {
   source_vertex : int;
   terminals : int list;
   base : int array;
+  problem : Problem.t;
 }
 
 let build_body (problem : Problem.t) dts =
@@ -38,11 +40,16 @@ let build_body (problem : Problem.t) dts =
   let vertices = ref [] (* level vertices, reversed *) in
   let next_id = ref !total_wait in
   let edges = ref [] in
-  let add_edge u v w = edges := (u, v, w) :: !edges in
+  let edge_count = ref 0 in
+  let add_edge u v w =
+    incr edge_count;
+    edges := (u, v, w) :: !edges
+  in
   for i = 0 to n - 1 do
     let pts = Dts.node_points dts i in
     Array.iteri
       (fun l t ->
+        let edges_before = !edge_count in
         (* Waiting chain. *)
         if l + 1 < Array.length pts then add_edge (base.(i) + l) (base.(i) + l + 1) 0.;
         (* Transmission level chain, when the transmission can finish. *)
@@ -80,7 +87,8 @@ let build_body (problem : Problem.t) dts =
               prev_vertex := x;
               prev_cost := cost)
             levels
-        end)
+        end;
+        Tmedb_obs.Histogram.observe h_point_edges (!edge_count - edges_before))
       pts
   done;
   let vertex = Array.make !next_id (Wait { node = 0; point_idx = 0; time = 0. }) in
@@ -104,7 +112,7 @@ let build_body (problem : Problem.t) dts =
         end)
       (List.init n (fun i -> i))
   in
-  { graph; vertex; source_vertex; terminals; base }
+  { graph; vertex; source_vertex; terminals; base; problem }
 
 let build problem dts =
   Tmedb_obs.Counter.incr c_builds;
@@ -130,30 +138,57 @@ let wait_vertex t ~node ~point_idx =
       | Wait _ | Level _ -> None
   end
 
+(* Neighbours served by [node] transmitting at [time] up to DCS level
+   [level_idx]: the union of the per-level marginals (ascending id). *)
+let covered_up_to t ~node ~time ~level_idx =
+  let p = t.problem in
+  Dcs.marginals_at p.Problem.graph ~phy:p.Problem.phy ~channel:p.Problem.channel ~node ~time
+  |> List.filteri (fun i _ -> i <= level_idx)
+  |> List.concat_map (fun m -> m.Dcs.fresh)
+  |> List.sort_uniq Int.compare
+
 let extract_schedule t (tree : Dst.tree) =
-  (* Deepest chosen level per (node, DTS point). *)
+  (* Deepest chosen level per (node, DTS point), remembering the tree
+     edge that reached it (the provenance witness). *)
   let best = Hashtbl.create 16 in
-  let note id =
+  let note id edge =
     match t.vertex.(id) with
     | Wait _ -> ()
-    | Level { node; point_idx; time; cum_cost; _ } -> (
+    | Level { node; point_idx; time; level_idx; cum_cost } -> (
         let key = (node, point_idx) in
         match Hashtbl.find_opt best key with
-        | Some (c, _) when c >= cum_cost -> ()
-        | Some _ | None -> Hashtbl.replace best key (cum_cost, (node, time)))
+        | Some (c, _, _, _) when c >= cum_cost -> ()
+        | Some _ | None -> Hashtbl.replace best key (cum_cost, (node, time), level_idx, edge))
   in
   List.iter
     (fun (u, v, _) ->
-      note u;
-      note v)
+      note u (u, v);
+      note v (u, v))
     tree.Dst.edges;
   (* Extract in (node, point) key order so the transmission list never
      depends on hash-bucket layout (lint rule R1); [of_transmissions]
      re-sorts by (time, relay, cost), which cannot distinguish exact
      duplicates. *)
-  let txs =
+  let chosen =
     List.sort compare (Hashtbl.fold (fun key payload acc -> (key, payload) :: acc) best [])
-    |> List.map (fun (_, (cost, (relay, time))) -> { Schedule.relay; time; cost })
+  in
+  if Tmedb_report.Provenance.enabled () then
+    List.iter
+      (fun ((node, point_idx), (cost, (_, time), level_idx, edge)) ->
+        Tmedb_report.Provenance.emit
+          (Tmedb_report.Provenance.Schedule_entry
+             {
+               node;
+               time;
+               cost;
+               point_idx;
+               level_idx;
+               covered = covered_up_to t ~node ~time ~level_idx;
+               tree_edge = Some edge;
+             }))
+      chosen;
+  let txs =
+    List.map (fun (_, (cost, (relay, time), _, _)) -> { Schedule.relay; time; cost }) chosen
   in
   Schedule.of_transmissions txs
 

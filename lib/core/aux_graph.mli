@@ -38,6 +38,10 @@ type t = {
   base : int array;
       (** [base.(i)] is the id of node [i]'s first wait vertex; wait
           vertices are contiguous per node, making {!wait_vertex} O(1). *)
+  problem : Problem.t;
+      (** The (deadline-clipped) instance the graph was built from,
+          kept so {!extract_schedule} can recompute each chosen
+          level's covered-neighbour set for provenance. *)
 }
 
 val build : Problem.t -> Tmedb_tveg.Dts.t -> t
@@ -51,7 +55,10 @@ val wait_vertex : t -> node:int -> point_idx:int -> int option
 
 val extract_schedule : t -> Dst.tree -> Schedule.t
 (** Transmissions implied by a Steiner tree: per (node, DTS point)
-    chain the deepest chosen level, at its cumulative cost. *)
+    chain the deepest chosen level, at its cumulative cost.  When
+    {!Tmedb_report.Provenance} is enabled, emits one
+    [Schedule_entry] event per transmission recording the DTS point,
+    DCS level, covered-neighbour set and selecting tree edge. *)
 
 val num_wait_vertices : t -> int
 (** Wait vertices in the graph — one per surviving DTS point, the

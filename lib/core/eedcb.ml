@@ -34,18 +34,30 @@ let run ?(level = 2) ?cap_per_node problem =
         ~hi:problem.Problem.deadline in
     { problem with Problem.graph = Tveg.restrict problem.Problem.graph ~span:sub }
   in
+  let stage name detail =
+    if Tmedb_report.Provenance.enabled () then
+      Tmedb_report.Provenance.emit (Tmedb_report.Provenance.Stage { stage = name; detail })
+  in
   let dts =
     Tmedb_obs.Span.with_ "eedcb.dts" (fun () -> Problem.dts ?cap_per_node problem)
   in
+  stage "dts" (Printf.sprintf "%d points" (Tmedb_tveg.Dts.total_points dts));
   let aux = Aux_graph.build problem dts in
+  stage "aux_graph"
+    (Printf.sprintf "%d vertices, %d edges" (Digraph.n aux.Aux_graph.graph)
+       (Digraph.m aux.Aux_graph.graph));
   let outcome =
     Dst.solve ~level aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex
       ~terminals:aux.Aux_graph.terminals
   in
+  stage "dst"
+    (Printf.sprintf "cost %.17g, %d uncovered" outcome.Dst.tree.Dst.cost
+       (List.length outcome.Dst.uncovered));
   let pruned =
     Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
         Dst.prune aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex outcome.Dst.tree)
   in
+  stage "prune" (Printf.sprintf "cost %.17g" pruned.Dst.cost);
   let schedule = Aux_graph.extract_schedule aux pruned in
   let report =
     Tmedb_obs.Span.with_ "eedcb.feasibility" (fun () -> Feasibility.check problem schedule)

@@ -409,6 +409,18 @@ let allocate problem backbone_schedule =
     done;
     (* Transmissions allocated zero cost are no-ops (φ(0) = 1): drop
        them rather than scheduling silent sends. *)
+    if Tmedb_report.Provenance.enabled () then
+      List.iteri
+        (fun k (tx : Schedule.transmission) ->
+          Tmedb_report.Provenance.emit
+            (Tmedb_report.Provenance.Allocation
+               {
+                 relay = tx.Schedule.relay;
+                 time = tx.Schedule.time;
+                 backbone_cost = tx.Schedule.cost;
+                 allocated_cost = w.(k);
+               }))
+        txs;
     let schedule =
       Schedule.of_transmissions
         (List.filteri

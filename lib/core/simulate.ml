@@ -19,6 +19,7 @@ type receive_event = { effective : float; node : int }
 let c_trials = Tmedb_obs.Counter.make "simulate.trials"
 let c_runs = Tmedb_obs.Counter.make "simulate.runs"
 let t_run = Tmedb_obs.Timer.make "simulate.run"
+let h_trial_latency = Tmedb_obs.Histogram.make "simulate.trial_latency"
 
 let one_trial ~rng ~eval_channel problem schedule =
   Tmedb_obs.Counter.incr c_trials;
@@ -88,6 +89,12 @@ let one_trial ~rng ~eval_channel problem schedule =
   let completion =
     if informed = n then Some (Array.fold_left Float.max 0. informed_at) else None
   in
+  (* Simulated completion instant in milliseconds — a function of the
+     trial's split RNG stream alone, so the distribution is identical
+     at any pool size. *)
+  (match completion with
+  | Some t -> Tmedb_obs.Histogram.observe h_trial_latency (int_of_float (Float.round (t *. 1000.)))
+  | None -> ());
   (float_of_int informed /. float_of_int n, !energy, completion)
 
 let run ?(trials = 500) ?pool ~rng ~eval_channel problem schedule =

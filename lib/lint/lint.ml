@@ -83,7 +83,7 @@ let result_affecting = [ "lib/core"; "lib/steiner"; "lib/tveg"; "lib/tvg"; "lib/
 let float_kernels = result_affecting @ [ "lib/channel"; "lib/nlp" ]
 
 (* Directories whose public vals the docs gate covers. *)
-let documented_scope = [ "lib/core"; "lib/obs" ]
+let documented_scope = [ "lib/core"; "lib/obs"; "lib/report" ]
 
 let in_scope rule path =
   if rule.id = r_nondet.id then under_any result_affecting path

@@ -94,12 +94,121 @@ module Timer = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Histograms.  Observations are non-negative integers bucketed by
+   power of two: bucket 0 holds 0, bucket b >= 1 holds [2^(b-1),
+   2^b - 1].  Every cell is an Atomic, so concurrent observations from
+   several domains accumulate order-independently (sums for buckets
+   and the total, CAS min/max races resolve to the same extremum) —
+   the same merge discipline as counters, hence snapshots are
+   identical at any worker count for a deterministic workload. *)
+
+module Histogram = struct
+  let num_buckets = 64 (* bucket 0 + one per significant-bit count *)
+
+  type t = {
+    name : string;
+    buckets : int Atomic.t array;
+    total : int Atomic.t;  (* Σ observed values *)
+    min_cell : int Atomic.t;  (* max_int when empty *)
+    max_cell : int Atomic.t;  (* -1 when empty *)
+  }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    with_registry (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                name;
+                buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+                total = Atomic.make 0;
+                min_cell = Atomic.make max_int;
+                max_cell = Atomic.make (-1);
+              }
+            in
+            Hashtbl.replace table name h;
+            h)
+
+  let name t = t.name
+
+  (* Index of the bucket holding [v]: the number of significant bits,
+     so 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... *)
+  let bucket_of v =
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    if v <= 0 then 0 else bits 0 v
+
+  (* Inclusive upper edge of a bucket — the value quantile estimates
+     report. *)
+  let bucket_upper b = if b = 0 then 0 else (1 lsl b) - 1
+
+  let rec cas_min cell v =
+    let cur = Atomic.get cell in
+    if v < cur && not (Atomic.compare_and_set cell cur v) then cas_min cell v
+
+  let rec cas_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then cas_max cell v
+
+  let observe t v =
+    if Atomic.get enabled_flag then begin
+      let v = Stdlib.max 0 v in
+      ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add t.total v);
+      cas_min t.min_cell v;
+      cas_max t.max_cell v
+    end
+
+  let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.buckets
+  let sum t = Atomic.get t.total
+  let min_value t = if count t = 0 then 0 else Atomic.get t.min_cell
+  let max_value t = if count t = 0 then 0 else Atomic.get t.max_cell
+
+  (* Rank-based bucket walk: the smallest bucket upper edge whose
+     cumulative count reaches ceil(q * n), clamped into the exact
+     [min, max] envelope.  Deterministic given bucket contents. *)
+  let quantile t q =
+    let n = count t in
+    if n = 0 then 0
+    else begin
+      let q = Float.min 1. (Float.max 0. q) in
+      let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let rec walk b cum =
+        if b >= num_buckets then Atomic.get t.max_cell
+        else begin
+          let cum = cum + Atomic.get t.buckets.(b) in
+          if cum >= rank then bucket_upper b else walk (b + 1) cum
+        end
+      in
+      let est = walk 0 0 in
+      Stdlib.min (Atomic.get t.max_cell) (Stdlib.max (Atomic.get t.min_cell) est)
+    end
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ h ->
+        Array.iter (fun c -> Atomic.set c 0) h.buckets;
+        Atomic.set h.total 0;
+        Atomic.set h.min_cell max_int;
+        Atomic.set h.max_cell (-1))
+      table
+
+  let all () =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Spans: per-domain buffers through domain-local storage.  A buffer
    is only ever appended to by its owning domain; the global [buffers]
    list (for harvesting) is touched once per domain, under the
    registry mutex. *)
 
 type phase = Begin | End
+
+type alloc = { minor_words : float; major_words : float }
 
 type event = {
   name : string;
@@ -108,39 +217,66 @@ type event = {
   ts : float;
   phase : phase;
   args : (string * string) list;
+  alloc : alloc option;
 }
 
 type buffer = {
   dom : int;
   mutable events_rev : event list;  (* newest first *)
   mutable next_seq : int;
+  mutable open_allocs : (float * float) list;  (* Gc words at span open, innermost first *)
 }
 
 let buffers : buffer list ref = ref []
 
 let buffer_key =
   Domain.DLS.new_key (fun () ->
-      let b = { dom = (Domain.self () :> int); events_rev = []; next_seq = 0 } in
+      let b =
+        { dom = (Domain.self () :> int); events_rev = []; next_seq = 0; open_allocs = [] }
+      in
       with_registry (fun () -> buffers := b :: !buffers);
       b)
 
-let record name phase args =
-  let b = Domain.DLS.get buffer_key in
+let record b name phase args alloc =
   let seq = b.next_seq in
   b.next_seq <- seq + 1;
-  b.events_rev <- { name; domain = b.dom; seq; ts = now (); phase; args } :: b.events_rev
+  b.events_rev <- { name; domain = b.dom; seq; ts = now (); phase; args; alloc } :: b.events_rev
+
+(* Gc words allocated so far on this domain.  [Gc.minor_words] reads
+   the allocation pointer; the major count comes from [quick_stat]
+   (no heap walk), so an open/close pair costs two cheap reads. *)
+let gc_words () = (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_words)
+
+let span_open b name args =
+  b.open_allocs <- gc_words () :: b.open_allocs;
+  record b name Begin args None
+
+let span_close b name =
+  let alloc =
+    match b.open_allocs with
+    | (m0, j0) :: rest ->
+        b.open_allocs <- rest;
+        let m1, j1 = gc_words () in
+        Some { minor_words = m1 -. m0; major_words = j1 -. j0 }
+    | [] -> None (* unmatched exit: no open snapshot to diff against *)
+  in
+  record b name End [] alloc
 
 module Span = struct
-  let enter name args = if Atomic.get enabled_flag then record name Begin args
-  let exit name = if Atomic.get enabled_flag then record name End []
+  let enter name args =
+    if Atomic.get enabled_flag then span_open (Domain.DLS.get buffer_key) name args
+
+  let exit name =
+    if Atomic.get enabled_flag then span_close (Domain.DLS.get buffer_key) name
 
   let with_ ?(args = []) name f =
     if not (Atomic.get enabled_flag) then f ()
     else begin
-      record name Begin args;
+      let b = Domain.DLS.get buffer_key in
+      span_open b name args;
       (* Close unconditionally so the buffer stays balanced even if
          the registry is flipped off while [f] runs. *)
-      Fun.protect ~finally:(fun () -> record name End []) f
+      Fun.protect ~finally:(fun () -> span_close b name) f
     end
 end
 
@@ -148,7 +284,56 @@ end
 (* Harvest *)
 
 type timer_snapshot = { timer_name : string; seconds : float; hits : int }
-type snapshot = { counters : (string * int) list; timers : timer_snapshot list }
+
+type histogram_snapshot = {
+  hist_name : string;
+  hist_count : int;
+  hist_sum : int;
+  hist_min : int;
+  hist_max : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+type span_alloc = {
+  span_name : string;
+  span_count : int;
+  minor_total : float;
+  major_total : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : timer_snapshot list;
+  histograms : histogram_snapshot list;
+  span_allocs : span_alloc list;
+}
+
+(* Aggregate closed-span alloc deltas per span name.  Uses the same
+   buffered End events as [events ()], so the result depends only on
+   which spans ran — not on domain interleaving. *)
+let span_allocs_of_buffers bufs =
+  let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun e ->
+          match (e.phase, e.alloc) with
+          | End, Some a ->
+              let n, mi, ma =
+                Option.value (Hashtbl.find_opt tbl e.name) ~default:(0, 0., 0.)
+              in
+              Hashtbl.replace tbl e.name
+                (n + 1, mi +. a.minor_words, ma +. a.major_words)
+          | _ -> ())
+        b.events_rev)
+    bufs;
+  Hashtbl.fold
+    (fun span_name (span_count, minor_total, major_total) acc ->
+      { span_name; span_count; minor_total; major_total } :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.span_name b.span_name)
 
 let snapshot () =
   with_registry (fun () ->
@@ -157,6 +342,21 @@ let snapshot () =
         timers =
           List.map (fun (timer_name, seconds, hits) -> { timer_name; seconds; hits })
             (Timer.all ());
+        histograms =
+          List.map
+            (fun (hist_name, h) ->
+              {
+                hist_name;
+                hist_count = Histogram.count h;
+                hist_sum = Histogram.sum h;
+                hist_min = Histogram.min_value h;
+                hist_max = Histogram.max_value h;
+                p50 = Histogram.quantile h 0.50;
+                p90 = Histogram.quantile h 0.90;
+                p99 = Histogram.quantile h 0.99;
+              })
+            (Histogram.all ());
+        span_allocs = span_allocs_of_buffers !buffers;
       })
 
 let events () =
@@ -176,8 +376,10 @@ let reset () =
   with_registry (fun () ->
       Counter.reset ();
       Timer.reset ();
+      Histogram.reset ();
       List.iter
         (fun b ->
           b.events_rev <- [];
-          b.next_seq <- 0)
+          b.next_seq <- 0;
+          b.open_allocs <- [])
         !buffers)

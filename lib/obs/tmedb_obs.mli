@@ -97,6 +97,49 @@ module Timer : sig
   (** Number of completed {!stop}s. *)
 end
 
+(** Distributions of non-negative integer observations, e.g.
+    ["dijkstra.relaxations"] or ["simulate.trial_latency"].  Values are
+    bucketed by power of two (bucket 0 holds 0, bucket [b >= 1] holds
+    [2^(b-1) .. 2^b - 1]); quantiles are bucket-upper-edge estimates
+    clamped into the exact observed [min, max].  Every cell is an
+    [Atomic], so concurrent observations from several domains merge
+    order-independently — snapshots are identical at any worker count
+    for a deterministic workload, like counters. *)
+module Histogram : sig
+  type t
+  (** A registered histogram handle (create once, like {!Counter.t}). *)
+
+  val make : string -> t
+  (** [make name] registers (or retrieves) the histogram called
+      [name].  Calling [make] twice with one name yields the same
+      histogram. *)
+
+  val name : t -> string
+  (** The registration name. *)
+
+  val observe : t -> int -> unit
+  (** Record one observation when the registry is enabled; a flag
+      check otherwise.  Negative values clamp to 0. *)
+
+  val count : t -> int
+  (** Number of recorded observations (0 after {!reset}). *)
+
+  val sum : t -> int
+  (** Sum of recorded observations. *)
+
+  val min_value : t -> int
+  (** Smallest recorded observation; 0 when empty. *)
+
+  val max_value : t -> int
+  (** Largest recorded observation; 0 when empty. *)
+
+  val quantile : t -> float -> int
+  (** [quantile t q] estimates the [q]-quantile ([q] clamped to
+      [0..1]) as the upper edge of the bucket holding rank
+      [ceil (q * count)], clamped into [[min_value, max_value]]; 0
+      when empty.  Deterministic given bucket contents. *)
+end
+
 (** Nested begin/end trace events with string attributes, buffered per
     domain.  Spans opened and closed on one domain nest properly;
     prefer {!Span.with_} so unwinding exceptions cannot unbalance the
@@ -121,6 +164,14 @@ type phase =
   | Begin
   | End  (** Which side of a span an {!event} records. *)
 
+type alloc = {
+  minor_words : float;  (** Words allocated on the minor heap. *)
+  major_words : float;  (** Words allocated on the major heap. *)
+}
+(** Gc allocation delta across a span, from [Gc.minor_words] /
+    [Gc.quick_stat] reads at span open and close on the recording
+    domain. *)
+
 type event = {
   name : string;  (** Span name as passed to {!Span.enter}. *)
   domain : int;  (** Recording domain's id ([Domain.self]). *)
@@ -128,6 +179,9 @@ type event = {
   ts : float;  (** Wall-clock seconds (Unix epoch). *)
   phase : phase;
   args : (string * string) list;  (** Attributes ([Begin] events only). *)
+  alloc : alloc option;
+      (** Allocation delta over the span; [Some] on [End] events whose
+          opening [Begin] was recorded, [None] otherwise. *)
 }
 (** One buffered span event. *)
 
@@ -138,17 +192,43 @@ type timer_snapshot = {
 }
 (** Point-in-time view of one timer. *)
 
+type histogram_snapshot = {
+  hist_name : string;
+  hist_count : int;  (** Number of observations. *)
+  hist_sum : int;  (** Sum of observations. *)
+  hist_min : int;  (** Smallest observation (0 when empty). *)
+  hist_max : int;  (** Largest observation (0 when empty). *)
+  p50 : int;  (** Median estimate ({!Histogram.quantile} at 0.50). *)
+  p90 : int;  (** 90th-percentile estimate. *)
+  p99 : int;  (** 99th-percentile estimate. *)
+}
+(** Point-in-time view of one histogram. *)
+
+type span_alloc = {
+  span_name : string;
+  span_count : int;  (** Closed spans with an alloc delta. *)
+  minor_total : float;  (** Summed minor-heap words across them. *)
+  major_total : float;  (** Summed major-heap words across them. *)
+}
+(** Allocation totals aggregated over every closed span of one name,
+    across all domains.  Order-independent (sums), so identical at any
+    worker count for a deterministic workload. *)
+
 type snapshot = {
   counters : (string * int) list;  (** Sorted by name. *)
   timers : timer_snapshot list;  (** Sorted by name. *)
+  histograms : histogram_snapshot list;  (** Sorted by name. *)
+  span_allocs : span_alloc list;  (** Sorted by name. *)
 }
-(** Point-in-time view of every registered counter and timer —
-    including never-touched ones (at zero), so a snapshot's key set
-    depends only on what the program links, not on the control path
-    taken. *)
+(** Point-in-time view of every registered counter, timer and
+    histogram — including never-touched ones (at zero), so a
+    snapshot's key set depends only on what the program links, not on
+    the control path taken.  [span_allocs] covers span names with at
+    least one closed span. *)
 
 val snapshot : unit -> snapshot
-(** Harvest all counters and timers, sorted by name. *)
+(** Harvest all counters, timers, histograms and per-span allocation
+    totals, each sorted by name. *)
 
 val events : unit -> event list
 (** Merge every domain's span buffer into one deterministic order:

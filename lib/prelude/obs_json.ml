@@ -12,6 +12,34 @@ let metrics_of_snapshot (s : Tmedb_obs.snapshot) =
                  Json.Obj
                    [ ("seconds", Json.Num seconds); ("count", Json.Num (float_of_int hits)) ] ))
              s.timers) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (h : Tmedb_obs.histogram_snapshot) ->
+               ( h.hist_name,
+                 Json.Obj
+                   [
+                     ("count", Json.Num (float_of_int h.hist_count));
+                     ("sum", Json.Num (float_of_int h.hist_sum));
+                     ("min", Json.Num (float_of_int h.hist_min));
+                     ("max", Json.Num (float_of_int h.hist_max));
+                     ("p50", Json.Num (float_of_int h.p50));
+                     ("p90", Json.Num (float_of_int h.p90));
+                     ("p99", Json.Num (float_of_int h.p99));
+                   ] ))
+             s.histograms) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (a : Tmedb_obs.span_alloc) ->
+               ( a.span_name,
+                 Json.Obj
+                   [
+                     ("count", Json.Num (float_of_int a.span_count));
+                     ("minor_words", Json.Num a.minor_total);
+                     ("major_words", Json.Num a.major_total);
+                   ] ))
+             s.span_allocs) );
     ]
 
 let metrics () = metrics_of_snapshot (Tmedb_obs.snapshot ())
@@ -42,11 +70,18 @@ let trace_of_events events =
             ("ts", Json.Num us);
           ]
         in
-        let args =
-          match e.args with
-          | [] -> []
-          | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+        let arg_rows =
+          List.map (fun (k, v) -> (k, Json.Str v)) e.args
+          @
+          match e.alloc with
+          | Some a ->
+              [
+                ("minor_words", Json.Num a.Tmedb_obs.minor_words);
+                ("major_words", Json.Num a.Tmedb_obs.major_words);
+              ]
+          | None -> []
         in
+        let args = match arg_rows with [] -> [] | kvs -> [ ("args", Json.Obj kvs) ] in
         Json.Obj (base @ args))
       events
   in

@@ -4,9 +4,15 @@
 
     Two documents:
     - the {e metrics snapshot} ([--metrics] on the CLI and bench):
-      every registered counter and timer, schema
+      every registered counter, timer and histogram plus per-span
+      allocation totals, schema
       [{ "schema": "tmedb.metrics/1", "counters": {name: n, ...},
-         "timers": {name: {"seconds": s, "count": k}, ...} }];
+         "timers": {name: {"seconds": s, "count": k}, ...},
+         "histograms": {name: {"count": n, "sum": s, "min": a,
+                               "max": b, "p50": p, "p90": q,
+                               "p99": r}, ...},
+         "spans": {name: {"count": n, "minor_words": m,
+                          "major_words": j}, ...} }];
     - the {e span trace} ([--trace]): Chrome [trace_event]-format JSON
       ([{ "displayTimeUnit": "ms", "traceEvents": [...] }] with
       ["B"]/["E"] phase events), loadable directly in

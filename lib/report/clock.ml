@@ -1,0 +1,10 @@
+(* The only wall-clock read outside lib/obs and bench (lint rule R3,
+   allowlisted): ledger timestamps are injected by the caller so the
+   artifact itself stays deterministic, and this is where a caller who
+   *wants* a real timestamp gets one. *)
+
+let now_iso8601 () =
+  let t = Unix.gettimeofday () in
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec

@@ -1,0 +1,11 @@
+(** The run ledger's single wall-clock source.
+
+    {!Ledger} never reads the clock itself — timestamps are injected
+    by the caller so that identical runs produce byte-identical
+    artifacts — and callers who want a real timestamp take it from
+    here, keeping every wall-clock read in the tree inside [lib/obs],
+    [bench] or this module (lint rule R3). *)
+
+val now_iso8601 : unit -> string
+(** Current UTC time as ["YYYY-MM-DDThh:mm:ssZ"] (RFC 3339, second
+    precision). *)

@@ -1,0 +1,103 @@
+open Tmedb_prelude
+
+type delta = { key : string; a : float option; b : float option }
+
+(* Flatten a document to dotted-path numeric leaves.  Non-numeric
+   leaves (strings, nulls, bools) are ignored: the gate compares
+   quantities, not identity fields like timestamps or digests. *)
+let flatten doc =
+  let rows = ref [] in
+  let rec go prefix = function
+    | Json.Num f -> rows := (prefix, f) :: !rows
+    | Json.Bool _ | Json.Str _ | Json.Null -> ()
+    | Json.List items -> List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" prefix i) v) items
+    | Json.Obj kvs ->
+        List.iter
+          (fun (k, v) -> go (if prefix = "" then k else prefix ^ "." ^ k) v)
+          kvs
+  in
+  go "" doc;
+  List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) !rows
+
+let diff a b =
+  let fa = flatten a and fb = flatten b in
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], [] -> []
+    | (k, v) :: xt, [] -> { key = k; a = Some v; b = None } :: merge xt []
+    | [], (k, v) :: yt -> { key = k; a = None; b = Some v } :: merge [] yt
+    | ((ka, va) :: xt as xs), ((kb, vb) :: yt as ys) ->
+        let c = String.compare ka kb in
+        if c < 0 then { key = ka; a = Some va; b = None } :: merge xt ys
+        else if c > 0 then { key = kb; a = None; b = Some vb } :: merge xs yt
+        else { key = ka; a = Some va; b = Some vb } :: merge xt yt
+  in
+  merge fa fb
+
+(* Relative change of b against a; [None] when the key is one-sided
+   (those always count as exceeding any threshold). *)
+let rel_change d =
+  match (d.a, d.b) with
+  | Some a, Some b ->
+      if Float.equal a b then Some 0.
+      else if Float.equal a 0. then Some Float.infinity
+      else Some (Float.abs ((b -. a) /. a))
+  | _ -> None
+
+let changed d =
+  match (d.a, d.b) with Some a, Some b -> not (Float.equal a b) | _ -> true
+
+let exceeds ~threshold d =
+  match rel_change d with None -> true | Some r -> r > threshold
+
+let exceeding ~threshold ds = List.filter (exceeds ~threshold) ds
+
+let to_json ~threshold ds =
+  let rows =
+    List.filter_map
+      (fun d ->
+        if not (changed d) then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("key", Json.Str d.key);
+                 ("a", match d.a with Some v -> Json.Num v | None -> Json.Null);
+                 ("b", match d.b with Some v -> Json.Num v | None -> Json.Null);
+                 ( "rel_change",
+                   match rel_change d with
+                   | Some r when Float.is_finite r -> Json.Num r
+                   | Some _ | None -> Json.Null );
+                 ("exceeds", Json.Bool (exceeds ~threshold d));
+               ]))
+      ds
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "tmedb.diff/1");
+      ("threshold", Json.Num threshold);
+      ("compared", Json.Num (float_of_int (List.length ds)));
+      ("changed", Json.List rows);
+    ]
+
+let render ~threshold ds =
+  let buf = Buffer.create 256 in
+  let changed_ds = List.filter changed ds in
+  let bad = exceeding ~threshold changed_ds in
+  Buffer.add_string buf
+    (Printf.sprintf "%d keys compared, %d changed, %d exceed threshold %.3g\n"
+       (List.length ds) (List.length changed_ds) (List.length bad) threshold);
+  List.iter
+    (fun d ->
+      let mark = if exceeds ~threshold d then "!" else " " in
+      let side = function Some v -> Printf.sprintf "%.6g" v | None -> "-" in
+      let rel =
+        match (d.a, d.b) with
+        | Some a, Some b when not (Float.equal a 0.) ->
+            Printf.sprintf " (%+.2f%%)" (100. *. (b -. a) /. a)
+        | _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s: %s -> %s%s\n" mark d.key (side d.a) (side d.b) rel))
+    changed_ds;
+  Buffer.contents buf

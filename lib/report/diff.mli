@@ -1,0 +1,47 @@
+(** Numeric comparison of two JSON documents — the regression gate
+    behind [tmedb report diff] and [bench regress].
+
+    Both documents are flattened to dotted-path numeric leaves
+    (["metrics.counters.dst.solves"], ["schedule[0].cost"], …);
+    non-numeric leaves (strings, nulls, bools — timestamps, digests)
+    are ignored.  A key present on only one side always exceeds any
+    threshold; a two-sided key exceeds when its relative change
+    [|b - a| / |a|] does. *)
+
+open Tmedb_prelude
+
+type delta = {
+  key : string;  (** Dotted path of the leaf. *)
+  a : float option;  (** Value in the first document, if present. *)
+  b : float option;  (** Value in the second document, if present. *)
+}
+(** One compared leaf. *)
+
+val flatten : Json.t -> (string * float) list
+(** Numeric leaves as key-sorted [(dotted path, value)] pairs. *)
+
+val diff : Json.t -> Json.t -> delta list
+(** Merge the two flattenings over the union of keys, key-sorted. *)
+
+val rel_change : delta -> float option
+(** [|b - a| / |a|]; [Some infinity] when [a = 0 <> b], [Some 0.] when
+    equal, [None] for one-sided keys. *)
+
+val changed : delta -> bool
+(** Whether the two sides differ (one-sided keys count as changed). *)
+
+val exceeds : threshold:float -> delta -> bool
+(** Whether this delta trips the gate at [threshold] (a relative
+    change, e.g. [0.05] for 5%). *)
+
+val exceeding : threshold:float -> delta list -> delta list
+(** The deltas that {!exceeds} the threshold. *)
+
+val to_json : threshold:float -> delta list -> Json.t
+(** Machine-readable report ([tmedb.diff/1]): threshold, compared-key
+    count, and every changed key with both sides, relative change and
+    its gate verdict. *)
+
+val render : threshold:float -> delta list -> string
+(** Human-readable report: a summary line, then one line per changed
+    key, gate-tripping keys marked with ["!"]. *)

@@ -1,0 +1,171 @@
+open Tmedb_prelude
+
+let schema = "tmedb.run/1"
+
+type entry = { relay : int; time : float; cost : float }
+
+type t = {
+  timestamp : string option;
+  config : (string * Json.t) list;
+  input_digest : string;
+  summary : (string * Json.t) list;
+  metrics : Json.t;
+  provenance : Provenance.event list;
+  schedule : entry list;
+}
+
+let digest_string s = Digest.to_hex (Digest.string s)
+
+(* Deterministic projection of a telemetry snapshot.  Deliberately
+   excluded, because they vary run-to-run or with --jobs even on
+   identical inputs: timer seconds (wall clock), span allocation words
+   (Gc state), and everything under the "pool." prefix (batch counts
+   depend on the worker count).  What remains — counters, timer hit
+   counts, histogram summaries — is a pure function of the workload. *)
+let deterministic name = not (String.length name >= 5 && String.sub name 0 5 = "pool.")
+
+let metrics_of_snapshot (s : Tmedb_obs.snapshot) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.filter_map
+             (fun (name, v) ->
+               if deterministic name then Some (name, Json.Num (float_of_int v)) else None)
+             s.Tmedb_obs.counters) );
+      ( "timer_hits",
+        Json.Obj
+          (List.filter_map
+             (fun (t : Tmedb_obs.timer_snapshot) ->
+               if deterministic t.timer_name then
+                 Some (t.timer_name, Json.Num (float_of_int t.hits))
+               else None)
+             s.Tmedb_obs.timers) );
+      ( "histograms",
+        Json.Obj
+          (List.filter_map
+             (fun (h : Tmedb_obs.histogram_snapshot) ->
+               if deterministic h.hist_name then
+                 Some
+                   ( h.hist_name,
+                     Json.Obj
+                       [
+                         ("count", Json.Num (float_of_int h.hist_count));
+                         ("sum", Json.Num (float_of_int h.hist_sum));
+                         ("min", Json.Num (float_of_int h.hist_min));
+                         ("max", Json.Num (float_of_int h.hist_max));
+                         ("p50", Json.Num (float_of_int h.p50));
+                         ("p90", Json.Num (float_of_int h.p90));
+                         ("p99", Json.Num (float_of_int h.p99));
+                       ] )
+               else None)
+             s.Tmedb_obs.histograms) );
+    ]
+
+let make ?timestamp ~config ~input_digest ~summary ~snapshot ~provenance ~schedule () =
+  {
+    timestamp;
+    config;
+    input_digest;
+    summary;
+    metrics = metrics_of_snapshot snapshot;
+    provenance;
+    schedule;
+  }
+
+let sort_fields kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("relay", Json.Num (float_of_int e.relay)); ("time", Json.Num e.time); ("cost", Json.Num e.cost);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("timestamp", match t.timestamp with Some s -> Json.Str s | None -> Json.Null);
+      ("config", Json.Obj (sort_fields t.config));
+      ("input_digest", Json.Str t.input_digest);
+      ("summary", Json.Obj (sort_fields t.summary));
+      ("metrics", t.metrics);
+      ("schedule", Json.List (List.map entry_to_json t.schedule));
+      ("provenance", Json.List (List.map Provenance.to_json t.provenance));
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let field name doc =
+  match Json.member name doc with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "ledger: missing field %S" name)
+
+let obj_fields name v =
+  match v with
+  | Json.Obj kvs -> Ok kvs
+  | _ -> Error (Printf.sprintf "ledger: field %S is not an object" name)
+
+let num name v =
+  match Json.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "ledger: field %S is not a number" name)
+
+let entry_of_json doc =
+  let* relay = Result.bind (field "relay" doc) (num "relay") in
+  let* time = Result.bind (field "time" doc) (num "time") in
+  let* cost = Result.bind (field "cost" doc) (num "cost") in
+  Ok { relay = int_of_float relay; time; cost }
+
+let list_of name parse v =
+  match Json.to_list v with
+  | None -> Error (Printf.sprintf "ledger: field %S is not a list" name)
+  | Some items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* x = parse item in
+          Ok (x :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+
+let of_json doc =
+  let* s = field "schema" doc in
+  let* () =
+    match s with
+    | Json.Str s when s = schema -> Ok ()
+    | Json.Str s -> Error (Printf.sprintf "ledger: schema %S, expected %S" s schema)
+    | _ -> Error "ledger: \"schema\" is not a string"
+  in
+  let* timestamp =
+    match Json.member "timestamp" doc with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Str s) -> Ok (Some s)
+    | Some _ -> Error "ledger: \"timestamp\" is not null or a string"
+  in
+  let* config = Result.bind (field "config" doc) (obj_fields "config") in
+  let* input_digest =
+    match Json.member "input_digest" doc with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "ledger: \"input_digest\" is not a string"
+  in
+  let* summary = Result.bind (field "summary" doc) (obj_fields "summary") in
+  let* metrics = field "metrics" doc in
+  let* schedule = Result.bind (field "schedule" doc) (list_of "schedule" entry_of_json) in
+  let* provenance =
+    Result.bind (field "provenance" doc) (list_of "provenance" Provenance.of_json)
+  in
+  Ok { timestamp; config; input_digest; summary; metrics; provenance; schedule }
+
+let write t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 (to_json t));
+      output_char oc '\n')
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> Result.bind (Json.parse text) of_json

@@ -1,0 +1,67 @@
+(** The [tmedb.run/1] run ledger: one JSON artifact that makes a run
+    self-describing — configuration, an input digest, the
+    deterministic slice of the telemetry snapshot, the schedule, and
+    the {!Provenance} log explaining each schedule entry.
+
+    Determinism contract: {!write} output is a pure function of the
+    ledger value — keys are emitted sorted, the caller injects the
+    timestamp (or leaves it [null]), and {!metrics_of_snapshot} drops
+    every snapshot component that varies run-to-run (wall-clock
+    seconds, allocation words, worker-count-dependent ["pool."]
+    entries).  Two runs on identical inputs with the same seed
+    therefore produce byte-identical files at any [--jobs]. *)
+
+open Tmedb_prelude
+
+val schema : string
+(** The schema tag, ["tmedb.run/1"]. *)
+
+type entry = { relay : int; time : float; cost : float }
+(** One schedule transmission, kept as a plain triple so this library
+    stays below [lib/core] in the dependency order. *)
+
+type t = {
+  timestamp : string option;  (** Caller-injected; [None] emits [null]. *)
+  config : (string * Json.t) list;  (** Run parameters (seed, figure, channel, …). *)
+  input_digest : string;  (** Hex digest identifying the input instance. *)
+  summary : (string * Json.t) list;  (** Headline results (total cost, feasibility, …). *)
+  metrics : Json.t;  (** {!metrics_of_snapshot} of the run's telemetry. *)
+  provenance : Provenance.event list;  (** Emission-order provenance log. *)
+  schedule : entry list;  (** The schedule the run produced. *)
+}
+(** A run ledger in memory. *)
+
+val digest_string : string -> string
+(** Hex MD5 of a string — the canonical {!t.input_digest} for an
+    instance serialised to text. *)
+
+val metrics_of_snapshot : Tmedb_obs.snapshot -> Json.t
+(** Deterministic projection of a telemetry snapshot: counters, timer
+    {e hit counts} and histogram summaries, all minus the ["pool."]
+    prefix; never timer seconds or allocation words. *)
+
+val make :
+  ?timestamp:string ->
+  config:(string * Json.t) list ->
+  input_digest:string ->
+  summary:(string * Json.t) list ->
+  snapshot:Tmedb_obs.snapshot ->
+  provenance:Provenance.event list ->
+  schedule:entry list ->
+  unit ->
+  t
+(** Assemble a ledger, projecting [snapshot] through
+    {!metrics_of_snapshot}. *)
+
+val to_json : t -> Json.t
+(** The [tmedb.run/1] document; [config] and [summary] keys sorted. *)
+
+val of_json : Json.t -> (t, string) result
+(** Parse a document produced by {!to_json}; round-trips. *)
+
+val write : t -> path:string -> unit
+(** Write {!to_json} to [path], pretty-printed, trailing newline. *)
+
+val load : path:string -> (t, string) result
+(** Read and parse a ledger file; [Error] carries the parse or I/O
+    failure. *)

@@ -1,0 +1,71 @@
+(** Structured provenance events: why each schedule entry exists.
+
+    The EEDCB pipeline (paper Section VI-A) decides a transmission
+    [(relay, time, cost)] through a chain — DTS point selection,
+    auxiliary-graph level vertices per DCS cost level, the directed
+    Steiner tree choosing the deepest level — and the FR stage
+    (Section VI-B) then reallocates its cost.  Emitters in [Eedcb],
+    [Aux_graph], [Dst] and [Fr] record one event per decision so a run
+    ledger can answer "why did node [i] transmit at [t] with cost
+    [w]" after the fact ([tmedb report explain]).
+
+    Like the {!Tmedb_obs} registry, the sink is process-global and off
+    by default: {!emit} is a single [Atomic] flag check when disabled,
+    and recording never touches algorithm state, so results are
+    bit-identical with provenance on or off.  Events are kept in
+    emission order; the construction pipeline runs on one domain, so
+    that order is deterministic. *)
+
+type event =
+  | Stage of { stage : string; detail : string }
+      (** Pipeline milestone (e.g. DTS built, tree pruned) with a
+          free-form detail string. *)
+  | Schedule_entry of {
+      node : int;  (** Transmitting node i. *)
+      time : float;  (** Transmission instant t (a DTS point of i). *)
+      cost : float;  (** Chosen DCS cumulative cost w^k. *)
+      point_idx : int;  (** Index l of t in node i's DTS. *)
+      level_idx : int;  (** DCS level k (0-based). *)
+      covered : int list;
+          (** Neighbours served at level k — the union of the DCS
+              marginals up to [level_idx], ascending id. *)
+      tree_edge : (int * int) option;
+          (** Steiner-tree edge (auxiliary-graph vertex ids) whose
+              endpoint selected this level; [None] only if the level
+              vertex entered the tree with no recorded edge. *)
+    }  (** One backbone schedule entry, as extracted from the tree. *)
+  | Expansion of { vertex : int; terminals : int }
+      (** One greedy Steiner expansion: the intermediate vertex
+          realized into the partial tree and how many terminals its
+          candidate covered. *)
+  | Allocation of {
+      relay : int;
+      time : float;
+      backbone_cost : float;  (** Cost before FR reallocation. *)
+      allocated_cost : float;  (** Cost after (0 = transmission dropped). *)
+    }  (** One FR energy-allocation decision (paper Eqs. 15–16). *)
+
+val enabled : unit -> bool
+(** Whether the sink is recording.  Off at startup. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off.  Disabling does not clear recorded
+    events (use {!reset}). *)
+
+val emit : event -> unit
+(** Append one event when enabled; a flag check otherwise.  Guard
+    expensive event {e construction} at the call site with
+    {!enabled}. *)
+
+val reset : unit -> unit
+(** Drop every recorded event. *)
+
+val events : unit -> event list
+(** Recorded events in emission order. *)
+
+val to_json : event -> Tmedb_prelude.Json.t
+(** Tagged-object encoding with a fixed field order per kind (the
+    ledger's byte-stability relies on it). *)
+
+val of_json : Tmedb_prelude.Json.t -> (event, string) result
+(** Inverse of {!to_json}; [Error] names the offending field. *)

@@ -8,11 +8,15 @@ type result = { dist : float array; pred : int array }
 let c_runs = Tmedb_obs.Counter.make "dijkstra.runs"
 let c_settled = Tmedb_obs.Counter.make "dijkstra.settled"
 let t_run = Tmedb_obs.Timer.make "dijkstra.run"
+let h_relaxations = Tmedb_obs.Histogram.make "dijkstra.relaxations"
 
 (* Lazy-deletion Dijkstra: stale queue entries are skipped by the
    distance check, which makes warm restarts (pushing extra sources
-   into an already-relaxed state) sound with non-negative weights. *)
+   into an already-relaxed state) sound with non-negative weights.
+   Returns the number of successful relaxations (distance
+   improvements), the per-run distribution measure. *)
 let drain g dist pred queue =
+  let relaxed = ref 0 in
   let rec go () =
     match Pqueue.pop queue with
     | None -> ()
@@ -24,12 +28,14 @@ let drain g dist pred queue =
               if nd < dist.(v) then begin
                 dist.(v) <- nd;
                 pred.(v) <- u;
+                incr relaxed;
                 Pqueue.push queue nd v
               end)
         end;
         go ()
   in
-  go ()
+  go ();
+  !relaxed
 
 let run_multi g ~sources =
   Tmedb_obs.Counter.incr c_runs;
@@ -47,7 +53,7 @@ let run_multi g ~sources =
       dist.(src) <- 0.;
       Pqueue.push queue 0. src)
     sources;
-  drain g dist pred queue;
+  Tmedb_obs.Histogram.observe h_relaxations (drain g dist pred queue);
   Tmedb_obs.Timer.stop t_run tr;
   { dist; pred }
 
@@ -69,7 +75,7 @@ let refine g r ~new_sources =
         Pqueue.push queue 0. src
       end)
     new_sources;
-  drain g r.dist r.pred queue;
+  Tmedb_obs.Histogram.observe h_relaxations (drain g r.dist r.pred queue);
   Tmedb_obs.Timer.stop t_run tr
 
 let path r ~src ~dst =

@@ -10,6 +10,7 @@ let c_expansions = Tmedb_obs.Counter.make "dst.expansions"
 let c_level2_scans = Tmedb_obs.Counter.make "dst.level2_scans"
 let t_solve = Tmedb_obs.Timer.make "dst.solve"
 let t_terminal_maps = Tmedb_obs.Timer.make "dst.terminal_maps"
+let h_expansion_rounds = Tmedb_obs.Histogram.make "dst.expansion_rounds"
 
 (* Edge sets keyed by u*n+v, keeping the cheapest parallel weight. *)
 module Edge_set = struct
@@ -162,7 +163,7 @@ let scan_level2 ~candidates ~dist_v ~remaining ~need ~table =
    partial tree (multi-source Dijkstra), not only to the call root —
    a strict improvement over connecting every pick at [v] since merged
    path segments are paid once and inform later picks. *)
-let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
+let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~rounds =
   if level <= 1 then a1_candidate g maps ~need ~v ~remaining
   else begin
     let remaining = Array.copy remaining in
@@ -195,7 +196,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
               for cnt = 1 to !still_needed do
                 match
                   build_candidate g maps ~candidates ~table ~level:(level - 1) ~need:cnt ~v:u
-                    ~remaining
+                    ~remaining ~rounds
                 with
                 | None -> ()
                 | Some sub ->
@@ -215,6 +216,11 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
       | None -> progress := false
       | Some (u, sub) ->
           Tmedb_obs.Counter.incr c_expansions;
+          incr rounds;
+          if Tmedb_report.Provenance.enabled () then
+            Tmedb_report.Provenance.emit
+              (Tmedb_report.Provenance.Expansion
+                 { vertex = u; terminals = List.length sub.cand_terms });
           (* Realize the connecting path tree -> u plus the subtree. *)
           let rec connect x acc =
             if pred_v.(x) < 0 then acc
@@ -256,7 +262,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining =
     else Some { cand_edges = Edge_set.to_list set; cand_cost = Edge_set.cost set; cand_terms = !covered }
   end
 
-let solve_body ~level ?candidates g ~root ~terminals =
+let solve_body ~level ?candidates ~rounds g ~root ~terminals =
   if level < 1 then invalid_arg "Dst.solve: level < 1";
   let nv = Digraph.n g in
   if root < 0 || root >= nv then invalid_arg "Dst.solve: root out of range";
@@ -294,7 +300,7 @@ let solve_body ~level ?candidates g ~root ~terminals =
     { term_dist; term_id }
   in
   let remaining = Array.make k true in
-  let result = build_candidate g maps ~candidates ~table ~level ~need:k ~v:root ~remaining in
+  let result = build_candidate g maps ~candidates ~table ~level ~need:k ~v:root ~remaining ~rounds in
   let covered_tis = match result with None -> [] | Some c -> c.cand_terms in
   let covered = List.sort Int.compare (List.map (fun ti -> maps.ids.(ti)) covered_tis) in
   (* Both lists are id-sorted: a linear merge instead of the former
@@ -324,7 +330,16 @@ let solve ?(level = 2) ?candidates g ~root ~terminals =
         ("level", string_of_int level);
       ]
     (fun () ->
-      Tmedb_obs.Timer.time t_solve (fun () -> solve_body ~level ?candidates g ~root ~terminals))
+      (* Expansion depth of this solve through a local counter (not a
+         registry-counter delta): concurrent solves on other domains
+         must not leak into this solve's observation. *)
+      let rounds = ref 0 in
+      let outcome =
+        Tmedb_obs.Timer.time t_solve (fun () ->
+            solve_body ~level ?candidates ~rounds g ~root ~terminals)
+      in
+      Tmedb_obs.Histogram.observe h_expansion_rounds !rounds;
+      outcome)
 
 let prune g ~root tree =
   let nv = Digraph.n g in

@@ -1,19 +1,23 @@
 #!/bin/sh
 # Quick bench smoke: run the parallel baseline at 2 domains and make
-# sure BENCH_1.json was written, re-parsed, and deterministic.
-# (bench/main.exe exits non-zero itself on parse failure or any
-# parallel/sequential divergence.)
+# sure the next BENCH_N.json in sequence was written, re-parsed, and
+# deterministic.  (bench/main.exe exits non-zero itself on parse
+# failure or any parallel/sequential divergence.)  The freshly written
+# baseline is removed afterwards so the smoke never advances the
+# committed BENCH_N sequence.
 set -eu
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
 out=$(dune exec bench/main.exe -- baseline --jobs 2)
 printf '%s\n' "$out"
-printf '%s\n' "$out" | grep -q "BENCH_1.json ok" || {
-  echo "bench_smoke.sh: missing 'BENCH_1.json ok' marker" >&2
+path=$(printf '%s\n' "$out" | sed -n 's/^\(BENCH_[0-9]*\.json\) ok.*/\1/p')
+[ -n "$path" ] || {
+  echo "bench_smoke.sh: missing 'BENCH_N.json ok' marker" >&2
   exit 1
 }
-grep -q '"deterministic": true' BENCH_1.json || {
+grep -q '"deterministic": true' "$path" || {
   echo "bench_smoke.sh: baseline not deterministic" >&2
   exit 1
 }
-echo "bench_smoke.sh: OK"
+rm -f "$path"
+echo "bench_smoke.sh: OK ($path)"

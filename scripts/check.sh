@@ -20,7 +20,12 @@ dune exec bin/tmedb_lint.exe -- lib bin bench test
 # exits non-zero if it is not valid JSON).
 m=$(mktemp)
 trap 'rm -f "$m"' EXIT
-dune exec bench/main.exe -- quick --jobs 2 --metrics "$m" > /dev/null
+out=$(dune exec bench/main.exe -- quick --jobs 2 --metrics "$m")
+# quick mode also writes the next BENCH_N.json baseline; this is a
+# check, not a publish, so drop it (committed baselines are produced
+# deliberately via `bench baseline`).
+bpath=$(printf '%s\n' "$out" | sed -n 's/^\(BENCH_[0-9]*\.json\) ok.*/\1/p')
+if [ -n "$bpath" ]; then rm -f "$bpath"; fi
 for key in '"schema": "tmedb.metrics/1"' '"counters"' '"timers"' \
            '"aux_graph.vertices"' '"dst.solves"' '"simulate.trials"' '"pool.tasks"'; do
   grep -q "$key" "$m" || {
@@ -28,5 +33,12 @@ for key in '"schema": "tmedb.metrics/1"' '"counters"' '"timers"' \
     exit 1
   }
 done
+
+# Advisory performance-regression gate.  Never fails the tier-1 run
+# (wall-clock noise on shared machines would make a hard gate flaky);
+# regress.sh prints an escalation note when metrics move past the
+# thresholds, and the deltas are compared against the last committed
+# BENCH_N.json baseline.
+scripts/regress.sh
 
 echo "check.sh: OK"

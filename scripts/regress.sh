@@ -1,0 +1,26 @@
+#!/bin/sh
+# Advisory performance-regression gate: write the next BENCH_N.json
+# baseline, diff it against the previous committed baseline, and report
+# every key that moved past the thresholds (deterministic keys at
+# THRESHOLD, default 0.05; wall-clock keys at a fixed loose 0.5 inside
+# bench regress itself).  Always exits 0 — timing on shared machines is
+# too noisy for a hard gate — but prints an escalation note when the
+# gate trips so a human can re-run locally and either investigate or
+# deliberately publish a new baseline.
+set -eu
+cd "$(dirname "$0")/.."
+threshold="${1:-0.05}"
+dune build bench/main.exe
+status=0
+out=$(dune exec bench/main.exe -- regress --jobs 2 --threshold "$threshold" 2>&1) || status=$?
+printf '%s\n' "$out"
+# Drop the freshly written baseline: regress is a check, not a publish.
+# New baselines are committed deliberately via `bench baseline`.
+path=$(printf '%s\n' "$out" | sed -n 's/^\(BENCH_[0-9]*\.json\) ok.*/\1/p')
+if [ -n "$path" ]; then rm -f "$path"; fi
+if [ "$status" -ne 0 ]; then
+  echo "regress.sh: ADVISORY — metrics moved past the gate (threshold $threshold)." >&2
+  echo "regress.sh: if the movement is expected, run 'dune exec bench/main.exe -- baseline'" >&2
+  echo "regress.sh: and commit the new BENCH_N.json; otherwise investigate before merging." >&2
+fi
+exit 0

@@ -79,7 +79,10 @@ let test_r3 () =
   fires "wall-clock" ~path:"lib/prelude/fixture.ml" "let t () = Sys.time ()";
   (* Telemetry and the bench harness are the sanctioned clock readers. *)
   silent ~path:"lib/obs/fixture.ml" bad_clock;
-  silent ~path:"bench/fixture.ml" bad_clock
+  silent ~path:"bench/fixture.ml" bad_clock;
+  (* lib/report is NOT blanket-exempt: only clock.ml carries a repo
+     allowlist entry, so the rest of the library stays under R3. *)
+  fires "wall-clock" ~path:"lib/report/fixture.ml" bad_clock
 
 (* ------------------------------------------------------------------ *)
 (* R4 toplevel-mutable-state *)
@@ -100,7 +103,10 @@ let test_r4 () =
   (* ... an immutable record is not state ... *)
   silent ~path:"lib/core/fixture.ml" "type cfg = { n : int }\nlet default = { n = 0 }";
   (* ... and lib/obs owns its registry state by design. *)
-  silent ~path:"lib/obs/fixture.ml" "let table = Hashtbl.create 16"
+  silent ~path:"lib/obs/fixture.ml" "let table = Hashtbl.create 16";
+  (* lib/report is NOT blanket-exempt: only provenance.ml carries a
+     repo allowlist entry, so the rest of the library stays under R4. *)
+  fires "toplevel-mutable-state" ~path:"lib/report/fixture.ml" "let hits = ref 0"
 
 (* ------------------------------------------------------------------ *)
 (* R5 float-polymorphic-compare *)
@@ -137,7 +143,10 @@ let test_r6 () =
      the awk script this rule replaces was fooled by exactly this. *)
   fires "undocumented-val" ~path:"lib/core/fixture.mli"
     "val f : int -> int\n\n(** {1 Section} *)\n\nval g : int\n(** Documented. *)";
-  (* Out of scope: the docs gate covers lib/core and lib/obs only. *)
+  (* lib/report joined the documented scope with the run ledger. *)
+  fires "undocumented-val" ~path:"lib/report/fixture.mli" "val h : unit -> string";
+  (* Out of scope: the docs gate covers lib/core, lib/obs and
+     lib/report only. *)
   silent ~path:"lib/steiner/fixture.mli" "val f : int -> int"
 
 (* ------------------------------------------------------------------ *)
@@ -209,6 +218,35 @@ let test_allowlist () =
   check_bool "malformed line rejected" true
     (Result.is_error (Lint.parse_allowlist ~source_name:"t" "just-one-field"))
 
+(* The repo allowlist exempts exactly two lib/report file × rule pairs
+   (clock.ml may read the wall clock, provenance.ml may hold its sink
+   state); prove with fire/silent twins that nothing leaks to sibling
+   files or across rules. *)
+let test_report_allowlist_scope () =
+  let allowlist =
+    parse_allowlist
+      "lib/report/clock.ml wall-clock\nlib/report/provenance.ml toplevel-mutable-state\n"
+  in
+  (* Silent twins: the two sanctioned pairs. *)
+  check_int "clock.ml may read the wall clock" 0
+    (List.length (findings ~allowlist ~path:"lib/report/clock.ml" bad_clock));
+  check_int "provenance.ml may hold sink state" 0
+    (List.length (findings ~allowlist ~path:"lib/report/provenance.ml" "let sink = ref []"));
+  (* Fire twins: the exemptions do not leak to sibling files... *)
+  Alcotest.(check (list string))
+    "ledger.ml still under R3" [ "wall-clock" ]
+    (ids (findings ~allowlist ~path:"lib/report/ledger.ml" bad_clock));
+  Alcotest.(check (list string))
+    "diff.ml still under R4" [ "toplevel-mutable-state" ]
+    (ids (findings ~allowlist ~path:"lib/report/diff.ml" "let cache = Hashtbl.create 8"));
+  (* ... nor across rules within the exempted files. *)
+  Alcotest.(check (list string))
+    "clock.ml still under R4" [ "toplevel-mutable-state" ]
+    (ids (findings ~allowlist ~path:"lib/report/clock.ml" "let cache = ref 0"));
+  Alcotest.(check (list string))
+    "provenance.ml still under R3" [ "wall-clock" ]
+    (ids (findings ~allowlist ~path:"lib/report/provenance.ml" bad_clock))
+
 (* ------------------------------------------------------------------ *)
 (* --only, error reporting, reporters *)
 
@@ -266,6 +304,7 @@ let () =
         [
           tc "[@lint.allow] attributes" test_attribute_suppression;
           tc "lint.allowlist" test_allowlist;
+          tc "lib/report allowlist scope exactness" test_report_allowlist_scope;
         ] );
       ( "engine",
         [

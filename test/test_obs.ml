@@ -63,6 +63,41 @@ let test_timer_semantics =
   Tmedb_obs.Timer.stop t h;
   check_int "disabled stop records nothing" 2 (Tmedb_obs.Timer.count t)
 
+let test_histogram_semantics =
+  scrubbed @@ fun () ->
+  let h = Tmedb_obs.Histogram.make "test.obs.hist" in
+  check_string "name" "test.obs.hist" (Tmedb_obs.Histogram.name h);
+  check_int "empty count" 0 (Tmedb_obs.Histogram.count h);
+  check_int "empty min" 0 (Tmedb_obs.Histogram.min_value h);
+  check_int "empty quantile" 0 (Tmedb_obs.Histogram.quantile h 0.5);
+  List.iter (Tmedb_obs.Histogram.observe h) [ 0; 1; 2; 3; 100; -5 ];
+  (* Registration is idempotent: a second handle feeds the same cells. *)
+  Tmedb_obs.Histogram.observe (Tmedb_obs.Histogram.make "test.obs.hist") 7;
+  check_int "count" 7 (Tmedb_obs.Histogram.count h);
+  check_int "sum (negative clamped to 0)" 113 (Tmedb_obs.Histogram.sum h);
+  check_int "min" 0 (Tmedb_obs.Histogram.min_value h);
+  check_int "max" 100 (Tmedb_obs.Histogram.max_value h);
+  (* Values {0,0,1,2,3,7,100}: rank 4 lands in the [2,3] bucket. *)
+  check_int "p50 is the [2,3] bucket's upper edge" 3 (Tmedb_obs.Histogram.quantile h 0.5);
+  (* Rank 7 lands in the [64,127] bucket; its upper edge 127 clamps to
+     the observed max. *)
+  check_int "p90 clamps to max" 100 (Tmedb_obs.Histogram.quantile h 0.9);
+  check_int "q=0 clamps to rank 1" 0 (Tmedb_obs.Histogram.quantile h 0.);
+  check_int "q past 1 clamps" 100 (Tmedb_obs.Histogram.quantile h 2.);
+  Tmedb_obs.set_enabled false;
+  Tmedb_obs.Histogram.observe h 999;
+  check_int "disabled observe is a no-op" 7 (Tmedb_obs.Histogram.count h);
+  Tmedb_obs.set_enabled true;
+  Tmedb_obs.reset ();
+  check_int "reset zeroes count" 0 (Tmedb_obs.Histogram.count h);
+  check_int "reset zeroes sum" 0 (Tmedb_obs.Histogram.sum h);
+  check_int "reset zeroes max" 0 (Tmedb_obs.Histogram.max_value h);
+  let snap = Tmedb_obs.snapshot () in
+  check_bool "reset keeps the registration" true
+    (List.exists
+       (fun s -> s.Tmedb_obs.hist_name = "test.obs.hist")
+       snap.Tmedb_obs.histograms)
+
 (* ------------------------------------------------------------------ *)
 (* Span semantics on one domain *)
 
@@ -138,6 +173,73 @@ let test_merge_determinism =
       List.iter (fun total -> check_int "counter total jobs-invariant" reference total) rest
   | [] -> ()
 
+(* Histograms share the counters' merge discipline (Atomic buckets):
+   the full summary must be identical at any worker count. *)
+let test_histogram_merge_determinism =
+  scrubbed @@ fun () ->
+  let h = Tmedb_obs.Histogram.make "test.obs.hist_par" in
+  let n = 256 in
+  let workload pool =
+    ignore
+      (Pool.map pool
+         (fun i ->
+           Tmedb_obs.Histogram.observe h i;
+           i)
+         (Array.init n Fun.id))
+  in
+  let summary_at k =
+    Tmedb_obs.reset ();
+    (if k = 1 then workload None
+     else Pool.with_pool ~num_domains:k (fun pool -> workload (Some pool)));
+    Tmedb_obs.Histogram.
+      ( count h,
+        sum h,
+        min_value h,
+        max_value h,
+        quantile h 0.5,
+        quantile h 0.9,
+        quantile h 0.99 )
+  in
+  match List.map summary_at [ 1; 2; 4 ] with
+  | reference :: rest ->
+      check_bool "reference summary over 0..255" true
+        (reference = (n, n * (n - 1) / 2, 0, n - 1, 127, 255, 255));
+      List.iteri
+        (fun i s ->
+          check_bool (Printf.sprintf "summary jobs-invariant (%d)" i) true (s = reference))
+        rest
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-span Gc allocation deltas *)
+
+let test_span_alloc_deltas =
+  scrubbed @@ fun () ->
+  Tmedb_obs.Span.with_ "test.obs.allocspan" (fun () ->
+      for i = 1 to 1000 do
+        ignore (Sys.opaque_identity (ref (float_of_int i)))
+      done);
+  Tmedb_obs.Span.with_ "test.obs.allocspan" (fun () -> ());
+  List.iter
+    (fun e ->
+      match e.Tmedb_obs.phase with
+      | Tmedb_obs.Begin -> check_bool "no delta on Begin" true (e.Tmedb_obs.alloc = None)
+      | Tmedb_obs.End -> check_bool "delta on every End" true (e.Tmedb_obs.alloc <> None))
+    (Tmedb_obs.events ());
+  let snap = Tmedb_obs.snapshot () in
+  match
+    List.find_opt
+      (fun a -> a.Tmedb_obs.span_name = "test.obs.allocspan")
+      snap.Tmedb_obs.span_allocs
+  with
+  | None -> Alcotest.fail "span alloc row missing from snapshot"
+  | Some a ->
+      check_int "two closed spans" 2 a.Tmedb_obs.span_count;
+      (* 1000 boxed-float refs are at least 2 words each, all on the
+         minor heap. *)
+      check_bool "allocations captured" true (a.Tmedb_obs.minor_total >= 2000.);
+      check_bool "major words non-negative" true (a.Tmedb_obs.major_total >= 0.)
+
 (* ------------------------------------------------------------------ *)
 (* JSON export round-trips through Tmedb_prelude.Json *)
 
@@ -194,21 +296,24 @@ let test_disabled_path_allocation_free () =
   Tmedb_obs.set_enabled false;
   let c = Tmedb_obs.Counter.make "test.obs.noalloc" in
   let t = Tmedb_obs.Timer.make "test.obs.noalloc_timer" in
+  let h = Tmedb_obs.Histogram.make "test.obs.noalloc_hist" in
   let iters = 100_000 in
   for _ = 1 to 1_000 do
     Tmedb_obs.Counter.incr c
   done;
   let before = Gc.minor_words () in
-  for _ = 1 to iters do
+  for i = 1 to iters do
     Tmedb_obs.Counter.incr c;
     Tmedb_obs.Counter.add c 3;
+    Tmedb_obs.Histogram.observe h i;
     Tmedb_obs.Span.with_ "test.obs.noalloc_span" (fun () -> ())
   done;
   let counter_delta = Gc.minor_words () -. before in
-  (* Counters and disabled spans take the flag-check branch only; a
-     few thousand words of slack covers Gc bookkeeping noise. *)
+  (* Counters, histogram observes and disabled spans take the
+     flag-check branch only; a few thousand words of slack covers Gc
+     bookkeeping noise. *)
   check_bool
-    (Printf.sprintf "counter/span loop allocates ~nothing (%.0f words)" counter_delta)
+    (Printf.sprintf "counter/histogram/span loop allocates ~nothing (%.0f words)" counter_delta)
     true
     (counter_delta < 10_000.);
   let before = Gc.minor_words () in
@@ -225,6 +330,7 @@ let test_disabled_path_allocation_free () =
     (timer_delta < (8. *. float_of_int iters) +. 10_000.);
   check_int "nothing was recorded" 0 (Tmedb_obs.Counter.value c);
   check_int "no timer hits" 0 (Tmedb_obs.Timer.count t);
+  check_int "no histogram observations" 0 (Tmedb_obs.Histogram.count h);
   check_bool "no span events" true
     (not
        (List.exists
@@ -277,6 +383,8 @@ let test_snapshot_sorted_and_byte_stable =
   List.iter
     (fun name -> ignore (Tmedb_obs.Timer.start (Tmedb_obs.Timer.make name)))
     [ "test.obs.t_omega"; "test.obs.t_aleph" ];
+  Tmedb_obs.Histogram.observe (Tmedb_obs.Histogram.make "test.obs.h_mid") 9;
+  Tmedb_obs.Span.with_ "test.obs.stable_span" (fun () -> ());
   let snap = Tmedb_obs.snapshot () in
   let counter_names = List.map fst snap.Tmedb_obs.counters in
   let timer_names = List.map (fun t -> t.Tmedb_obs.timer_name) snap.Tmedb_obs.timers in
@@ -296,7 +404,29 @@ let test_snapshot_sorted_and_byte_stable =
     Sys.remove path;
     body
   in
-  check_string "metrics JSON byte-stable" (write ()) (write ())
+  let body = write () in
+  check_string "metrics JSON byte-stable" body (write ());
+  (* The new sections ride the same contract: present, with the
+     documented per-entry keys. *)
+  match Json.parse body with
+  | Error e -> Alcotest.fail ("metrics file does not parse: " ^ e)
+  | Ok doc ->
+      let member_chain keys =
+        List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some doc) keys
+      in
+      check_bool "histogram summary exported" true
+        (member_chain [ "histograms"; "test.obs.h_mid"; "p50" ] = Some (Json.Num 9.));
+      check_bool "histogram count exported" true
+        (member_chain [ "histograms"; "test.obs.h_mid"; "count" ] = Some (Json.Num 1.));
+      check_bool "span alloc count exported" true
+        (member_chain [ "spans"; "test.obs.stable_span"; "count" ] = Some (Json.Num 1.));
+      check_bool "span alloc words exported" true
+        (List.for_all
+           (fun k ->
+             match member_chain [ "spans"; "test.obs.stable_span"; k ] with
+             | Some (Json.Num w) -> w >= 0.
+             | _ -> false)
+           [ "minor_words"; "major_words" ])
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -306,10 +436,15 @@ let () =
         [
           tc "counter semantics" test_counter_semantics;
           tc "timer semantics" test_timer_semantics;
+          tc "histogram semantics" test_histogram_semantics;
           tc "span semantics" test_span_semantics;
+          tc "span alloc deltas" test_span_alloc_deltas;
         ] );
       ( "concurrency",
-        [ tc "per-domain buffers merge deterministically" test_merge_determinism ] );
+        [
+          tc "per-domain buffers merge deterministically" test_merge_determinism;
+          tc "histogram summaries jobs-invariant" test_histogram_merge_determinism;
+        ] );
       ( "export",
         [
           tc "metrics and trace round-trip" test_json_round_trip;
