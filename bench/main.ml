@@ -46,6 +46,15 @@ let trace_path : string option ref = ref None
 let bench_config =
   { Experiment.default_config with Experiment.sources = 2; mc_trials = 300 }
 
+(* Every algorithm the harness names is resolved through the planner
+   registry, like the CLI does. *)
+let alg name =
+  match Registry.find name with
+  | Ok p -> p
+  | Error e ->
+      prerr_endline e;
+      exit 2
+
 let quick_config =
   {
     Experiment.default_config with
@@ -143,7 +152,7 @@ let ablation_steiner_level config =
       let energy level =
         let config = { config with Experiment.steiner_level = level } in
         (Experiment.run_alg config ~trace ~source ~deadline ~rng:(Tmedb_prelude.Rng.create 3)
-           Experiment.EEDCB).Experiment.energy
+           (alg "EEDCB")).Experiment.energy
       in
       Printf.printf "%-8d %16.1f %16.1f\n%!" source (energy 1) (energy 2))
     sources
@@ -164,12 +173,16 @@ let ablation_nlp config =
           let problem =
             Experiment.make_problem config ~trace ~channel:`Rayleigh ~source ~deadline
           in
-          let r =
-            Fr.run ~level:config.Experiment.steiner_level ~cap_per_node:config.Experiment.dts_cap
-              ~backbone problem
+          let ctx =
+            Planner.Ctx.make ~steiner_level:config.Experiment.steiner_level
+              ~cap_per_node:config.Experiment.dts_cap ()
           in
-          let uniform = Metrics.normalized_energy problem r.Fr.backbone in
-          let nlp = Metrics.normalized_energy problem r.Fr.schedule in
+          let r = Fr.plan_with backbone ctx problem in
+          let skeleton =
+            match Planner.Outcome.backbone r with Some s -> s | None -> assert false
+          in
+          let uniform = Metrics.normalized_energy problem skeleton in
+          let nlp = Metrics.normalized_energy problem r.Planner.Outcome.schedule in
           Printf.printf "%-8s %-8d %16.1f %16.1f %8.1f%%\n%!" name source uniform nlp
             (100. *. (1. -. (nlp /. Float.max uniform 1e-9))))
         sources)
@@ -187,7 +200,7 @@ let ablation_dts_cap config =
       let t0 = Unix.gettimeofday () in
       let r =
         Experiment.run_alg config ~trace ~source ~deadline ~rng:(Tmedb_prelude.Rng.create 3)
-          Experiment.EEDCB
+          (alg "EEDCB")
       in
       Printf.printf "%-8d %16.1f %10b %10.2f\n%!" cap r.Experiment.energy r.Experiment.feasible
         (Unix.gettimeofday () -. t0))
@@ -277,7 +290,8 @@ let kernel_point algorithm () =
 let kernel_simulate () =
   let trace = Lazy.force kernel_trace in
   let problem = Experiment.make_problem kernel_config ~trace ~channel:`Rayleigh ~source:0 ~deadline:1500. in
-  let schedule = (Greedy.run ~cap_per_node:600 problem).Greedy.schedule in
+  let greedy_ctx = Planner.Ctx.make ~cap_per_node:600 () in
+  let schedule = (Greedy.plan greedy_ctx problem).Planner.Outcome.schedule in
   let sim =
     Simulate.run ~trials:50 ~rng:(Tmedb_prelude.Rng.create 2) ~eval_channel:`Rayleigh problem
       schedule
@@ -291,7 +305,7 @@ let kernel_window () =
   in
   let r =
     Experiment.run_alg kernel_config ~trace:sub ~source:0 ~deadline:4000.
-      ~rng:(Tmedb_prelude.Rng.create 9) Experiment.EEDCB
+      ~rng:(Tmedb_prelude.Rng.create 9) (alg "EEDCB")
   in
   ignore (Sys.opaque_identity r.Experiment.energy)
 
@@ -311,11 +325,11 @@ let bechamel_kernels () =
   let tests =
     Test.make_grouped ~name:"figures"
       [
-        Test.make ~name:"fig4a-eedcb-point" (Staged.stage (kernel_point Experiment.EEDCB));
-        Test.make ~name:"fig4b-fr-eedcb-point" (Staged.stage (kernel_point Experiment.FR_EEDCB));
-        Test.make ~name:"fig5a-greed-point" (Staged.stage (kernel_point Experiment.GREED));
-        Test.make ~name:"fig5b-fr-greed-point" (Staged.stage (kernel_point Experiment.FR_GREED));
-        Test.make ~name:"fig6a-rand-point" (Staged.stage (kernel_point Experiment.RAND));
+        Test.make ~name:"fig4a-eedcb-point" (Staged.stage (kernel_point (alg "EEDCB")));
+        Test.make ~name:"fig4b-fr-eedcb-point" (Staged.stage (kernel_point (alg "FR-EEDCB")));
+        Test.make ~name:"fig5a-greed-point" (Staged.stage (kernel_point (alg "GREED")));
+        Test.make ~name:"fig5b-fr-greed-point" (Staged.stage (kernel_point (alg "FR-GREED")));
+        Test.make ~name:"fig6a-rand-point" (Staged.stage (kernel_point (alg "RAND")));
         Test.make ~name:"fig6b-mc-delivery" (Staged.stage kernel_simulate);
         Test.make ~name:"fig7a-window-eedcb" (Staged.stage kernel_window);
         Test.make ~name:"fig7b-average-degree" (Staged.stage kernel_degree);
@@ -387,7 +401,8 @@ let baseline_kernels : (string * (Tmedb_prelude.Pool.t option -> float list)) li
           Experiment.make_problem baseline_config ~trace ~channel:`Rayleigh ~source:0
             ~deadline:1500.
         in
-        let schedule = (Greedy.run ~cap_per_node:600 problem).Greedy.schedule in
+        let greedy_ctx = Planner.Ctx.make ~cap_per_node:600 () in
+        let schedule = (Greedy.plan greedy_ctx problem).Planner.Outcome.schedule in
         let sim =
           Simulate.run ~trials:3000 ?pool ~rng:(Tmedb_prelude.Rng.create 2)
             ~eval_channel:`Rayleigh problem schedule

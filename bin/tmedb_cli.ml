@@ -3,9 +3,14 @@
    Subcommands:
      gen       generate a synthetic contact trace (Haggle-like or mobility) to CSV
      stats     print statistics of a trace CSV
-     run       run one algorithm on a trace and print the schedule + feasibility
-     compare   run all six algorithms on a trace and print the comparison table
-     simulate  Monte-Carlo replay of an algorithm's schedule in a fading channel
+     run        run one algorithm on a trace and print the schedule + feasibility
+     compare    run the paper's algorithms on a trace and print the comparison table
+     simulate   Monte-Carlo replay of an algorithm's schedule in a fading channel
+     algorithms list every registered planner (name, channel, paper section)
+
+   Algorithm names, figure lists and this CLI's flags all derive from
+   Tmedb.Registry: registering a planner there makes it selectable
+   here with no CLI change.
 
    Examples:
      tmedb_cli gen --kind haggle --nodes 20 --horizon 17000 --seed 42 -o trace.csv
@@ -191,15 +196,13 @@ let stats_cmd =
 (* run *)
 
 let algorithm_arg =
-  let parse s =
-    match Experiment.algorithm_of_string s with Ok a -> Ok a | Error e -> Error (`Msg e)
-  in
-  let print ppf a = Format.pp_print_string ppf (Experiment.algorithm_name a) in
+  let parse s = match Registry.find s with Ok a -> Ok a | Error e -> Error (`Msg e) in
+  let print ppf a = Format.pp_print_string ppf (Planner.name a) in
   Arg.(
     value
-    & opt (conv (parse, print)) Experiment.EEDCB
+    & opt (conv (parse, print)) (List.hd Registry.all)
     & info [ "algorithm"; "a" ] ~docv:"ALG"
-        ~doc:"One of EEDCB, GREED, RAND, FR-EEDCB, FR-GREED, FR-RAND.")
+        ~doc:(Printf.sprintf "One of %s." (String.concat ", " Registry.names)))
 
 let run_cmd =
   let verbose_arg =
@@ -238,7 +241,7 @@ let run_cmd =
     Format.printf "transmissions: %d  normalized energy: %.1f m^alpha  feasible: %b@."
       (Schedule.num_transmissions result.Experiment.schedule)
       result.Experiment.energy result.Experiment.feasible;
-    let channel = if Experiment.is_fading algorithm then `Rayleigh else `Static in
+    let channel = Planner.design_channel algorithm in
     let problem = Experiment.make_problem config ~trace ~channel ~source ~deadline in
     let lb =
       Tmedb_channel.Phy.normalized_energy problem.Problem.phy (Metrics.energy_lower_bound problem)
@@ -345,11 +348,21 @@ let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trials.")
 
 let compare_cmd =
-  let run deadline source seed level trials jobs metrics trace_file path =
+  let all_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "all" ]
+          ~doc:
+            "Also compare beyond-paper planners from the registry (e.g. the static BIP \
+             baseline), not just the paper's six.")
+  in
+  let run deadline source seed level trials jobs all metrics trace_file path =
     with_telemetry metrics trace_file @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
+    let algorithms = if all then Registry.all else Registry.paper in
     Format.printf "source: %d  deadline: %g s  trials: %d@.@." source deadline trials;
     Format.printf "%-10s %14s %6s %10s %9s@." "algorithm" "energy" "txs" "delivery" "feasible";
     with_jobs jobs (fun pool ->
@@ -370,15 +383,47 @@ let compare_cmd =
               (Schedule.num_transmissions result.Experiment.schedule)
               (100. *. sim.Simulate.delivery_ratio)
               result.Experiment.feasible)
-          Experiment.all_algorithms)
+          algorithms)
   in
   let term =
     Term.(
       const run $ deadline_arg $ source_arg $ seed_arg $ level_arg $ trials_arg $ jobs_arg
-      $ metrics_arg $ trace_arg $ trace_file_arg)
+      $ all_flag $ metrics_arg $ trace_arg $ trace_file_arg)
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run all six algorithms and compare energy/delivery (Fig. 6 style).")
+    (Cmd.info "compare"
+       ~doc:
+         "Run the paper's six algorithms — every registered planner with $(b,--all) — and \
+          compare energy/delivery (Fig. 6 style).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* algorithms *)
+
+let algorithms_cmd =
+  let names_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "names" ] ~doc:"Print only the canonical planner names, one per line.")
+  in
+  let run names_only =
+    if names_only then List.iter print_endline Registry.names
+    else begin
+      Format.printf "%-10s %-8s %-24s %s@." "name" "channel" "paper section" "summary";
+      List.iter
+        (fun p ->
+          let i = p.Planner.info in
+          Format.printf "%-10s %-8s %-24s %s@." i.Planner.name
+            (match i.Planner.channel with `Static -> "static" | `Fading -> "fading")
+            i.Planner.section i.Planner.summary)
+        Registry.all
+    end
+  in
+  let term = Term.(const run $ names_flag) in
+  Cmd.v
+    (Cmd.info "algorithms"
+       ~doc:"List every registered planner: name, design channel, paper section, summary.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -602,4 +647,6 @@ let () =
   let doc = "Energy-efficient delay-constrained broadcast in time-varying energy-demand graphs" in
   let info = Cmd.info "tmedb_cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ gen_cmd; stats_cmd; run_cmd; compare_cmd; simulate_cmd; report_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; stats_cmd; run_cmd; compare_cmd; simulate_cmd; algorithms_cmd; report_cmd ]))

@@ -42,20 +42,22 @@ let () =
     (Tmedb.Problem.is_reachable problem)
     (Tmedb.Problem.completion_lower_bound problem);
 
-  (* The paper's algorithm: DTS -> auxiliary graph -> Steiner tree. *)
-  let eedcb = Tmedb.Eedcb.run problem in
-  Format.printf "EEDCB %a@." Tmedb.Schedule.pp eedcb.Tmedb.Eedcb.schedule;
-  Format.printf "  feasibility: %a@." Tmedb.Feasibility.pp_report eedcb.Tmedb.Eedcb.report;
+  (* The paper's algorithm: DTS -> auxiliary graph -> Steiner tree.
+     Every planner shares the same entry point: Planner.run. *)
+  let eedcb = Tmedb.Planner.run Tmedb.Eedcb.planner problem in
+  Format.printf "EEDCB %a@." Tmedb.Schedule.pp eedcb.Tmedb.Planner.Outcome.schedule;
+  Format.printf "  feasibility: %a@." Tmedb.Feasibility.pp_report
+    eedcb.Tmedb.Planner.Outcome.report;
   Format.printf "  normalized energy: %.1f m^2@.@."
-    (Tmedb.Metrics.normalized_energy problem eedcb.Tmedb.Eedcb.schedule);
+    (Tmedb.Metrics.normalized_energy problem eedcb.Tmedb.Planner.Outcome.schedule);
 
   (* Greedy baseline for comparison. *)
-  let greedy = Tmedb.Greedy.run problem in
-  Format.printf "GREED %a@." Tmedb.Schedule.pp greedy.Tmedb.Greedy.schedule;
+  let greedy = Tmedb.Planner.run Tmedb.Greedy.planner problem in
+  Format.printf "GREED %a@." Tmedb.Schedule.pp greedy.Tmedb.Planner.Outcome.schedule;
   Format.printf "  normalized energy: %.1f m^2@."
-    (Tmedb.Metrics.normalized_energy problem greedy.Tmedb.Greedy.schedule);
+    (Tmedb.Metrics.normalized_energy problem greedy.Tmedb.Planner.Outcome.schedule);
 
-  if not eedcb.Tmedb.Eedcb.report.Tmedb.Feasibility.feasible then begin
+  if not eedcb.Tmedb.Planner.Outcome.report.Tmedb.Feasibility.feasible then begin
     prerr_endline "quickstart: EEDCB schedule is infeasible";
     exit 1
   end

@@ -69,11 +69,11 @@ let () =
         Problem.make ~graph ~phy:Tmedb_channel.Phy.default ~channel:`Static ~source:0 ~deadline ()
       in
       if Problem.is_reachable problem then begin
-        let r = Eedcb.run problem in
+        let r = Planner.run Eedcb.planner problem in
         Format.printf "%-10g %14.1f %9d %10b@." deadline
-          (Metrics.normalized_energy problem r.Eedcb.schedule)
-          (Schedule.num_transmissions r.Eedcb.schedule)
-          r.Eedcb.report.Feasibility.feasible
+          (Metrics.normalized_energy problem r.Planner.Outcome.schedule)
+          (Schedule.num_transmissions r.Planner.Outcome.schedule)
+          r.Planner.Outcome.report.Feasibility.feasible
       end
       else Format.printf "%-10g %14s %9s %10s@." deadline "-" "-" "unreachable")
     [ 300.; 450.; 600.; 900.; 1200. ]

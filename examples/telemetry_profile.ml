@@ -23,15 +23,15 @@ let () =
   let problem =
     Experiment.make_problem config ~trace ~channel:`Static ~source:0 ~deadline:2000.
   in
-  let result = Eedcb.run problem in
+  let result = Planner.run Eedcb.planner problem in
+  let schedule = result.Planner.Outcome.schedule in
   let sim =
-    Simulate.run ~trials:200 ~rng:(Rng.create 1) ~eval_channel:`Rayleigh problem
-      result.Eedcb.schedule
+    Simulate.run ~trials:200 ~rng:(Rng.create 1) ~eval_channel:`Rayleigh problem schedule
   in
 
   Format.printf "EEDCB on a 12-node trace: %d transmissions, %.1f m², delivery %.2f@."
-    (Schedule.num_transmissions result.Eedcb.schedule)
-    (Metrics.normalized_energy problem result.Eedcb.schedule)
+    (Schedule.num_transmissions schedule)
+    (Metrics.normalized_energy problem schedule)
     sim.Simulate.delivery_ratio;
 
   (* Top-5 timers by accumulated wall-clock time. *)

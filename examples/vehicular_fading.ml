@@ -30,25 +30,30 @@ let () =
     Problem.make ~graph ~phy:Tmedb_channel.Phy.default ~channel:`Rayleigh ~source:0
       ~deadline:2000. ()
   in
-  let result = Fr.run ~backbone:`Eedcb problem in
-  Format.printf "@.backbone (epsilon-cost weights): %a@." Schedule.pp result.Fr.backbone;
-  let alloc = result.Fr.allocation in
+  let result = Planner.run Fr.fr_eedcb problem in
+  let backbone =
+    match Planner.Outcome.backbone result with Some s -> s | None -> assert false
+  in
+  let alloc =
+    match Planner.Outcome.allocation result with Some a -> a | None -> assert false
+  in
+  Format.printf "@.backbone (epsilon-cost weights): %a@." Schedule.pp backbone;
   Format.printf
     "@.NLP allocation: feasible=%b repaired=%b outer-iterations=%d unsatisfiable=[%a]@."
     alloc.Fr.nlp_feasible alloc.Fr.repaired alloc.Fr.outer_iterations
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
        Format.pp_print_int)
     alloc.Fr.unsatisfiable;
-  Format.printf "@.final schedule: %a@." Schedule.pp result.Fr.schedule;
-  Format.printf "feasibility: %a@." Feasibility.pp_report result.Fr.report;
-  let nlp_energy = Metrics.normalized_energy problem result.Fr.schedule in
-  let uniform_energy = Metrics.normalized_energy problem result.Fr.backbone in
+  Format.printf "@.final schedule: %a@." Schedule.pp result.Planner.Outcome.schedule;
+  Format.printf "feasibility: %a@." Feasibility.pp_report result.Planner.Outcome.report;
+  let nlp_energy = Metrics.normalized_energy problem result.Planner.Outcome.schedule in
+  let uniform_energy = Metrics.normalized_energy problem backbone in
   Format.printf "@.energy: NLP allocation %.1f m^2 vs uniform w0 %.1f m^2 (%.1f%% saved)@."
     nlp_energy uniform_energy
     (100. *. (1. -. (nlp_energy /. Float.max uniform_energy 1e-9)));
   let sim =
     Simulate.run ~trials:1000 ~rng:(Rng.create 5) ~eval_channel:`Rayleigh problem
-      result.Fr.schedule
+      result.Planner.Outcome.schedule
   in
   Format.printf "Monte-Carlo delivery (Rayleigh, 1000 trials): %.1f%% (full delivery %.1f%%)@."
     (100. *. sim.Simulate.delivery_ratio)

@@ -5,22 +5,14 @@ open Tmedb_steiner
 let c_runs = Tmedb_obs.Counter.make "eedcb.runs"
 let t_run = Tmedb_obs.Timer.make "eedcb.run"
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  unreached : int list;
-  tree_cost : float;
-  aux_vertices : int;
-  aux_edges : int;
-  dts_points : int;
-}
-
 let node_of_terminal aux term =
   match aux.Aux_graph.vertex.(term) with
   | Aux_graph.Wait { node; _ } -> node
   | Aux_graph.Level { node; _ } -> node
 
-let run ?(level = 2) ?cap_per_node problem =
+let plan (ctx : Planner.Ctx.t) problem =
+  let level = ctx.Planner.Ctx.steiner_level in
+  let cap_per_node = ctx.Planner.Ctx.cap_per_node in
   Tmedb_obs.Counter.incr c_runs;
   let t0 = Tmedb_obs.Timer.start t_run in
   Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_run t0) @@ fun () ->
@@ -62,14 +54,26 @@ let run ?(level = 2) ?cap_per_node problem =
   let report =
     Tmedb_obs.Span.with_ "eedcb.feasibility" (fun () -> Feasibility.check problem schedule)
   in
+  Planner.Outcome.make ~schedule ~report
+    ~unreached:(List.map (node_of_terminal aux) outcome.Dst.uncovered)
+    ~artifacts:
+      [
+        Planner.Outcome.Steiner_tree
+          {
+            tree = pruned;
+            aux_vertices = Digraph.n aux.Aux_graph.graph;
+            aux_edges = Digraph.m aux.Aux_graph.graph;
+            dts_points = Tmedb_tveg.Dts.total_points dts;
+          };
+      ]
+    ()
+
+let info =
   {
-    schedule;
-    report;
-    unreached = List.map (node_of_terminal aux) outcome.Dst.uncovered;
-    tree_cost = pruned.Dst.cost;
-    aux_vertices = Digraph.n aux.Aux_graph.graph;
-    aux_edges = Digraph.m aux.Aux_graph.graph;
-    dts_points = Tmedb_tveg.Dts.total_points dts;
+    Planner.name = "EEDCB";
+    channel = `Static;
+    section = "VI-A";
+    summary = "DTS -> auxiliary graph -> directed Steiner tree -> schedule";
   }
 
-let schedule_only ?level ?cap_per_node problem = (run ?level ?cap_per_node problem).schedule
+let planner = { Planner.info; plan }

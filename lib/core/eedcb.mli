@@ -5,23 +5,18 @@
     Under a static design channel this is the paper's TMEDB-S
     algorithm with approximation ratio O(N^ε); under a fading design
     channel the same pipeline computes the FR-EEDCB broadcast backbone
-    (relays and times) using single-hop ε-costs as edge weights. *)
+    (relays and times) using single-hop ε-costs as edge weights.
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  unreached : int list;
-      (** Nodes whose auxiliary-graph terminal the Steiner tree could
-          not cover (journey-unreachable by the deadline). *)
-  tree_cost : float;  (** Steiner tree cost after pruning. *)
-  aux_vertices : int;
-  aux_edges : int;
-  dts_points : int;
-}
+    The outcome carries a {!Planner.Outcome.Steiner_tree} artifact:
+    the pruned tree (auxiliary-graph vertex ids) and the pipeline's
+    shape (auxiliary-graph size, DTS points). *)
 
-val run : ?level:int -> ?cap_per_node:int -> Problem.t -> result
-(** [level] is the recursive-greedy level (default 2; level 1 is the
-    shortest-path-tree ablation). *)
+val info : Planner.info
+(** Registry metadata: ["EEDCB"], static channel, Section VI-A. *)
 
-val schedule_only : ?level:int -> ?cap_per_node:int -> Problem.t -> Schedule.t
-(** Convenience accessor skipping the feasibility report. *)
+val plan : Planner.Ctx.t -> Problem.t -> Planner.Outcome.t
+(** The pipeline under the context's [steiner_level] (the paper's
+    ε = 1/i knob) and [cap_per_node]. *)
+
+val planner : Planner.t
+(** {!info} and {!plan}, packaged for {!Registry}. *)

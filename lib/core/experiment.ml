@@ -3,31 +3,12 @@ open Tmedb_channel
 open Tmedb_trace
 open Tmedb_tveg
 
-type algorithm = EEDCB | GREED | RAND | FR_EEDCB | FR_GREED | FR_RAND
+type algorithm = Planner.t
 
-let all_algorithms = [ EEDCB; GREED; RAND; FR_EEDCB; FR_GREED; FR_RAND ]
-
-let algorithm_name = function
-  | EEDCB -> "EEDCB"
-  | GREED -> "GREED"
-  | RAND -> "RAND"
-  | FR_EEDCB -> "FR-EEDCB"
-  | FR_GREED -> "FR-GREED"
-  | FR_RAND -> "FR-RAND"
-
-let algorithm_of_string s =
-  match String.uppercase_ascii s with
-  | "EEDCB" -> Ok EEDCB
-  | "GREED" -> Ok GREED
-  | "RAND" -> Ok RAND
-  | "FR-EEDCB" | "FR_EEDCB" -> Ok FR_EEDCB
-  | "FR-GREED" | "FR_GREED" -> Ok FR_GREED
-  | "FR-RAND" | "FR_RAND" -> Ok FR_RAND
-  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
-
-let is_fading = function
-  | FR_EEDCB | FR_GREED | FR_RAND -> true
-  | EEDCB | GREED | RAND -> false
+let all_algorithms = Registry.paper
+let algorithm_name = Planner.name
+let algorithm_of_string = Registry.find
+let is_fading = Planner.is_fading
 
 type config = {
   seed : int;
@@ -91,37 +72,21 @@ type run_result = {
 }
 
 let run_alg config ~trace ~source ~deadline ~rng algorithm =
-  let channel = if is_fading algorithm then `Rayleigh else `Static in
+  let channel = Planner.design_channel algorithm in
   let problem = make_problem config ~trace ~channel ~source ~deadline in
-  let cap_per_node = config.dts_cap in
-  let schedule, report, unreached =
-    match algorithm with
-    | EEDCB ->
-        let r = Eedcb.run ~level:config.steiner_level ~cap_per_node problem in
-        (r.Eedcb.schedule, r.Eedcb.report, r.Eedcb.unreached)
-    | GREED ->
-        let r = Greedy.run ~cap_per_node problem in
-        (r.Greedy.schedule, r.Greedy.report, r.Greedy.unreached)
-    | RAND ->
-        let r = Random_relay.run ~cap_per_node ~rng problem in
-        (r.Random_relay.schedule, r.Random_relay.report, r.Random_relay.unreached)
-    | FR_EEDCB | FR_GREED | FR_RAND ->
-        let backbone =
-          match algorithm with
-          | FR_EEDCB -> `Eedcb
-          | FR_GREED -> `Greedy
-          | FR_RAND | EEDCB | GREED | RAND -> `Random
-        in
-        let r = Fr.run ~level:config.steiner_level ~cap_per_node ~rng ~backbone problem in
-        (r.Fr.schedule, r.Fr.report, r.Fr.unreached)
+  let ctx =
+    Planner.Ctx.make ~rng ~steiner_level:config.steiner_level ~cap_per_node:config.dts_cap ()
   in
+  let outcome = Planner.run ~ctx algorithm problem in
+  let schedule = outcome.Planner.Outcome.schedule in
+  let report = outcome.Planner.Outcome.report in
   {
     algorithm;
     energy = Metrics.normalized_energy problem schedule;
     feasible = report.Feasibility.feasible;
     analytic_delivery = Feasibility.delivery_ratio report;
     schedule;
-    unreached;
+    unreached = outcome.Planner.Outcome.unreached;
   }
 
 type series = { label : string; points : (float * float) list }
@@ -142,7 +107,7 @@ let mean_energy ?pool config ~trace ~deadline algorithm =
   Stats.mean energies
 
 let fig4 ?(config = default_config) ?pool ~variant ~deadlines ~ns () =
-  let algorithm = match variant with `Static -> EEDCB | `Fading -> FR_EEDCB in
+  let algorithm = List.hd (Registry.with_channel variant) in
   let ns = Array.of_list ns in
   let deadlines = Array.of_list deadlines in
   let traces = Pool.map pool (fun n -> make_trace config ~n) ns in
@@ -162,11 +127,7 @@ let fig4 ?(config = default_config) ?pool ~variant ~deadlines ~ns () =
       })
 
 let fig5 ?(config = default_config) ?pool ~variant ~deadlines () =
-  let algorithms =
-    match variant with
-    | `Static -> [ EEDCB; GREED; RAND ]
-    | `Fading -> [ FR_EEDCB; FR_GREED; FR_RAND ]
-  in
+  let algorithms = Registry.with_channel variant in
   let trace = make_trace config ~n:config.n in
   let algs = Array.of_list algorithms in
   let deadlines = Array.of_list deadlines in
@@ -240,11 +201,7 @@ let fig6 ?(config = default_config) ?pool ~ns () =
   (series energy_acc, series delivery_acc)
 
 let fig7 ?(config = default_config) ?pool ~variant () =
-  let algorithms =
-    match variant with
-    | `Static -> [ EEDCB; GREED; RAND ]
-    | `Fading -> [ FR_EEDCB; FR_GREED; FR_RAND ]
-  in
+  let algorithms = Registry.with_channel variant in
   (* Ramp bounds scale with the horizon so reduced-scale configs keep
      the Fig. 7 shape: density low early, rising to full by ~half. *)
   let ramp_lo = 0.29 *. config.horizon and ramp_hi = 0.47 *. config.horizon in

@@ -7,17 +7,22 @@
 open Tmedb_prelude
 open Tmedb_trace
 
-type algorithm = EEDCB | GREED | RAND | FR_EEDCB | FR_GREED | FR_RAND
+type algorithm = Planner.t
+(** An algorithm is a registered {!Planner.t}; the historical variant
+    type is gone.  Compare algorithms by {!algorithm_name} (the value
+    carries closures, so structural equality is unavailable). *)
 
 val all_algorithms : algorithm list
-(** The six algorithms of the paper's evaluation, in figure order. *)
+(** {!Registry.paper}: the six algorithms of the paper's evaluation,
+    in figure order. *)
 
 val algorithm_name : algorithm -> string
 (** Display name as used in the paper's legends, e.g. ["FR-EEDCB"]. *)
 
 val algorithm_of_string : string -> (algorithm, string) result
-(** Inverse of {!algorithm_name}, case-insensitive; [Error] names the
-    accepted spellings. *)
+(** {!Registry.find}: inverse of {!algorithm_name}, case-insensitive,
+    ['_'] and ['-'] interchangeable; [Error] lists the known names.
+    Resolves {!Registry.extras} too, not just the paper six. *)
 
 val is_fading : algorithm -> bool
 (** FR variants design for the Rayleigh channel. *)

@@ -11,20 +11,12 @@ let c_allocations = Tmedb_obs.Counter.make "fr.allocations"
 let t_allocate = Tmedb_obs.Timer.make "fr.allocate"
 let t_fr_run = Tmedb_obs.Timer.make "fr.run"
 
-type allocation = {
+type allocation = Planner.Outcome.allocation = {
   costs : float array;
   nlp_feasible : bool;
   repaired : bool;
   unsatisfiable : int list;
   outer_iterations : int;
-}
-
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  backbone : Schedule.t;
-  allocation : allocation;
-  unreached : int list;
 }
 
 (* log φ(w) and its derivative for the fading ED-functions.  The
@@ -437,26 +429,59 @@ let allocate problem backbone_schedule =
       } )
   end
 
-let run ?level ?cap_per_node ?rng ~backbone problem =
+let plan_with backbone (ctx : Planner.Ctx.t) problem =
   (match problem.Problem.channel with
-  | `Static -> invalid_arg "Fr.run: design channel must be a fading model"
+  | `Static -> invalid_arg "Fr.plan: design channel must be a fading model"
   | `Rayleigh | `Nakagami _ | `Lognormal _ -> ());
   let tr = Tmedb_obs.Timer.start t_fr_run in
   Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_fr_run tr) @@ fun () ->
   Tmedb_obs.Span.with_ "fr.run" @@ fun () ->
-  let backbone_schedule, unreached =
+  let stage1 =
     match backbone with
-    | `Eedcb ->
-        let r = Eedcb.run ?level ?cap_per_node problem in
-        (r.Eedcb.schedule, r.Eedcb.unreached)
-    | `Greedy ->
-        let r = Greedy.run ?cap_per_node problem in
-        (r.Greedy.schedule, r.Greedy.unreached)
-    | `Random ->
-        let rng = match rng with Some r -> r | None -> Rng.create 17 in
-        let r = Random_relay.run ?cap_per_node ~rng problem in
-        (r.Random_relay.schedule, r.Random_relay.unreached)
+    | `Eedcb -> Eedcb.plan ctx problem
+    | `Greedy -> Greedy.plan ctx problem
+    | `Random -> Random_relay.plan ctx problem
   in
+  let backbone_schedule = stage1.Planner.Outcome.schedule in
   let schedule, allocation = allocate problem backbone_schedule in
   let report = Feasibility.check problem schedule in
-  { schedule; report; backbone = backbone_schedule; allocation; unreached }
+  Planner.Outcome.make ~schedule ~report ~unreached:stage1.Planner.Outcome.unreached
+    ~artifacts:
+      [ Planner.Outcome.Fr_allocation { backbone = backbone_schedule; allocation } ]
+    ()
+
+let fr_eedcb =
+  {
+    Planner.info =
+      {
+        Planner.name = "FR-EEDCB";
+        channel = `Fading;
+        section = "VI-B";
+        summary = "EEDCB backbone re-costed by the NLP energy allocation";
+      };
+    plan = plan_with `Eedcb;
+  }
+
+let fr_greed =
+  {
+    Planner.info =
+      {
+        Planner.name = "FR-GREED";
+        channel = `Fading;
+        section = "VI-B";
+        summary = "GREED backbone re-costed by the NLP energy allocation";
+      };
+    plan = plan_with `Greedy;
+  }
+
+let fr_rand =
+  {
+    Planner.info =
+      {
+        Planner.name = "FR-RAND";
+        channel = `Fading;
+        section = "VI-B";
+        summary = "RAND backbone re-costed by the NLP energy allocation";
+      };
+    plan = plan_with `Random;
+  }

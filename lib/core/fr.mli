@@ -14,13 +14,16 @@
     Constraints are handled in log space (sums of log φ ≤ log ε) with
     analytic gradients, a quadratic-penalty outer loop, and a final
     monotone bisection repair pass that guarantees the returned costs
-    satisfy every satisfiable constraint. *)
+    satisfy every satisfiable constraint.
 
-open Tmedb_prelude
+    Each FR planner's outcome carries a
+    {!Planner.Outcome.Fr_allocation} artifact holding the stage-1
+    backbone schedule and the stage-2 allocation diagnostics. *)
 
 type backbone = [ `Eedcb | `Greedy | `Random ]
+(** Stage-1 algorithm choice. *)
 
-type allocation = {
+type allocation = Planner.Outcome.allocation = {
   costs : float array;  (** Per transmission, in backbone time order. *)
   nlp_feasible : bool;  (** NLP reached feasibility before repair. *)
   repaired : bool;  (** The repair pass had to adjust costs. *)
@@ -29,20 +32,25 @@ type allocation = {
           backbone transmission, or needing w > w_max). *)
   outer_iterations : int;
 }
-
-type result = {
-  schedule : Schedule.t;  (** Backbone times/relays with NLP costs. *)
-  report : Feasibility.report;
-  backbone : Schedule.t;  (** The stage-1 schedule (ε-cost weights). *)
-  allocation : allocation;
-  unreached : int list;  (** Nodes the backbone never covers. *)
-}
+(** Re-export of {!Planner.Outcome.allocation} so stage-2 callers can
+    use [Fr.allocation] fields without reaching into [Planner]. *)
 
 val allocate : Problem.t -> Schedule.t -> Schedule.t * allocation
 (** Stage 2 alone: re-cost an arbitrary relay/time skeleton.
     @raise Invalid_argument when the problem's design channel is
     [`Static] (there is nothing to allocate: costs are thresholds). *)
 
-val run :
-  ?level:int -> ?cap_per_node:int -> ?rng:Rng.t -> backbone:backbone -> Problem.t -> result
-(** [rng] is required (and only used) for the [`Random] backbone. *)
+val plan_with : backbone -> Planner.Ctx.t -> Problem.t -> Planner.Outcome.t
+(** Both stages: backbone selection under the context (the [`Random]
+    backbone draws from the context's [rng], defaulting to the
+    documented seed-17 stream), then energy allocation.
+    @raise Invalid_argument when the design channel is [`Static]. *)
+
+val fr_eedcb : Planner.t
+(** FR-EEDCB: {!plan_with}[ `Eedcb], fading channel, Section VI-B. *)
+
+val fr_greed : Planner.t
+(** FR-GREED: {!plan_with}[ `Greedy], fading channel, Section VI-B. *)
+
+val fr_rand : Planner.t
+(** FR-RAND: {!plan_with}[ `Random], fading channel, Section VI-B. *)

@@ -1,12 +1,5 @@
 open Tmedb_tveg
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  unreached : int list;
-  steps : int;
-}
-
 type candidate = {
   relay : int;
   time : float;
@@ -58,8 +51,8 @@ let better a b =
   else if not (Float.equal a.cost b.cost) then a.cost < b.cost
   else a.time < b.time
 
-let run ?cap_per_node problem =
-  let dts = Problem.dts ?cap_per_node problem in
+let plan (ctx : Planner.Ctx.t) problem =
+  let dts = Problem.dts ?cap_per_node:ctx.Planner.Ctx.cap_per_node problem in
   let n = Problem.n problem in
   let tau = Problem.tau problem in
   let informed_time = Array.make n None in
@@ -83,4 +76,15 @@ let run ?cap_per_node problem =
   let unreached =
     List.filter (fun i -> informed_time.(i) = None) (List.init n (fun i -> i))
   in
-  { schedule; report; unreached; steps = !steps }
+  Planner.Outcome.make ~schedule ~report ~unreached
+    ~artifacts:[ Planner.Outcome.Greedy_steps !steps ] ()
+
+let info =
+  {
+    Planner.name = "GREED";
+    channel = `Static;
+    section = "VII";
+    summary = "largest-coverage-first step loop over DCS opportunities";
+  }
+
+let planner = { Planner.info; plan }

@@ -8,20 +8,23 @@
     beyond its nearest neighbour, so we use the minimum DCS cost
     *sufficient for the selected coverage* (see DESIGN.md).  Under a
     fading design channel the DCS costs are single-hop ε-costs,
-    making this the FR-GREED backbone. *)
+    making this the FR-GREED backbone.
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  unreached : int list;  (** Uninformed when the greedy loop stalled. *)
-  steps : int;
-}
+    The outcome carries a {!Planner.Outcome.Greedy_steps} artifact
+    counting the step-loop iterations. *)
 
-val run : ?cap_per_node:int -> Problem.t -> result
+val info : Planner.info
+(** Registry metadata: ["GREED"], static channel, Section VII. *)
+
+val plan : Planner.Ctx.t -> Problem.t -> Planner.Outcome.t
 (** Run the GREED baseline: repeatedly pick the candidate with the
     best cost-per-newly-informed-node density until every node is
-    informed or no productive transmission remains.  [cap_per_node]
-    bounds the DTS points per node, as in [Problem.dts]. *)
+    informed or no productive transmission remains.  The context's
+    [cap_per_node] bounds the DTS points per node, as in
+    [Problem.dts]. *)
+
+val planner : Planner.t
+(** {!info} and {!plan}, packaged for {!Registry}. *)
 
 (** {1 Shared with the RAND baseline} *)
 

@@ -1,0 +1,106 @@
+open Tmedb_prelude
+
+module Ctx = struct
+  type t = {
+    rng : Rng.t option;
+    steiner_level : int;
+    cap_per_node : int option;
+    pool : Pool.t option;
+    provenance : bool;
+  }
+
+  let make ?rng ?(steiner_level = 2) ?cap_per_node ?pool ?provenance () =
+    let provenance =
+      match provenance with Some p -> p | None -> Tmedb_report.Provenance.enabled ()
+    in
+    { rng; steiner_level; cap_per_node; pool; provenance }
+
+  let default () = make ()
+  let rng_or ctx ~seed = match ctx.rng with Some rng -> rng | None -> Rng.create seed
+end
+
+module Outcome = struct
+  type allocation = {
+    costs : float array;
+    nlp_feasible : bool;
+    repaired : bool;
+    unsatisfiable : int list;
+    outer_iterations : int;
+  }
+
+  type artifact =
+    | Steiner_tree of {
+        tree : Tmedb_steiner.Dst.tree;
+        aux_vertices : int;
+        aux_edges : int;
+        dts_points : int;
+      }
+    | Greedy_steps of int
+    | Fr_allocation of { backbone : Schedule.t; allocation : allocation }
+    | Bip_plan of { planned_energy : float; snapshot_unreachable : int list }
+
+  type t = {
+    schedule : Schedule.t;
+    report : Feasibility.report;
+    unreached : int list;
+    artifacts : artifact list;
+  }
+
+  let make ?(artifacts = []) ~schedule ~report ~unreached () =
+    { schedule; report; unreached; artifacts }
+
+  let find_map_artifact f o = List.find_map f o.artifacts
+
+  let tree_cost o =
+    find_map_artifact
+      (function Steiner_tree { tree; _ } -> Some tree.Tmedb_steiner.Dst.cost | _ -> None)
+      o
+
+  let steps o = find_map_artifact (function Greedy_steps s -> Some s | _ -> None) o
+
+  let backbone o =
+    find_map_artifact (function Fr_allocation { backbone; _ } -> Some backbone | _ -> None) o
+
+  let allocation o =
+    find_map_artifact
+      (function Fr_allocation { allocation; _ } -> Some allocation | _ -> None)
+      o
+
+  let planned_energy o =
+    find_map_artifact
+      (function Bip_plan { planned_energy; _ } -> Some planned_energy | _ -> None)
+      o
+
+  let snapshot_unreachable o =
+    match
+      find_map_artifact
+        (function Bip_plan { snapshot_unreachable; _ } -> Some snapshot_unreachable | _ -> None)
+        o
+    with
+    | Some nodes -> nodes
+    | None -> []
+end
+
+type channel = [ `Static | `Fading ]
+
+type info = { name : string; channel : channel; section : string; summary : string }
+type t = { info : info; plan : Ctx.t -> Problem.t -> Outcome.t }
+
+module type PLANNER = sig
+  val info : info
+  val plan : Ctx.t -> Problem.t -> Outcome.t
+end
+
+let of_module (module P : PLANNER) = { info = P.info; plan = P.plan }
+let name p = p.info.name
+let is_fading p = p.info.channel = `Fading
+
+let design_channel p : Tmedb_tveg.Tveg.channel =
+  match p.info.channel with `Fading -> `Rayleigh | `Static -> `Static
+
+let run ?ctx p problem =
+  let ctx = match ctx with Some c -> c | None -> Ctx.default () in
+  if ctx.Ctx.provenance then
+    Tmedb_report.Provenance.emit
+      (Tmedb_report.Provenance.Stage { stage = "planner"; detail = p.info.name });
+  p.plan ctx problem

@@ -1,14 +1,10 @@
 open Tmedb_prelude
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  unreached : int list;
-  steps : int;
-}
-
-let run ?cap_per_node ~rng problem =
-  let dts = Problem.dts ?cap_per_node problem in
+let plan (ctx : Planner.Ctx.t) problem =
+  (* Seed 17 is the historical default the FR wrapper used when no
+     stream was supplied; Ctx.rng overrides it. *)
+  let rng = Planner.Ctx.rng_or ctx ~seed:17 in
+  let dts = Problem.dts ?cap_per_node:ctx.Planner.Ctx.cap_per_node problem in
   let n = Problem.n problem in
   let tau = Problem.tau problem in
   let informed_time = Array.make n None in
@@ -63,4 +59,15 @@ let run ?cap_per_node ~rng problem =
   let unreached =
     List.filter (fun i -> informed_time.(i) = None) (List.init n (fun i -> i))
   in
-  { schedule; report; unreached; steps = !steps }
+  Planner.Outcome.make ~schedule ~report ~unreached
+    ~artifacts:[ Planner.Outcome.Greedy_steps !steps ] ()
+
+let info =
+  {
+    Planner.name = "RAND";
+    channel = `Static;
+    section = "VII";
+    summary = "uniformly random relay and opportunity at the cheapest useful cost";
+  }
+
+let planner = { Planner.info; plan }

@@ -2,19 +2,20 @@
     random informed node among those with at least one productive
     transmission opportunity, then a random opportunity of that node,
     paying the cheapest DCS cost that still informs somebody new.
-    Under a fading design channel this is the FR-RAND backbone. *)
+    Under a fading design channel this is the FR-RAND backbone.
 
-open Tmedb_prelude
+    The outcome carries a {!Planner.Outcome.Greedy_steps} artifact
+    counting the step-loop iterations. *)
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  unreached : int list;
-  steps : int;
-}
+val info : Planner.info
+(** Registry metadata: ["RAND"], static channel, Section VII. *)
 
-val run : ?cap_per_node:int -> rng:Rng.t -> Problem.t -> result
+val plan : Planner.Ctx.t -> Problem.t -> Planner.Outcome.t
 (** Run the randomized baseline to completion (all nodes informed or no
-    productive opportunity left).  [cap_per_node] bounds the DTS as in
-    {!Problem.dts}; the result is a deterministic function of [rng]'s
-    state. *)
+    productive opportunity left).  The context's [cap_per_node] bounds
+    the DTS as in {!Problem.dts}; the result is a deterministic
+    function of the context's [rng] state (default stream: seed 17,
+    matching the historical FR-RAND default). *)
+
+val planner : Planner.t
+(** {!info} and {!plan}, packaged for {!Registry}. *)

@@ -1,0 +1,25 @@
+let paper =
+  [
+    Eedcb.planner;
+    Greedy.planner;
+    Random_relay.planner;
+    Fr.fr_eedcb;
+    Fr.fr_greed;
+    Fr.fr_rand;
+  ]
+
+let extras = [ Static_bip.planner ]
+let all = paper @ extras
+let names = List.map Planner.name all
+
+let canonical s = String.map (function '_' -> '-' | c -> c) (String.uppercase_ascii s)
+
+let find s =
+  let key = canonical s in
+  match List.find_opt (fun p -> Planner.name p = key) all with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown algorithm %S (known: %s)" key (String.concat ", " names))
+
+let with_channel tag = List.filter (fun p -> p.Planner.info.Planner.channel = tag) paper

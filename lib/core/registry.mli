@@ -1,0 +1,38 @@
+(** The planner registry: the single source of truth for which
+    planners exist, what they are called, and which design-channel
+    family they belong to.
+
+    Every algorithm list in the codebase — [Experiment]'s figure
+    drivers, the CLI's [--algorithm] flag and [compare]/[algorithms]
+    subcommands, the bench harness and the examples — derives from
+    this module, so registering a planner here is the only step needed
+    to surface it everywhere (see [Static_bip] for the worked
+    example). *)
+
+val paper : Planner.t list
+(** The paper's six evaluated planners, in the canonical legend order:
+    EEDCB, GREED, RAND, FR-EEDCB, FR-GREED, FR-RAND.  Figure drivers
+    iterate exactly this list, so beyond-paper planners never perturb
+    reproduction results. *)
+
+val extras : Planner.t list
+(** Beyond-paper planners (currently the static-BIP baseline): part of
+    {!all} — selectable by name, listed by [tmedb_cli algorithms],
+    compared by [compare --all] — but excluded from the paper
+    figures. *)
+
+val all : Planner.t list
+(** [paper @ extras]: everything selectable by name. *)
+
+val names : string list
+(** Canonical names of {!all}, in registry order. *)
+
+val find : string -> (Planner.t, string) result
+(** Look up a planner by name, case-insensitively, treating ['_'] and
+    ['-'] as the same character (so ["fr_eedcb"] finds FR-EEDCB).
+    [Error] names the unknown input and lists {!names}. *)
+
+val with_channel : Planner.channel -> Planner.t list
+(** The {!paper} planners designing for the given channel family, in
+    registry order: the static trio or the FR- trio.  Figure 5 and 7
+    variants iterate these. *)

@@ -24,7 +24,8 @@ let evaluate_schedule ?trials ?pool ~rng nondet ~phy ~channel ~source ~deadline 
 
 let plan_on graph ?level ~phy ~channel ~source ~deadline () =
   let problem = Problem.make ~graph ~phy ~channel ~source ~deadline () in
-  Eedcb.schedule_only ?level problem
+  let ctx = Planner.Ctx.make ?steiner_level:level () in
+  (Eedcb.plan ctx problem).Planner.Outcome.schedule
 
 let plan_on_support ?level nondet ~phy ~channel ~source ~deadline =
   plan_on (Nondet.support nondet) ?level ~phy ~channel ~source ~deadline ()

@@ -2,14 +2,6 @@ open Tmedb_prelude
 open Tmedb_channel
 open Tmedb_tveg
 
-type result = {
-  schedule : Schedule.t;
-  report : Feasibility.report;
-  planned_energy : float;
-  unreached : int list;
-  snapshot_unreachable : int list;
-}
-
 (* Union snapshot: best-ever distance per pair, None if never in
    contact. *)
 let snapshot g =
@@ -80,7 +72,7 @@ let earliest_contact g ~after i j =
       if t +. tau < hi then Some (match acc with None -> t | Some a -> Float.min a t) else acc)
     None (Tveg.links g i j)
 
-let run (problem : Problem.t) =
+let plan (_ctx : Planner.Ctx.t) (problem : Problem.t) =
   let g = problem.Problem.graph in
   let phy = problem.Problem.phy in
   let n = Problem.n problem in
@@ -145,10 +137,20 @@ let run (problem : Problem.t) =
   let unreached =
     List.filter (fun j -> not (Float.is_finite informed_at.(j))) (List.init n (fun j -> j))
   in
+  Planner.Outcome.make ~schedule ~report ~unreached
+    ~artifacts:
+      [
+        Planner.Outcome.Bip_plan
+          { planned_energy = Futil.kahan_sum power; snapshot_unreachable };
+      ]
+    ()
+
+let info =
   {
-    schedule;
-    report;
-    planned_energy = Futil.kahan_sum power;
-    unreached;
-    snapshot_unreachable;
+    Planner.name = "BIP";
+    channel = `Static;
+    section = "Wieselthier et al. 2000";
+    summary = "static-snapshot broadcast incremental power tree, replayed on the TVEG";
   }
+
+let planner = { Planner.info; plan }

@@ -18,17 +18,24 @@
     earliest instant after being informed at which at least one of its
     still-uninformed tree children is ρ_τ-adjacent; a child is
     informed only if additionally the distance *at that instant*
-    is within the power's static range. *)
+    is within the power's static range.
 
-type result = {
-  schedule : Schedule.t;  (** Transmissions that actually fired. *)
-  report : Feasibility.report;
-  planned_energy : float;  (** Σ of BIP tree powers (the static plan). *)
-  unreached : int list;  (** Nodes the replay failed to inform. *)
-  snapshot_unreachable : int list;
-      (** Nodes with no snapshot path at all (BIP cannot even plan). *)
-}
+    The outcome carries a {!Planner.Outcome.Bip_plan} artifact with
+    the planned energy (Σ of tree powers) and the snapshot-unreachable
+    set (nodes BIP cannot even plan for).
 
-val run : Problem.t -> result
-(** Uses the instance's PHY for static costs; the design channel is
-    ignored (BIP predates fading-aware planning). *)
+    This planner ships through {!Registry.extras} as the proof of the
+    registry's extensibility: it appears in [tmedb_cli compare --all]
+    and [tmedb_cli algorithms] without any CLI or [Experiment]
+    dispatch code naming it. *)
+
+val info : Planner.info
+(** Registry metadata: ["BIP"], static channel, beyond-paper citation. *)
+
+val plan : Planner.Ctx.t -> Problem.t -> Planner.Outcome.t
+(** Plan and replay.  Uses the instance's PHY for static costs; the
+    design channel and every context knob are ignored (BIP predates
+    fading-aware planning and has no tunables). *)
+
+val planner : Planner.t
+(** {!info} and {!plan}, packaged for {!Registry}. *)

@@ -34,6 +34,16 @@ for key in '"schema": "tmedb.metrics/1"' '"counters"' '"timers"' \
   }
 done
 
+# Registry drift gate: the algorithm list the CLI advertises in its
+# help text must be exactly the planner registry, in registry order
+# (`algorithms --names` prints one registry name per line).
+names=$(dune exec bin/tmedb_cli.exe -- algorithms --names | tr '\n' ',' | sed 's/,$//; s/,/, /g')
+advertised=$(dune exec bin/tmedb_cli.exe -- run --help=plain | sed -n 's/.*One of \(.*\)\./\1/p' | head -n 1)
+if [ "$names" != "$advertised" ]; then
+  echo "check.sh: CLI-advertised algorithms ($advertised) drifted from the registry ($names)" >&2
+  exit 1
+fi
+
 # Advisory performance-regression gate.  Never fails the tier-1 run
 # (wall-clock noise on shared machines would make a hard gate flaky);
 # regress.sh prints an escalation note when metrics move past the

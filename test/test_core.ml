@@ -26,6 +26,15 @@ let link lo hi dist = { Tveg.iv = iv lo hi; dist }
 let phy = Phy.default
 let tx relay time cost = { Schedule.relay; time; cost }
 
+(* Planner shorthands: every algorithm goes through plan + Ctx now. *)
+let run_eedcb ?level p = Eedcb.plan (Planner.Ctx.make ?steiner_level:level ()) p
+let run_greedy ?cap_per_node p = Greedy.plan (Planner.Ctx.make ?cap_per_node ()) p
+let run_rand ~rng p = Random_relay.plan (Planner.Ctx.make ~rng ()) p
+let run_fr ?rng backbone p = Fr.plan_with backbone (Planner.Ctx.make ?rng ()) p
+let run_bip p = Static_bip.plan (Planner.Ctx.default ()) p
+let fr_alloc o = Option.get (Planner.Outcome.allocation o)
+let fr_backbone o = Option.get (Planner.Outcome.backbone o)
+
 (* The quickstart topology: known optimal normalized energy 1269. *)
 let quickstart_graph () =
   Tveg.create ~n:5 ~span:(iv 0. 100.) ~tau:0.
@@ -148,21 +157,21 @@ let test_gadget_optimal_single_set () =
   let instance, source_cost, element_cost =
     Problem.set_cover_gadget ~universe:3 ~sets:[ [ 0; 1 ]; [ 0; 1; 2 ]; [ 2 ] ] ()
   in
-  let r = Eedcb.run instance in
-  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
+  let r = run_eedcb instance in
+  check_bool "feasible" true r.Planner.Outcome.report.Feasibility.feasible;
   close ~tol:1e-9 "cost = source + 1 element set" (source_cost +. element_cost)
-    (Schedule.total_cost r.Eedcb.schedule)
+    (Schedule.total_cost r.Planner.Outcome.schedule)
 
 (* k* = 2: disjoint halves. *)
 let test_gadget_optimal_two_sets () =
   let instance, source_cost, element_cost =
     Problem.set_cover_gadget ~universe:4 ~sets:[ [ 0; 1 ]; [ 2; 3 ]; [ 1; 2 ] ] ()
   in
-  let r = Eedcb.run instance in
-  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
+  let r = run_eedcb instance in
+  check_bool "feasible" true r.Planner.Outcome.report.Feasibility.feasible;
   close ~tol:1e-9 "cost = source + 2 element sets"
     (source_cost +. (2. *. element_cost))
-    (Schedule.total_cost r.Eedcb.schedule)
+    (Schedule.total_cost r.Planner.Outcome.schedule)
 
 (* ------------------------------------------------------------------ *)
 (* Feasibility *)
@@ -329,30 +338,30 @@ let test_aux_graph_deadline_blocks_late_levels () =
 
 let test_eedcb_quickstart_optimal () =
   let p = quickstart_problem () in
-  let r = Eedcb.run p in
-  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
-  close ~tol:1e-6 "known optimum 1269" 1269. (Metrics.normalized_energy p r.Eedcb.schedule);
-  Alcotest.(check (list int)) "everyone reached" [] r.Eedcb.unreached
+  let r = run_eedcb p in
+  check_bool "feasible" true r.Planner.Outcome.report.Feasibility.feasible;
+  close ~tol:1e-6 "known optimum 1269" 1269. (Metrics.normalized_energy p r.Planner.Outcome.schedule);
+  Alcotest.(check (list int)) "everyone reached" [] r.Planner.Outcome.unreached
 
 let test_eedcb_respects_deadline () =
   (* Deadline 40: 2--4 [35,70) still allows completion; the returned
      schedule must finish by 40. *)
   let p = quickstart_problem ~deadline:40. () in
-  let r = Eedcb.run p in
-  check_bool "feasible" true r.Eedcb.report.Feasibility.feasible;
-  (match Schedule.latest_time r.Eedcb.schedule with
+  let r = run_eedcb p in
+  check_bool "feasible" true r.Planner.Outcome.report.Feasibility.feasible;
+  (match Schedule.latest_time r.Planner.Outcome.schedule with
   | Some t -> check_bool "within deadline" true (t <= 40.)
   | None -> Alcotest.fail "expected transmissions")
 
 let test_eedcb_unreachable_reported () =
   let p = quickstart_problem ~deadline:30. () in
-  let r = Eedcb.run p in
-  check_bool "node 4 unreached" true (List.mem 4 r.Eedcb.unreached)
+  let r = run_eedcb p in
+  check_bool "node 4 unreached" true (List.mem 4 r.Planner.Outcome.unreached)
 
 let test_eedcb_level1_works () =
   let p = quickstart_problem () in
-  let r = Eedcb.run ~level:1 p in
-  check_bool "level 1 feasible" true r.Eedcb.report.Feasibility.feasible
+  let r = run_eedcb ~level:1 p in
+  check_bool "level 1 feasible" true r.Planner.Outcome.report.Feasibility.feasible
 
 let test_eedcb_positive_tau () =
   (* Same topology with tau = 2: every hop takes 2 s, transmissions
@@ -368,8 +377,8 @@ let test_eedcb_positive_tau () =
       ]
   in
   let p = Problem.make ~graph ~phy ~channel:`Static ~source:0 ~deadline:80. () in
-  let r = Eedcb.run p in
-  check_bool "tau>0 feasible" true r.Eedcb.report.Feasibility.feasible;
+  let r = run_eedcb p in
+  check_bool "tau>0 feasible" true r.Planner.Outcome.report.Feasibility.feasible;
   (* Each scheduled transmission completes inside its contact. *)
   List.iter
     (fun t ->
@@ -379,21 +388,21 @@ let test_eedcb_positive_tau () =
           (List.filter (fun j -> j <> t.Schedule.relay) [ 0; 1; 2; 3; 4 ])
       in
       check_bool "transmission fits a contact" true covered)
-    (Schedule.transmissions r.Eedcb.schedule)
+    (Schedule.transmissions r.Planner.Outcome.schedule)
 
 let test_eedcb_tau_too_large () =
   (* tau = 50 exceeds every contact: nothing can ever be transmitted. *)
   let graph = Tveg.create ~n:2 ~span:(iv 0. 100.) ~tau:50. [ (0, 1, link 0. 30. 10.) ] in
   let p = Problem.make ~graph ~phy ~channel:`Static ~source:0 ~deadline:100. () in
-  let r = Eedcb.run p in
-  check_bool "node 1 unreached" true (List.mem 1 r.Eedcb.unreached)
+  let r = run_eedcb p in
+  check_bool "node 1 unreached" true (List.mem 1 r.Planner.Outcome.unreached)
 
 let test_eedcb_schedule_on_dts () =
   (* Proposition 6.1 + Theorem 5.2: EEDCB's schedule lives on the DTS
      and uses DCS costs. *)
   let p = quickstart_problem () in
   let dts = Problem.dts p in
-  let r = Eedcb.run p in
+  let r = run_eedcb p in
   List.iter
     (fun t ->
       check_bool "time on DTS" true (Dts.index_of_point dts t.Schedule.relay t.Schedule.time <> None);
@@ -401,44 +410,44 @@ let test_eedcb_schedule_on_dts () =
           ~time:t.Schedule.time in
       check_bool "cost in DCS" true
         (List.exists (fun l -> Futil.approx_eq l.Dcs.cost t.Schedule.cost) levels))
-    (Schedule.transmissions r.Eedcb.schedule)
+    (Schedule.transmissions r.Planner.Outcome.schedule)
 
 (* ------------------------------------------------------------------ *)
 (* GREED / RAND *)
 
 let test_greedy_feasible () =
   let p = quickstart_problem () in
-  let r = Greedy.run p in
-  check_bool "feasible" true r.Greedy.report.Feasibility.feasible;
-  Alcotest.(check (list int)) "everyone" [] r.Greedy.unreached
+  let r = run_greedy p in
+  check_bool "feasible" true r.Planner.Outcome.report.Feasibility.feasible;
+  Alcotest.(check (list int)) "everyone" [] r.Planner.Outcome.unreached
 
 let test_greedy_never_beats_itself_with_less_time () =
   let p80 = quickstart_problem () in
   let p60 = quickstart_problem ~deadline:60. () in
-  let e80 = Metrics.normalized_energy p80 (Greedy.run p80).Greedy.schedule in
-  let e60 = Metrics.normalized_energy p60 (Greedy.run p60).Greedy.schedule in
+  let e80 = Metrics.normalized_energy p80 (run_greedy p80).Planner.Outcome.schedule in
+  let e60 = Metrics.normalized_energy p60 (run_greedy p60).Planner.Outcome.schedule in
   (* Fewer opportunities can only cost the same or more. *)
   check_bool "monotone in deadline" true (e60 >= e80 -. 1e-9)
 
 let test_greedy_stalls_gracefully () =
   let p = quickstart_problem ~deadline:30. () in
-  let r = Greedy.run p in
-  check_bool "reports unreached" true (List.mem 4 r.Greedy.unreached);
-  check_bool "partial schedule infeasible" false r.Greedy.report.Feasibility.feasible
+  let r = run_greedy p in
+  check_bool "reports unreached" true (List.mem 4 r.Planner.Outcome.unreached);
+  check_bool "partial schedule infeasible" false r.Planner.Outcome.report.Feasibility.feasible
 
 let test_random_feasible_and_deterministic () =
   let p = quickstart_problem () in
-  let a = Random_relay.run ~rng:(Rng.create 3) p in
-  let b = Random_relay.run ~rng:(Rng.create 3) p in
-  check_bool "feasible" true a.Random_relay.report.Feasibility.feasible;
+  let a = run_rand ~rng:(Rng.create 3) p in
+  let b = run_rand ~rng:(Rng.create 3) p in
+  check_bool "feasible" true a.Planner.Outcome.report.Feasibility.feasible;
   check_bool "same seed same schedule" true
-    (Schedule.equal a.Random_relay.schedule b.Random_relay.schedule)
+    (Schedule.equal a.Planner.Outcome.schedule b.Planner.Outcome.schedule)
 
 let test_eedcb_beats_baselines_quickstart () =
   let p = quickstart_problem () in
-  let e = Metrics.normalized_energy p (Eedcb.run p).Eedcb.schedule in
-  let g = Metrics.normalized_energy p (Greedy.run p).Greedy.schedule in
-  let r = Metrics.normalized_energy p (Random_relay.run ~rng:(Rng.create 1) p).Random_relay.schedule in
+  let e = Metrics.normalized_energy p (run_eedcb p).Planner.Outcome.schedule in
+  let g = Metrics.normalized_energy p (run_greedy p).Planner.Outcome.schedule in
+  let r = Metrics.normalized_energy p (run_rand ~rng:(Rng.create 1) p).Planner.Outcome.schedule in
   check_bool "EEDCB <= GREED" true (e <= g +. 1e-9);
   check_bool "EEDCB <= RAND" true (e <= r +. 1e-9)
 
@@ -447,47 +456,47 @@ let test_eedcb_beats_baselines_quickstart () =
 
 let test_fr_requires_fading_channel () =
   Alcotest.check_raises "static rejected"
-    (Invalid_argument "Fr.run: design channel must be a fading model") (fun () ->
-      ignore (Fr.run ~backbone:`Eedcb (quickstart_problem ())))
+    (Invalid_argument "Fr.plan: design channel must be a fading model") (fun () ->
+      ignore (run_fr `Eedcb (quickstart_problem ())))
 
 let test_fr_eedcb_feasible () =
   let p = quickstart_problem ~channel:`Rayleigh () in
-  let r = Fr.run ~backbone:`Eedcb p in
-  check_bool "feasible under Eq. 6" true r.Fr.report.Feasibility.feasible;
-  Alcotest.(check (list int)) "nothing unsatisfiable" [] r.Fr.allocation.Fr.unsatisfiable
+  let r = run_fr `Eedcb p in
+  check_bool "feasible under Eq. 6" true r.Planner.Outcome.report.Feasibility.feasible;
+  Alcotest.(check (list int)) "nothing unsatisfiable" [] (fr_alloc r).Fr.unsatisfiable
 
 let test_fr_allocation_saves_energy () =
   let p = quickstart_problem ~channel:`Rayleigh () in
-  let r = Fr.run ~backbone:`Eedcb p in
+  let r = run_fr `Eedcb p in
   (* The uniform-w0 backbone is already per-hop tight here, so the NLP
      cannot beat it by much — but it must never exceed it beyond its
      own safety margin (relative 1e-6 per constraint). *)
   check_bool "NLP <= uniform w0 (+margin)" true
-    (Schedule.total_cost r.Fr.schedule
-    <= Schedule.total_cost r.Fr.backbone *. (1. +. 1e-4))
+    (Schedule.total_cost r.Planner.Outcome.schedule
+    <= Schedule.total_cost (fr_backbone r) *. (1. +. 1e-4))
 
 let test_fr_costs_more_than_static () =
   (* Fading-resistance at eps = 1% costs orders of magnitude more than
      the static design (w0 ~ 100 beta). *)
   let ps = quickstart_problem () in
   let pr = quickstart_problem ~channel:`Rayleigh () in
-  let static = Metrics.normalized_energy ps (Eedcb.run ps).Eedcb.schedule in
-  let fading = Metrics.normalized_energy pr (Fr.run ~backbone:`Eedcb pr).Fr.schedule in
+  let static = Metrics.normalized_energy ps (run_eedcb ps).Planner.Outcome.schedule in
+  let fading = Metrics.normalized_energy pr (run_fr `Eedcb pr).Planner.Outcome.schedule in
   check_bool "fading >> static" true (fading > 10. *. static)
 
 let test_fr_greedy_and_random_backbones () =
   let p = quickstart_problem ~channel:`Rayleigh () in
-  let g = Fr.run ~backbone:`Greedy p in
-  check_bool "greedy backbone feasible" true g.Fr.report.Feasibility.feasible;
-  let r = Fr.run ~rng:(Rng.create 4) ~backbone:`Random p in
-  check_bool "random backbone feasible" true r.Fr.report.Feasibility.feasible
+  let g = run_fr `Greedy p in
+  check_bool "greedy backbone feasible" true g.Planner.Outcome.report.Feasibility.feasible;
+  let r = run_fr ~rng:(Rng.create 4) `Random p in
+  check_bool "random backbone feasible" true r.Planner.Outcome.report.Feasibility.feasible
 
 let test_fr_allocate_respects_bounds () =
   let p = quickstart_problem ~channel:`Rayleigh () in
-  let r = Fr.run ~backbone:`Eedcb p in
+  let r = run_fr `Eedcb p in
   Array.iter
     (fun w -> check_bool "within W" true (phy.Phy.w_min <= w && w <= phy.Phy.w_max))
-    r.Fr.allocation.Fr.costs
+    (fr_alloc r).Fr.costs
 
 let test_fr_polish_removes_redundancy () =
   (* Two identical transmissions both covering node 1: the allocation
@@ -511,14 +520,14 @@ let test_fr_unsatisfiable_when_uncovered () =
 
 let test_fr_nakagami_channel () =
   let p = quickstart_problem ~channel:(`Nakagami 2.) () in
-  let r = Fr.run ~backbone:`Eedcb p in
-  check_bool "nakagami feasible" true r.Fr.report.Feasibility.feasible
+  let r = run_fr `Eedcb p in
+  check_bool "nakagami feasible" true r.Planner.Outcome.report.Feasibility.feasible
 
 let test_fr_lognormal_channel () =
   (* sigma = 1.84 nepers ~ 8 dB shadowing. *)
   let p = quickstart_problem ~channel:(`Lognormal 1.84) () in
-  let r = Fr.run ~backbone:`Eedcb p in
-  check_bool "lognormal feasible" true r.Fr.report.Feasibility.feasible
+  let r = run_fr `Eedcb p in
+  check_bool "lognormal feasible" true r.Planner.Outcome.report.Feasibility.feasible
 
 (* Regression: with τ = 0 two same-instant transmissions can cover
    each other's relays; Eq. 16 read as plain "t_k <= t_j" lets the NLP
@@ -562,11 +571,11 @@ let test_bip_static_network () =
       [ (0, 1, link 0. 10. 10.); (1, 2, link 0. 10. 10.) ]
   in
   let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
-  let r = Static_bip.run p in
-  Alcotest.(check (list int)) "all informed" [] r.Static_bip.unreached;
-  check_bool "feasible on static graph" true r.Static_bip.report.Feasibility.feasible;
+  let r = run_bip p in
+  Alcotest.(check (list int)) "all informed" [] r.Planner.Outcome.unreached;
+  check_bool "feasible on static graph" true r.Planner.Outcome.report.Feasibility.feasible;
   (* Tree: 0 -> 1 -> 2, two transmissions at 10 m each. *)
-  close "planned = 2 hops" (2. *. w_for 10.) r.Static_bip.planned_energy
+  close "planned = 2 hops" (2. *. w_for 10.) (Option.get (Planner.Outcome.planned_energy r))
 
 let test_bip_one_shot_misses_disjoint_contacts () =
   (* 0 meets 1 and 2 during disjoint windows.  BIP's tree makes 0 the
@@ -578,11 +587,11 @@ let test_bip_one_shot_misses_disjoint_contacts () =
       [ (0, 1, link 0. 10. 10.); (0, 2, link 20. 30. 10.) ]
   in
   let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:40. () in
-  let bip = Static_bip.run p in
-  Alcotest.(check (list int)) "BIP misses node 2" [ 2 ] bip.Static_bip.unreached;
-  check_bool "BIP infeasible" false bip.Static_bip.report.Feasibility.feasible;
-  let eedcb = Eedcb.run p in
-  check_bool "EEDCB succeeds" true eedcb.Eedcb.report.Feasibility.feasible
+  let bip = run_bip p in
+  Alcotest.(check (list int)) "BIP misses node 2" [ 2 ] bip.Planner.Outcome.unreached;
+  check_bool "BIP infeasible" false bip.Planner.Outcome.report.Feasibility.feasible;
+  let eedcb = run_eedcb p in
+  check_bool "EEDCB succeeds" true eedcb.Planner.Outcome.report.Feasibility.feasible
 
 let test_bip_power_planned_on_best_distance () =
   (* The snapshot records the pair 1-2 at its best-ever 5 m, but that
@@ -594,31 +603,31 @@ let test_bip_power_planned_on_best_distance () =
       [ (0, 1, link 10. 15. 10.); (1, 2, link 0. 5. 5.); (1, 2, link 20. 30. 20.) ]
   in
   let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:40. () in
-  let bip = Static_bip.run p in
+  let bip = run_bip p in
   (* Node 1 transmits at t=20 with power planned for 5 m; the actual
      distance is 20 m: node 2 misses the packet. *)
-  check_bool "node 2 lost" true (List.mem 2 bip.Static_bip.unreached);
-  let eedcb = Eedcb.run p in
-  check_bool "EEDCB adapts power" true eedcb.Eedcb.report.Feasibility.feasible
+  check_bool "node 2 lost" true (List.mem 2 bip.Planner.Outcome.unreached);
+  let eedcb = run_eedcb p in
+  check_bool "EEDCB adapts power" true eedcb.Planner.Outcome.report.Feasibility.feasible
 
 let test_bip_snapshot_unreachable () =
   let g = Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
   let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
-  let r = Static_bip.run p in
-  Alcotest.(check (list int)) "isolated node" [ 2 ] r.Static_bip.snapshot_unreachable
+  let r = run_bip p in
+  Alcotest.(check (list int)) "isolated node" [ 2 ] (Planner.Outcome.snapshot_unreachable r)
 
 let test_bip_quickstart_comparison () =
   (* On the quickstart instance the snapshot happens to be realisable
      in part; BIP must never beat EEDCB when both deliver, and when
      BIP loses nodes its delivery is below 1. *)
   let p = quickstart_problem () in
-  let bip = Static_bip.run p in
-  let eedcb = Eedcb.run p in
-  if bip.Static_bip.unreached = [] then
+  let bip = run_bip p in
+  let eedcb = run_eedcb p in
+  if bip.Planner.Outcome.unreached = [] then
     check_bool "EEDCB no worse" true
-      (Schedule.total_cost eedcb.Eedcb.schedule
-      <= Schedule.total_cost bip.Static_bip.schedule +. 1e-18)
-  else check_bool "BIP delivery below 1" true (Feasibility.delivery_ratio bip.Static_bip.report < 1.)
+      (Schedule.total_cost eedcb.Planner.Outcome.schedule
+      <= Schedule.total_cost bip.Planner.Outcome.schedule +. 1e-18)
+  else check_bool "BIP delivery below 1" true (Feasibility.delivery_ratio bip.Planner.Outcome.report < 1.)
 
 (* ------------------------------------------------------------------ *)
 (* Simulate *)
@@ -651,13 +660,13 @@ let test_simulate_uninformed_relay_spends_nothing () =
 
 let test_simulate_fr_high_delivery () =
   let p = quickstart_problem ~channel:`Rayleigh () in
-  let r = Fr.run ~backbone:`Eedcb p in
-  let sim = Simulate.run ~trials:2000 ~rng:(Rng.create 4) ~eval_channel:`Rayleigh p r.Fr.schedule in
+  let r = run_fr `Eedcb p in
+  let sim = Simulate.run ~trials:2000 ~rng:(Rng.create 4) ~eval_channel:`Rayleigh p r.Planner.Outcome.schedule in
   check_bool "delivery > 95%" true (sim.Simulate.delivery_ratio > 0.95)
 
 let test_simulate_static_design_suffers_in_fading () =
   let p_static = quickstart_problem () in
-  let s = (Eedcb.run p_static).Eedcb.schedule in
+  let s = (run_eedcb p_static).Planner.Outcome.schedule in
   let p_eval = quickstart_problem ~channel:`Rayleigh () in
   let sim = Simulate.run ~trials:2000 ~rng:(Rng.create 5) ~eval_channel:`Rayleigh p_eval s in
   check_bool "delivery well below 1" true (sim.Simulate.delivery_ratio < 0.9)
@@ -799,8 +808,8 @@ let test_lower_bound_single_link_static () =
   let g = Tveg.create ~n:2 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
   let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
   close "LB = w_th" (w_for 10.) (Metrics.energy_lower_bound p);
-  let r = Eedcb.run p in
-  close "EEDCB achieves LB" (Metrics.energy_lower_bound p) (Schedule.total_cost r.Eedcb.schedule)
+  let r = run_eedcb p in
+  close "EEDCB achieves LB" (Metrics.energy_lower_bound p) (Schedule.total_cost r.Planner.Outcome.schedule)
 
 let test_lower_bound_additive_refinement () =
   (* Node 2 never meets the source: the bound must include both the
@@ -811,8 +820,8 @@ let test_lower_bound_additive_refinement () =
   in
   let p = Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:10. () in
   close "LB additive" (w_for 10. +. w_for 20.) (Metrics.energy_lower_bound p);
-  let r = Eedcb.run p in
-  close "EEDCB achieves it" (Metrics.energy_lower_bound p) (Schedule.total_cost r.Eedcb.schedule)
+  let r = run_eedcb p in
+  close "EEDCB achieves it" (Metrics.energy_lower_bound p) (Schedule.total_cost r.Planner.Outcome.schedule)
 
 let test_lower_bound_unreachable_infinite () =
   let g = Tveg.create ~n:3 ~span:(iv 0. 10.) ~tau:0. [ (0, 1, link 0. 10. 10.) ] in
@@ -824,11 +833,11 @@ let test_lower_bound_below_all_algorithms () =
     let p = random_instance seed in
     if Problem.is_reachable p then begin
       let lb = Metrics.energy_lower_bound p in
-      let e = Schedule.total_cost (Eedcb.run p).Eedcb.schedule in
+      let e = Schedule.total_cost (run_eedcb p).Planner.Outcome.schedule in
       check_bool "LB <= EEDCB (static)" true (lb <= e +. 1e-18);
       let pf = { p with Problem.channel = `Rayleigh } in
       let lbf = Metrics.energy_lower_bound pf in
-      let f = Schedule.total_cost (Fr.run ~backbone:`Eedcb pf).Fr.schedule in
+      let f = Schedule.total_cost (run_fr `Eedcb pf).Planner.Outcome.schedule in
       check_bool "LB <= FR-EEDCB (fading)" true (lbf <= f +. 1e-18)
     end
   done
@@ -855,8 +864,8 @@ let prop_eedcb_feasible_when_reachable =
       let p = random_instance seed in
       if not (Problem.is_reachable p) then true
       else begin
-        let r = Eedcb.run p in
-        r.Eedcb.report.Feasibility.feasible
+        let r = run_eedcb p in
+        r.Planner.Outcome.report.Feasibility.feasible
       end)
 
 (* EEDCB is an approximation: on individual instances it may lose to
@@ -868,8 +877,8 @@ let test_eedcb_beats_greedy_on_average () =
   for seed = 500 to 579 do
     let p = random_instance seed in
     if Problem.is_reachable p then begin
-      let e = Schedule.total_cost (Eedcb.run p).Eedcb.schedule in
-      let g = Schedule.total_cost (Greedy.run p).Greedy.schedule in
+      let e = Schedule.total_cost (run_eedcb p).Planner.Outcome.schedule in
+      let g = Schedule.total_cost (run_greedy p).Planner.Outcome.schedule in
       check_bool "never catastrophically worse" true (e <= (2. *. g) +. 1e-15);
       ratios := (e /. g) :: !ratios
     end
@@ -888,15 +897,15 @@ let prop_et_law_on_random_instances =
       let p = random_instance (seed + 2000) in
       if not (Problem.is_reachable p) then true
       else begin
-        let r = Greedy.run p in
-        if not r.Greedy.report.Feasibility.feasible then true
+        let r = run_greedy p in
+        if not r.Planner.Outcome.report.Feasibility.feasible then true
         else begin
           let dts = Problem.dts p in
-          let informed v = r.Greedy.report.Feasibility.informed_time.(v) in
-          let normalized = Schedule.normalize_et r.Greedy.schedule dts ~informed_time:informed in
+          let informed v = r.Planner.Outcome.report.Feasibility.informed_time.(v) in
+          let normalized = Schedule.normalize_et r.Planner.Outcome.schedule dts ~informed_time:informed in
           let check = Feasibility.check p normalized in
           check.Feasibility.feasible
-          && Float.abs (Schedule.total_cost normalized -. Schedule.total_cost r.Greedy.schedule)
+          && Float.abs (Schedule.total_cost normalized -. Schedule.total_cost r.Planner.Outcome.schedule)
              < 1e-18
           && List.for_all
                (fun t ->
@@ -912,10 +921,10 @@ let prop_static_simulation_matches_analytic =
   QCheck.Test.make ~name:"static MC delivery = analytic delivery" ~count:25 QCheck.small_int
     (fun seed ->
       let p = random_instance (seed + 3000) in
-      let r = Greedy.run p in
-      let analytic = Feasibility.delivery_ratio r.Greedy.report in
+      let r = run_greedy p in
+      let analytic = Feasibility.delivery_ratio r.Planner.Outcome.report in
       let sim =
-        Simulate.run ~trials:3 ~rng:(Rng.create seed) ~eval_channel:`Static p r.Greedy.schedule
+        Simulate.run ~trials:3 ~rng:(Rng.create seed) ~eval_channel:`Static p r.Planner.Outcome.schedule
       in
       Float.abs (sim.Simulate.delivery_ratio -. analytic) < 1e-9)
 
@@ -926,8 +935,8 @@ let prop_fr_allocation_feasible =
       if not (Problem.is_reachable p) then true
       else begin
         let p = { p with Problem.channel = `Rayleigh } in
-        let r = Fr.run ~backbone:`Eedcb p in
-        r.Fr.allocation.Fr.unsatisfiable <> [] || r.Fr.report.Feasibility.feasible
+        let r = run_fr `Eedcb p in
+        (fr_alloc r).Fr.unsatisfiable <> [] || r.Planner.Outcome.report.Feasibility.feasible
       end)
 
 (* Digest guard for the sorted-iteration rewrites flagged by lint rule

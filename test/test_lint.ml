@@ -145,6 +145,10 @@ let test_r6 () =
     "val f : int -> int\n\n(** {1 Section} *)\n\nval g : int\n(** Documented. *)";
   (* lib/report joined the documented scope with the run ledger. *)
   fires "undocumented-val" ~path:"lib/report/fixture.mli" "val h : unit -> string";
+  (* The planner layer (planner.mli, registry.mli) lives in lib/core,
+     so the docs gate covers it: every planner-facing val needs odoc. *)
+  fires "undocumented-val" ~path:"lib/core/planner.mli" "val plan : int -> int";
+  fires "undocumented-val" ~path:"lib/core/registry.mli" "val find : string -> int";
   (* Out of scope: the docs gate covers lib/core, lib/obs and
      lib/report only. *)
   silent ~path:"lib/steiner/fixture.mli" "val f : int -> int"

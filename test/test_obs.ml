@@ -356,7 +356,9 @@ let test_results_identical_on_off () =
   let trace = Experiment.make_trace config ~n:8 in
   let run () =
     Experiment.run_alg config ~trace ~source:0 ~deadline:1200. ~rng:(Rng.create 5)
-      Experiment.EEDCB
+      (match Experiment.algorithm_of_string "EEDCB" with
+      | Ok a -> a
+      | Error e -> failwith e)
   in
   Tmedb_obs.reset ();
   Tmedb_obs.set_enabled false;

@@ -110,7 +110,9 @@ let test_simulate_bit_identical () =
   let problem =
     Experiment.make_problem tiny ~trace ~channel:`Rayleigh ~source:0 ~deadline:1200.
   in
-  let schedule = (Greedy.run ~cap_per_node:400 problem).Greedy.schedule in
+  let schedule =
+    (Greedy.plan (Planner.Ctx.make ~cap_per_node:400 ()) problem).Planner.Outcome.schedule
+  in
   let run pool =
     Simulate.run ~trials:200 ?pool ~rng:(Rng.create 7) ~eval_channel:`Rayleigh problem schedule
   in

@@ -14,6 +14,11 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
 
+let alg name =
+  match Experiment.algorithm_of_string name with
+  | Ok a -> a
+  | Error e -> Alcotest.fail e
+
 let contains s sub =
   let n = String.length sub in
   let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
@@ -170,7 +175,7 @@ let ledger_at ~trace k =
   let config = small_config in
   let result =
     Experiment.run_alg config ~trace ~source:0 ~deadline:1200. ~rng:(Rng.create 5)
-      Experiment.EEDCB
+      (alg "EEDCB")
   in
   let eval = Experiment.make_problem config ~trace ~channel:`Rayleigh ~source:0 ~deadline:1200. in
   let sim pool =
@@ -230,14 +235,23 @@ let test_provenance_completeness =
   in
   (* EEDCB: backbone pipeline stages plus one Schedule_entry per
      transmission, field-consistent with the schedule. *)
-  let txs, events = run Experiment.EEDCB in
+  let txs, events = run (alg "EEDCB") in
   check_bool "EEDCB schedule non-empty" true (txs <> []);
   let stages =
     List.filter_map (function Provenance.Stage { stage; _ } -> Some stage | _ -> None) events
   in
   List.iter
     (fun s -> check_bool (Printf.sprintf "stage %S recorded" s) true (List.mem s stages))
-    [ "dts"; "aux_graph"; "dst"; "prune" ];
+    [ "planner"; "dts"; "aux_graph"; "dst"; "prune" ];
+  (* The planner stage names the planner that was selected (satellite of
+     the registry refactor: every run is attributable to a planner). *)
+  let planner_details =
+    List.filter_map
+      (function
+        | Provenance.Stage { stage = "planner"; detail } -> Some detail | _ -> None)
+      events
+  in
+  check_bool "planner stage names EEDCB" true (List.mem "EEDCB" planner_details);
   List.iter
     (fun (tx : Schedule.transmission) ->
       let matching =
@@ -259,8 +273,15 @@ let test_provenance_completeness =
     txs;
   (* FR-EEDCB: every surviving transmission carries its allocation
      decision, with the allocated cost the schedule actually uses. *)
-  let txs, events = run Experiment.FR_EEDCB in
+  let txs, events = run (alg "FR-EEDCB") in
   check_bool "FR-EEDCB schedule non-empty" true (txs <> []);
+  let planner_details =
+    List.filter_map
+      (function
+        | Provenance.Stage { stage = "planner"; detail } -> Some detail | _ -> None)
+      events
+  in
+  check_bool "planner stage names FR-EEDCB" true (List.mem "FR-EEDCB" planner_details);
   List.iter
     (fun (tx : Schedule.transmission) ->
       let allocated =
