@@ -43,6 +43,11 @@ let jobs = ref 1
 let metrics_path : string option ref = ref None
 let trace_path : string option ref = ref None
 
+(* `--speedup-floor F`: minimum fig5/fig6 sweep speedup the regress
+   mode accepts.  check.sh passes a hard floor only on multi-core
+   runners; a 1-CPU box cannot speed anything up. *)
+let speedup_floor : float option ref = ref None
+
 let bench_config =
   { Experiment.default_config with Experiment.sources = 2; mc_trials = 300 }
 
@@ -533,24 +538,70 @@ let baseline () =
 
 let regress_threshold = ref 0.05
 
+let load_json p =
+  let ic = open_in p in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Tmedb_prelude.Json.parse contents with
+  | Ok doc -> doc
+  | Error e ->
+      Printf.eprintf "%s does not parse: %s\n" p e;
+      exit 1
+
+(* `--speedup-floor`: gate the freshly emitted baseline's figure-sweep
+   speedups (the kernels whose fan-out the pool is supposed to help).
+   Applied to the new file alone — no previous baseline needed. *)
+let check_speedup_floor path =
+  match !speedup_floor with
+  | None -> ()
+  | Some floor ->
+      let open Tmedb_prelude in
+      let kernels =
+        match Option.bind (Json.member "kernels" (load_json path)) Json.to_list with
+        | Some ks -> ks
+        | None ->
+            Printf.eprintf "%s has no kernels\n" path;
+            exit 1
+      in
+      let speedup_of name =
+        List.find_map
+          (fun k ->
+            match
+              (Json.member "name" k, Option.bind (Json.member "speedup" k) Json.to_float)
+            with
+            | Some (Json.Str n), Some s when n = name -> Some s
+            | _ -> None)
+          kernels
+      in
+      let failed =
+        List.filter_map
+          (fun name ->
+            match speedup_of name with
+            | Some s ->
+                Printf.printf "speedup floor: %-12s %.2fx (floor %.2fx)\n" name s floor;
+                if s < floor then Some (name, s) else None
+            | None ->
+                Printf.eprintf "%s: kernel %s missing from baseline\n" path name;
+                exit 1)
+          [ "fig5-sweep"; "fig6-sweep" ]
+      in
+      if failed <> [] then begin
+        List.iter
+          (fun (name, s) ->
+            Printf.eprintf "speedup floor: %s at %.2fx is below the %.2fx floor\n" name s floor)
+          failed;
+        exit 1
+      end
+
 let regress () =
   let path, prev = baseline () in
+  check_speedup_floor path;
   match prev with
   | None ->
       Printf.printf "\nregress: %s is the first baseline, nothing to compare against\n" path
   | Some prev ->
       section (Printf.sprintf "Regression: %s vs %s (threshold %g)" prev path !regress_threshold);
-      let load p =
-        let ic = open_in p in
-        let contents = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        match Tmedb_prelude.Json.parse contents with
-        | Ok doc -> doc
-        | Error e ->
-            Printf.eprintf "%s does not parse: %s\n" p e;
-            exit 1
-      in
-      let deltas = Tmedb_report.Diff.diff (load prev) (load path) in
+      let deltas = Tmedb_report.Diff.diff (load_json prev) (load_json path) in
       let contains hay needle =
         let lh = String.length hay and ln = String.length needle in
         let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
@@ -559,7 +610,16 @@ let regress () =
       let timing d =
         contains d.Tmedb_report.Diff.key "seconds" || contains d.Tmedb_report.Diff.key "speedup"
       in
-      let timing_deltas, stable_deltas = List.partition timing deltas in
+      (* Scheduler diagnostics (pool.steals, pool.chunk_size buckets,
+         pool.batches/tasks) depend on observed task timing, so they
+         are reported but never gate. *)
+      let pool_diag d = contains d.Tmedb_report.Diff.key "pool." in
+      let timing_deltas, rest = List.partition timing deltas in
+      let pool_deltas, stable_deltas = List.partition pool_diag rest in
+      List.iter
+        (fun (d : Tmedb_report.Diff.delta) ->
+          Printf.printf "i scheduler: %s changed (informational)\n" d.Tmedb_report.Diff.key)
+        pool_deltas;
       print_string (Tmedb_report.Diff.render ~threshold:!regress_threshold stable_deltas);
       let tripped = Tmedb_report.Diff.exceeding ~threshold:!regress_threshold stable_deltas in
       let timing_tripped = Tmedb_report.Diff.exceeding ~threshold:0.5 timing_deltas in
@@ -686,7 +746,8 @@ let all_figures config =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs K] [--metrics FILE] [--trace FILE] [--threshold REL] \
+    "usage: main.exe [--jobs K] [--chunk K] [--metrics FILE] [--trace FILE] [--threshold REL] \
+     [--speedup-floor F] \
      [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|regress|obs|lint]";
   exit 2
 
@@ -708,11 +769,21 @@ let parse_args () =
         match int_of_string_opt (file_arg ()) with
         | Some k when k >= 1 -> jobs_requested := Some k
         | Some _ | None -> usage ())
+    | "--chunk" -> (
+        (* Fixed chunk size override, read by Pool.create below — the
+           same knob as setting TMEDB_CHUNK in the environment. *)
+        match int_of_string_opt (file_arg ()) with
+        | Some c when c >= 1 -> Unix.putenv "TMEDB_CHUNK" (string_of_int c)
+        | Some _ | None -> usage ())
     | "--metrics" -> metrics_path := Some (file_arg ())
     | "--trace" -> trace_path := Some (file_arg ())
     | "--threshold" -> (
         match float_of_string_opt (file_arg ()) with
         | Some t when t >= 0. -> regress_threshold := t
+        | Some _ | None -> usage ())
+    | "--speedup-floor" -> (
+        match float_of_string_opt (file_arg ()) with
+        | Some f when f > 0. -> speedup_floor := Some f
         | Some _ | None -> usage ())
     | arg -> rest := arg :: !rest);
     incr i

@@ -71,11 +71,12 @@ type run_result = {
   unreached : int list;
 }
 
-let run_alg config ~trace ~source ~deadline ~rng algorithm =
+let run_alg ?warm config ~trace ~source ~deadline ~rng algorithm =
   let channel = Planner.design_channel algorithm in
   let problem = make_problem config ~trace ~channel ~source ~deadline in
   let ctx =
-    Planner.Ctx.make ~rng ~steiner_level:config.steiner_level ~cap_per_node:config.dts_cap ()
+    Planner.Ctx.make ~rng ~steiner_level:config.steiner_level ~cap_per_node:config.dts_cap ?warm
+      ()
   in
   let outcome = Planner.run ~ctx algorithm problem in
   let schedule = outcome.Planner.Outcome.schedule in
@@ -91,39 +92,66 @@ let run_alg config ~trace ~source ~deadline ~rng algorithm =
 
 type series = { label : string; points : (float * float) list }
 
-(* Mean result over the configured sources for one data point.  Each
-   source is an independent pool task: its stream is seeded from
-   (config.seed, k, algorithm) alone, so the mean does not depend on
-   the worker count. *)
-let mean_energy ?pool config ~trace ~deadline algorithm =
-  let sources = Array.of_list (choose_sources config ~trace ~deadline) in
-  let energies =
-    Pool.map pool
-      (fun (k, source) ->
-        let rng = Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm)) in
-        (run_alg config ~trace ~source ~deadline ~rng algorithm).energy)
-      (Array.mapi (fun k s -> (k, s)) sources)
-  in
-  Stats.mean energies
+(* One warm chain: the [npoints] x-axis points of one (series, source)
+   pair, walked in ascending order inside a single pool task so the FR
+   allocation of each point warm-starts from the previous one.  The
+   stream is re-created per point from (config.seed, k, algorithm)
+   alone — the exact layout the per-point tasks used — so chain
+   results are bit-identical at any worker count, and identical to the
+   old per-point fan-out for planners that ignore the warm store. *)
+let run_chain config ~npoints ~point ~k algorithm =
+  let warm = Planner.Warm.create () in
+  let out = Array.make npoints 0. in
+  for i = 0 to npoints - 1 do
+    let trace, source, deadline = point i in
+    let rng =
+      Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
+    in
+    out.(i) <- (run_alg ~warm config ~trace ~source ~deadline ~rng algorithm).energy
+  done;
+  out
 
 let fig4 ?(config = default_config) ?pool ~variant ~deadlines ~ns () =
   let algorithm = List.hd (Registry.with_channel variant) in
   let ns = Array.of_list ns in
   let deadlines = Array.of_list deadlines in
-  let traces = Pool.map pool (fun n -> make_trace config ~n) ns in
-  (* One task per (network size, deadline) grid point. *)
   let nd = Array.length deadlines in
-  let grid = Array.init (Array.length ns * nd) (fun i -> (i / nd, i mod nd)) in
+  let traces = Pool.map pool (fun n -> make_trace config ~n) ns in
+  let sources =
+    Array.map
+      (fun trace ->
+        Array.map
+          (fun deadline -> Array.of_list (choose_sources config ~trace ~deadline))
+          deadlines)
+      traces
+  in
+  let nk ni = if nd = 0 then 0 else Array.length sources.(ni).(0) in
+  (* One task per (network size, source index): a deadline chain
+     sharing one warm store. *)
+  let chains =
+    Array.concat
+      (List.init (Array.length ns) (fun ni -> Array.init (nk ni) (fun k -> (ni, k))))
+  in
   let energies =
     Pool.map pool
-      (fun (ni, di) ->
-        mean_energy ?pool config ~trace:traces.(ni) ~deadline:deadlines.(di) algorithm)
-      grid
+      (fun (ni, k) ->
+        run_chain config ~npoints:nd
+          ~point:(fun di -> (traces.(ni), sources.(ni).(di).(k), deadlines.(di)))
+          ~k algorithm)
+      chains
   in
+  let offsets = Array.make (Array.length ns) 0 in
+  for ni = 1 to Array.length ns - 1 do
+    offsets.(ni) <- offsets.(ni - 1) + nk (ni - 1)
+  done;
   List.init (Array.length ns) (fun ni ->
       {
         label = Printf.sprintf "%s N=%d" (algorithm_name algorithm) ns.(ni);
-        points = List.init nd (fun di -> (deadlines.(di), energies.((ni * nd) + di)));
+        points =
+          List.init nd (fun di ->
+              ( deadlines.(di),
+                Stats.mean (Array.init (nk ni) (fun k -> energies.(offsets.(ni) + k).(di)))
+              ));
       })
 
 let fig5 ?(config = default_config) ?pool ~variant ~deadlines () =
@@ -132,16 +160,28 @@ let fig5 ?(config = default_config) ?pool ~variant ~deadlines () =
   let algs = Array.of_list algorithms in
   let deadlines = Array.of_list deadlines in
   let nd = Array.length deadlines in
-  let grid = Array.init (Array.length algs * nd) (fun i -> (i / nd, i mod nd)) in
+  let sources =
+    Array.map (fun deadline -> Array.of_list (choose_sources config ~trace ~deadline)) deadlines
+  in
+  let nk = if nd = 0 then 0 else Array.length sources.(0) in
+  (* One task per (algorithm, source index): a deadline chain sharing
+     one warm store. *)
+  let chains = Array.init (Array.length algs * nk) (fun i -> (i / nk, i mod nk)) in
   let energies =
     Pool.map pool
-      (fun (ai, di) -> mean_energy ?pool config ~trace ~deadline:deadlines.(di) algs.(ai))
-      grid
+      (fun (ai, k) ->
+        run_chain config ~npoints:nd
+          ~point:(fun di -> (trace, sources.(di).(k), deadlines.(di)))
+          ~k algs.(ai))
+      chains
   in
   List.init (Array.length algs) (fun ai ->
       {
         label = algorithm_name algs.(ai);
-        points = List.init nd (fun di -> (deadlines.(di), energies.((ai * nd) + di)));
+        points =
+          List.init nd (fun di ->
+              ( deadlines.(di),
+                Stats.mean (Array.init nk (fun k -> energies.((ai * nk) + k).(di))) ));
       })
 
 let fig6 ?(config = default_config) ?pool ~ns () =
@@ -232,21 +272,42 @@ let fig7 ?(config = default_config) ?pool ~variant () =
   let algs = Array.of_list algorithms in
   let windows = Array.of_list window_starts in
   let nw = Array.length windows in
-  let grid = Array.init (Array.length algs * nw) (fun i -> (i / nw, i mod nw)) in
+  (* Per-window restricted trace, deadline and sources, precomputed so
+     the chains below fan out over pure data.  [Trace.restrict] keeps
+     the node count, so every window draws the same number of
+     sources. *)
+  let subs =
+    Array.map
+      (fun t0 ->
+        let hi = Float.min config.horizon (t0 +. config.deadline) in
+        (Trace.restrict trace ~span:(Interval.make ~lo:t0 ~hi), hi))
+      windows
+  in
+  let sources =
+    Array.map (fun (sub, hi) -> Array.of_list (choose_sources config ~trace:sub ~deadline:hi)) subs
+  in
+  let nk = if nw = 0 then 0 else Array.length sources.(0) in
+  (* One task per (algorithm, source index): a window chain sharing
+     one warm store. *)
+  let chains = Array.init (Array.length algs * nk) (fun i -> (i / nk, i mod nk)) in
   let energies =
     Pool.map pool
-      (fun (ai, wi) ->
-        let t0 = windows.(wi) in
-        let hi = Float.min config.horizon (t0 +. config.deadline) in
-        let sub = Trace.restrict trace ~span:(Interval.make ~lo:t0 ~hi) in
-        mean_energy ?pool config ~trace:sub ~deadline:hi algs.(ai))
-      grid
+      (fun (ai, k) ->
+        run_chain config ~npoints:nw
+          ~point:(fun wi ->
+            let sub, hi = subs.(wi) in
+            (sub, sources.(wi).(k), hi))
+          ~k algs.(ai))
+      chains
   in
   let energy_series =
     List.init (Array.length algs) (fun ai ->
         {
           label = algorithm_name algs.(ai);
-          points = List.init nw (fun wi -> (windows.(wi), energies.((ai * nw) + wi)));
+          points =
+            List.init nw (fun wi ->
+                ( windows.(wi),
+                  Stats.mean (Array.init nk (fun k -> energies.((ai * nk) + k).(wi))) ));
         })
   in
   (energy_series, degree)

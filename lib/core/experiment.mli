@@ -65,20 +65,28 @@ type run_result = {
 }
 
 val run_alg :
+  ?warm:Planner.Warm.t ->
   config -> trace:Trace.t -> source:int -> deadline:float -> rng:Rng.t -> algorithm -> run_result
 (** Builds the per-algorithm instance (static design channel for
-    EEDCB/GREED/RAND, Rayleigh for the FR variants) and runs it. *)
+    EEDCB/GREED/RAND, Rayleigh for the FR variants) and runs it.
+    [?warm] is threaded into the planning context: FR planners then
+    warm-start their energy allocation from the store's previous
+    contents and write the new allocation back (see {!Planner.Warm});
+    all other planners ignore it. *)
 
 (** {1 Figures} *)
 
 type series = { label : string; points : (float * float) list }
 
-(** Each figure function takes an optional [pool]: the per-point
-    fan-out (network sizes × deadlines/windows × sources, and the
-    Monte-Carlo trials underneath) then runs across its domains.
-    Results are bit-identical at any worker count — every task seeds
-    or splits its own RNG stream up front — so a parallel sweep
-    reproduces the sequential figures exactly. *)
+(** Each figure function takes an optional [pool].  Figs. 4, 5 and 7
+    fan out one task per (series, source) pair; each task is a serial
+    chain over the figure's x-axis (deadlines or windows, ascending)
+    sharing a {!Planner.Warm} store, so adjacent points warm-start the
+    FR energy allocation.  Fig. 6 keeps its per-(size, algorithm,
+    source) tasks (its digests are golden-pinned and every point is a
+    fresh instance).  Results are bit-identical at any worker count —
+    every task seeds or splits its own RNG stream up front — so a
+    parallel sweep reproduces the sequential figures exactly. *)
 
 val fig4 :
   ?config:config -> ?pool:Pool.t -> variant:[ `Static | `Fading ] -> deadlines:float list ->

@@ -189,7 +189,7 @@ let build_constraints problem txs =
   in
   (node_constraints, relay_constraints, coverages)
 
-let allocate problem backbone_schedule =
+let allocate ?warm problem backbone_schedule =
   (match problem.Problem.channel with
   | `Static -> invalid_arg "Fr.allocate: design channel must be a fading model"
   | `Rayleigh | `Nakagami _ | `Lognormal _ -> ());
@@ -279,7 +279,46 @@ let allocate problem backbone_schedule =
       let x0 = Array.mapi (fun k x -> Futil.clamp ~lo:lower.(k) ~hi:upper.(k) x) x0 in
       Nlp.solve nlp_problem ~x0
     in
-    let candidates_solved = List.map solve_from [ 1.; 0.5 ] in
+    (* Warm keys: (relay, occurrence among that relay's transmissions
+       in schedule order) for each variable — stable across adjacent
+       sweep points whose backbones mostly agree. *)
+    let warm_keys =
+      lazy
+        (let seen = Hashtbl.create 16 in
+         List.map
+           (fun (tx : Schedule.transmission) ->
+             let r = tx.Schedule.relay in
+             let occ = match Hashtbl.find_opt seen r with Some c -> c | None -> 0 in
+             Hashtbl.replace seen r (occ + 1);
+             (r, occ))
+           txs)
+    in
+    let candidates_solved =
+      match warm with
+      | None -> List.map solve_from [ 1.; 0.5 ]
+      | Some store ->
+          (* Single start from the previous point's allocation (missing
+             keys fall back to the cold default), with BB-accelerated
+             inner solves: near a good starting iterate the spectral
+             step needs a fraction of the monotone search's
+             iterations, and the second multi-start seed buys nothing
+             the repair/polish stages do not already guarantee. *)
+          let x0 =
+            Array.of_list (Lazy.force warm_keys)
+            |> Array.mapi (fun k (relay, occurrence) ->
+                   match Planner.Warm.find store ~relay ~occurrence with
+                   | Some w0 -> Futil.clamp ~lo:lower.(k) ~hi:upper.(k) (w0 /. scale.(k))
+                   | None -> x0.(k))
+          in
+          let options =
+            {
+              Nlp.default_options with
+              Nlp.inner =
+                { Projgrad.default_options with Projgrad.max_iter = 300; bb = true };
+            }
+          in
+          [ Nlp.solve ~options nlp_problem ~x0 ]
+    in
     (* Monotone repair: grow the members of any violated constraint by
        a common factor found by bisection; costs only increase, so
        every already-satisfied constraint stays satisfied.  Two
@@ -399,6 +438,16 @@ let allocate problem backbone_schedule =
     while sweep () && !sweeps < 25 do
       incr sweeps
     done;
+    (* Remember the final (repaired and polished) costs for the next
+       point of the chain; stale keys from a differently-shaped
+       backbone are dropped wholesale. *)
+    (match warm with
+    | None -> ()
+    | Some store ->
+        Planner.Warm.reset store;
+        List.iteri
+          (fun k (relay, occurrence) -> Planner.Warm.set store ~relay ~occurrence w.(k))
+          (Lazy.force warm_keys));
     (* Transmissions allocated zero cost are no-ops (φ(0) = 1): drop
        them rather than scheduling silent sends. *)
     if Tmedb_report.Provenance.enabled () then
@@ -443,7 +492,7 @@ let plan_with backbone (ctx : Planner.Ctx.t) problem =
     | `Random -> Random_relay.plan ctx problem
   in
   let backbone_schedule = stage1.Planner.Outcome.schedule in
-  let schedule, allocation = allocate problem backbone_schedule in
+  let schedule, allocation = allocate ?warm:ctx.Planner.Ctx.warm problem backbone_schedule in
   let report = Feasibility.check problem schedule in
   Planner.Outcome.make ~schedule ~report ~unreached:stage1.Planner.Outcome.unreached
     ~artifacts:

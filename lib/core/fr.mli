@@ -35,8 +35,17 @@ type allocation = Planner.Outcome.allocation = {
 (** Re-export of {!Planner.Outcome.allocation} so stage-2 callers can
     use [Fr.allocation] fields without reaching into [Planner]. *)
 
-val allocate : Problem.t -> Schedule.t -> Schedule.t * allocation
-(** Stage 2 alone: re-cost an arbitrary relay/time skeleton.
+val allocate : ?warm:Planner.Warm.t -> Problem.t -> Schedule.t -> Schedule.t * allocation
+(** Stage 2 alone: re-cost an arbitrary relay/time skeleton.  With
+    [?warm] (see {!Planner.Warm}), the NLP starts from the store's
+    previous allocation (single start, Barzilai–Borwein-accelerated
+    inner solves) instead of the cold two-point multi-start, and the
+    final costs are written back for the next call — the repair and
+    polish stages run identically either way, so warm results satisfy
+    exactly the same constraints and typically land within a few
+    percent of the cold objective at a fraction of the iterations.
+    Without [?warm] the solve path is bit-identical to before this
+    option existed.
     @raise Invalid_argument when the problem's design channel is
     [`Static] (there is nothing to allocate: costs are thresholds). *)
 

@@ -1,5 +1,19 @@
 open Tmedb_prelude
 
+module Warm = struct
+  (* Keyed by (relay, occurrence index among the relay's transmissions
+     in schedule order): stable across adjacent sweep points whose
+     backbones mostly agree, which is exactly when warm-starting pays.
+     Only point lookups and replacements — never iterated, so hash
+     bucket order cannot leak into results. *)
+  type t = (int * int, float) Hashtbl.t
+
+  let create () = Hashtbl.create 64
+  let find t ~relay ~occurrence = Hashtbl.find_opt t (relay, occurrence)
+  let set t ~relay ~occurrence cost = Hashtbl.replace t (relay, occurrence) cost
+  let reset t = Hashtbl.reset t
+end
+
 module Ctx = struct
   type t = {
     rng : Rng.t option;
@@ -7,13 +21,14 @@ module Ctx = struct
     cap_per_node : int option;
     pool : Pool.t option;
     provenance : bool;
+    warm : Warm.t option;
   }
 
-  let make ?rng ?(steiner_level = 2) ?cap_per_node ?pool ?provenance () =
+  let make ?rng ?(steiner_level = 2) ?cap_per_node ?pool ?provenance ?warm () =
     let provenance =
       match provenance with Some p -> p | None -> Tmedb_report.Provenance.enabled ()
     in
-    { rng; steiner_level; cap_per_node; pool; provenance }
+    { rng; steiner_level; cap_per_node; pool; provenance; warm }
 
   let default () = make ()
   let rng_or ctx ~seed = match ctx.rng with Some rng -> rng | None -> Rng.create seed

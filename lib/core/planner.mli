@@ -20,6 +20,34 @@
 
 open Tmedb_prelude
 
+(** Cross-point warm-start store for the FR energy allocation: the
+    previous sweep point's allocated costs, keyed by (relay,
+    occurrence index) so they survive small backbone changes between
+    adjacent deadlines/windows.  A store is private to one serial
+    chain of planning calls (one pool task) — sharing one across
+    concurrent tasks would make results depend on scheduling. *)
+module Warm : sig
+  type t
+  (** Mutable allocation memory; contents only ever steer NLP starting
+      iterates, never feasibility or constraint handling, so a warm
+      and a cold solve differ at most in which local optimum the
+      non-convex allocation lands on. *)
+
+  val create : unit -> t
+  (** An empty store (no memory: the first allocation runs cold). *)
+
+  val find : t -> relay:int -> occurrence:int -> float option
+  (** Last allocated cost of the [occurrence]-th transmission of
+      [relay], if the previous allocation had one. *)
+
+  val set : t -> relay:int -> occurrence:int -> float -> unit
+  (** Record one allocated cost for the next point in the chain. *)
+
+  val reset : t -> unit
+  (** Forget everything (called before re-populating, so stale keys
+      from a differently-shaped backbone cannot accumulate). *)
+end
+
 (** Shared planning context: everything that used to be threaded
     ad-hoc through each algorithm's [run] as optional arguments. *)
 module Ctx : sig
@@ -37,6 +65,9 @@ module Ctx : sig
     provenance : bool;
         (** Whether to emit provenance events (defaults to the global
             {!Tmedb_report.Provenance.enabled} flag at {!make} time). *)
+    warm : Warm.t option;
+        (** Warm-start store for the FR allocation ([None]: every
+            allocation solves cold, the goldens' path). *)
   }
 
   val make :
@@ -45,6 +76,7 @@ module Ctx : sig
     ?cap_per_node:int ->
     ?pool:Pool.t ->
     ?provenance:bool ->
+    ?warm:Warm.t ->
     unit ->
     t
   (** Context with the paper's defaults for every omitted field. *)

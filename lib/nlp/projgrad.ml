@@ -6,10 +6,18 @@ type options = {
   step_init : float;
   step_shrink : float;
   armijo : float;
+  bb : bool;
 }
 
 let default_options =
-  { max_iter = 500; grad_tol = 1e-9; step_init = 1.; step_shrink = 0.5; armijo = 1e-4 }
+  {
+    max_iter = 500;
+    grad_tol = 1e-9;
+    step_init = 1.;
+    step_shrink = 0.5;
+    armijo = 1e-4;
+    bb = false;
+  }
 
 type result = { x : float array; f : float; iterations : int; converged : bool }
 
@@ -22,6 +30,14 @@ let project ~lower ~upper x =
   Array.mapi (fun i xi -> Futil.clamp ~lo:lower.(i) ~hi:upper.(i) xi) x
 
 let norm2 v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
+
+(* Barzilai–Borwein window: the nonmonotone line search references the
+   worst of the last few accepted objective values, which lets the
+   long BB steps through where a monotone Armijo search would shrink
+   them back to baby steps. *)
+let bb_history = 5
+let bb_step_min = 1e-10
+let bb_step_max = 1e10
 
 let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
   let tm = Tmedb_obs.Timer.start t_minimize in
@@ -36,6 +52,11 @@ let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
   let fx = ref (f !x) in
   let iterations = ref 0 in
   let converged = ref false in
+  (* BB state: the previous accepted iterate/gradient, and the recent
+     accepted objective values (newest first).  Untouched — and without
+     effect on any float computed — unless [options.bb] is set. *)
+  let prev = ref None in
+  let recent_f = ref [ !fx ] in
   while (not !converged) && !iterations < options.max_iter do
     incr iterations;
     let g = grad !x in
@@ -45,6 +66,32 @@ let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
     let pg = Array.mapi (fun i mi -> !x.(i) -. mi) moved in
     if norm2 pg <= options.grad_tol then converged := true
     else begin
+      (* BB1 spectral step (s·s)/(s·y) seeds the backtracking when
+         enabled; the plain Armijo search keeps [step_init]. *)
+      let step0 =
+        if not options.bb then options.step_init
+        else begin
+          match !prev with
+          | None -> options.step_init
+          | Some (px, pgrad) ->
+              let sts = ref 0. and sty = ref 0. in
+              for i = 0 to n - 1 do
+                let s = !x.(i) -. px.(i) in
+                sts := !sts +. (s *. s);
+                sty := !sty +. (s *. (g.(i) -. pgrad.(i)))
+              done;
+              if !sty > 0. && !sts > 0. then
+                Futil.clamp ~lo:bb_step_min ~hi:bb_step_max (!sts /. !sty)
+              else options.step_init
+        end
+      in
+      (* Acceptance reference: with BB, the max of the recent accepted
+         values (nonmonotone); otherwise the current value, which makes
+         the test below exactly the classic monotone Armijo check. *)
+      let f_ref =
+        if not options.bb then !fx
+        else List.fold_left Float.max !fx !recent_f
+      in
       (* Backtracking along the projected-descent arc. *)
       let rec backtrack step tries =
         if tries = 0 then None
@@ -57,12 +104,16 @@ let minimize ?(options = default_options) ~f ?grad ~lower ~upper ~x0 () =
             Array.to_list (Array.mapi (fun i ci -> g.(i) *. (!x.(i) -. ci)) cand)
             |> List.fold_left ( +. ) 0.
           in
-          if fc <= !fx -. (options.armijo *. decrease) && fc < !fx then Some (cand, fc)
+          if fc <= f_ref -. (options.armijo *. decrease) && fc < f_ref then Some (cand, fc)
           else backtrack (step *. options.step_shrink) (tries - 1)
         end
       in
-      match backtrack options.step_init 60 with
+      match backtrack step0 60 with
       | Some (cand, fc) ->
+          if options.bb then begin
+            prev := Some (Array.copy !x, g);
+            recent_f := fc :: List.filteri (fun i _ -> i < bb_history - 1) !recent_f
+          end;
           x := cand;
           fx := fc
       | None -> converged := true (* no descent available: local stationarity *)

@@ -1,5 +1,6 @@
 (** Box-constrained smooth minimisation by projected gradient descent
-    with backtracking (Armijo) line search. *)
+    with backtracking (Armijo) line search, optionally accelerated by
+    Barzilai–Borwein spectral steps. *)
 
 type options = {
   max_iter : int;
@@ -7,6 +8,15 @@ type options = {
   step_init : float;
   step_shrink : float;  (** Backtracking factor in (0,1). *)
   armijo : float;  (** Sufficient-decrease constant in (0,1). *)
+  bb : bool;
+      (** Seed each backtracking search with the Barzilai–Borwein
+          (BB1) spectral step and accept against a nonmonotone
+          reference (the worst of the last few accepted values)
+          instead of the strictly monotone Armijo test.  Off by
+          default: the default path is bit-identical to the classic
+          monotone search, which the figure goldens pin.  Used by the
+          warm-started FR allocation ({!Tmedb.Fr}), where the spectral
+          step cuts iteration counts severalfold near a warm start. *)
 }
 
 val default_options : options

@@ -1,4 +1,4 @@
-(** Fixed-size domain pool for embarrassingly parallel fan-out.
+(** Fixed-size domain pool with per-worker work-stealing deques.
 
     The experiment sweeps (figures 4–7) and Monte-Carlo trial loops are
     independent tasks; this pool runs them across OCaml 5 domains with
@@ -8,6 +8,18 @@
       domains; the calling domain itself executes tasks while it waits
       for a batch, so a 1-worker pool is exactly sequential execution
       with zero synchronisation overhead.
+    - Each worker owns a deque; batch submission spreads jobs over the
+      deques round-robin.  A worker pops its own deque from the back
+      (newest first) and, when empty, steals from the other deques'
+      fronts in a deterministic cyclic scan — no randomised victim
+      selection, so the scheduler consumes no RNG stream.
+    - Chunked maps size their chunks adaptively: each chunk measures
+      its per-element cost into a per-pool estimate, and later batches
+      aim for a few milliseconds of work per scheduled job (tiny
+      batches run inline on the caller).  The [TMEDB_CHUNK] environment
+      variable, read at {!create} time, pins the chunk size instead;
+      an explicit [?chunk] argument overrides both.  Chunk sizing only
+      steers scheduling — results never depend on it.
     - Nested use is safe: a task may call {!parallel_map} on the same
       pool.  The inner call's tasks are drained by the blocked caller
       (and any idle worker), so the pool never deadlocks.
@@ -19,10 +31,15 @@
       (with its backtrace) after the batch drains; remaining unstarted
       tasks of that batch are skipped.
     - Telemetry ({!Tmedb_obs}): [pool.tasks] counts logical elements
-      dispatched through {!map}/{!map_chunked}/{!parallel_init} (the
-      same total at any worker count, including no pool);
-      [pool.batches]/[pool.run_batch] count and time actual queue
-      submissions (these depend on the pool size and chunking). *)
+      dispatched through {!parallel_map}/{!parallel_map_chunked}/
+      {!parallel_init} and their option-dispatch wrappers {!map}/
+      {!map_chunked} (the same total at any worker count, including no
+      pool); [pool.batches]/[pool.run_batch] count and time batch
+      submissions, [pool.steals] counts takes from a deque the taker
+      does not own, and [pool.chunk_size] records the chunk each
+      chunked batch was scheduled with (all of these depend on the pool
+      size, chunking and timing — they are scheduler diagnostics, not
+      results). *)
 
 type t
 
@@ -33,7 +50,18 @@ val default_num_domains : unit -> int
 
 val create : ?num_domains:int -> unit -> t
 (** [create ()] sizes the pool with {!default_num_domains}.  The pool
-    holds [num_domains - 1] spawned domains until {!shutdown}.
+    holds [num_domains - 1] spawned domains until {!shutdown}.  The
+    [TMEDB_CHUNK] environment variable (a positive integer) is read
+    here and pins the chunk size of every {!parallel_map_chunked} call
+    that does not pass [?chunk] explicitly.
+
+    Multi-domain pools also enlarge the minor heap of every
+    participating domain (the caller's is restored by {!shutdown}):
+    the OCaml 5 minor GC is a stop-the-world handshake across domains,
+    and with the stock 256k-word heap that handshake alone makes two
+    allocation-heavy domains on a shared core slower than one.  GC
+    sizing cannot affect results.  [TMEDB_MINOR_HEAP] (words) moves
+    the target; [TMEDB_MINOR_HEAP=0] disables the enlargement.
     @raise Invalid_argument if [num_domains < 1]. *)
 
 val num_domains : t -> int
@@ -53,8 +81,10 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val parallel_map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Like {!parallel_map} but one task per contiguous chunk of [chunk]
-    elements (default: a heuristic giving ~4 chunks per worker), for
-    cheap per-element work where per-task overhead would dominate.
+    elements, for cheap per-element work where per-task overhead would
+    dominate.  [chunk] defaults to the adaptive heuristic (observed
+    per-element cost targeting a few ms per job; [TMEDB_CHUNK] pins it
+    instead when set).
     @raise Invalid_argument if [chunk < 1]. *)
 
 val parallel_init : t -> int -> (int -> 'a) -> 'a array

@@ -10,34 +10,70 @@ let c_settled = Tmedb_obs.Counter.make "dijkstra.settled"
 let t_run = Tmedb_obs.Timer.make "dijkstra.run"
 let h_relaxations = Tmedb_obs.Histogram.make "dijkstra.relaxations"
 
+(* Early-termination bookkeeping: a bool per vertex marking the targets
+   not yet settled, plus their count.  When the count reaches zero the
+   drain may stop: settled vertices carry final distances and their
+   predecessor chains consist of settled vertices only (pop order is
+   nondecreasing with non-negative weights), so every read a caller is
+   allowed to make — dist/pred at a target, or a pred walk from one —
+   is identical to the full drain's. *)
+type stop_set = { want : bool array; mutable pending : int }
+
+let stop_set_of n targets =
+  match targets with
+  | None -> None
+  | Some ts ->
+      let want = Array.make n false in
+      let pending = ref 0 in
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Dijkstra: target out of range";
+          if not want.(v) then begin
+            want.(v) <- true;
+            incr pending
+          end)
+        ts;
+      Some { want; pending = !pending }
+
 (* Lazy-deletion Dijkstra: stale queue entries are skipped by the
    distance check, which makes warm restarts (pushing extra sources
    into an already-relaxed state) sound with non-negative weights.
-   Returns the number of successful relaxations (distance
-   improvements), the per-run distribution measure. *)
-let drain g dist pred queue =
+   With a stop set, the drain ends as soon as every target has been
+   settled (or the queue empties first — unreachable targets degrade
+   gracefully to a full drain).  Returns the number of successful
+   relaxations (distance improvements), the per-run distribution
+   measure. *)
+let drain ?stop g dist pred queue =
   let relaxed = ref 0 in
+  let finished () = match stop with Some s -> s.pending = 0 | None -> false in
   let rec go () =
-    match Pqueue.pop queue with
-    | None -> ()
-    | Some (d, u) ->
-        if d <= dist.(u) then begin
-          Tmedb_obs.Counter.incr c_settled;
-          Digraph.iter_succ g u (fun v w ->
-              let nd = d +. w in
-              if nd < dist.(v) then begin
-                dist.(v) <- nd;
-                pred.(v) <- u;
-                incr relaxed;
-                Pqueue.push queue nd v
-              end)
-        end;
-        go ()
+    if not (finished ()) then begin
+      match Pqueue.pop queue with
+      | None -> ()
+      | Some (d, u) ->
+          if d <= dist.(u) then begin
+            Tmedb_obs.Counter.incr c_settled;
+            (match stop with
+            | Some s when s.want.(u) ->
+                s.want.(u) <- false;
+                s.pending <- s.pending - 1
+            | Some _ | None -> ());
+            Digraph.iter_succ g u (fun v w ->
+                let nd = d +. w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  pred.(v) <- u;
+                  incr relaxed;
+                  Pqueue.push queue nd v
+                end)
+          end;
+          go ()
+    end
   in
   go ();
   !relaxed
 
-let run_multi g ~sources =
+let run_multi ?targets g ~sources =
   Tmedb_obs.Counter.incr c_runs;
   let tr = Tmedb_obs.Timer.start t_run in
   let n = Digraph.n g in
@@ -45,6 +81,7 @@ let run_multi g ~sources =
   List.iter
     (fun src -> if src < 0 || src >= n then invalid_arg "Dijkstra.run_multi: src out of range")
     sources;
+  let stop = stop_set_of n targets in
   let dist = Array.make n Float.infinity in
   let pred = Array.make n (-1) in
   let queue = Pqueue.create () in
@@ -53,18 +90,19 @@ let run_multi g ~sources =
       dist.(src) <- 0.;
       Pqueue.push queue 0. src)
     sources;
-  Tmedb_obs.Histogram.observe h_relaxations (drain g dist pred queue);
+  Tmedb_obs.Histogram.observe h_relaxations (drain ?stop g dist pred queue);
   Tmedb_obs.Timer.stop t_run tr;
   { dist; pred }
 
-let run g ~src =
+let run ?targets g ~src =
   if src < 0 || src >= Digraph.n g then invalid_arg "Dijkstra.run: src out of range";
-  run_multi g ~sources:[ src ]
+  run_multi ?targets g ~sources:[ src ]
 
-let refine g r ~new_sources =
+let refine ?targets g r ~new_sources =
   Tmedb_obs.Counter.incr c_runs;
   let tr = Tmedb_obs.Timer.start t_run in
   let n = Digraph.n g in
+  let stop = stop_set_of n targets in
   let queue = Pqueue.create () in
   List.iter
     (fun src ->
@@ -75,7 +113,7 @@ let refine g r ~new_sources =
         Pqueue.push queue 0. src
       end)
     new_sources;
-  Tmedb_obs.Histogram.observe h_relaxations (drain g r.dist r.pred queue);
+  Tmedb_obs.Histogram.observe h_relaxations (drain ?stop g r.dist r.pred queue);
   Tmedb_obs.Timer.stop t_run tr
 
 let path r ~src ~dst =

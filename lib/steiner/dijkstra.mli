@@ -1,29 +1,47 @@
 (** Single- and multi-source shortest paths with non-negative weights,
     with warm restart for incrementally growing source sets (the
     tree-growing Steiner loop adds sources every round; re-relaxing
-    only the improved region amortises to a few full passes). *)
+    only the improved region amortises to a few full passes).
+
+    Every entry point takes an optional [?targets] vertex set: when
+    given, the scan stops as soon as every target has been settled
+    instead of draining the whole graph.  Settled vertices hold final
+    distances and their predecessor chains pass through settled
+    vertices only, so reads restricted to the targets (their [dist],
+    [pred], and predecessor walks from them — {!path}/{!path_edges})
+    are bit-identical to a full run; distances of other vertices are
+    merely upper bounds.  Unreachable targets degrade gracefully to a
+    full drain. *)
 
 type result = {
   dist : float array;  (** [infinity] for unreachable vertices. *)
   pred : int array;  (** Predecessor on a shortest path; -1 at sources and unreachable vertices. *)
 }
 
-val run : Digraph.t -> src:int -> result
+val run : ?targets:int list -> Digraph.t -> src:int -> result
+(** Single-source {!run_multi}. *)
 
-val run_multi : Digraph.t -> sources:int list -> result
+val run_multi : ?targets:int list -> Digraph.t -> sources:int list -> result
 (** Shortest paths from a vertex set (all sources at distance 0).
-    @raise Invalid_argument on an empty source list. *)
+    With [?targets], stops once all targets are settled (see above).
+    @raise Invalid_argument on an empty source list or an
+    out-of-range target. *)
 
-val refine : Digraph.t -> result -> new_sources:int list -> unit
+val refine : ?targets:int list -> Digraph.t -> result -> new_sources:int list -> unit
 (** Add sources at distance 0 to an existing result and re-relax in
     place.  Distances only decrease; vertices whose distance is
-    unaffected are not revisited. *)
+    unaffected are not revisited.  With [?targets], the re-relaxation
+    stops early only when every target is improved and re-settled by
+    this pass; targets the pass never touches keep their previous
+    (already final) values, so target reads stay exact. *)
 
 val path : result -> src:int -> dst:int -> int list option
 (** Vertex sequence [src; ...; dst] on a shortest path, [None] when
     unreachable.  With multiple sources, [src] is ignored except as
-    the stopping vertex of the predecessor walk — pass any source. *)
+    the stopping vertex of the predecessor walk — pass any source.
+    After a targeted run, [dst] must be one of the targets. *)
 
 val path_edges : Digraph.t -> result -> src:int -> dst:int -> (int * int * float) list option
 (** Same path as weighted edge triples (weights are the minimum
-    parallel-edge weights along the predecessor chain). *)
+    parallel-edge weights along the predecessor chain).  After a
+    targeted run, [dst] must be one of the targets. *)

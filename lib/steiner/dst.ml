@@ -59,7 +59,10 @@ type terminal_maps = {
   next : int array array;  (* next hop from v toward terminal ti *)
 }
 
-let build_terminal_maps g terminals =
+(* [targets] (the candidate intermediates) bounds each per-terminal
+   Dijkstra: only candidate rows of the maps are ever read, so the scan
+   can stop once every candidate is settled. *)
+let build_terminal_maps ?targets g terminals =
   let tm = Tmedb_obs.Timer.start t_terminal_maps in
   let rev = Digraph.reverse g in
   let ids = Array.of_list terminals in
@@ -67,7 +70,7 @@ let build_terminal_maps g terminals =
   let next = Array.make (Array.length ids) [||] in
   Array.iteri
     (fun ti term ->
-      let r = Dijkstra.run rev ~src:term in
+      let r = Dijkstra.run ?targets rev ~src:term in
       dist.(ti) <- r.Dijkstra.dist;
       next.(ti) <- r.Dijkstra.pred)
     ids;
@@ -174,8 +177,11 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
     let still_needed = ref need in
     let progress = ref true in
     (* Distances from the growing tree, warm-restarted as members are
-       added (distances only decrease). *)
-    let tree_dist = Dijkstra.run_multi g ~sources:[ v ] in
+       added (distances only decrease).  Only candidate vertices are
+       ever read from this result (the scans and the connect walk), so
+       the relaxation may stop once all candidates are settled. *)
+    let targets = Array.to_list candidates in
+    let tree_dist = Dijkstra.run_multi g ~sources:[ v ] ~targets in
     while !still_needed > 0 && !progress do
       let dist_v = tree_dist.Dijkstra.dist and pred_v = tree_dist.Dijkstra.pred in
       let pick =
@@ -248,7 +254,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
           in
           note_edges (connect u []);
           note_edges sub.cand_edges;
-          Dijkstra.refine g tree_dist ~new_sources:!fresh;
+          Dijkstra.refine g tree_dist ~new_sources:!fresh ~targets;
           List.iter
             (fun ti ->
               if remaining.(ti) then begin
@@ -280,7 +286,7 @@ let solve_body ~level ?candidates ~rounds g ~root ~terminals =
         (* The root and the terminals must stay eligible. *)
         Array.of_list (List.sort_uniq Int.compare ((root :: terminals) @ cs))
   in
-  let maps = build_terminal_maps g terminals in
+  let maps = build_terminal_maps ~targets:(Array.to_list candidates) g terminals in
   let k = Array.length maps.ids in
   (* For each vertex, terminal distances ascending: the A_1 lookup
      table used by the level-2 scan. *)
@@ -344,7 +350,8 @@ let solve ?(level = 2) ?candidates g ~root ~terminals =
 let prune g ~root tree =
   let nv = Digraph.n g in
   let sub = Digraph.of_edges ~n:nv tree.edges in
-  let r = Dijkstra.run sub ~src:root in
+  (* Only the covered terminals' paths are extracted below. *)
+  let r = Dijkstra.run sub ~src:root ~targets:tree.covered in
   let set = Edge_set.create nv in
   List.iter
     (fun term ->

@@ -91,6 +91,37 @@ let test_projgrad_rosenbrock_descends () =
   let r = Projgrad.minimize ~f ~lower:[| -2.; -2. |] ~upper:[| 2.; 2. |] ~x0 () in
   check_bool "improved" true (r.Projgrad.f < f x0)
 
+let test_projgrad_bb_matches_monotone () =
+  (* An ill-conditioned quadratic: the spectral step must reach the
+     same minimiser as the monotone search, in no more iterations. *)
+  let f x = (50. *. ((x.(0) -. 3.) ** 2.)) +. ((x.(1) +. 1.) ** 2.) in
+  let grad x = [| 100. *. (x.(0) -. 3.); 2. *. (x.(1) +. 1.) |] in
+  let solve bb =
+    Projgrad.minimize
+      ~options:{ Projgrad.default_options with Projgrad.bb }
+      ~f ~grad ~lower:[| -10.; -10. |] ~upper:[| 10.; 10. |] ~x0:[| 0.; 0. |] ()
+  in
+  let plain = solve false and bb = solve true in
+  close ~tol:1e-4 "bb x0 -> 3" 3. bb.Projgrad.x.(0);
+  close ~tol:1e-4 "bb x1 -> -1" (-1.) bb.Projgrad.x.(1);
+  check_bool "bb converged" true bb.Projgrad.converged;
+  check_bool
+    (Printf.sprintf "bb no slower (%d vs %d iterations)" bb.Projgrad.iterations
+       plain.Projgrad.iterations)
+    true
+    (bb.Projgrad.iterations <= plain.Projgrad.iterations)
+
+let test_projgrad_bb_respects_bounds () =
+  (* Nonmonotone acceptance must still project every iterate. *)
+  let f x = (x.(0) -. 5.) ** 2. in
+  let r =
+    Projgrad.minimize
+      ~options:{ Projgrad.default_options with Projgrad.bb = true }
+      ~f ~lower:[| 0. |] ~upper:[| 2. |] ~x0:[| 1. |] ()
+  in
+  check_bool "stays in box" true (0. <= r.Projgrad.x.(0) && r.Projgrad.x.(0) <= 2.);
+  close ~tol:1e-6 "clamped" 2. r.Projgrad.x.(0)
+
 let test_projgrad_dimension_mismatch () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Projgrad.minimize: dimension mismatch")
     (fun () ->
@@ -191,6 +222,8 @@ let () =
           tc "projects x0" test_projgrad_projects_x0;
           tc "analytic gradient" test_projgrad_analytic_gradient;
           tc "rosenbrock descends" test_projgrad_rosenbrock_descends;
+          tc "bb matches monotone" test_projgrad_bb_matches_monotone;
+          tc "bb respects bounds" test_projgrad_bb_respects_bounds;
           tc "dimension mismatch" test_projgrad_dimension_mismatch;
         ] );
       ( "nlp",

@@ -337,6 +337,37 @@ let test_disabled_path_allocation_free () =
           (fun e -> e.Tmedb_obs.name = "test.obs.noalloc_span")
           (Tmedb_obs.events ())))
 
+(* The pool's scheduler diagnostics honour the global flag like every
+   other instrument: a disabled run records no steals and no chunk
+   sizes, an enabled chunked batch records exactly its chosen chunk. *)
+let test_pool_diagnostics_flag_check () =
+  let steals = Tmedb_obs.Counter.make "pool.steals" in
+  let chunks = Tmedb_obs.Histogram.make "pool.chunk_size" in
+  let workload pool =
+    ignore (Pool.parallel_map_chunked pool ~chunk:4 (fun i -> i * i) (Array.init 64 Fun.id))
+  in
+  Tmedb_obs.reset ();
+  Tmedb_obs.set_enabled false;
+  Pool.with_pool ~num_domains:2 workload;
+  check_int "disabled: no steals recorded" 0 (Tmedb_obs.Counter.value steals);
+  check_int "disabled: no chunk sizes recorded" 0 (Tmedb_obs.Histogram.count chunks);
+  Tmedb_obs.set_enabled true;
+  let batches, chunk_max, steal_count =
+    Fun.protect
+      (fun () ->
+        Pool.with_pool ~num_domains:2 workload;
+        Tmedb_obs.
+          (Histogram.count chunks, Histogram.max_value chunks, Counter.value steals))
+      ~finally:(fun () ->
+        Tmedb_obs.set_enabled false;
+        Tmedb_obs.reset ())
+  in
+  check_int "enabled: one chunked batch observed" 1 batches;
+  check_int "enabled: the submitted chunk size" 4 chunk_max;
+  (* Whether the worker or the caller drains first is a race; only
+     non-negativity is deterministic here. *)
+  check_bool "enabled: steal count non-negative" true (steal_count >= 0)
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry observes, never steers: identical results on and off *)
 
@@ -455,6 +486,7 @@ let () =
       ( "overhead",
         [
           tc "disabled path is allocation-free" test_disabled_path_allocation_free;
+          tc "pool diagnostics honour the flag" test_pool_diagnostics_flag_check;
           tc "results identical with telemetry on/off" test_results_identical_on_off;
         ] );
     ]

@@ -150,6 +150,51 @@ let test_fig4_bit_identical () =
           check_bool (Printf.sprintf "fig4 jobs=%d" k) true (run (Some pool) = reference)))
     jobs_under_test
 
+(* Fig. 5 exercises the warm chains (fading variant → FR planners →
+   warm-started NLP): its values must still not depend on the worker
+   count, since each (algorithm, source) chain is one pool task. *)
+let test_fig5_bit_identical () =
+  let run pool =
+    Experiment.fig5 ~config:tiny ?pool ~variant:`Fading ~deadlines:[ 800.; 1200. ] ()
+  in
+  let reference = run None in
+  check_bool "reference is non-trivial" true
+    (List.exists (fun s -> s.Experiment.points <> []) reference);
+  List.iter
+    (fun k ->
+      Pool.with_pool ~num_domains:k (fun pool ->
+          check_bool (Printf.sprintf "fig5 jobs=%d" k) true (run (Some pool) = reference)))
+    jobs_under_test
+
+(* Warm-starting trades the cold multi-start for the previous point's
+   allocation: over a deadline chain the energies must stay close to
+   the cold run (both are feasible local optima of the same NLP), and
+   the warm chain must not be wildly worse. *)
+let test_warm_chain_close_to_cold () =
+  let trace = Experiment.make_trace tiny ~n:8 in
+  let deadlines = [ 900.; 1100.; 1300. ] in
+  let algorithm =
+    match Experiment.algorithm_of_string "FR-GREED" with Ok a -> a | Error e -> failwith e
+  in
+  let energies warm =
+    List.map
+      (fun deadline ->
+        let rng = Rng.create 23 in
+        (Experiment.run_alg ?warm tiny ~trace ~source:0 ~deadline ~rng algorithm)
+          .Experiment.energy)
+      deadlines
+  in
+  let cold = energies None in
+  let warm = energies (Some (Planner.Warm.create ())) in
+  check_bool "cold energies positive" true (List.for_all (fun e -> e > 0.) cold);
+  List.iter2
+    (fun c w ->
+      check_bool
+        (Printf.sprintf "warm %.6g within 10%% of cold %.6g" w c)
+        true
+        (Float.abs (w -. c) <= 0.10 *. Float.abs c))
+    cold warm
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -168,5 +213,7 @@ let () =
         [
           slow "Simulate.run bit-identical" test_simulate_bit_identical;
           slow "Experiment.fig4 bit-identical" test_fig4_bit_identical;
+          slow "Experiment.fig5 bit-identical" test_fig5_bit_identical;
         ] );
+      ("warm-start", [ slow "warm chain close to cold" test_warm_chain_close_to_cold ]);
     ]
