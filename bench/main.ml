@@ -10,6 +10,7 @@
      dune exec bench/main.exe bechamel   -- kernel timings only
      dune exec bench/main.exe baseline   -- parallel baseline only (writes BENCH_1.json)
      dune exec bench/main.exe obs        -- telemetry overhead check (disabled-path cost)
+     dune exec bench/main.exe nscale     -- lazy vs eager aux-graph scaling (add --quick for CI)
 
    Every mode accepts `--jobs K` (default: TMEDB_JOBS or the core
    count): the figure sweeps and Monte-Carlo loops fan out over K
@@ -362,6 +363,115 @@ let bechamel_kernels () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* N-scaling: the lazy auxiliary graph against the eager O(N^2 L)
+   build, on the clustered Scale scenarios (docs/SCALING.md).  The
+   cheap-backbone / expensive-meeting structure means a shortest-path
+   scan settles every terminal far below the cost of the deep DCS
+   levels, so the lazy frontier is a small fraction of the vertex
+   universe — which this mode measures and asserts. *)
+
+let nscale_cap = 64
+
+let nscale_problem n =
+  let params = Tmedb_tveg.Scale.default_params in
+  let graph = Tmedb_tveg.Scale.scenario ~params ~n () in
+  Problem.make ~graph ~phy:Tmedb_channel.Phy.default ~channel:`Static ~source:0
+    ~deadline:(Tmedb_tveg.Scale.deadline ~params ()) ()
+
+let nscale_outcome ~lazy_aux planner n =
+  let p = nscale_problem n in
+  let ctx = Planner.Ctx.make ~cap_per_node:nscale_cap ~lazy_aux () in
+  let t0 = Unix.gettimeofday () in
+  let o = Planner.run ~ctx planner p in
+  (o, Unix.gettimeofday () -. t0, p)
+
+let nscale_counter name snap =
+  match List.assoc_opt name snap.Tmedb_obs.counters with Some v -> v | None -> 0
+
+let nscale ~quick () =
+  (* The materialisation counters below come from the global registry,
+     so this mode forces telemetry on. *)
+  Tmedb_obs.set_enabled true;
+  section
+    (Printf.sprintf "N-scaling: lazy aux-graph frontier vs eager build%s"
+       (if quick then " (quick)" else ""));
+  let row label n secs (o : Planner.Outcome.t) p =
+    Printf.printf "%-24s %6d %9.2f s %14.1f %10d unreached\n%!" label n secs
+      (Metrics.normalized_energy p o.Planner.Outcome.schedule)
+      (List.length o.Planner.Outcome.unreached)
+  in
+  (* 1. Correctness: eager and lazy SPT agree bit for bit. *)
+  let n_eq = if quick then 60 else 100 in
+  let eager_o, eager_secs, p_eq = nscale_outcome ~lazy_aux:false (alg "SPT") n_eq in
+  let lazy_o, lazy_secs, _ = nscale_outcome ~lazy_aux:true (alg "SPT") n_eq in
+  row "SPT eager" n_eq eager_secs eager_o p_eq;
+  row "SPT lazy" n_eq lazy_secs lazy_o p_eq;
+  if
+    not
+      (Schedule.equal eager_o.Planner.Outcome.schedule lazy_o.Planner.Outcome.schedule
+      && eager_o.Planner.Outcome.unreached = lazy_o.Planner.Outcome.unreached)
+  then begin
+    Printf.eprintf "nscale: lazy SPT diverged from the eager build at N=%d\n" n_eq;
+    exit 1
+  end;
+  Printf.printf "lazy == eager at N=%d: true\n%!" n_eq;
+  (* 2. The eager core for the wall-clock comparison: EEDCB on the
+     fully materialised graph at N=100 (skipped in quick mode). *)
+  let eager_core_secs =
+    if quick then None
+    else begin
+      let o, secs, p = nscale_outcome ~lazy_aux:false (alg "EEDCB") 100 in
+      row "EEDCB eager (the wall)" 100 secs o p;
+      Some secs
+    end
+  in
+  (* 3. Lazy SPT up the N curve, frontier cut measured per point; the
+     10x gate and the unreached check apply to the last (largest) N. *)
+  let curve = if quick then [ 300 ] else [ 250; 500; 1000 ] in
+  let last =
+    List.fold_left
+      (fun _ n ->
+        let before = Tmedb_obs.snapshot () in
+        let o, secs, p = nscale_outcome ~lazy_aux:true (alg "SPT") n in
+        let after = Tmedb_obs.snapshot () in
+        row "SPT lazy" n secs o p;
+        let materialized =
+          nscale_counter "aux_graph.nodes_materialized" after
+          - nscale_counter "aux_graph.nodes_materialized" before
+        in
+        let universe =
+          nscale_counter "aux_graph.lazy_nodes_total" after
+          - nscale_counter "aux_graph.lazy_nodes_total" before
+        in
+        let ratio = float_of_int universe /. float_of_int (Stdlib.max materialized 1) in
+        Printf.printf "  N=%-5d universe %9d  materialized %8d  %.1fx cut\n%!" n universe
+          materialized ratio;
+        Some (n, o, secs, ratio))
+      None curve
+  in
+  let n_big, big_o, big_secs, ratio =
+    match last with Some x -> x | None -> assert false
+  in
+  if big_o.Planner.Outcome.unreached <> [] then begin
+    Printf.eprintf "nscale: N=%d broadcast left nodes unreached\n" n_big;
+    exit 1
+  end;
+  if ratio < 10. then begin
+    Printf.eprintf "nscale: materialization cut %.1fx is below the 10x gate\n" ratio;
+    exit 1
+  end;
+  Option.iter
+    (fun wall ->
+      Printf.printf "lazy N=%d %.2f s vs eager-core N=100 %.2f s\n%!" n_big big_secs wall;
+      if big_secs >= wall then begin
+        Printf.eprintf
+          "nscale: lazy N=%d (%.2f s) is not faster than the eager core at N=100 (%.2f s)\n"
+          n_big big_secs wall;
+        exit 1
+      end)
+    eager_core_secs
+
+(* ------------------------------------------------------------------ *)
 (* Parallel baseline: time each figure-sweep kernel with 1 domain and
    with the configured pool, check the results are bit-identical, and
    write BENCH_1.json so later sessions have a perf trajectory. *)
@@ -413,6 +523,19 @@ let baseline_kernels : (string * (Tmedb_prelude.Pool.t option -> float list)) li
             ~eval_channel:`Rayleigh problem schedule
         in
         [ sim.Simulate.delivery_ratio; sim.Simulate.mean_energy_spent ] );
+    ( "nscale",
+      (* Pool-independent on purpose: the lazy planner is a single
+         scan, and the counter deltas the baseline machinery records
+         (aux_graph.lazy_nodes_total vs aux_graph.nodes_materialized)
+         are the kernel's real payload. *)
+      fun _pool ->
+        let p = nscale_problem 1000 in
+        let ctx = Planner.Ctx.make ~cap_per_node:nscale_cap ~lazy_aux:true () in
+        let o = Planner.run ~ctx (alg "SPT") p in
+        [
+          Metrics.normalized_energy p o.Planner.Outcome.schedule;
+          float_of_int (List.length o.Planner.Outcome.unreached);
+        ] );
   ]
 
 (* Baseline files form a sequence BENCH_1.json, BENCH_2.json, …: each
@@ -614,12 +737,24 @@ let regress () =
          pool.batches/tasks) depend on observed task timing, so they
          are reported but never gate. *)
       let pool_diag d = contains d.Tmedb_report.Diff.key "pool." in
-      let timing_deltas, rest = List.partition timing deltas in
+      (* A key present only in the new baseline is a kernel or counter
+         the suite *learned* — report it, don't gate on it.  A key that
+         *disappeared* still gates: losing a counter silently is how
+         coverage rots. *)
+      let added (d : Tmedb_report.Diff.delta) =
+        d.Tmedb_report.Diff.a = None && d.Tmedb_report.Diff.b <> None
+      in
+      let added_deltas, rest = List.partition added deltas in
+      let timing_deltas, rest = List.partition timing rest in
       let pool_deltas, stable_deltas = List.partition pool_diag rest in
       List.iter
         (fun (d : Tmedb_report.Diff.delta) ->
           Printf.printf "i scheduler: %s changed (informational)\n" d.Tmedb_report.Diff.key)
         pool_deltas;
+      List.iter
+        (fun (d : Tmedb_report.Diff.delta) ->
+          Printf.printf "+ learned: %s (new in this baseline)\n" d.Tmedb_report.Diff.key)
+        added_deltas;
       print_string (Tmedb_report.Diff.render ~threshold:!regress_threshold stable_deltas);
       let tripped = Tmedb_report.Diff.exceeding ~threshold:!regress_threshold stable_deltas in
       let timing_tripped = Tmedb_report.Diff.exceeding ~threshold:0.5 timing_deltas in
@@ -748,7 +883,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [--jobs K] [--chunk K] [--metrics FILE] [--trace FILE] [--threshold REL] \
      [--speedup-floor F] \
-     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|regress|obs|lint]";
+     [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|regress|obs|lint|nscale \
+     [--quick]]";
   exit 2
 
 (* Strip `--jobs K` / `-j K` and the telemetry sinks anywhere in argv;
@@ -857,6 +993,8 @@ let () =
   | [ "baseline" ] -> ignore (baseline ())
   | [ "regress" ] -> regress ()
   | [ "obs" ] -> obs_overhead ()
+  | [ "nscale" ] -> nscale ~quick:false ()
+  | [ "nscale"; "--quick" ] | [ "--quick"; "nscale" ] -> nscale ~quick:true ()
   | [ "lint" ] -> lint_smoke ()
   | _ -> usage ());
   write_telemetry ();

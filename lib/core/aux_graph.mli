@@ -67,3 +67,78 @@ val num_wait_vertices : t -> int
 val num_level_vertices : t -> int
 (** Level vertices in the graph — one per (node, point, DCS level)
     triple whose transmission completes by the deadline. *)
+
+(** Lazily expanded auxiliary graph (frontier materialisation).
+
+    Same vertex universe, ids, edges and adjacency *orders* as
+    {!build} — bit-identical traversal results — but no edge list, no
+    CSR arrays and no vertex array are ever constructed.  A cheap
+    exact-count pass fixes the id layout up front (wait ids first,
+    then level ids in block order, exactly the eager compact ids);
+    successors are generated on demand from memoised DCS blocks, so
+    only the frontier a traversal actually pops is paid for.  The gap
+    between {!Lazy.num_vertices} and {!Lazy.nodes_materialized} is the
+    saving over the eager O(N²L) build. *)
+module Lazy : sig
+  type t
+  (** A lazily expanded auxiliary graph over a problem and its DTS. *)
+
+  val create : Problem.t -> Tmedb_tveg.Dts.t -> t
+  (** Exact-count pass only: O(Σ_blocks deg·log deg) DCS sizing, no
+      edge materialisation.  Uses the instance's design channel for
+      DCS costs, exactly like {!build}. *)
+
+  val view : t -> Digraph.view
+  (** Forward successor view, adjacency order identical to the eager
+      CSR graph's.  First enumeration of a vertex materialises its DCS
+      block (memoised) and bumps the materialisation counters. *)
+
+  val rev_view : t -> Digraph.view
+  (** Reverse (predecessor) view, adjacency order identical to
+      [Digraph.view (Digraph.reverse eager.graph)]: sources in
+      descending id.  Wait-vertex predecessors are found by a
+      receive-window search over each TVEG neighbour's DTS points —
+      O(deg · log L) per wait vertex, independent of graph size. *)
+
+  val describe : t -> int -> vertex
+  (** Vertex id → description (the lazy analogue of the eager
+      [vertex] array).  O(log V) plus a block memo lookup.
+      @raise Invalid_argument on an out-of-range id. *)
+
+  val wait_vertex : t -> node:int -> point_idx:int -> int option
+  (** Id of wait vertex u_{node, point_idx}; [None] when out of
+      range.  O(1). *)
+
+  val extract_schedule : t -> Dst.tree -> Schedule.t
+  (** Exactly {!extract_schedule} (same deterministic order, same
+      provenance events), reading vertex descriptions from the memo
+      instead of the eager array. *)
+
+  val source_vertex : t -> int
+  (** Id of u_{s,0}, the Steiner root. *)
+
+  val terminals : t -> int list
+  (** Last wait vertex of every non-source node, ascending. *)
+
+  val num_vertices : t -> int
+  (** Total vertex universe — equals [Digraph.n eager.graph]. *)
+
+  val num_wait_vertices : t -> int
+  (** Wait vertices in the universe (Σ|DTS_i|). *)
+
+  val num_level_vertices : t -> int
+  (** Level vertices in the universe. *)
+
+  val edge_bound : t -> int
+  (** Upper bound on the eager build's edge count (coverage edges that
+      round past the deadline are counted here but dropped eagerly). *)
+
+  val nodes_materialized : t -> int
+  (** Vertices whose successors were generated in at least one
+      direction — the frontier actually paid for. *)
+
+  val edges_materialized : t -> int
+  (** Edges emitted during first-time successor generation, summed
+      over both directions (an edge generated from both sides counts
+      twice). *)
+end

@@ -34,35 +34,77 @@ let plan (ctx : Planner.Ctx.t) problem =
     Tmedb_obs.Span.with_ "eedcb.dts" (fun () -> Problem.dts ?cap_per_node problem)
   in
   stage "dts" (Printf.sprintf "%d points" (Tmedb_tveg.Dts.total_points dts));
-  let aux = Aux_graph.build problem dts in
-  stage "aux_graph"
-    (Printf.sprintf "%d vertices, %d edges" (Digraph.n aux.Aux_graph.graph)
-       (Digraph.m aux.Aux_graph.graph));
-  let outcome =
-    Dst.solve ~level aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex
-      ~terminals:aux.Aux_graph.terminals
+  let outcome, pruned, schedule, node_of, aux_vertices, aux_edges =
+    if ctx.Planner.Ctx.lazy_aux then begin
+      (* Lazy frontier expansion: identical vertex ids, edges and
+         adjacency orders as the eager build (see {!Aux_graph.Lazy}),
+         so results are bit-identical — only the explored frontier is
+         ever materialised. *)
+      let aux =
+        Tmedb_obs.Span.with_ "eedcb.aux_lazy" (fun () -> Aux_graph.Lazy.create problem dts)
+      in
+      let nv = Aux_graph.Lazy.num_vertices aux in
+      let root = Aux_graph.Lazy.source_vertex aux in
+      stage "aux_graph"
+        (Printf.sprintf "%d vertices, %d edge bound (lazy)" nv (Aux_graph.Lazy.edge_bound aux));
+      let outcome =
+        Dst.solve_views ~level ~fwd:(Aux_graph.Lazy.view aux)
+          ~rev:(Aux_graph.Lazy.rev_view aux) ~root ~terminals:(Aux_graph.Lazy.terminals aux)
+          ()
+      in
+      stage "dst"
+        (Printf.sprintf "cost %.17g, %d uncovered" outcome.Dst.tree.Dst.cost
+           (List.length outcome.Dst.uncovered));
+      let pruned =
+        Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
+            Dst.prune_within ~nv ~root outcome.Dst.tree)
+      in
+      stage "prune" (Printf.sprintf "cost %.17g" pruned.Dst.cost);
+      let schedule = Aux_graph.Lazy.extract_schedule aux pruned in
+      let node_of term =
+        match Aux_graph.Lazy.describe aux term with
+        | Aux_graph.Wait { node; _ } | Aux_graph.Level { node; _ } -> node
+      in
+      (outcome, pruned, schedule, node_of, nv, Aux_graph.Lazy.edge_bound aux)
+    end
+    else begin
+      let aux = Aux_graph.build problem dts in
+      stage "aux_graph"
+        (Printf.sprintf "%d vertices, %d edges" (Digraph.n aux.Aux_graph.graph)
+           (Digraph.m aux.Aux_graph.graph));
+      let outcome =
+        Dst.solve ~level aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex
+          ~terminals:aux.Aux_graph.terminals
+      in
+      stage "dst"
+        (Printf.sprintf "cost %.17g, %d uncovered" outcome.Dst.tree.Dst.cost
+           (List.length outcome.Dst.uncovered));
+      let pruned =
+        Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
+            Dst.prune aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex outcome.Dst.tree)
+      in
+      stage "prune" (Printf.sprintf "cost %.17g" pruned.Dst.cost);
+      let schedule = Aux_graph.extract_schedule aux pruned in
+      ( outcome,
+        pruned,
+        schedule,
+        node_of_terminal aux,
+        Digraph.n aux.Aux_graph.graph,
+        Digraph.m aux.Aux_graph.graph )
+    end
   in
-  stage "dst"
-    (Printf.sprintf "cost %.17g, %d uncovered" outcome.Dst.tree.Dst.cost
-       (List.length outcome.Dst.uncovered));
-  let pruned =
-    Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
-        Dst.prune aux.Aux_graph.graph ~root:aux.Aux_graph.source_vertex outcome.Dst.tree)
-  in
-  stage "prune" (Printf.sprintf "cost %.17g" pruned.Dst.cost);
-  let schedule = Aux_graph.extract_schedule aux pruned in
   let report =
     Tmedb_obs.Span.with_ "eedcb.feasibility" (fun () -> Feasibility.check problem schedule)
   in
   Planner.Outcome.make ~schedule ~report
-    ~unreached:(List.map (node_of_terminal aux) outcome.Dst.uncovered)
+    ~unreached:(List.map node_of outcome.Dst.uncovered)
     ~artifacts:
       [
         Planner.Outcome.Steiner_tree
           {
             tree = pruned;
-            aux_vertices = Digraph.n aux.Aux_graph.graph;
-            aux_edges = Digraph.m aux.Aux_graph.graph;
+            aux_vertices;
+            aux_edges;
             dts_points = Tmedb_tveg.Dts.total_points dts;
           };
       ]

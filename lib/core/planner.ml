@@ -22,13 +22,15 @@ module Ctx = struct
     pool : Pool.t option;
     provenance : bool;
     warm : Warm.t option;
+    lazy_aux : bool;
   }
 
-  let make ?rng ?(steiner_level = 2) ?cap_per_node ?pool ?provenance ?warm () =
+  let make ?rng ?(steiner_level = 2) ?cap_per_node ?pool ?provenance ?warm
+      ?(lazy_aux = false) () =
     let provenance =
       match provenance with Some p -> p | None -> Tmedb_report.Provenance.enabled ()
     in
-    { rng; steiner_level; cap_per_node; pool; provenance; warm }
+    { rng; steiner_level; cap_per_node; pool; provenance; warm; lazy_aux }
 
   let default () = make ()
   let rng_or ctx ~seed = match ctx.rng with Some rng -> rng | None -> Rng.create seed

@@ -68,6 +68,11 @@ module Ctx : sig
     warm : Warm.t option;
         (** Warm-start store for the FR allocation ([None]: every
             allocation solves cold, the goldens' path). *)
+    lazy_aux : bool;
+        (** When true, (FR-)EEDCB expands the auxiliary graph lazily
+            ({!Aux_graph.Lazy}) instead of materialising it — same
+            results bit for bit, only the explored frontier is built
+            (default false, the goldens' path). *)
   }
 
   val make :
@@ -77,6 +82,7 @@ module Ctx : sig
     ?pool:Pool.t ->
     ?provenance:bool ->
     ?warm:Warm.t ->
+    ?lazy_aux:bool ->
     unit ->
     t
   (** Context with the paper's defaults for every omitted field. *)

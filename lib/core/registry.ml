@@ -8,7 +8,7 @@ let paper =
     Fr.fr_rand;
   ]
 
-let extras = [ Static_bip.planner ]
+let extras = [ Static_bip.planner; Spt.planner ]
 let all = paper @ extras
 let names = List.map Planner.name all
 

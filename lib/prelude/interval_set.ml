@@ -1,83 +1,164 @@
-(* Invariant: sorted by [lo], pairwise disjoint, non-touching, non-empty. *)
-type t = Interval.t list
+(* Canonical form: a sorted array of pairwise disjoint, non-touching,
+   non-empty intervals.  Uniqueness of the form is what makes [equal]
+   structural and what lets point queries binary-search: for any
+   instant there is at most one candidate member (the rightmost whose
+   [lo] is <= the instant).  All set algebra is a linear merge of two
+   sorted arrays; all point queries are O(log n). *)
+type t = Interval.t array
 
-let empty = []
-let is_empty s = s = []
-let single iv = [ iv ]
+let empty = [||]
+let is_empty s = Array.length s = 0
+let single iv = [| iv |]
+
+let arr_of_rev_list rev =
+  let n = List.length rev in
+  match rev with
+  | [] -> [||]
+  | hd :: _ ->
+      let arr = Array.make n hd in
+      let rec fill i = function
+        | [] -> ()
+        | iv :: tl ->
+            arr.(i) <- iv;
+            fill (i - 1) tl
+      in
+      fill (n - 1) rev;
+      arr
 
 let of_list ivs =
   let sorted = List.sort Interval.compare ivs in
   let rec merge acc current rest =
     match rest with
-    | [] -> List.rev (current :: acc)
+    | [] -> arr_of_rev_list (current :: acc)
     | iv :: tl ->
         if Interval.touches current iv then merge acc (Interval.hull current iv) tl
         else merge (current :: acc) iv tl
   in
-  match sorted with [] -> [] | hd :: tl -> merge [] hd tl
+  match sorted with [] -> empty | hd :: tl -> merge [] hd tl
 
-let intervals s = s
-let add s iv = of_list (iv :: s)
-let union a b = of_list (a @ b)
+let intervals s = Array.to_list s
 
+(* Rightmost member with [lo <= x], the only possible cover of [x]. *)
+let locate s x =
+  let n = Array.length s in
+  if n = 0 || x < s.(0).Interval.lo then -1
+  else begin
+    (* Invariant: s.(lo).lo <= x, s.(hi).lo > x (hi may be n). *)
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if s.(mid).Interval.lo <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let covering s x =
+  let i = locate s x in
+  if i >= 0 && x < s.(i).Interval.hi then Some s.(i) else None
+
+let mem s x = Option.is_some (covering s x)
+
+let contains_interval s iv =
+  match covering s iv.Interval.lo with
+  | Some member -> Interval.contains member iv
+  | None -> false
+
+(* Linear merge of two canonical arrays, hulling touching runs. *)
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else begin
+    let na = Array.length a and nb = Array.length b in
+    let acc = ref [] and i = ref 0 and j = ref 0 in
+    let next () =
+      if !i < na && (!j >= nb || Interval.compare a.(!i) b.(!j) <= 0) then begin
+        let iv = a.(!i) in
+        incr i;
+        iv
+      end
+      else begin
+        let iv = b.(!j) in
+        incr j;
+        iv
+      end
+    in
+    let current = ref (next ()) in
+    while !i < na || !j < nb do
+      let iv = next () in
+      if Interval.touches !current iv then current := Interval.hull !current iv
+      else begin
+        acc := !current :: !acc;
+        current := iv
+      end
+    done;
+    arr_of_rev_list (!current :: !acc)
+  end
+
+let add s iv = union s (single iv)
+
+(* Sweep both arrays; every overlap is emitted.  Pieces inherit the
+   gaps of their parents, so the output is canonical as built. *)
 let inter a b =
-  (* Both lists sorted: standard sweep. *)
-  let rec go a b acc =
-    match (a, b) with
-    | [], _ | _, [] -> List.rev acc
-    | x :: xs, y :: ys -> (
-        let acc =
-          match Interval.inter x y with Some iv -> iv :: acc | None -> acc
-        in
-        match Float.compare x.Interval.hi y.Interval.hi with
-        | c when c < 0 -> go xs b acc
-        | c when c > 0 -> go a ys acc
-        | _ -> go xs ys acc)
-  in
-  go a b []
+  let na = Array.length a and nb = Array.length b in
+  let acc = ref [] and i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    (match Interval.inter x y with
+    | Some iv -> acc := iv :: !acc
+    | None -> ());
+    match Float.compare x.Interval.hi y.Interval.hi with
+    | c when c < 0 -> incr i
+    | c when c > 0 -> incr j
+    | _ ->
+        incr i;
+        incr j
+  done;
+  arr_of_rev_list !acc
 
+(* Gaps of the clipped set inside [span]; gaps of a canonical set are
+   separated by non-empty members, so the result is canonical. *)
 let complement s ~span =
-  let lo0 = span.Interval.lo and hi0 = span.Interval.hi in
-  let clipped = inter s [ span ] in
-  let rec go cursor rest acc =
-    match rest with
-    | [] ->
-        let acc =
-          match Interval.make_opt ~lo:cursor ~hi:hi0 with
-          | Some iv -> iv :: acc
-          | None -> acc
-        in
-        List.rev acc
-    | iv :: tl ->
-        let acc =
-          match Interval.make_opt ~lo:cursor ~hi:iv.Interval.lo with
-          | Some gap -> gap :: acc
-          | None -> acc
-        in
-        go iv.Interval.hi tl acc
-  in
-  go lo0 clipped []
+  let clipped = inter s [| span |] in
+  let acc = ref [] and cursor = ref span.Interval.lo in
+  Array.iter
+    (fun iv ->
+      (match Interval.make_opt ~lo:!cursor ~hi:iv.Interval.lo with
+      | Some gap -> acc := gap :: !acc
+      | None -> ());
+      cursor := iv.Interval.hi)
+    clipped;
+  (match Interval.make_opt ~lo:!cursor ~hi:span.Interval.hi with
+  | Some gap -> acc := gap :: !acc
+  | None -> ());
+  arr_of_rev_list !acc
 
 let diff a b =
-  match a with
-  | [] -> []
-  | first :: _ ->
-      let last = List.nth a (List.length a - 1) in
-      let span = Interval.hull first last in
-      inter a (complement b ~span)
+  if is_empty a then empty
+  else begin
+    let span = Interval.hull a.(0) a.(Array.length a - 1) in
+    inter a (complement b ~span)
+  end
 
-let mem s x = List.exists (fun iv -> Interval.mem iv x) s
-let total_length s = List.fold_left (fun acc iv -> acc +. Interval.length iv) 0. s
-let cardinal = List.length
-let covering s x = List.find_opt (fun iv -> Interval.mem iv x) s
+let total_length s = Array.fold_left (fun acc iv -> acc +. Interval.length iv) 0. s
+let cardinal = Array.length
 
+(* Canonical ⇒ lo0 < hi0 < lo1 < hi1 < …, so emitting endpoints in
+   order is already sorted with each endpoint once. *)
 let boundaries s =
-  let pts = List.concat_map (fun iv -> [ iv.Interval.lo; iv.Interval.hi ]) s in
-  List.sort_uniq Float.compare pts
+  Array.fold_left (fun acc iv -> iv.Interval.hi :: iv.Interval.lo :: acc) [] s
+  |> List.rev
 
-let fold f s init = List.fold_left (fun acc iv -> f iv acc) init s
-let iter f s = List.iter f s
+let fold f s init = Array.fold_left (fun acc iv -> f iv acc) init s
+let iter f s = Array.iter f s
 let subset a b = is_empty (diff a b)
-let equal a b = List.equal Interval.equal a b
-let contains_interval s iv = List.exists (fun member -> Interval.contains member iv) s
-let pp ppf s = Format.fprintf ppf "{%a}" (Format.pp_print_list Interval.pp) s
+
+let equal a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun k iv -> if not (Interval.equal iv b.(k)) then ok := false) a;
+       !ok
+     end
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list Interval.pp) (Array.to_list s)

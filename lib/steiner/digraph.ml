@@ -53,4 +53,15 @@ let edge_weight g u v =
       if dst = v then Some (match acc with None -> w | Some best -> Float.min best w) else acc)
     None
 
+type view = { nv : int; iter_succ : int -> (int -> float -> unit) -> unit }
+
+let view g = { nv = g.n; iter_succ = (fun u f -> iter_succ g u f) }
+
+let view_edge_weight vw u v =
+  let acc = ref None in
+  vw.iter_succ u (fun dst w ->
+      if dst = v then
+        acc := Some (match !acc with None -> w | Some best -> Float.min best w));
+  !acc
+
 let pp ppf g = Format.fprintf ppf "digraph{n=%d m=%d}" g.n (m g)

@@ -28,4 +28,27 @@ val reverse : t -> t
 val edge_weight : t -> int -> int -> float option
 (** Minimum weight among parallel u→v edges, if any. *)
 
+type view = {
+  nv : int;  (** Number of vertices ([0 .. nv-1]). *)
+  iter_succ : int -> (int -> float -> unit) -> unit;
+      (** [iter_succ u f] calls [f v w] for every edge u→v of weight
+          w.  The enumeration order must be deterministic: the
+          traversal algorithms break priority ties by operation
+          sequence, so callers providing generated views must emit
+          successors in a fixed order. *)
+}
+(** A graph exposed as an on-demand successor generator: the common
+    face of a materialised CSR digraph and a lazily expanded one (see
+    [Tmedb.Aux_graph.Lazy]).  Traversals that only ever ask for
+    successors of the vertices they actually reach run on a view
+    without the graph ever being built in full. *)
+
+val view : t -> view
+(** The CSR digraph as a view (same successor order as {!iter_succ}).
+    O(1). *)
+
+val view_edge_weight : view -> int -> int -> float option
+(** Minimum weight among parallel u→v edges of the view, if any —
+    {!edge_weight} generalised.  O(out-degree of u). *)
+
 val pp : Format.formatter -> t -> unit

@@ -43,7 +43,7 @@ let stop_set_of n targets =
    gracefully to a full drain).  Returns the number of successful
    relaxations (distance improvements), the per-run distribution
    measure. *)
-let drain ?stop g dist pred queue =
+let drain ?stop (vw : Digraph.view) dist pred queue =
   let relaxed = ref 0 in
   let finished () = match stop with Some s -> s.pending = 0 | None -> false in
   let rec go () =
@@ -58,7 +58,7 @@ let drain ?stop g dist pred queue =
                 s.want.(u) <- false;
                 s.pending <- s.pending - 1
             | Some _ | None -> ());
-            Digraph.iter_succ g u (fun v w ->
+            vw.Digraph.iter_succ u (fun v w ->
                 let nd = d +. w in
                 if nd < dist.(v) then begin
                   dist.(v) <- nd;
@@ -73,10 +73,10 @@ let drain ?stop g dist pred queue =
   go ();
   !relaxed
 
-let run_multi ?targets g ~sources =
+let run_multi_view ?targets (vw : Digraph.view) ~sources =
   Tmedb_obs.Counter.incr c_runs;
   let tr = Tmedb_obs.Timer.start t_run in
-  let n = Digraph.n g in
+  let n = vw.Digraph.nv in
   if sources = [] then invalid_arg "Dijkstra.run_multi: empty sources";
   List.iter
     (fun src -> if src < 0 || src >= n then invalid_arg "Dijkstra.run_multi: src out of range")
@@ -90,18 +90,22 @@ let run_multi ?targets g ~sources =
       dist.(src) <- 0.;
       Pqueue.push queue 0. src)
     sources;
-  Tmedb_obs.Histogram.observe h_relaxations (drain ?stop g dist pred queue);
+  Tmedb_obs.Histogram.observe h_relaxations (drain ?stop vw dist pred queue);
   Tmedb_obs.Timer.stop t_run tr;
   { dist; pred }
 
-let run ?targets g ~src =
-  if src < 0 || src >= Digraph.n g then invalid_arg "Dijkstra.run: src out of range";
-  run_multi ?targets g ~sources:[ src ]
+let run_multi ?targets g ~sources = run_multi_view ?targets (Digraph.view g) ~sources
 
-let refine ?targets g r ~new_sources =
+let run_view ?targets vw ~src =
+  if src < 0 || src >= vw.Digraph.nv then invalid_arg "Dijkstra.run: src out of range";
+  run_multi_view ?targets vw ~sources:[ src ]
+
+let run ?targets g ~src = run_view ?targets (Digraph.view g) ~src
+
+let refine_view ?targets (vw : Digraph.view) r ~new_sources =
   Tmedb_obs.Counter.incr c_runs;
   let tr = Tmedb_obs.Timer.start t_run in
-  let n = Digraph.n g in
+  let n = vw.Digraph.nv in
   let stop = stop_set_of n targets in
   let queue = Pqueue.create () in
   List.iter
@@ -113,8 +117,10 @@ let refine ?targets g r ~new_sources =
         Pqueue.push queue 0. src
       end)
     new_sources;
-  Tmedb_obs.Histogram.observe h_relaxations (drain ?stop g r.dist r.pred queue);
+  Tmedb_obs.Histogram.observe h_relaxations (drain ?stop vw r.dist r.pred queue);
   Tmedb_obs.Timer.stop t_run tr
+
+let refine ?targets g r ~new_sources = refine_view ?targets (Digraph.view g) r ~new_sources
 
 let path r ~src ~dst =
   if not (Float.is_finite r.dist.(dst)) then None
@@ -139,16 +145,18 @@ let path r ~src ~dst =
         walk_any dst []
   end
 
-let path_edges g r ~src ~dst =
+let path_edges_view (vw : Digraph.view) r ~src ~dst =
   match path r ~src ~dst with
   | None -> None
   | Some vertices ->
       let rec pair = function
         | u :: (v :: _ as rest) -> (
-            match Digraph.edge_weight g u v with
+            match Digraph.view_edge_weight vw u v with
             | Some w -> (
                 match pair rest with Some tl -> Some ((u, v, w) :: tl) | None -> None)
             | None -> None)
         | _ -> Some []
       in
       pair vertices
+
+let path_edges g r ~src ~dst = path_edges_view (Digraph.view g) r ~src ~dst

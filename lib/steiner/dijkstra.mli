@@ -27,6 +27,15 @@ val run_multi : ?targets:int list -> Digraph.t -> sources:int list -> result
     @raise Invalid_argument on an empty source list or an
     out-of-range target. *)
 
+val run_view : ?targets:int list -> Digraph.view -> src:int -> result
+(** {!run} on a successor-generator view: only vertices the scan
+    actually pops ever have their successors generated, so on a lazy
+    view the graph is expanded frontier-by-frontier.  Identical to
+    {!run} when the view is {!Digraph.view} of the same graph. *)
+
+val run_multi_view : ?targets:int list -> Digraph.view -> sources:int list -> result
+(** {!run_multi} on a view (see {!run_view}). *)
+
 val refine : ?targets:int list -> Digraph.t -> result -> new_sources:int list -> unit
 (** Add sources at distance 0 to an existing result and re-relax in
     place.  Distances only decrease; vertices whose distance is
@@ -41,7 +50,16 @@ val path : result -> src:int -> dst:int -> int list option
     the stopping vertex of the predecessor walk — pass any source.
     After a targeted run, [dst] must be one of the targets. *)
 
+val refine_view :
+  ?targets:int list -> Digraph.view -> result -> new_sources:int list -> unit
+(** {!refine} on a view (see {!run_view}). *)
+
 val path_edges : Digraph.t -> result -> src:int -> dst:int -> (int * int * float) list option
 (** Same path as weighted edge triples (weights are the minimum
     parallel-edge weights along the predecessor chain).  After a
     targeted run, [dst] must be one of the targets. *)
+
+val path_edges_view :
+  Digraph.view -> result -> src:int -> dst:int -> (int * int * float) list option
+(** {!path_edges} on a view (weights re-read from the view's
+    successor enumeration). *)

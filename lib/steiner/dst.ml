@@ -61,16 +61,16 @@ type terminal_maps = {
 
 (* [targets] (the candidate intermediates) bounds each per-terminal
    Dijkstra: only candidate rows of the maps are ever read, so the scan
-   can stop once every candidate is settled. *)
-let build_terminal_maps ?targets g terminals =
+   can stop once every candidate is settled.  [rev] is the reversed
+   graph as a view, so a lazily generated reverse adjacency works. *)
+let build_terminal_maps ?targets ~rev terminals =
   let tm = Tmedb_obs.Timer.start t_terminal_maps in
-  let rev = Digraph.reverse g in
   let ids = Array.of_list terminals in
   let dist = Array.make (Array.length ids) [||] in
   let next = Array.make (Array.length ids) [||] in
   Array.iteri
     (fun ti term ->
-      let r = Dijkstra.run ?targets rev ~src:term in
+      let r = Dijkstra.run_view ?targets rev ~src:term in
       dist.(ti) <- r.Dijkstra.dist;
       next.(ti) <- r.Dijkstra.pred)
     ids;
@@ -78,7 +78,7 @@ let build_terminal_maps ?targets g terminals =
   { ids; dist; next }
 
 (* Edges of the shortest path v -> terminal ti, following next hops. *)
-let path_to_terminal g maps ~ti ~v =
+let path_to_terminal fwd maps ~ti ~v =
   let term = maps.ids.(ti) in
   let rec walk u acc =
     if u = term then List.rev acc
@@ -86,7 +86,7 @@ let path_to_terminal g maps ~ti ~v =
       let nxt = maps.next.(ti).(u) in
       if nxt < 0 then List.rev acc (* v = term handled above; unreachable defended in callers *)
       else begin
-        match Digraph.edge_weight g u nxt with
+        match Digraph.view_edge_weight fwd u nxt with
         | Some w -> walk nxt ((u, nxt, w) :: acc)
         | None -> List.rev acc
       end
@@ -97,7 +97,7 @@ let path_to_terminal g maps ~ti ~v =
 type candidate = { cand_edges : (int * int * float) list; cand_cost : float; cand_terms : int list }
 
 (* A_1: shortest paths from v to the [need] nearest remaining terminals. *)
-let a1_candidate g maps ~need ~v ~remaining =
+let a1_candidate fwd maps ~need ~v ~remaining =
   let reachable = ref [] in
   Array.iteri
     (fun ti alive -> if alive && Float.is_finite maps.dist.(ti).(v) then
@@ -107,8 +107,8 @@ let a1_candidate g maps ~need ~v ~remaining =
   let chosen = List.filteri (fun i _ -> i < need) sorted in
   if chosen = [] then None
   else begin
-    let set = Edge_set.create (Digraph.n g) in
-    List.iter (fun (_, ti) -> Edge_set.add_list set (path_to_terminal g maps ~ti ~v)) chosen;
+    let set = Edge_set.create fwd.Digraph.nv in
+    List.iter (fun (_, ti) -> Edge_set.add_list set (path_to_terminal fwd maps ~ti ~v)) chosen;
     Some
       {
         cand_edges = Edge_set.to_list set;
@@ -166,11 +166,11 @@ let scan_level2 ~candidates ~dist_v ~remaining ~need ~table =
    partial tree (multi-source Dijkstra), not only to the call root —
    a strict improvement over connecting every pick at [v] since merged
    path segments are paid once and inform later picks. *)
-let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~rounds =
-  if level <= 1 then a1_candidate g maps ~need ~v ~remaining
+let rec build_candidate fwd maps ~candidates ~table ~level ~need ~v ~remaining ~rounds =
+  if level <= 1 then a1_candidate fwd maps ~need ~v ~remaining
   else begin
     let remaining = Array.copy remaining in
-    let set = Edge_set.create (Digraph.n g) in
+    let set = Edge_set.create fwd.Digraph.nv in
     let tree_members = Hashtbl.create 64 in
     Hashtbl.replace tree_members v ();
     let covered = ref [] in
@@ -181,7 +181,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
        ever read from this result (the scans and the connect walk), so
        the relaxation may stop once all candidates are settled. *)
     let targets = Array.to_list candidates in
-    let tree_dist = Dijkstra.run_multi g ~sources:[ v ] ~targets in
+    let tree_dist = Dijkstra.run_multi_view fwd ~sources:[ v ] ~targets in
     while !still_needed > 0 && !progress do
       let dist_v = tree_dist.Dijkstra.dist and pred_v = tree_dist.Dijkstra.pred in
       let pick =
@@ -189,7 +189,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
           match scan_level2 ~candidates ~dist_v ~remaining ~need:!still_needed ~table with
           | None -> None
           | Some (_, u, cnt) -> (
-              match a1_candidate g maps ~need:cnt ~v:u ~remaining with
+              match a1_candidate fwd maps ~need:cnt ~v:u ~remaining with
               | None -> None
               | Some sub -> Some (u, sub))
         end
@@ -201,7 +201,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
               if Float.is_finite dist_v.(u) then
               for cnt = 1 to !still_needed do
                 match
-                  build_candidate g maps ~candidates ~table ~level:(level - 1) ~need:cnt ~v:u
+                  build_candidate fwd maps ~candidates ~table ~level:(level - 1) ~need:cnt ~v:u
                     ~remaining ~rounds
                 with
                 | None -> ()
@@ -232,7 +232,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
             if pred_v.(x) < 0 then acc
             else begin
               let p = pred_v.(x) in
-              match Digraph.edge_weight g p x with
+              match Digraph.view_edge_weight fwd p x with
               | Some w -> connect p ((p, x, w) :: acc)
               | None -> acc
             end
@@ -254,7 +254,7 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
           in
           note_edges (connect u []);
           note_edges sub.cand_edges;
-          Dijkstra.refine g tree_dist ~new_sources:!fresh ~targets;
+          Dijkstra.refine_view fwd tree_dist ~new_sources:!fresh ~targets;
           List.iter
             (fun ti ->
               if remaining.(ti) then begin
@@ -268,9 +268,9 @@ let rec build_candidate g maps ~candidates ~table ~level ~need ~v ~remaining ~ro
     else Some { cand_edges = Edge_set.to_list set; cand_cost = Edge_set.cost set; cand_terms = !covered }
   end
 
-let solve_body ~level ?candidates ~rounds g ~root ~terminals =
+let solve_body ~level ~candidates ~rounds ~fwd ~rev ~root ~terminals =
   if level < 1 then invalid_arg "Dst.solve: level < 1";
-  let nv = Digraph.n g in
+  let nv = fwd.Digraph.nv in
   if root < 0 || root >= nv then invalid_arg "Dst.solve: root out of range";
   List.iter
     (fun t -> if t < 0 || t >= nv then invalid_arg "Dst.solve: terminal out of range")
@@ -286,7 +286,7 @@ let solve_body ~level ?candidates ~rounds g ~root ~terminals =
         (* The root and the terminals must stay eligible. *)
         Array.of_list (List.sort_uniq Int.compare ((root :: terminals) @ cs))
   in
-  let maps = build_terminal_maps ~targets:(Array.to_list candidates) g terminals in
+  let maps = build_terminal_maps ~targets:(Array.to_list candidates) ~rev terminals in
   let k = Array.length maps.ids in
   (* For each vertex, terminal distances ascending: the A_1 lookup
      table used by the level-2 scan. *)
@@ -306,7 +306,9 @@ let solve_body ~level ?candidates ~rounds g ~root ~terminals =
     { term_dist; term_id }
   in
   let remaining = Array.make k true in
-  let result = build_candidate g maps ~candidates ~table ~level ~need:k ~v:root ~remaining ~rounds in
+  let result =
+    build_candidate fwd maps ~candidates ~table ~level ~need:k ~v:root ~remaining ~rounds
+  in
   let covered_tis = match result with None -> [] | Some c -> c.cand_terms in
   let covered = List.sort Int.compare (List.map (fun ti -> maps.ids.(ti)) covered_tis) in
   (* Both lists are id-sorted: a linear merge instead of the former
@@ -326,12 +328,12 @@ let solve_body ~level ?candidates ~rounds g ~root ~terminals =
   in
   { tree = { edges; cost; covered }; uncovered }
 
-let solve ?(level = 2) ?candidates g ~root ~terminals =
+let solve_views ?(level = 2) ?candidates ~fwd ~rev ~root ~terminals () =
   Tmedb_obs.Counter.incr c_solves;
   Tmedb_obs.Span.with_ "dst.solve"
     ~args:
       [
-        ("vertices", string_of_int (Digraph.n g));
+        ("vertices", string_of_int fwd.Digraph.nv);
         ("terminals", string_of_int (List.length terminals));
         ("level", string_of_int level);
       ]
@@ -342,13 +344,16 @@ let solve ?(level = 2) ?candidates g ~root ~terminals =
       let rounds = ref 0 in
       let outcome =
         Tmedb_obs.Timer.time t_solve (fun () ->
-            solve_body ~level ?candidates ~rounds g ~root ~terminals)
+            solve_body ~level ~candidates ~rounds ~fwd ~rev ~root ~terminals)
       in
       Tmedb_obs.Histogram.observe h_expansion_rounds !rounds;
       outcome)
 
-let prune g ~root tree =
-  let nv = Digraph.n g in
+let solve ?level ?candidates g ~root ~terminals =
+  solve_views ?level ?candidates ~fwd:(Digraph.view g)
+    ~rev:(Digraph.view (Digraph.reverse g)) ~root ~terminals ()
+
+let prune_within ~nv ~root tree =
   let sub = Digraph.of_edges ~n:nv tree.edges in
   (* Only the covered terminals' paths are extracted below. *)
   let r = Dijkstra.run sub ~src:root ~targets:tree.covered in
@@ -361,3 +366,5 @@ let prune g ~root tree =
     tree.covered;
   let edges = Edge_set.to_list set in
   { edges; cost = Edge_set.cost set; covered = tree.covered }
+
+let prune g ~root tree = prune_within ~nv:(Digraph.n g) ~root tree

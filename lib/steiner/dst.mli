@@ -39,10 +39,31 @@ val solve :
     dominated as branch points by the wait vertex that precedes
     them — cutting the scan cost several-fold. *)
 
+val solve_views :
+  ?level:int ->
+  ?candidates:int list ->
+  fwd:Digraph.view ->
+  rev:Digraph.view ->
+  root:int ->
+  terminals:int list ->
+  unit ->
+  outcome
+(** {!solve} over successor-generator views: [fwd] enumerates forward
+    edges, [rev] the reversed graph's.  The two views must describe
+    the same edge set with matching deterministic orders — the solver
+    is exactly {!solve} when both come from {!Digraph.view} of one
+    graph and its {!Digraph.reverse}.  With a lazy view only the
+    vertices the Dijkstra scans actually pop are ever expanded. *)
+
 val prune : Digraph.t -> root:int -> tree -> tree
 (** Restrict the tree to shortest paths (within the tree's own edges)
     from the root to its covered terminals.  Result is an arborescence
     with cost ≤ the input cost covering the same terminals. *)
+
+val prune_within : nv:int -> root:int -> tree -> tree
+(** {!prune} without a host graph: the tree's own edges are the only
+    input, [nv] bounds its vertex ids (the host graph's vertex count).
+    [prune g ~root tree = prune_within ~nv:(Digraph.n g) ~root tree]. *)
 
 val tree_cost : (int * int * float) list -> float
 (** Deduplicated cost of an edge list. *)

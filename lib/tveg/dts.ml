@@ -36,8 +36,7 @@ let compute ?(cap_per_node = 4000) ?source g ~deadline =
   let min_time =
     match source with
     | None -> Array.make n span.Interval.lo
-    | Some src ->
-        Tmedb_tvg.Journey.earliest_arrival (Tveg.to_tvg g) ~tau ~src ~t0:span.Interval.lo
+    | Some src -> Tveg.earliest_arrival g ~src ~t0:span.Interval.lo
   in
   let sets = Array.init n (fun i -> base_points g ~deadline ~min_time i) in
   begin

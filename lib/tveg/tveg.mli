@@ -41,7 +41,25 @@ val ed_at : t -> phy:Tmedb_channel.Phy.t -> channel:channel -> int -> int -> flo
     ([Absent] when the transmission cannot complete). *)
 
 val neighbors_at : t -> int -> float -> (int * float) list
-(** (neighbour, distance) pairs with ρ_τ = 1, ascending node id. *)
+(** (neighbour, distance) pairs with ρ_τ = 1, ascending node id.
+    O(deg(i) · log L) — only nodes sharing a contact with [i] are
+    examined, not all N. *)
+
+val neighbor_ids : t -> int -> int array
+(** Nodes sharing at least one contact segment with the given node
+    over the whole span, ascending.  O(1); the returned array is the
+    graph's own adjacency — callers must not mutate it. *)
+
+val presence : t -> int -> int -> Interval_set.t
+(** Normalised union of the pair's contact segments: the times at
+    which the edge exists, as a canonical interval set.  O(1) (built
+    at construction); empty for a pair with no contacts or [i = j]. *)
+
+val earliest_arrival : t -> src:int -> t0:float -> float array
+(** Earliest packet arrival per node from [src] starting at [t0]
+    (temporal Dijkstra over contact segments, traversal latency τ).
+    Equals [Journey.earliest_arrival (to_tvg g)] without the O(N²)
+    densification: O((C + N log N)) for C contact segments. *)
 
 val to_tvg : t -> Tmedb_tvg.Tvg.t
 val adjacent_partition : t -> int -> Tmedb_tvg.Partition.t

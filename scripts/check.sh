@@ -34,6 +34,21 @@ for key in '"schema": "tmedb.metrics/1"' '"counters"' '"timers"' \
   }
 done
 
+# N-scaling smoke: the lazy aux-graph path must keep its >=10x
+# materialization cut and its bit-for-bit agreement with the eager
+# build (bench exits non-zero on either), and the frontier counters
+# must reach the telemetry file.
+m2=$(mktemp)
+trap 'rm -f "$m" "$m2"' EXIT
+dune exec bench/main.exe -- nscale --quick --metrics "$m2" >/dev/null
+for key in '"aux_graph.nodes_materialized"' '"aux_graph.lazy_nodes_total"' \
+           '"aux_graph.edges_materialized"'; do
+  grep -q "$key" "$m2" || {
+    echo "check.sh: nscale metrics missing $key" >&2
+    exit 1
+  }
+done
+
 # Registry drift gate: the algorithm list the CLI advertises in its
 # help text must be exactly the planner registry, in registry order
 # (`algorithms --names` prints one registry name per line).

@@ -333,6 +333,87 @@ let test_aux_graph_deadline_blocks_late_levels () =
       | Aux_graph.Wait _ -> ())
     aux.Aux_graph.vertex
 
+(* The lazy auxiliary graph must be indistinguishable from the eager
+   one: same vertex universe and ids, and — because the traversals
+   break priority ties by operation sequence — the *same successor
+   enumeration order* in both directions, edge for edge. *)
+let check_lazy_matches_eager p =
+  let dts = Problem.dts p in
+  let aux = Aux_graph.build p dts in
+  let lazy_aux = Aux_graph.Lazy.create p dts in
+  let nv = Tmedb_steiner.Digraph.n aux.Aux_graph.graph in
+  check_int "vertex universe" nv (Aux_graph.Lazy.num_vertices lazy_aux);
+  check_int "wait vertices" (Aux_graph.num_wait_vertices aux)
+    (Aux_graph.Lazy.num_wait_vertices lazy_aux);
+  check_int "source vertex" aux.Aux_graph.source_vertex
+    (Aux_graph.Lazy.source_vertex lazy_aux);
+  Alcotest.(check (list int))
+    "terminals" aux.Aux_graph.terminals
+    (Aux_graph.Lazy.terminals lazy_aux);
+  let succs iter u =
+    let acc = ref [] in
+    iter u (fun v w -> acc := (v, w) :: !acc);
+    List.rev !acc
+  in
+  let pair = Alcotest.(list (pair int (float 0.))) in
+  let fwd = Aux_graph.Lazy.view lazy_aux in
+  let rev = Aux_graph.Lazy.rev_view lazy_aux in
+  let rev_eager = Tmedb_steiner.Digraph.reverse aux.Aux_graph.graph in
+  for u = 0 to nv - 1 do
+    Alcotest.check pair
+      (Printf.sprintf "fwd succ of %d" u)
+      (succs (Tmedb_steiner.Digraph.iter_succ aux.Aux_graph.graph) u)
+      (succs fwd.Tmedb_steiner.Digraph.iter_succ u);
+    Alcotest.check pair
+      (Printf.sprintf "rev succ of %d" u)
+      (succs (Tmedb_steiner.Digraph.iter_succ rev_eager) u)
+      (succs rev.Tmedb_steiner.Digraph.iter_succ u);
+    let same =
+      match (aux.Aux_graph.vertex.(u), Aux_graph.Lazy.describe lazy_aux u) with
+      | Aux_graph.Wait a, Aux_graph.Wait b ->
+          a.node = b.node && a.point_idx = b.point_idx && Float.equal a.time b.time
+      | Aux_graph.Level a, Aux_graph.Level b ->
+          a.node = b.node && a.point_idx = b.point_idx && Float.equal a.time b.time
+          && a.level_idx = b.level_idx
+          && Float.equal a.cum_cost b.cum_cost
+      | Aux_graph.Wait _, Aux_graph.Level _ | Aux_graph.Level _, Aux_graph.Wait _ -> false
+    in
+    check_bool (Printf.sprintf "describe %d" u) true same
+  done;
+  (* Full enumeration touched everything: the counters saturate. *)
+  check_int "all nodes materialized" nv (Aux_graph.Lazy.nodes_materialized lazy_aux);
+  check_int "edge universe counted twice"
+    (2 * Tmedb_steiner.Digraph.m aux.Aux_graph.graph)
+    (Aux_graph.Lazy.edges_materialized lazy_aux)
+
+let test_lazy_aux_equivalence () =
+  check_lazy_matches_eager (quickstart_problem ());
+  check_lazy_matches_eager (quickstart_problem ~deadline:40. ());
+  check_lazy_matches_eager (quickstart_problem ~channel:`Rayleigh ());
+  let g =
+    Tveg.create ~n:3 ~span:(iv 0. 20.) ~tau:2.
+      [ (0, 1, link 0. 12. 10.); (1, 2, link 5. 20. 25.); (0, 2, link 14. 20. 60.) ]
+  in
+  check_lazy_matches_eager
+    (Problem.make ~graph:g ~phy ~channel:`Static ~source:0 ~deadline:18. ())
+
+let test_lazy_aux_frontier_is_partial () =
+  (* A targeted Dijkstra on the lazy view must not touch the whole
+     universe (that is the whole point). *)
+  let p = quickstart_problem () in
+  let dts = Problem.dts p in
+  let lazy_aux = Aux_graph.Lazy.create p dts in
+  let fwd = Aux_graph.Lazy.view lazy_aux in
+  let src = Aux_graph.Lazy.source_vertex lazy_aux in
+  (match Aux_graph.Lazy.terminals lazy_aux with
+  | [] -> Alcotest.fail "expected terminals"
+  | t :: _ ->
+      ignore (Tmedb_steiner.Dijkstra.run_view ~targets:[ t ] fwd ~src));
+  let touched = Aux_graph.Lazy.nodes_materialized lazy_aux in
+  check_bool "some frontier" true (touched > 0);
+  check_bool "not the whole universe" true
+    (touched < Aux_graph.Lazy.num_vertices lazy_aux)
+
 (* ------------------------------------------------------------------ *)
 (* EEDCB *)
 
@@ -560,6 +641,61 @@ let test_fr_unfireable_relays_reported () =
   let skeleton = Schedule.of_transmissions [ tx 1 1. w0; tx 2 1. w0 ] in
   let _, alloc = Fr.allocate p skeleton in
   check_bool "relays unsatisfiable" true (alloc.Fr.unsatisfiable <> [])
+
+(* ------------------------------------------------------------------ *)
+(* SPT *)
+
+let test_spt_quickstart () =
+  let p = quickstart_problem () in
+  let eager = Spt.plan (Planner.Ctx.make ()) p in
+  check_bool "feasible" true eager.Planner.Outcome.report.Feasibility.feasible;
+  Alcotest.(check (list int)) "everyone reached" [] eager.Planner.Outcome.unreached;
+  (* The Steiner solver shares relays; the path union cannot beat it
+     here, and both must stay feasible. *)
+  let e = run_eedcb p in
+  check_bool "eedcb <= spt" true
+    (Schedule.total_cost e.Planner.Outcome.schedule
+    <= Schedule.total_cost eager.Planner.Outcome.schedule +. 1e-9)
+
+let test_spt_lazy_matches_eager () =
+  List.iter
+    (fun p ->
+      let eager = Spt.plan (Planner.Ctx.make ()) p in
+      let lzy = Spt.plan (Planner.Ctx.make ~lazy_aux:true ()) p in
+      check_bool "schedules equal" true
+        (Schedule.equal eager.Planner.Outcome.schedule lzy.Planner.Outcome.schedule);
+      Alcotest.(check (list int))
+        "unreached equal" eager.Planner.Outcome.unreached lzy.Planner.Outcome.unreached)
+    [
+      quickstart_problem ();
+      quickstart_problem ~deadline:40. ();
+      quickstart_problem ~deadline:30. ();
+    ]
+
+let test_spt_on_scale_scenario () =
+  (* End-to-end on a small clustered Scale instance: lazy SPT reaches
+     everyone and leaves most of the vertex universe untouched. *)
+  let params = { Scale.default_params with Scale.cluster = 12; epochs = 2 } in
+  let g = Scale.scenario ~params ~n:36 () in
+  let p =
+    Problem.make ~graph:g ~phy ~channel:`Static ~source:0
+      ~deadline:(Scale.deadline ~params ()) ()
+  in
+  let dts = Problem.dts ~cap_per_node:64 p in
+  let lazy_aux = Aux_graph.Lazy.create p dts in
+  let outcome = Spt.plan (Planner.Ctx.make ~lazy_aux:true ~cap_per_node:64 ()) p in
+  check_bool "feasible" true outcome.Planner.Outcome.report.Feasibility.feasible;
+  Alcotest.(check (list int)) "everyone reached" [] outcome.Planner.Outcome.unreached;
+  (* Replay the planner's scan on a fresh lazy graph to measure the
+     frontier cut on this instance. *)
+  ignore
+    (Tmedb_steiner.Dijkstra.run_view
+       ~targets:(Aux_graph.Lazy.terminals lazy_aux)
+       (Aux_graph.Lazy.view lazy_aux)
+       ~src:(Aux_graph.Lazy.source_vertex lazy_aux));
+  let total = Aux_graph.Lazy.num_vertices lazy_aux in
+  let touched = Aux_graph.Lazy.nodes_materialized lazy_aux in
+  check_bool "frontier cut" true (touched * 2 < total)
 
 (* ------------------------------------------------------------------ *)
 (* Static BIP baseline *)
@@ -1012,6 +1148,14 @@ let () =
           tc "shape" test_aux_graph_shape;
           tc "extract roundtrip" test_aux_graph_extract_roundtrip;
           tc "deadline blocks late levels" test_aux_graph_deadline_blocks_late_levels;
+          tc "lazy equivalence" test_lazy_aux_equivalence;
+          tc "lazy frontier partial" test_lazy_aux_frontier_is_partial;
+        ] );
+      ( "spt",
+        [
+          tc "quickstart" test_spt_quickstart;
+          tc "lazy matches eager" test_spt_lazy_matches_eager;
+          tc "scale scenario end-to-end" test_spt_on_scale_scenario;
         ] );
       ( "eedcb",
         [

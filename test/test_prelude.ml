@@ -300,6 +300,60 @@ let prop_union_mem =
     (QCheck.triple iset_gen iset_gen (QCheck.float_range 0. 10.)) (fun (a, b, x) ->
       Interval_set.mem (Interval_set.union a b) x = (Interval_set.mem a x || Interval_set.mem b x))
 
+(* Model-based properties: a raw (unsorted, overlapping) endpoint list
+   is the naive model — membership is List.exists over half-open
+   pairs.  The canonical set must agree with the model pointwise at
+   and around every endpoint, and keep its representation invariants
+   (non-empty members, sorted, strictly separated). *)
+let raw_gen =
+  let open QCheck in
+  let pair_gen =
+    Gen.map
+      (fun (a, b) ->
+        let a = Float.of_int (a mod 100) /. 10. and b = Float.of_int (b mod 100) /. 10. in
+        if a = b then (a, b +. 0.1) else if a < b then (a, b) else (b, a))
+      Gen.(pair small_signed_int small_signed_int)
+  in
+  make
+    ~print:(Print.list (Print.pair Print.float Print.float))
+    Gen.(list_size (int_bound 8) pair_gen)
+
+let model_mem raw t = List.exists (fun (a, b) -> a <= t && t < b) raw
+
+(* Endpoints, midpoints, and points just outside each raw interval —
+   every place the canonical form could get a boundary wrong. *)
+let sample_points raw =
+  List.concat_map (fun (a, b) -> [ a -. 0.05; a; (a +. b) /. 2.; b; b +. 0.05 ]) raw
+
+let prop_model_pointwise =
+  QCheck.Test.make ~name:"iset of_list agrees with naive list model" ~count:300 raw_gen
+    (fun raw ->
+      let s = set raw in
+      List.for_all (fun t -> Interval_set.mem s t = model_mem raw t) (0. :: sample_points raw))
+
+let prop_model_ops =
+  QCheck.Test.make ~name:"iset inter/diff agree with naive model" ~count:300
+    (QCheck.pair raw_gen raw_gen) (fun (ra, rb) ->
+      let a = set ra and b = set rb in
+      let pts = 0. :: (sample_points ra @ sample_points rb) in
+      List.for_all
+        (fun t ->
+          Interval_set.mem (Interval_set.inter a b) t = (model_mem ra t && model_mem rb t)
+          && Interval_set.mem (Interval_set.diff a b) t
+             = (model_mem ra t && not (model_mem rb t)))
+        pts)
+
+let prop_canonical_form =
+  QCheck.Test.make ~name:"iset canonical form: sorted, separated, non-empty" ~count:300
+    raw_gen (fun raw ->
+      let members = Interval_set.intervals (set raw) in
+      let non_empty = List.for_all (fun i -> i.Interval.lo < i.Interval.hi) members in
+      let rec separated = function
+        | a :: (b :: _ as rest) -> a.Interval.hi < b.Interval.lo && separated rest
+        | [ _ ] | [] -> true
+      in
+      non_empty && separated members)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue *)
 
@@ -582,6 +636,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_inter_commutes;
           QCheck_alcotest.to_alcotest prop_diff_inter_partition;
           QCheck_alcotest.to_alcotest prop_union_mem;
+          QCheck_alcotest.to_alcotest prop_model_pointwise;
+          QCheck_alcotest.to_alcotest prop_model_ops;
+          QCheck_alcotest.to_alcotest prop_canonical_form;
         ] );
       ( "pqueue",
         [

@@ -398,10 +398,59 @@ let test_nondet_evaluate () =
   check_bool "waste complements delivery" true
     (Float.abs (r.Nondet.mean_delivery +. r.Nondet.mean_energy_wasted -. 1.) < 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Scale scenario generator *)
+
+let test_scale_deterministic_and_shaped () =
+  let params = { Scale.default_params with Scale.cluster = 10; epochs = 2 } in
+  let g1 = Scale.scenario ~params ~n:30 () in
+  let g2 = Scale.scenario ~params ~n:30 () in
+  Alcotest.(check int) "n" 30 (Tveg.n g1);
+  let links_equal a b =
+    List.equal
+      (fun (x : Tveg.link) (y : Tveg.link) ->
+        Interval.equal x.Tveg.iv y.Tveg.iv && Float.equal x.Tveg.dist y.Tveg.dist)
+      a b
+  in
+  for i = 0 to 29 do
+    for j = i + 1 to 29 do
+      Alcotest.(check bool)
+        (Printf.sprintf "links %d-%d deterministic" i j)
+        true
+        (links_equal (Tveg.links g1 i j) (Tveg.links g2 i j))
+    done
+  done;
+  (* Hubs star their members and bridge to the next hub; members of
+     different clusters never meet directly. *)
+  Alcotest.(check bool) "hub star" true (Tveg.links g1 0 5 <> []);
+  Alcotest.(check bool) "ring bridge" true (Tveg.links g1 0 10 <> []);
+  Alcotest.(check bool) "member meeting" true (Tveg.links g1 3 7 <> []);
+  Alcotest.(check bool) "no cross-cluster member contact" true (Tveg.links g1 3 13 = []);
+  (* The backbone is cheap, member meetings are far. *)
+  List.iter
+    (fun (l : Tveg.link) ->
+      Alcotest.(check bool) "near range" true (l.Tveg.dist >= 8. && l.Tveg.dist <= 16.))
+    (Tveg.links g1 0 5);
+  List.iter
+    (fun (l : Tveg.link) ->
+      Alcotest.(check bool) "far range" true (l.Tveg.dist >= 240. && l.Tveg.dist <= 420.))
+    (Tveg.links g1 3 7);
+  (* Broadcast from the first hub can reach everyone by the deadline. *)
+  let arr = Tveg.earliest_arrival g1 ~src:0 ~t0:0. in
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d reachable" i)
+        true
+        (a <= Scale.deadline ~params ()))
+    arr
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "tveg"
     [
+      ( "scale",
+        [ Alcotest.test_case "deterministic and shaped" `Quick test_scale_deterministic_and_shaped ] );
       ( "tveg",
         [
           tc "links sorted" test_tveg_links_sorted;
