@@ -832,10 +832,14 @@ let obs_overhead () =
 
 (* ------------------------------------------------------------------ *)
 
-(* `lint` mode: time a full-repo static-analysis pass.  The analyzer
-   is pure OCaml over compiler-libs parse trees, so this doubles as a
-   perf smoke (how long a check.sh lint gate costs) and as a gate (any
-   unsuppressed finding or parse error exits non-zero). *)
+(* `lint` mode: time a full-repo static-analysis pass, phase by phase.
+   Phase 1 parses every source (R1-R6); phase 2 loads the .cmt typed
+   trees, builds the call graph and solves the effect fixpoint (R7-R9)
+   — the engine itself reads no clock (R3 covers lib/lint too), so the
+   split timing lives here.  Doubles as a perf smoke (what a check.sh
+   lint gate costs) and as a gate (any unsuppressed finding or error
+   exits non-zero).  Phase 2 is skipped with a note when no .cmt trees
+   exist (e.g. a bytecode-only sandbox without a prior @check build). *)
 let lint_smoke () =
   let roots = [ "lib"; "bin"; "bench"; "test" ] in
   let allowlist =
@@ -847,13 +851,22 @@ let lint_smoke () =
           exit 1
     else []
   in
+  (match Lint.stale_entries ~exists:Sys.file_exists allowlist with
+  | [] -> ()
+  | stale ->
+      List.iter
+        (fun (e : Lint.allow_entry) ->
+          Printf.eprintf "stale allowlist entry: %s %s\n" e.Lint.pattern
+            e.Lint.allowed_rule)
+        stale;
+      exit 1);
   let t0 = Unix.gettimeofday () in
   match Lint.collect_files roots with
   | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
   | Ok files ->
-      let findings, errors =
+      let phase1, errors =
         List.fold_left
           (fun (fs, es) file ->
             match Lint.analyze_file ~allowlist file with
@@ -861,12 +874,29 @@ let lint_smoke () =
             | Error msg -> (fs, es @ [ msg ]))
           ([], []) files
       in
-      let dt = Unix.gettimeofday () -. t0 in
-      List.iter (fun msg -> Printf.eprintf "%s\n" msg) errors;
+      let t1 = Unix.gettimeofday () in
+      let phase2, typed_line, typed_errors =
+        match Lint_engine.analyze_typed ~allowlist ~paths:roots () with
+        | Ok (findings, stats) ->
+            let t2 = Unix.gettimeofday () in
+            ( findings,
+              Printf.sprintf
+                "lint: phase2 (typed) %d units, %d defs, %d pool sites in %.3f s"
+                stats.Lint_engine.cmts stats.Lint_engine.defs
+                stats.Lint_engine.pool_sites (t2 -. t1),
+              [] )
+        | Error msg -> ([], "lint: phase2 skipped: " ^ msg, [])
+      in
+      let dt1 = t1 -. t0 in
+      List.iter (fun msg -> Printf.eprintf "%s\n" msg) (errors @ typed_errors);
+      let findings = phase1 @ phase2 in
       Lint.report_text Format.std_formatter findings;
-      Printf.printf "lint: %d files, %d findings, %d errors in %.3f s (%.1f files/s)\n%!"
-        (List.length files) (List.length findings) (List.length errors) dt
-        (float_of_int (List.length files) /. Float.max dt 1e-9);
+      Printf.printf "lint: phase1 (parsetree) %d files in %.3f s (%.1f files/s)\n"
+        (List.length files) dt1
+        (float_of_int (List.length files) /. Float.max dt1 1e-9);
+      print_endline typed_line;
+      Printf.printf "lint: %d findings, %d errors total\n%!" (List.length findings)
+        (List.length errors);
       if findings <> [] || errors <> [] then exit 1
 
 let all_figures config =

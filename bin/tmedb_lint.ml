@@ -1,19 +1,29 @@
 (* tmedb-lint: static enforcement of the project's determinism,
-   domain-safety and documentation invariants (rules R1-R6, see
-   lib/lint).  Run from the repo root:
+   domain-safety and documentation invariants (rules R1-R9, see
+   lib/lint and docs/ANALYSIS.md).  Run from the repo root:
 
-     dune exec bin/tmedb_lint.exe -- lib bin bench test
+     dune build @check && dune exec bin/tmedb_lint.exe -- --typed lib bin bench test
+
+   Phase 1 (always on) parses sources and enforces R1-R6.  Phase 2
+   (--typed) loads the .cmt typed trees dune already produced, builds
+   the whole-tree call graph, infers per-function effect signatures
+   and enforces the interprocedural rules R7-R9.
 
    Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO/parse
-   errors.  `lint.allowlist` in the current directory is applied
-   automatically unless --no-allowlist is given. *)
+   errors (including stale allowlist entries).  `lint.allowlist` in
+   the current directory is applied automatically unless
+   --no-allowlist is given. *)
 
 let usage () =
   prerr_endline
-    "usage: tmedb_lint [--format text|json] [--only rule[,rule]] [--allowlist FILE]\n\
-    \                  [--no-allowlist] [--list-rules] PATH...\n\n\
+    "usage: tmedb_lint [--format text|json|sarif] [--only rule[,rule]]\n\
+    \                  [--allowlist FILE] [--no-allowlist] [--list-rules]\n\
+    \                  [--typed] [--effects-dump] [--build-dir DIR] PATH...\n\n\
      Analyzes every .ml/.mli under the given paths (directories are walked\n\
-     recursively; _build and dot-directories are skipped).";
+     recursively; _build and dot-directories are skipped).  --typed adds the\n\
+     interprocedural phase over the .cmt trees (run `dune build @check`\n\
+     first); --effects-dump prints the inferred effect signatures instead\n\
+     of findings.";
   exit 2
 
 let list_rules () =
@@ -27,6 +37,9 @@ let () =
   let only = ref [] in
   let allowlist_path = ref (Some "lint.allowlist") in
   let explicit_allowlist = ref false in
+  let typed = ref false in
+  let effects_dump = ref false in
+  let build_dir = ref Lint_engine.default_build_dir in
   let paths = ref [] in
   let argv = Sys.argv in
   let i = ref 1 in
@@ -41,6 +54,7 @@ let () =
         match next_arg () with
         | "text" -> format := `Text
         | "json" -> format := `Json
+        | "sarif" -> format := `Sarif
         | _ -> usage ())
     | "--only" ->
         let rules =
@@ -61,6 +75,9 @@ let () =
         allowlist_path := Some (next_arg ());
         explicit_allowlist := true
     | "--no-allowlist" -> allowlist_path := None
+    | "--typed" -> typed := true
+    | "--effects-dump" -> effects_dump := true
+    | "--build-dir" -> build_dir := next_arg ()
     | "--list-rules" -> list_rules ()
     | "--help" | "-h" -> usage ()
     | arg when String.length arg > 0 && arg.[0] = '-' -> usage ()
@@ -68,6 +85,7 @@ let () =
     incr i
   done;
   if !paths = [] then usage ();
+  let paths = List.rev !paths in
   let allowlist =
     match !allowlist_path with
     | None -> []
@@ -79,15 +97,38 @@ let () =
             Printf.eprintf "tmedb_lint: %s\n" msg;
             exit 2)
   in
+  (* A stale exemption is a hard error: the code it justified is gone,
+     and a future file under the same path would inherit an unreviewed
+     pass. *)
+  (match Lint.stale_entries ~exists:Sys.file_exists allowlist with
+  | [] -> ()
+  | stale ->
+      List.iter
+        (fun (e : Lint.allow_entry) ->
+          Printf.eprintf
+            "tmedb_lint: stale allowlist entry: %s %s (no such file or \
+             directory — remove the line)\n"
+            e.Lint.pattern e.Lint.allowed_rule)
+        stale;
+      exit 2);
+  if !effects_dump then begin
+    match Lint_engine.effects_dump ~build_dir:!build_dir ~paths () with
+    | Ok lines ->
+        List.iter print_endline lines;
+        exit 0
+    | Error msg ->
+        Printf.eprintf "tmedb_lint: %s\n" msg;
+        exit 2
+  end;
   let files =
-    match Lint.collect_files (List.rev !paths) with
+    match Lint.collect_files paths with
     | Ok files -> files
     | Error msg ->
         Printf.eprintf "tmedb_lint: %s\n" msg;
         exit 2
   in
   let errors = ref [] in
-  let findings =
+  let phase1 =
     List.concat_map
       (fun file ->
         match Lint.analyze_file ~only:!only ~allowlist file with
@@ -97,16 +138,36 @@ let () =
             [])
       files
   in
+  let phase2, typed_note =
+    if not !typed then ([], "")
+    else
+      match
+        Lint_engine.analyze_typed ~only:!only ~allowlist ~build_dir:!build_dir
+          ~paths ()
+      with
+      | Ok (findings, stats) ->
+          ( findings,
+            Printf.sprintf " (typed: %d units, %d defs, %d pool sites)"
+              stats.Lint_engine.cmts stats.Lint_engine.defs
+              stats.Lint_engine.pool_sites )
+      | Error msg ->
+          errors := msg :: !errors;
+          ([], "")
+  in
+  let findings = phase1 @ phase2 in
   List.iter (Printf.eprintf "tmedb_lint: %s\n") (List.rev !errors);
   (match !format with
   | `Text ->
       Lint.report_text Format.std_formatter findings;
       if findings = [] && !errors = [] then
-        Printf.printf "tmedb_lint: %d files clean\n" (List.length files)
+        Printf.printf "tmedb_lint: %d files clean%s\n" (List.length files)
+          typed_note
       else if findings <> [] then
-        Printf.printf "tmedb_lint: %d finding%s in %d files\n" (List.length findings)
+        Printf.printf "tmedb_lint: %d finding%s in %d files%s\n"
+          (List.length findings)
           (if List.length findings = 1 then "" else "s")
-          (List.length files)
-  | `Json -> Lint.report_json Format.std_formatter findings);
+          (List.length files) typed_note
+  | `Json -> Lint.report_json Format.std_formatter findings
+  | `Sarif -> Lint.report_sarif Format.std_formatter findings);
   if !errors <> [] then exit 2;
   if findings <> [] then exit 1

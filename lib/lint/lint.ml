@@ -51,7 +51,38 @@ let r_undoc =
     summary = "public val without an odoc comment in lib/core or lib/obs";
   }
 
-let rules = [ r_nondet; r_rng; r_clock; r_mutable; r_float_cmp; r_undoc ]
+(* Phase-2 rules: interprocedural, computed on the .cmt typed trees by
+   Lint_rules_typed (never by [analyze_source]).  They live in the same
+   catalogue so --list-rules, --only and the allowlist treat both
+   phases uniformly. *)
+
+let r_pool_purity =
+  {
+    id = "pool-task-purity";
+    code = "R7";
+    summary = "closure reaching the pool transitively writes unguarded shared state";
+  }
+
+let r_rng_taint =
+  {
+    id = "rng-taint";
+    code = "R8";
+    summary = "pool task captures a shared Rng.t handle instead of a per-task split";
+  }
+
+let r_blocking =
+  {
+    id = "blocking-in-task";
+    code = "R9";
+    summary = "lock, channel or IO reachable from inside a pool task";
+  }
+
+let rules =
+  [ r_nondet; r_rng; r_clock; r_mutable; r_float_cmp; r_undoc ]
+  @ [ r_pool_purity; r_rng_taint; r_blocking ]
+
+let typed_rules = [ r_pool_purity; r_rng_taint; r_blocking ]
+let is_typed r = List.exists (fun t -> t.id = r.id) typed_rules
 let find_rule id = List.find_opt (fun r -> r.id = id) rules
 
 type finding = { rule : rule; file : string; line : int; col : int; message : string }
@@ -92,6 +123,12 @@ let in_scope rule path =
   else if rule.id = r_mutable.id then not (under "lib/obs" path)
   else if rule.id = r_float_cmp.id then under_any float_kernels path
   else if rule.id = r_undoc.id then under_any documented_scope path
+  else if is_typed rule then
+    (* The typed rules apply to every analyzed compilation unit except
+       the pool itself: its workers block on their own condition
+       variable and write result slots by design — it IS the scheduler
+       the rules protect. *)
+    path <> "lib/prelude/pool.ml"
   else false
 
 (* ------------------------------------------------------------------ *)
@@ -146,6 +183,14 @@ let allowlisted allowlist ~file rule =
       (e.allowed_rule = "*" || e.allowed_rule = rule.id)
       && (e.pattern = file || under e.pattern file))
     allowlist
+
+(* An allowlist entry whose path prefix matches nothing on disk is a
+   stale exemption: the code it justified is gone, and keeping the line
+   would let a future file under the same name inherit an unreviewed
+   pass.  [exists] is the file-system probe (tests substitute their
+   own), applied to the pattern as both a file and a directory. *)
+let stale_entries ~exists allowlist =
+  List.filter (fun e -> not (exists e.pattern)) allowlist
 
 (* ------------------------------------------------------------------ *)
 (* [@lint.allow] attributes *)
@@ -599,3 +644,42 @@ let report_json ppf findings =
         (json_escape f.rule.id) (json_escape f.rule.code) (json_escape f.message))
     findings;
   Format.fprintf ppf "], \"count\": %d}@." (List.length findings)
+
+(* SARIF 2.1.0, the minimal subset CI annotators consume: one run, the
+   full rule catalogue in the driver (so ruleIndex resolves even for
+   rules with zero results), one result per finding.  Columns are
+   1-based in SARIF where the text reporter is 0-based. *)
+let report_sarif ppf findings =
+  let rule_index r =
+    let rec find i = function
+      | [] -> -1
+      | x :: tl -> if x.id = r.id then i else find (i + 1) tl
+    in
+    find 0 rules
+  in
+  Format.fprintf ppf
+    "{\"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\", \
+     \"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": \
+     {\"name\": \"tmedb-lint\", \"rules\": [";
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf
+        "%s{\"id\": \"%s\", \"name\": \"%s\", \"shortDescription\": {\"text\": \
+         \"%s\"}}"
+        (if i = 0 then "" else ", ")
+        (json_escape r.code) (json_escape r.id) (json_escape r.summary))
+    rules;
+  Format.fprintf ppf "]}}, \"results\": [";
+  List.iteri
+    (fun i (f : finding) ->
+      Format.fprintf ppf
+        "%s{\"ruleId\": \"%s\", \"ruleIndex\": %d, \"level\": \"error\", \
+         \"message\": {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": \
+         {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": {\"startLine\": %d, \
+         \"startColumn\": %d}}}]}"
+        (if i = 0 then "" else ", ")
+        (json_escape f.rule.code) (rule_index f.rule) (json_escape f.message)
+        (json_escape f.file) f.line (f.col + 1))
+    findings;
+  Format.fprintf ppf "]}]}@."

@@ -26,6 +26,11 @@
       [lib/obs] without an odoc comment (the [scripts/docs_check.sh]
       gate, re-implemented on the real parsed signature).
 
+    This module is phase 1.  The interprocedural phase-2 rules (R7
+    [pool-task-purity], R8 [rng-taint], R9 [blocking-in-task]) run over
+    the [.cmt] typed trees via [Lint_engine] / [Lint_callgraph] /
+    [Lint_effects] / [Lint_rules_typed]; see [docs/ANALYSIS.md].
+
     Suppression is explicit and auditable: attach
     [[@lint.allow "rule"]] to an expression, value binding or
     signature item (several rule names may be comma-separated; a bare
@@ -41,10 +46,33 @@ type rule = {
 (** A named invariant the analyzer enforces. *)
 
 val rules : rule list
-(** All rules, in R1..R6 order. *)
+(** All rules, in R1..R9 order.  R1–R6 are the phase-1 parsetree rules
+    enforced by {!analyze_source}; R7–R9 are the phase-2 interprocedural
+    rules enforced by [Lint_rules_typed] on the [.cmt] typed trees. *)
+
+val typed_rules : rule list
+(** The phase-2 rules (R7 pool-task-purity, R8 rng-taint, R9
+    blocking-in-task), in order. *)
+
+val is_typed : rule -> bool
+(** [is_typed r] is true when [r] is a phase-2 rule. *)
 
 val find_rule : string -> rule option
 (** [find_rule id] looks a rule up by its stable name. *)
+
+val normalize_path : string -> string
+(** Slash-normalized, [./]-stripped repo-relative path, the form every
+    scope test and allowlist pattern is matched against. *)
+
+val in_scope : rule -> string -> bool
+(** [in_scope rule path] tells whether [rule] applies to the file at
+    (normalized) [path] — the rule table in the module doc. *)
+
+val allows_of_attrs : Parsetree.attributes -> string list
+(** Rule ids allowed by any [[@lint.allow "r1, r2"]] attributes in the
+    list (["*"] for a bare [[@lint.allow]]); [[]] when none.  Shared
+    with the typed phase: [Typedtree] attributes are [Parsetree]
+    attributes. *)
 
 type finding = {
   rule : rule;  (** the rule that fired *)
@@ -75,6 +103,17 @@ val parse_allowlist : source_name:string -> string -> (allowlist, string) result
 
 val load_allowlist : string -> (allowlist, string) result
 (** [load_allowlist path] reads and parses the file at [path]. *)
+
+val allowlisted : allowlist -> file:string -> rule -> bool
+(** [allowlisted allowlist ~file rule] tells whether an entry exempts
+    [file] (exact path or directory prefix) from [rule]. *)
+
+val stale_entries : exists:(string -> bool) -> allowlist -> allow_entry list
+(** [stale_entries ~exists allowlist] returns the entries whose
+    [pattern] matches nothing on disk ([exists] is the probe, normally
+    [Sys.file_exists]).  Stale exemptions are hard errors in the CLI:
+    the code they justified is gone, and a future file under the same
+    path would inherit an unreviewed pass. *)
 
 val analyze_source :
   ?only:string list ->
@@ -111,3 +150,8 @@ val report_text : Format.formatter -> finding list -> unit
 val report_json : Format.formatter -> finding list -> unit
 (** [report_json ppf findings] prints a machine-readable report:
     [{"findings": [...], "count": N}]. *)
+
+val report_sarif : Format.formatter -> finding list -> unit
+(** [report_sarif ppf findings] prints a SARIF 2.1.0 document (single
+    run, full rule catalogue, one result per finding) so CI can attach
+    findings as PR annotations. *)

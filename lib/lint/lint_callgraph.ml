@@ -1,0 +1,599 @@
+(* Whole-tree call graph over the .cmt typed trees dune already
+   produces (Cmt_format.read_cmt — no new deps).  Each implementation
+   unit is walked once; every module-level binding becomes a
+   Lint_effects.def whose atoms record the direct writes, reads,
+   taints, calls and literal closures the walker saw, and every call
+   whose resolved path lands on a Pool entry point is recorded as a
+   pool site with its task closures.  Name resolution works on
+   normalized path components: dune's wrapped-library mangling
+   ("Tmedb__Eedcb", alias modules "Tmedb__") is stripped so call paths
+   written through any alias join the same graph node. *)
+
+open Typedtree
+
+(* ------------------------------------------------------------------ *)
+(* Path normalization *)
+
+(* "Tmedb__Eedcb" -> Some "Eedcb"; "Tmedb__" (dune alias module) ->
+   None; plain components pass through. *)
+let norm_component c =
+  let n = String.length c in
+  let rec last_sep i = if i < 0 then None else
+      if i + 1 < n && c.[i] = '_' && c.[i + 1] = '_' then Some (i + 2) else last_sep (i - 1)
+  in
+  match last_sep (n - 2) with
+  | None -> if c = "" then None else Some c
+  | Some start -> if start >= n then None else Some (String.sub c start (n - start))
+
+let norm_unit modname =
+  match norm_component modname with Some m -> m | None -> modname
+
+let rec path_raw_comps = function
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> path_raw_comps p @ [ s ]
+  | Path.Papply (p, _) -> path_raw_comps p
+  | Path.Pextra_ty (p, _) -> path_raw_comps p
+
+let norm_comps p = List.filter_map norm_component (path_raw_comps p)
+let raw_name p = String.concat "." (path_raw_comps p)
+
+(* ------------------------------------------------------------------ *)
+(* Pool sites *)
+
+type task =
+  | Task_fun of {
+      loc : Location.t;
+      atoms : Lint_effects.atom list;
+      captured_rng : (string * Location.t) list;
+    }
+  | Task_ref of { loc : Location.t; raw : string; comps : string list }
+
+type site = {
+  site_file : string;
+  site_loc : Location.t;
+  entry : string;  (* display name, e.g. "Pool.map" *)
+  site_unit : string;  (* normalized unit module, for resolution *)
+  site_allows : string list;  (* [@lint.allow] ids in scope at the call *)
+  tasks : task list;
+}
+
+type unit_info = {
+  source : string;  (* normalized source path *)
+  modname : string;  (* normalized compilation-unit module *)
+  defs : Lint_effects.def list;
+  sites : site list;
+  aliases : (string * string list) list;  (* local alias -> target comps *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Type tests *)
+
+let type_head_comps ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (norm_comps p)
+  | _ -> None
+
+let type_is_rng ty =
+  match type_head_comps ty with
+  | Some comps -> Lint_effects.suffix_matches ~pattern:[ "Rng"; "t" ] comps
+  | None -> false
+
+let type_is_arrow ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Walker *)
+
+type wstate = {
+  mutable sink : Lint_effects.atom list;  (* reversed *)
+  locals : (Ident.t, unit) Hashtbl.t;  (* lexically-bound idents of the def *)
+  local_fns : (Ident.t, Lint_effects.atom list) Hashtbl.t;
+  mutable locks : bool;
+  mutable allow_stack : string list list;
+  mutable rng_bound : (Ident.t, unit) Hashtbl.t option;  (* Some inside a task *)
+  mutable captured_rng : (string * Location.t) list;  (* reversed *)
+  (* per-unit accumulators, shared across defs *)
+  unit_mod : string;
+  source : string;
+  mutable file_allows : string list;
+  mutable def_allows : string list;
+  mutable sites : site list;  (* reversed *)
+}
+
+let bind_ident st id =
+  Hashtbl.replace st.locals id ();
+  match st.rng_bound with Some tbl -> Hashtbl.replace tbl id () | None -> ()
+
+let push_atom st a = st.sink <- a :: st.sink
+
+let scope_allows st =
+  st.file_allows @ st.def_allows @ List.concat st.allow_stack
+
+(* The base of a write/read: peel field accesses down to the root
+   identifier.  A root that is not lexically bound in the current def
+   is module-level — shared.  Unknown shapes (function results, fresh
+   allocations) count as local: the analysis tracks state at its
+   module-level root, cf. docs/ANALYSIS.md. *)
+let rec base_path e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (e', _, _) -> base_path e'
+  | _ -> None
+
+let shared_base st e =
+  match base_path e with
+  | Some (Path.Pident id) ->
+      if Hashtbl.mem st.locals id then None else Some (Ident.name id)
+  | Some p -> Some (raw_name p)
+  | None -> None
+
+let positional args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+let entry_display comps =
+  match List.rev comps with
+  | last :: _ -> "Pool." ^ last
+  | [] -> "Pool.?"
+
+let rec make_iterator st =
+  let super = Tast_iterator.default_iterator in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun it p ->
+    (match p.pat_desc with
+    | Tpat_var (id, _) -> bind_ident st id
+    | Tpat_alias (_, id, _) -> bind_ident st id
+    | _ -> ());
+    super.pat it p
+  in
+  let expr it e =
+    let allows = Lint.allows_of_attrs e.exp_attributes in
+    if allows <> [] then st.allow_stack <- allows :: st.allow_stack;
+    (match e.exp_desc with
+    | Texp_function { param; _ } ->
+        bind_ident st param;
+        super.expr it e
+    | Texp_for (id, _, _, _, _, _) ->
+        bind_ident st id;
+        super.expr it e
+    | Texp_letop { param; _ } ->
+        bind_ident st param;
+        super.expr it e
+    | Texp_let (_, vbs, body) ->
+        List.iter
+          (fun vb ->
+            it.Tast_iterator.pat it vb.vb_pat;
+            match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+            | Tpat_var (id, _), Texp_function _ ->
+                (* Local helper: remember its atoms so it can be
+                   recognized when passed to a pool entry, and merge
+                   them here — a defined helper is assumed called. *)
+                let atoms = walk_fresh st it vb.vb_expr in
+                Hashtbl.replace st.local_fns id atoms;
+                push_atom st
+                  (Lint_effects.Closure
+                     { callee = [ "<local " ^ Ident.name id ^ ">" ];
+                       loc = vb.vb_loc; atoms })
+            | _ -> it.Tast_iterator.expr it vb.vb_expr)
+          vbs;
+        it.Tast_iterator.expr it body
+    | Texp_setfield (base, _, label, value) ->
+        (match shared_base st base with
+        | Some name ->
+            push_atom st
+              (Lint_effects.Write
+                 {
+                   loc = e.exp_loc;
+                   desc =
+                     Printf.sprintf "mutable field %s of %s"
+                       label.Types.lbl_name name;
+                 })
+        | None -> ());
+        it.Tast_iterator.expr it base;
+        it.Tast_iterator.expr it value
+    | Texp_ident (p, _, _) ->
+        (match st.rng_bound with
+        | Some bound ->
+            let is_bound =
+              match p with Path.Pident id -> Hashtbl.mem bound id | _ -> false
+            in
+            if (not is_bound) && type_is_rng e.exp_type then
+              st.captured_rng <- (raw_name p, e.exp_loc) :: st.captured_rng
+        | None -> ());
+        (* A tainted primitive referenced without application (aliased,
+           passed to a HOF) still carries its taint. *)
+        (match Lint_effects.classify (norm_comps p) with
+        | Lint_effects.Tainted t ->
+            push_atom st
+              (Lint_effects.Taint_of { taint = t; loc = e.exp_loc; desc = raw_name p })
+        | Lint_effects.Lock ->
+            st.locks <- true;
+            push_atom st
+              (Lint_effects.Taint_of
+                 { taint = Lint_effects.Blocking; loc = e.exp_loc; desc = raw_name p })
+        | _ -> ())
+    | Texp_apply (f, args) -> handle_apply st it e f args
+    | _ -> super.expr it e);
+    if allows <> [] then st.allow_stack <- List.tl st.allow_stack
+  in
+  { super with expr; pat }
+
+(* Walk [e] into a fresh sink and return its atoms (state restored). *)
+and walk_fresh st it e =
+  let saved = st.sink in
+  st.sink <- [];
+  it.Tast_iterator.expr it e;
+  let atoms = List.rev st.sink in
+  st.sink <- saved;
+  atoms
+
+(* Walk a task closure: fresh sink plus an Rng-capture watch that
+   records free identifiers of type Rng.t. *)
+and walk_task st it e =
+  let saved_sink = st.sink
+  and saved_bound = st.rng_bound
+  and saved_captured = st.captured_rng in
+  st.sink <- [];
+  st.rng_bound <- Some (Hashtbl.create 8);
+  st.captured_rng <- [];
+  it.Tast_iterator.expr it e;
+  let atoms = List.rev st.sink and captured = List.rev st.captured_rng in
+  st.sink <- saved_sink;
+  st.rng_bound <- saved_bound;
+  st.captured_rng <- saved_captured;
+  (atoms, captured)
+
+(* Walk an argument, wrapping a literal [fun] in a Closure atom so the
+   fixpoint can guard it by its callee. *)
+and walk_arg st it ~callee arg =
+  match arg.exp_desc with
+  | Texp_function _ ->
+      let atoms = walk_fresh st it arg in
+      push_atom st (Lint_effects.Closure { callee; loc = arg.exp_loc; atoms })
+  | _ -> it.Tast_iterator.expr it arg
+
+and handle_apply st it e f args =
+  let walk_args ~callee () =
+    List.iter
+      (function _, Some a -> walk_arg st it ~callee a | _, None -> ())
+      args
+  in
+  match f.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      let comps = norm_comps p in
+      match Lint_effects.classify comps with
+      | Lint_effects.Pool_entry ->
+          let tasks = ref [] in
+          List.iter
+            (function
+              | _, Some (arg : expression) when type_is_arrow arg.exp_type -> (
+                  match arg.exp_desc with
+                  | Texp_function _ ->
+                      let atoms, captured = walk_task st it arg in
+                      tasks :=
+                        Task_fun { loc = arg.exp_loc; atoms; captured_rng = captured }
+                        :: !tasks;
+                      push_atom st
+                        (Lint_effects.Closure { callee = comps; loc = arg.exp_loc; atoms })
+                  | Texp_ident (Path.Pident id, _, _)
+                    when Hashtbl.mem st.local_fns id ->
+                      let atoms = Hashtbl.find st.local_fns id in
+                      tasks :=
+                        Task_fun { loc = arg.exp_loc; atoms; captured_rng = [] }
+                        :: !tasks
+                  | Texp_ident (q, _, _) ->
+                      tasks :=
+                        Task_ref
+                          { loc = arg.exp_loc; raw = raw_name q; comps = norm_comps q }
+                        :: !tasks;
+                      push_atom st
+                        (Lint_effects.Call
+                           { comps = norm_comps q; raw = raw_name q; loc = arg.exp_loc })
+                  | Texp_apply ({ exp_desc = Texp_ident (q, _, _); _ }, inner_args) ->
+                      (* partial application as the task *)
+                      tasks :=
+                        Task_ref
+                          { loc = arg.exp_loc; raw = raw_name q; comps = norm_comps q }
+                        :: !tasks;
+                      push_atom st
+                        (Lint_effects.Call
+                           { comps = norm_comps q; raw = raw_name q; loc = arg.exp_loc });
+                      List.iter
+                        (function
+                          | _, Some a -> walk_arg st it ~callee:comps a | _, None -> ())
+                        inner_args
+                  | _ -> it.Tast_iterator.expr it arg)
+              | _, Some a -> it.Tast_iterator.expr it a
+              | _, None -> ())
+            args;
+          st.sites <-
+            {
+              site_file = st.source;
+              site_loc = e.exp_loc;
+              entry = entry_display comps;
+              site_unit = st.unit_mod;
+              site_allows = scope_allows st;
+              tasks = List.rev !tasks;
+            }
+            :: st.sites
+      | Lint_effects.Mutator { arg; what } ->
+          (match List.nth_opt (positional args) arg with
+          | Some base -> (
+              match shared_base st base with
+              | Some name ->
+                  push_atom st
+                    (Lint_effects.Write
+                       { loc = e.exp_loc; desc = Printf.sprintf "%s on %s" what name })
+              | None -> ())
+          | None -> ());
+          walk_args ~callee:comps ()
+      | Lint_effects.Reader { arg; what } ->
+          (match List.nth_opt (positional args) arg with
+          | Some base -> (
+              match shared_base st base with
+              | Some name ->
+                  push_atom st
+                    (Lint_effects.Read
+                       { loc = e.exp_loc; desc = Printf.sprintf "%s on %s" what name })
+              | None -> ())
+          | None -> ());
+          walk_args ~callee:comps ()
+      | Lint_effects.Safe -> walk_args ~callee:comps ()
+      | Lint_effects.Lock ->
+          st.locks <- true;
+          push_atom st
+            (Lint_effects.Taint_of
+               { taint = Lint_effects.Blocking; loc = e.exp_loc; desc = raw_name p });
+          walk_args ~callee:comps ()
+      | Lint_effects.Lock_wrapper ->
+          st.locks <- true;
+          push_atom st
+            (Lint_effects.Taint_of
+               { taint = Lint_effects.Blocking; loc = e.exp_loc; desc = raw_name p });
+          walk_args ~callee:comps ()
+      | Lint_effects.Tainted t ->
+          push_atom st
+            (Lint_effects.Taint_of { taint = t; loc = e.exp_loc; desc = raw_name p });
+          walk_args ~callee:comps ()
+      | Lint_effects.Plain ->
+          push_atom st
+            (Lint_effects.Call { comps; raw = raw_name p; loc = e.exp_loc });
+          walk_args ~callee:comps ())
+  | _ ->
+      it.Tast_iterator.expr it f;
+      walk_args ~callee:[ "<computed>" ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Structure walk *)
+
+let walk_unit ~modname ~source (str : structure) =
+  let defs = ref [] in
+  let aliases = ref [] in
+  let shared =
+    {
+      sink = [];
+      locals = Hashtbl.create 64;
+      local_fns = Hashtbl.create 16;
+      locks = false;
+      allow_stack = [];
+      rng_bound = None;
+      captured_rng = [];
+      unit_mod = modname;
+      source;
+      file_allows = [];
+      def_allows = [];
+      sites = [];
+    }
+  in
+  let walk_def ~sym ~line ~allows expr_ =
+    (* Fresh per-def walk state over the shared per-unit accumulators. *)
+    let st =
+      {
+        shared with
+        sink = [];
+        locals = Hashtbl.create 64;
+        local_fns = Hashtbl.create 16;
+        locks = false;
+        allow_stack = [];
+        rng_bound = None;
+        captured_rng = [];
+        def_allows = allows;
+        file_allows = shared.file_allows;
+        sites = shared.sites;
+      }
+    in
+    let it = make_iterator st in
+    it.Tast_iterator.expr it expr_;
+    shared.sites <- st.sites;
+    defs :=
+      {
+        Lint_effects.sym;
+        unit_mod = modname;
+        file = source;
+        line;
+        atoms = List.rev st.sink;
+        allows = shared.file_allows @ allows;
+        locks = st.locks;
+      }
+      :: !defs
+  in
+  let rec walk_items prefix items = List.iter (walk_item prefix) items
+  and walk_module_expr prefix me =
+    match me.mod_desc with
+    | Tmod_structure s -> walk_items prefix s.str_items
+    | Tmod_constraint (me', _, _, _) -> walk_module_expr prefix me'
+    | Tmod_ident _ | Tmod_functor _ | Tmod_apply _ | Tmod_apply_unit _
+    | Tmod_unpack _ ->
+        ()
+  and walk_item prefix item =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let allows =
+              Lint.allows_of_attrs vb.vb_attributes
+              @ Lint.allows_of_attrs vb.vb_expr.exp_attributes
+            in
+            let line = vb.vb_loc.Location.loc_start.Lexing.pos_lnum in
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (_, { txt; _ }) ->
+                walk_def ~sym:(prefix ^ "." ^ txt) ~line ~allows vb.vb_expr
+            | _ ->
+                walk_def
+                  ~sym:(Printf.sprintf "%s.(init:%d)" prefix line)
+                  ~line ~allows vb.vb_expr)
+          vbs
+    | Tstr_eval (e, attrs) ->
+        let line = e.exp_loc.Location.loc_start.Lexing.pos_lnum in
+        walk_def
+          ~sym:(Printf.sprintf "%s.(init:%d)" prefix line)
+          ~line
+          ~allows:(Lint.allows_of_attrs attrs)
+          e
+    | Tstr_module mb -> (
+        let name = match mb.mb_name.Location.txt with Some n -> Some n | None -> None in
+        match (name, mb.mb_expr.mod_desc) with
+        | Some n, Tmod_ident (p, _) -> aliases := (n, norm_comps p) :: !aliases
+        | Some n, _ -> walk_module_expr (prefix ^ "." ^ n) mb.mb_expr
+        | None, _ -> ())
+    | Tstr_recmodule mbs ->
+        List.iter
+          (fun mb ->
+            match mb.mb_name.Location.txt with
+            | Some n -> walk_module_expr (prefix ^ "." ^ n) mb.mb_expr
+            | None -> ())
+          mbs
+    | Tstr_include incl -> walk_module_expr prefix incl.incl_mod
+    | Tstr_attribute a ->
+        shared.file_allows <- shared.file_allows @ Lint.allows_of_attrs [ a ]
+    | Tstr_primitive _ | Tstr_type _ | Tstr_typext _ | Tstr_exception _
+    | Tstr_modtype _ | Tstr_open _ | Tstr_class _ | Tstr_class_type _ ->
+        ()
+  in
+  walk_items modname str.str_items;
+  {
+    source;
+    modname;
+    defs = List.rev !defs;
+    sites = List.rev shared.sites;
+    aliases = !aliases;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Loading *)
+
+let load_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception exn -> Error (Printf.sprintf "%s: %s" path (Printexc.to_string exn))
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when Filename.check_suffix src ".ml" ->
+          let modname = norm_unit cmt.Cmt_format.cmt_modname in
+          Ok (Some (walk_unit ~modname ~source:(Lint.normalize_path src) str))
+      | _ -> Ok None)
+
+(* ------------------------------------------------------------------ *)
+(* Resolution *)
+
+let defs units = List.concat_map (fun u -> u.defs) units
+
+let resolver units : Lint_effects.resolver =
+  let def_syms = Hashtbl.create 256 in
+  let by_suffix = Hashtbl.create 256 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (d : Lint_effects.def) ->
+          Hashtbl.replace def_syms d.Lint_effects.sym ();
+          let comps = String.split_on_char '.' d.Lint_effects.sym in
+          let n = List.length comps in
+          if n >= 2 then begin
+            let key =
+              String.concat "." (List.filteri (fun i _ -> i >= n - 2) comps)
+            in
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt by_suffix key)
+            in
+            if not (List.mem d.Lint_effects.sym prev) then
+              Hashtbl.replace by_suffix key (d.Lint_effects.sym :: prev)
+          end)
+        u.defs)
+    units;
+  let alias_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (name, target) -> Hashtbl.replace alias_tbl (u.modname, name) target)
+        u.aliases)
+    units;
+  fun ~unit_mod comps ->
+    let comps =
+      match comps with
+      | hd :: tl -> (
+          match Hashtbl.find_opt alias_tbl (unit_mod, hd) with
+          | Some target -> target @ tl
+          | None -> comps)
+      | [] -> comps
+    in
+    if comps = [] then None
+    else begin
+      let try_sym comps =
+        let sym = String.concat "." comps in
+        if Hashtbl.mem def_syms sym then Some sym else None
+      in
+      let rec drop_prefixes comps =
+        match try_sym comps with
+        | Some sym -> Some sym
+        | None -> (
+            match comps with
+            | _ :: (_ :: _ as tl) -> drop_prefixes tl
+            | _ -> None)
+      in
+      match try_sym (unit_mod :: comps) with
+      | Some sym -> Some sym
+      | None -> (
+          match drop_prefixes comps with
+          | Some sym -> Some sym
+          | None ->
+              (* unique-suffix fallback for calls through module aliases
+                 the walker did not see (e.g. aliases in other units) *)
+              let n = List.length comps in
+              if n < 2 then None
+              else
+                let key =
+                  String.concat "."
+                    (List.filteri (fun i _ -> i >= n - 2) comps)
+                in
+                (match Hashtbl.find_opt by_suffix key with
+                | Some [ sym ] -> Some sym
+                | _ -> None))
+    end
+
+(* Resolved caller → callee edges, for tests and debugging: recurses
+   into Closure atoms so task bodies contribute their edges. *)
+let edges units =
+  let resolve = resolver units in
+  let out = ref [] in
+  let rec atoms_edges ~unit_mod ~caller atoms =
+    List.iter
+      (fun a ->
+        match a with
+        | Lint_effects.Call { comps; _ } -> (
+            match resolve ~unit_mod comps with
+            | Some callee -> out := (caller, callee) :: !out
+            | None -> ())
+        | Lint_effects.Closure { atoms; _ } -> atoms_edges ~unit_mod ~caller atoms
+        | _ -> ())
+      atoms
+  in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (d : Lint_effects.def) ->
+          atoms_edges ~unit_mod:u.modname ~caller:d.Lint_effects.sym
+            d.Lint_effects.atoms)
+        u.defs)
+    units;
+  List.sort_uniq compare (List.rev !out)

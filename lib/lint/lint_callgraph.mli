@@ -1,0 +1,85 @@
+(** Whole-tree call graph from the [.cmt] typed trees dune already
+    produces.
+
+    Each implementation unit is read with [Cmt_format.read_cmt] and
+    walked once into a list of {!Lint_effects.def} nodes (one per
+    module-level binding) plus the pool sites found in it.  Call paths
+    are normalized out of dune's wrapped-library mangling
+    ([Tmedb__Eedcb] → [Eedcb], alias modules dropped) so the same
+    function reached through different aliases is one graph node.
+
+    The walker understands the idioms phase 2 must not false-positive
+    on: locals are lexically inherited per top-level binding (a task
+    closure writing into its enclosing function's result array is
+    local, not shared), local [let f = fun …] helpers are recognized
+    when later passed to a pool entry, and [[@lint.allow]] attributes
+    are collected at every scope.  See [docs/ANALYSIS.md]. *)
+
+val norm_component : string -> string option
+(** [norm_component c] strips dune name mangling from one path
+    component: [Tmedb__Eedcb] → [Some "Eedcb"], a wrapped-library
+    alias module ([Tmedb__]) → [None] (dropped), anything else
+    unchanged. *)
+
+val norm_unit : string -> string
+(** Normalize a compilation-unit module name ([Dune__exe__Main] →
+    [Main]). *)
+
+val norm_comps : Path.t -> string list
+(** Normalized components of a resolved value path. *)
+
+(** A task argument at a pool site. *)
+type task =
+  | Task_fun of {
+      loc : Location.t;
+      atoms : Lint_effects.atom list;  (** the closure body's atoms *)
+      captured_rng : (string * Location.t) list;
+          (** free identifiers of type [Rng.t] the closure captures *)
+    }  (** a literal [fun] (or a local helper defined in the same def) *)
+  | Task_ref of { loc : Location.t; raw : string; comps : string list }
+      (** a named function (or partial application) passed as the task *)
+
+type site = {
+  site_file : string;  (** normalized source path of the call *)
+  site_loc : Location.t;
+  entry : string;  (** display name, e.g. ["Pool.map"] *)
+  site_unit : string;  (** unit module, for resolving task refs *)
+  site_allows : string list;
+      (** [[@lint.allow]] ids in scope at the call site *)
+  tasks : task list;
+}
+(** One call to a {!Lint_effects.classification.Pool_entry}. *)
+
+type unit_info = {
+  source : string;
+  modname : string;
+  defs : Lint_effects.def list;
+  sites : site list;
+  aliases : (string * string list) list;
+      (** [module A = B.C] aliases local to the unit *)
+}
+(** Everything extracted from one compilation unit. *)
+
+val walk_unit :
+  modname:string -> source:string -> Typedtree.structure -> unit_info
+(** Walk one typed implementation.  Exposed for tests that compile
+    fixtures out-of-tree. *)
+
+val load_cmt : string -> (unit_info option, string) result
+(** [load_cmt path] reads one [.cmt].  [Ok None] for interfaces,
+    packs, and generated units without a real [.ml] source;
+    [Error _] when the file cannot be read (version skew, truncation). *)
+
+val defs : unit_info list -> Lint_effects.def list
+(** All defs of all units, in unit order. *)
+
+val resolver : unit_info list -> Lint_effects.resolver
+(** Build the name resolver over a set of units: tries the caller's
+    own unit first, then the path as written (dropping leading
+    components for aliased prefixes), then a unique two-component
+    suffix match.  Returns [None] for externals. *)
+
+val edges : unit_info list -> (string * string) list
+(** Resolved [caller → callee] edges (including calls made inside task
+    closures), sorted and deduplicated — the call-graph surface the
+    unit tests assert on. *)

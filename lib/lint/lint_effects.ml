@@ -1,0 +1,354 @@
+(* Effect inference for the typed phase.  Each analyzed binding is
+   flattened by Lint_callgraph into a list of [atom]s — the direct
+   observations the walker could make — and this module folds the atoms
+   into a per-function [summary] over the lattice
+
+     pure ⊑ reads_shared ⊑ writes_shared
+
+   with four orthogonal taints (rng, clock, io, blocking).  Summaries
+   are propagated over resolved call edges to a fixpoint, keeping for
+   every inherited property the call edge it arrived through, so a rule
+   report can print the whole chain from a pool entry point down to the
+   offending primitive. *)
+
+type taint = Rng | Clock | Io | Blocking
+
+let taint_name = function
+  | Rng -> "rng"
+  | Clock -> "clock"
+  | Io -> "io"
+  | Blocking -> "blocking"
+
+let all_taints = [ Rng; Clock; Io; Blocking ]
+
+type atom =
+  | Write of { loc : Location.t; desc : string }
+      (* mutation of module-level (shared) state, not Atomic/DLS *)
+  | Read of { loc : Location.t; desc : string }
+      (* read of module-level mutable state *)
+  | Taint_of of { taint : taint; loc : Location.t; desc : string }
+  | Call of { comps : string list; raw : string; loc : Location.t }
+      (* call to a non-primitive function, resolved at fixpoint time *)
+  | Closure of { callee : string list; loc : Location.t; atoms : atom list }
+      (* literal [fun] passed as an argument to [callee]: its writes
+         are guarded when [callee] takes a lock *)
+
+type def = {
+  sym : string;  (* "Module.name" after alias normalization *)
+  unit_mod : string;  (* normalized compilation-unit module name *)
+  file : string;
+  line : int;
+  atoms : atom list;
+  allows : string list;  (* [@lint.allow] ids in force at the binding *)
+  locks : bool;  (* the body takes a lock directly *)
+}
+
+type origin =
+  | Direct of { loc : Location.t; desc : string }
+  | Via of { callee : string; loc : Location.t }
+
+type summary = {
+  writes : origin option;
+  guarded_writes : bool;
+  reads : bool;
+  taints : (taint * origin) list;  (* at most one origin per taint *)
+}
+
+let empty_summary = { writes = None; guarded_writes = false; reads = false; taints = [] }
+
+let level s =
+  if s.writes <> None then "writes_shared"
+  else if s.reads then "reads_shared"
+  else "pure"
+
+(* ------------------------------------------------------------------ *)
+(* Primitive classification.
+
+   Call targets are matched on their normalized path components (see
+   Lint_callgraph.norm_comps) by suffix, so [Stdlib.Hashtbl.add],
+   [Hashtbl.add] and a re-exported alias all classify alike.  The "_"
+   pattern component matches any single component.  The table is the
+   analysis' trusted base: unlisted externals are assumed pure, which
+   is the usable default for a lint (the dangerous stdlib surface is
+   enumerated here; in-tree functions are analyzed, not assumed). *)
+
+type classification =
+  | Pool_entry  (* closure arguments become pool tasks *)
+  | Mutator of { arg : int; what : string }  (* writes its [arg]-th argument *)
+  | Reader of { arg : int; what : string }  (* reads its [arg]-th argument *)
+  | Safe  (* Atomic / Domain.DLS: domain-safe by construction *)
+  | Lock  (* takes a lock: blocking, and marks the caller a guard *)
+  | Lock_wrapper  (* Mutex.protect: Lock + guards its closure argument *)
+  | Tainted of taint
+  | Plain  (* possibly an in-tree call: resolve against the call graph *)
+
+let pool_entries =
+  [
+    [ "Pool"; "parallel_map" ];
+    [ "Pool"; "parallel_map_chunked" ];
+    [ "Pool"; "parallel_init" ];
+    [ "Pool"; "map" ];
+    [ "Pool"; "map_chunked" ];
+  ]
+
+let suffix_matches ~pattern comps =
+  let lp = List.length pattern and lc = List.length comps in
+  lc >= lp
+  &&
+  let tail =
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    drop (lc - lp) comps
+  in
+  List.for_all2 (fun p c -> p = "_" || p = c) pattern tail
+
+let classify comps =
+  let m pattern = suffix_matches ~pattern comps in
+  if List.exists (fun p -> suffix_matches ~pattern:p comps) pool_entries then Pool_entry
+  else if m [ "Atomic"; "_" ] || m [ "Domain"; "DLS"; "_" ] then Safe
+  else if m [ "Mutex"; "protect" ] then Lock_wrapper
+  else if m [ "Mutex"; "lock" ] || m [ "Mutex"; "try_lock" ] then Lock
+  else if
+    m [ "Condition"; "wait" ] || m [ "Domain"; "join" ] || m [ "Unix"; "sleep" ]
+    || m [ "Unix"; "sleepf" ] || m [ "Event"; "sync" ] || m [ "Event"; "receive" ]
+    || m [ "Event"; "send" ] || m [ "Semaphore"; "Counting"; "acquire" ]
+    || m [ "Semaphore"; "Binary"; "acquire" ]
+  then Tainted Blocking
+  else if m [ "Random"; "_" ] || m [ "Random"; "State"; "_" ] then Tainted Rng
+  else if m [ "Unix"; "gettimeofday" ] || m [ "Unix"; "time" ] || m [ "Sys"; "time" ]
+  then Tainted Clock
+  else if
+    m [ "Stdlib"; "print_string" ] || m [ "Stdlib"; "print_endline" ]
+    || m [ "Stdlib"; "print_newline" ] || m [ "Stdlib"; "print_char" ]
+    || m [ "Stdlib"; "print_int" ] || m [ "Stdlib"; "print_float" ]
+    || m [ "Stdlib"; "prerr_string" ] || m [ "Stdlib"; "prerr_endline" ]
+    || m [ "Stdlib"; "prerr_newline" ] || m [ "Stdlib"; "read_line" ]
+    || m [ "Stdlib"; "output_string" ] || m [ "Stdlib"; "output_char" ]
+    || m [ "Stdlib"; "output_bytes" ] || m [ "Stdlib"; "output_value" ]
+    || m [ "Stdlib"; "input_line" ] || m [ "Stdlib"; "input_char" ]
+    || m [ "Stdlib"; "really_input_string" ] || m [ "Stdlib"; "open_in" ]
+    || m [ "Stdlib"; "open_in_bin" ] || m [ "Stdlib"; "open_out" ]
+    || m [ "Stdlib"; "open_out_bin" ] || m [ "Stdlib"; "close_in" ]
+    || m [ "Stdlib"; "close_out" ] || m [ "Stdlib"; "flush" ]
+    || m [ "Printf"; "printf" ] || m [ "Printf"; "eprintf" ]
+    || m [ "Printf"; "fprintf" ] || m [ "Format"; "printf" ]
+    || m [ "Format"; "eprintf" ] || m [ "Sys"; "command" ]
+    || m [ "In_channel"; "_" ] || m [ "Out_channel"; "_" ]
+    || m [ "Unix"; "read" ] || m [ "Unix"; "write" ] || m [ "Unix"; "select" ]
+    || m [ "Unix"; "system" ] || m [ "Unix"; "openfile" ]
+  then Tainted Io
+  else if m [ "Stdlib"; ":=" ] || m [ "Stdlib"; "incr" ] || m [ "Stdlib"; "decr" ]
+  then Mutator { arg = 0; what = "ref assignment" }
+  else if m [ "Stdlib"; "!" ] then Reader { arg = 0; what = "ref dereference" }
+  else begin
+    let mutator_tables =
+      [
+        (* (module, function, mutated argument index) *)
+        ("Hashtbl", "add", 0); ("Hashtbl", "replace", 0); ("Hashtbl", "remove", 0);
+        ("Hashtbl", "reset", 0); ("Hashtbl", "clear", 0);
+        ("Hashtbl", "filter_map_inplace", 1); ("Hashtbl", "add_seq", 0);
+        ("Hashtbl", "replace_seq", 0);
+        ("Array", "set", 0); ("Array", "unsafe_set", 0); ("Array", "fill", 0);
+        ("Array", "blit", 2); ("Array", "sort", 1); ("Array", "stable_sort", 1);
+        ("Array", "fast_sort", 1);
+        ("Bytes", "set", 0); ("Bytes", "unsafe_set", 0); ("Bytes", "fill", 0);
+        ("Bytes", "blit", 2);
+        ("Buffer", "add_char", 0); ("Buffer", "add_string", 0);
+        ("Buffer", "add_bytes", 0); ("Buffer", "add_substring", 0);
+        ("Buffer", "add_subbytes", 0); ("Buffer", "add_buffer", 0);
+        ("Buffer", "clear", 0); ("Buffer", "reset", 0); ("Buffer", "truncate", 0);
+        ("Queue", "add", 1); ("Queue", "push", 1); ("Queue", "pop", 0);
+        ("Queue", "take", 0); ("Queue", "clear", 0); ("Queue", "transfer", 0);
+        ("Stack", "push", 1); ("Stack", "pop", 0); ("Stack", "clear", 0);
+      ]
+    in
+    let reader_tables =
+      [
+        ("Hashtbl", "find", 0); ("Hashtbl", "find_opt", 0); ("Hashtbl", "find_all", 0);
+        ("Hashtbl", "mem", 0); ("Hashtbl", "iter", 0); ("Hashtbl", "fold", 0);
+        ("Hashtbl", "length", 0); ("Hashtbl", "to_seq", 0); ("Hashtbl", "copy", 0);
+        ("Array", "get", 0); ("Array", "unsafe_get", 0);
+        ("Bytes", "get", 0); ("Buffer", "contents", 0); ("Buffer", "length", 0);
+        ("Queue", "peek", 0); ("Queue", "length", 0); ("Queue", "is_empty", 0);
+        ("Stack", "top", 0); ("Stack", "is_empty", 0);
+      ]
+    in
+    let hit table =
+      List.find_opt (fun (md, fn, _) -> m [ md; fn ]) table
+    in
+    match hit mutator_tables with
+    | Some (md, fn, arg) -> Mutator { arg; what = md ^ "." ^ fn }
+    | None -> (
+        match hit reader_tables with
+        | Some (md, fn, arg) -> Reader { arg; what = md ^ "." ^ fn }
+        | None -> Plain)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint *)
+
+(* [resolve ~unit_mod comps] maps a normalized call path to a def
+   symbol, or None for externals — supplied by Lint_callgraph, which
+   owns the alias maps. *)
+type resolver = unit_mod:string -> string list -> string option
+
+let is_lock_wrapper ~resolve ~locks_of ~unit_mod callee =
+  suffix_matches ~pattern:[ "Mutex"; "protect" ] callee
+  ||
+  match resolve ~unit_mod callee with Some sym -> locks_of sym | None -> false
+
+(* Fold one atom list into a summary, given the current table of callee
+   summaries.  [guarded] is true inside a closure passed to a
+   lock-taking function; a def that locks directly also guards its own
+   writes (function-granular lock discipline — documented heuristic). *)
+let eval_atoms ~resolve ~summaries ~locks_of ~unit_mod ~guarded atoms =
+  let add_taint acc t origin =
+    if List.mem_assoc t acc.taints then acc
+    else { acc with taints = (t, origin) :: acc.taints }
+  in
+  let rec go ~guarded acc atoms =
+    List.fold_left
+      (fun acc atom ->
+        match atom with
+        | Write { loc; desc } ->
+            if guarded then { acc with guarded_writes = true }
+            else if acc.writes = None then
+              { acc with writes = Some (Direct { loc; desc }) }
+            else acc
+        | Read _ -> { acc with reads = true }
+        | Taint_of { taint; loc; desc } -> add_taint acc taint (Direct { loc; desc })
+        | Call { comps; raw = _; loc } -> (
+            match resolve ~unit_mod comps with
+            | None -> acc
+            | Some callee -> (
+                match Hashtbl.find_opt summaries callee with
+                | None -> acc
+                | Some s ->
+                    let acc =
+                      if s.writes <> None && acc.writes = None && not guarded then
+                        { acc with writes = Some (Via { callee; loc }) }
+                      else if s.writes <> None && guarded then
+                        { acc with guarded_writes = true }
+                      else acc
+                    in
+                    let acc =
+                      { acc with guarded_writes = acc.guarded_writes || s.guarded_writes }
+                    in
+                    let acc = if s.reads then { acc with reads = true } else acc in
+                    List.fold_left
+                      (fun acc (t, _) -> add_taint acc t (Via { callee; loc }))
+                      acc s.taints))
+        | Closure { callee; loc = _; atoms } ->
+            let inner_guarded =
+              guarded || is_lock_wrapper ~resolve ~locks_of ~unit_mod callee
+            in
+            go ~guarded:inner_guarded acc atoms)
+      acc atoms
+  in
+  go ~guarded empty_summary atoms
+
+(* Definition-site suppression: an [@lint.allow] on the binding clears
+   the corresponding property from the summary, which also stops its
+   propagation to callers — the justification lives where the effect
+   is. *)
+let apply_allows allows s =
+  let has id = List.mem "*" allows || List.mem id allows in
+  let s = if has "pool-task-purity" then { s with writes = None } else s in
+  if has "blocking-in-task" then
+    { s with taints = List.filter (fun (t, _) -> t <> Blocking && t <> Io) s.taints }
+  else s
+
+let solve ~(resolve : resolver) defs =
+  let summaries = Hashtbl.create (List.length defs * 2) in
+  let locks = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace summaries d.sym empty_summary;
+      if d.locks then Hashtbl.replace locks d.sym ())
+    defs;
+  let locks_of sym = Hashtbl.mem locks sym in
+  let changed = ref true in
+  let passes = ref 0 in
+  (* Monotone over a finite lattice: each pass can only add properties,
+     so the loop terminates; the bound is belt and braces. *)
+  while !changed && !passes <= List.length defs + 2 do
+    changed := false;
+    incr passes;
+    List.iter
+      (fun d ->
+        let s =
+          eval_atoms ~resolve ~summaries ~locks_of ~unit_mod:d.unit_mod
+            ~guarded:d.locks d.atoms
+          |> apply_allows d.allows
+        in
+        let prev = Hashtbl.find summaries d.sym in
+        let grew =
+          (s.writes <> None && prev.writes = None)
+          || (s.guarded_writes && not prev.guarded_writes)
+          || (s.reads && not prev.reads)
+          || List.exists (fun (t, _) -> not (List.mem_assoc t prev.taints)) s.taints
+        in
+        if grew then begin
+          Hashtbl.replace summaries d.sym s;
+          changed := true
+        end)
+      defs
+  done;
+  (summaries, locks_of)
+
+(* ------------------------------------------------------------------ *)
+(* Chains *)
+
+let loc_line (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let loc_file (loc : Location.t) = loc.Location.loc_start.Lexing.pos_fname
+
+(* Follow Via links from [sym] down to the Direct origin of [select],
+   returning the hop symbols (with call-site lines) and the sink. *)
+let chain ~summaries ~select sym =
+  let rec follow visited sym =
+    if List.mem sym visited then ([], None)
+    else
+      match Hashtbl.find_opt summaries sym with
+      | None -> ([], None)
+      | Some s -> (
+          match select s with
+          | None -> ([], None)
+          | Some (Direct { loc; desc }) -> ([], Some (loc, desc))
+          | Some (Via { callee; loc = _ }) ->
+              let hops, sink = follow (sym :: visited) callee in
+              (callee :: hops, sink))
+  in
+  follow [] sym
+
+let write_chain ~summaries sym = chain ~summaries ~select:(fun s -> s.writes) sym
+
+let taint_chain ~summaries ~taint sym =
+  chain ~summaries ~select:(fun s -> List.assoc_opt taint s.taints) sym
+
+(* Evaluate a task closure's atom list against the solved summaries:
+   the same fold a def gets, used for anonymous closures at pool call
+   sites. *)
+let eval_closure ~resolve ~summaries ~locks_of ~unit_mod atoms =
+  eval_atoms ~resolve ~summaries ~locks_of ~unit_mod ~guarded:false atoms
+
+(* ------------------------------------------------------------------ *)
+(* Dump *)
+
+let summary_to_string s =
+  let taints =
+    List.filter_map
+      (fun t ->
+        if List.mem_assoc t s.taints then Some (taint_name t) else None)
+      all_taints
+  in
+  let guarded = if s.guarded_writes then [ "guarded-writes" ] else [] in
+  match taints @ guarded with
+  | [] -> level s
+  | extras -> Printf.sprintf "%s {%s}" (level s) (String.concat ", " extras)
+
+let dump ~summaries defs =
+  List.sort (fun a b -> String.compare a.sym b.sym) defs
+  |> List.map (fun d ->
+         let s =
+           Option.value ~default:empty_summary (Hashtbl.find_opt summaries d.sym)
+         in
+         Printf.sprintf "%s [%s:%d] %s" d.sym d.file d.line (summary_to_string s))

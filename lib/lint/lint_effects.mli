@@ -1,0 +1,137 @@
+(** Effect inference over the typed call graph (phase 2 of tmedb-lint).
+
+    Every analyzed binding is summarized over the lattice
+
+    {v pure ⊑ reads_shared ⊑ writes_shared v}
+
+    with four orthogonal taints ([rng], [clock], [io], [blocking]).
+    "Shared" means module-level mutable state — the only state the
+    PR-6 work-stealing pool can race on; writes through [Atomic.*] and
+    [Domain.DLS] are domain-safe by construction, and writes inside a
+    lock-guarded region (a [Mutex.protect] thunk, a closure passed to a
+    function that takes a lock, or a function that locks directly) are
+    recorded as guarded rather than unguarded.  Summaries propagate
+    across resolved call edges to a fixpoint; each inherited property
+    keeps the edge it arrived through so rule reports can print the
+    full chain from a pool entry point to the offending primitive.
+    See [docs/ANALYSIS.md] for the model and its documented limits. *)
+
+type taint = Rng | Clock | Io | Blocking  (** Orthogonal effect taints. *)
+
+val taint_name : taint -> string
+(** Lower-case name used in reports and the effects dump. *)
+
+(** One direct observation the tree walker made inside a binding. *)
+type atom =
+  | Write of { loc : Location.t; desc : string }
+      (** unguarded mutation of module-level state *)
+  | Read of { loc : Location.t; desc : string }
+      (** read of module-level mutable state *)
+  | Taint_of of { taint : taint; loc : Location.t; desc : string }
+      (** direct use of a tainted primitive *)
+  | Call of { comps : string list; raw : string; loc : Location.t }
+      (** call to a non-primitive function, resolved at fixpoint time *)
+  | Closure of { callee : string list; loc : Location.t; atoms : atom list }
+      (** literal [fun] passed as an argument to [callee] *)
+
+type def = {
+  sym : string;  (** ["Module.name"] after alias normalization *)
+  unit_mod : string;  (** normalized compilation-unit module name *)
+  file : string;  (** source path the def was read from *)
+  line : int;  (** 1-based line of the binding *)
+  atoms : atom list;  (** direct observations, in source order *)
+  allows : string list;  (** [[@lint.allow]] ids in force at the binding *)
+  locks : bool;  (** the body takes a lock directly *)
+}
+(** An analyzed binding: the call-graph node. *)
+
+(** Where a summary property came from: the primitive itself, or a
+    call edge to the function it was inherited from. *)
+type origin =
+  | Direct of { loc : Location.t; desc : string }
+  | Via of { callee : string; loc : Location.t }
+
+type summary = {
+  writes : origin option;  (** unguarded shared write, if any *)
+  guarded_writes : bool;  (** performs lock-guarded shared writes *)
+  reads : bool;  (** reads shared mutable state *)
+  taints : (taint * origin) list;  (** at most one origin per taint *)
+}
+(** Inferred effect signature of one binding. *)
+
+val empty_summary : summary
+(** The pure, taint-free signature. *)
+
+val level : summary -> string
+(** ["pure"], ["reads_shared"] or ["writes_shared"]. *)
+
+(** How a call target classifies against the primitive tables. *)
+type classification =
+  | Pool_entry  (** closure arguments become pool tasks *)
+  | Mutator of { arg : int; what : string }
+      (** writes its [arg]-th positional argument *)
+  | Reader of { arg : int; what : string }
+      (** reads its [arg]-th positional argument *)
+  | Safe  (** [Atomic.*] / [Domain.DLS.*]: domain-safe by construction *)
+  | Lock  (** [Mutex.lock]/[try_lock]: blocking, marks the caller a guard *)
+  | Lock_wrapper  (** [Mutex.protect]: [Lock] + guards its closure argument *)
+  | Tainted of taint  (** rng / clock / io / blocking primitive *)
+  | Plain  (** possibly an in-tree call: resolve against the call graph *)
+
+val classify : string list -> classification
+(** [classify comps] classifies a normalized call path (suffix match,
+    so [Stdlib.Hashtbl.add] and [Hashtbl.add] agree). *)
+
+val suffix_matches : pattern:string list -> string list -> bool
+(** [suffix_matches ~pattern comps] tests whether [comps] ends with
+    [pattern]; a ["_"] pattern component matches any one component. *)
+
+type resolver = unit_mod:string -> string list -> string option
+(** Maps a normalized call path (seen from compilation unit
+    [unit_mod]) to a def symbol, or [None] for externals. *)
+
+val solve :
+  resolve:resolver -> def list -> (string, summary) Hashtbl.t * (string -> bool)
+(** [solve ~resolve defs] runs the propagation to a fixpoint and
+    returns the summary table plus the lock predicate ([locks_of sym]
+    is true when [sym] takes a lock directly). *)
+
+val eval_closure :
+  resolve:resolver ->
+  summaries:(string, summary) Hashtbl.t ->
+  locks_of:(string -> bool) ->
+  unit_mod:string ->
+  atom list ->
+  summary
+(** Evaluate an anonymous task closure's atoms against the solved
+    summaries — the same fold a named def gets. *)
+
+val write_chain :
+  summaries:(string, summary) Hashtbl.t ->
+  string ->
+  string list * (Location.t * string) option
+(** [write_chain ~summaries sym] follows [Via] links from [sym] to the
+    unguarded write: the intermediate hop symbols in call order, and
+    the sink location with its description ([None] when [sym] does not
+    write). *)
+
+val taint_chain :
+  summaries:(string, summary) Hashtbl.t ->
+  taint:taint ->
+  string ->
+  string list * (Location.t * string) option
+(** Likewise for a taint's origin. *)
+
+val loc_line : Location.t -> int
+(** 1-based start line. *)
+
+val loc_file : Location.t -> string
+(** Source file recorded in the location. *)
+
+val summary_to_string : summary -> string
+(** ["writes_shared {blocking, guarded-writes}"]-style rendering used
+    by [--effects-dump]. *)
+
+val dump : summaries:(string, summary) Hashtbl.t -> def list -> string list
+(** One [sym [file:line] signature] line per def, sorted by symbol —
+    the [--effects-dump] payload. *)

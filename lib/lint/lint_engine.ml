@@ -1,0 +1,143 @@
+(* Phase-2 driver: find the .cmt files dune already produced, load and
+   deduplicate them (test executables re-link library modules, so the
+   same source appears under several .eobjs dirs), run the
+   interprocedural rules over the whole tree, and filter the findings
+   to the paths the user asked about.  Resolution is always whole-tree:
+   a finding in lib/ can sink in a write two units away even when the
+   user only asked about lib/. *)
+
+type typed_stats = {
+  cmts : int;  (* units analyzed after source-level dedup *)
+  defs : int;  (* call-graph nodes *)
+  pool_sites : int;  (* pool entry calls found *)
+}
+
+let default_build_dir = "_build/default"
+
+(* ------------------------------------------------------------------ *)
+(* Discovery *)
+
+let find_cmt_files ~build_dir =
+  let out = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun name ->
+            let path = Filename.concat dir name in
+            if Sys.is_directory path then walk path
+            else if Filename.check_suffix name ".cmt" then out := path :: !out)
+          entries
+  in
+  if Sys.file_exists build_dir && Sys.is_directory build_dir then walk build_dir;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Loading *)
+
+(* Load every cmt, keeping one unit per source file (first in sorted
+   cmt-path order; the duplicates are byte-identical walks of the same
+   tree).  Units whose recorded source no longer exists on disk are
+   stale build products and dropped. *)
+let load_units cmt_paths =
+  let seen = Hashtbl.create 64 in
+  let units = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun path ->
+      match Lint_callgraph.load_cmt path with
+      | Error e -> errors := e :: !errors
+      | Ok None -> ()
+      | Ok (Some u) ->
+          if
+            (not (Hashtbl.mem seen u.Lint_callgraph.source))
+            && Sys.file_exists u.Lint_callgraph.source
+          then begin
+            Hashtbl.replace seen u.Lint_callgraph.source ();
+            units := u :: !units
+          end)
+    (List.sort String.compare cmt_paths);
+  (List.rev !units, List.rev !errors)
+
+let under ~prefix path =
+  path = prefix
+  || String.length path > String.length prefix
+     && String.sub path 0 (String.length prefix) = prefix
+     && path.[String.length prefix] = '/'
+
+let in_paths paths file =
+  match paths with
+  | [] -> true
+  | _ -> List.exists (fun p -> under ~prefix:(Lint.normalize_path p) file) paths
+
+let load ~build_dir =
+  let cmts = find_cmt_files ~build_dir in
+  if cmts = [] then
+    Error
+      (Printf.sprintf
+         "no .cmt files under %s — run `dune build @check` first (the typed \
+          phase reads the compiler's own typed trees)"
+         build_dir)
+  else
+    let units, errors = load_units cmts in
+    if units = [] then
+      Error
+        (match errors with
+        | e :: _ ->
+            Printf.sprintf "no usable .cmt files under %s (first error: %s)"
+              build_dir e
+        | [] ->
+            Printf.sprintf
+              "no implementation .cmt files under %s — run `dune build @check`"
+              build_dir)
+    else Ok units
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let analyze_typed ?only ?allowlist ?(build_dir = default_build_dir) ~paths () =
+  match load ~build_dir with
+  | Error _ as e -> e
+  | Ok units ->
+      let findings =
+        Lint_rules_typed.run ?only ?allowlist units
+        |> List.filter (fun (f : Lint.finding) -> in_paths paths f.Lint.file)
+      in
+      let scoped =
+        List.filter
+          (fun (u : Lint_callgraph.unit_info) ->
+            in_paths paths u.Lint_callgraph.source)
+          units
+      in
+      let stats =
+        {
+          cmts = List.length scoped;
+          defs =
+            List.fold_left
+              (fun n (u : Lint_callgraph.unit_info) ->
+                n + List.length u.Lint_callgraph.defs)
+              0 scoped;
+          pool_sites =
+            List.fold_left
+              (fun n (u : Lint_callgraph.unit_info) ->
+                n + List.length u.Lint_callgraph.sites)
+              0 scoped;
+        }
+      in
+      Ok (findings, stats)
+
+let effects_dump ?(build_dir = default_build_dir) ~paths () =
+  match load ~build_dir with
+  | Error _ as e -> e
+  | Ok units ->
+      let defs = Lint_callgraph.defs units in
+      let resolve = Lint_callgraph.resolver units in
+      let summaries, _locks_of = Lint_effects.solve ~resolve defs in
+      let scoped =
+        List.filter
+          (fun (d : Lint_effects.def) -> in_paths paths d.Lint_effects.file)
+          defs
+      in
+      Ok (Lint_effects.dump ~summaries scoped)

@@ -1,0 +1,47 @@
+(** Phase-2 driver: discovers the [.cmt] typed trees dune already
+    built, loads them through {!Lint_callgraph}, runs the
+    {!Lint_rules_typed} rules over the whole tree, and scopes the
+    report to the paths the caller asked about.  Resolution is always
+    whole-tree, so a task in [lib/core] is traced into [lib/report]
+    even when only [lib/core] was requested. *)
+
+type typed_stats = {
+  cmts : int;  (** units analyzed, after same-source dedup *)
+  defs : int;  (** call-graph nodes in the requested paths *)
+  pool_sites : int;  (** pool entry calls in the requested paths *)
+}
+(** Counters for the CLI footer and the bench harness (the engine
+    itself reads no clock — R3 applies to it too; timing lives in
+    [bench]). *)
+
+val default_build_dir : string
+(** ["_build/default"]. *)
+
+val find_cmt_files : build_dir:string -> string list
+(** Recursively collect every [.cmt] under [build_dir], sorted within
+    each directory so runs are deterministic. *)
+
+val load_units :
+  string list -> Lint_callgraph.unit_info list * string list
+(** [load_units cmt_paths] loads each cmt, keeping one unit per source
+    file (test executables re-link library modules, so the same source
+    appears under several [.eobjs] dirs) and dropping units whose
+    recorded source no longer exists.  Returns the units and the read
+    errors that were skipped. *)
+
+val analyze_typed :
+  ?only:string list ->
+  ?allowlist:Lint.allowlist ->
+  ?build_dir:string ->
+  paths:string list ->
+  unit ->
+  (Lint.finding list * typed_stats, string) result
+(** Run R7–R9 over the whole tree and return the findings whose file
+    falls under one of [paths] ([[]] means everything), plus the
+    scoped stats.  [Error _] when no usable cmt exists — the message
+    says to run [dune build @check]. *)
+
+val effects_dump :
+  ?build_dir:string -> paths:string list -> unit -> (string list, string) result
+(** The [--effects-dump] payload: one inferred signature line per def
+    under [paths], sorted by symbol. *)

@@ -1,0 +1,156 @@
+(* Phase-2 rules: R7 pool-task-purity, R8 rng-taint, R9
+   blocking-in-task.  They all run over the solved effect summaries
+   (Lint_effects.solve) and the pool sites Lint_callgraph collected;
+   each finding on an inherited effect prints the full call chain from
+   the pool entry down to the offending primitive, so a report is
+   actionable without re-running the analysis by hand. *)
+
+let rule id =
+  match Lint.find_rule id with
+  | Some r -> r
+  | None -> invalid_arg ("Lint_rules_typed: unknown rule " ^ id)
+
+let r_pool_purity () = rule "pool-task-purity"
+let r_rng_taint () = rule "rng-taint"
+let r_blocking () = rule "blocking-in-task"
+
+let pos_col (loc : Location.t) =
+  loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol
+
+(* Render "Pool.map -> <task> -> A.f -> B.g -> ref assignment on c
+   (lib/x.ml:12)". *)
+let chain_text ~entry ~task_label hops sink =
+  let sink_text =
+    match sink with
+    | Some (loc, desc) ->
+        [
+          Printf.sprintf "%s (%s:%d)" desc
+            (Lint_effects.loc_file loc)
+            (Lint_effects.loc_line loc);
+        ]
+    | None -> []
+  in
+  String.concat " -> " ((entry :: task_label) @ hops @ sink_text)
+
+(* Expand an origin into (hops, sink), continuing through the summary
+   table when the origin is itself inherited. *)
+let origin_hops ~follow = function
+  | Lint_effects.Direct { loc; desc } -> ([], Some (loc, desc))
+  | Lint_effects.Via { callee; loc = _ } ->
+      let hops, sink = follow callee in
+      (callee :: hops, sink)
+
+let run ?(only = []) ?(allowlist = []) units =
+  let defs = Lint_callgraph.defs units in
+  let resolve = Lint_callgraph.resolver units in
+  let summaries, locks_of = Lint_effects.solve ~resolve defs in
+  let findings = ref [] in
+  let wanted (r : Lint.rule) = only = [] || List.mem r.Lint.id only in
+  let site_allowed (site : Lint_callgraph.site) (r : Lint.rule) =
+    List.mem "*" site.site_allows || List.mem r.Lint.id site.site_allows
+  in
+  let emit (site : Lint_callgraph.site) (r : Lint.rule) ~loc message =
+    if
+      wanted r
+      && Lint.in_scope r site.site_file
+      && (not (site_allowed site r))
+      && not (Lint.allowlisted allowlist ~file:site.site_file r)
+    then
+      findings :=
+        {
+          Lint.rule = r;
+          file = site.site_file;
+          line = Lint_effects.loc_line loc;
+          col = pos_col loc;
+          message;
+        }
+        :: !findings
+  in
+  let follow_write sym = Lint_effects.write_chain ~summaries sym in
+  let follow_taint taint sym = Lint_effects.taint_chain ~summaries ~taint sym in
+  let check_task site ~task_label ~loc (s : Lint_effects.summary) =
+    (match s.Lint_effects.writes with
+    | Some origin ->
+        let hops, sink = origin_hops ~follow:follow_write origin in
+        emit site (r_pool_purity ()) ~loc
+          (Printf.sprintf
+             "task passed to %s writes unguarded shared state: %s; make it \
+              atomic or per-task (Domain.DLS), guard it with the owning lock, \
+              or suppress at the write site with [@lint.allow \
+              \"pool-task-purity\"]"
+             site.Lint_callgraph.entry
+             (chain_text ~entry:site.Lint_callgraph.entry ~task_label hops sink))
+    | None -> ());
+    let blocking_like =
+      (* R9 covers lock acquisition, channel waits and IO alike: in the
+         caller-helps-drain pool a task that blocks can deadlock the
+         scheduler, and IO stalls the domain the same way. *)
+      match List.assoc_opt Lint_effects.Blocking s.Lint_effects.taints with
+      | Some o -> Some (Lint_effects.Blocking, o)
+      | None -> (
+          match List.assoc_opt Lint_effects.Io s.Lint_effects.taints with
+          | Some o -> Some (Lint_effects.Io, o)
+          | None -> None)
+    in
+    match blocking_like with
+    | Some (taint, origin) ->
+        let hops, sink = origin_hops ~follow:(follow_taint taint) origin in
+        emit site (r_blocking ()) ~loc
+          (Printf.sprintf
+             "task passed to %s can block (%s): %s; move the %s outside the \
+              pool, or suppress at the definition site with [@lint.allow \
+              \"blocking-in-task\"]"
+             site.Lint_callgraph.entry
+             (Lint_effects.taint_name taint)
+             (chain_text ~entry:site.Lint_callgraph.entry ~task_label hops sink)
+             (if taint = Lint_effects.Io then "IO" else "blocking call"))
+    | None -> ()
+  in
+  List.iter
+    (fun (u : Lint_callgraph.unit_info) ->
+      List.iter
+        (fun (site : Lint_callgraph.site) ->
+          List.iter
+            (fun (task : Lint_callgraph.task) ->
+              match task with
+              | Lint_callgraph.Task_fun { loc; atoms; captured_rng } ->
+                  let s =
+                    Lint_effects.eval_closure ~resolve ~summaries ~locks_of
+                      ~unit_mod:site.Lint_callgraph.site_unit atoms
+                  in
+                  check_task site ~task_label:[ "<task>" ] ~loc s;
+                  List.iter
+                    (fun (name, cap_loc) ->
+                      emit site (r_rng_taint ()) ~loc:cap_loc
+                        (Printf.sprintf
+                           "task passed to %s captures the shared Rng.t \
+                            handle %s; split a child per task up front \
+                            (Rng.split) and pass it as a task argument so \
+                            streams stay deterministic under --jobs"
+                           site.Lint_callgraph.entry name))
+                    captured_rng
+              | Lint_callgraph.Task_ref { loc; raw; comps } -> (
+                  match
+                    resolve ~unit_mod:site.Lint_callgraph.site_unit comps
+                  with
+                  | None -> ()
+                  | Some sym -> (
+                      match Hashtbl.find_opt summaries sym with
+                      | None -> ()
+                      | Some s ->
+                          (* def-site allows were already applied inside
+                             solve, so a justified helper stays quiet here *)
+                          ignore raw;
+                          check_task site ~task_label:[ sym ] ~loc s)))
+            site.Lint_callgraph.tasks)
+        u.Lint_callgraph.sites)
+    units;
+  List.sort
+    (fun (a : Lint.finding) b ->
+      match String.compare a.Lint.file b.Lint.file with
+      | 0 -> (
+          match compare a.Lint.line b.Lint.line with
+          | 0 -> compare a.Lint.col b.Lint.col
+          | c -> c)
+      | c -> c)
+    !findings

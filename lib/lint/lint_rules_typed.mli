@@ -1,0 +1,29 @@
+(** Phase-2 interprocedural rules over the typed call graph.
+
+    - {b R7 pool-task-purity}: a closure (or named function) reaching a
+      pool entry point must not transitively write module-level mutable
+      state unless the write is [Atomic.*], [Domain.DLS], or guarded by
+      a lock.  Findings print the full call chain from the pool entry
+      down to the unguarded write.
+    - {b R8 rng-taint}: [Rng.t] may only enter a pool task through the
+      split discipline — a task closure that captures a shared handle
+      from its environment is flagged at the capture site.
+    - {b R9 blocking-in-task}: nothing blocking ([Mutex.lock],
+      [Condition.wait], channel waits, IO) may be reachable from inside
+      a pool task; the caller-helps-drain scheduler can deadlock on it.
+
+    Suppression follows phase 1: [[@lint.allow "rule"]] at the call
+    site or task definition, def-site allows on the function owning the
+    effect (cleared before propagation, so the justification lives with
+    the effect), or a [lint.allowlist] entry. *)
+
+val run :
+  ?only:string list ->
+  ?allowlist:Lint.allowlist ->
+  Lint_callgraph.unit_info list ->
+  Lint.finding list
+(** [run units] solves the effect fixpoint over [units] and returns the
+    unsuppressed R7/R8/R9 findings, sorted by position.  [?only]
+    restricts to the given rule ids (same contract as
+    {!Lint.analyze_source}); [?allowlist] applies whole-file
+    exemptions. *)

@@ -9,10 +9,13 @@ dune build @all
 dune build @doc
 dune runtest
 
-# Static analysis: all six tmedb_lint rules over the whole tree
-# (subsumes the old docs_check.sh pass, which is now a wrapper over
-# rule R6 only).
-dune exec bin/tmedb_lint.exe -- lib bin bench test
+# Static analysis, both phases over the whole tree: the parsetree
+# rules R1-R6 (subsuming the old docs_check.sh pass, now a wrapper
+# over rule R6 only) plus the interprocedural rules R7-R9, which read
+# the .cmt typed trees — build @check first so every unit has one.
+# Stale lint.allowlist entries are hard errors inside the tool.
+dune build @check
+dune exec bin/tmedb_lint.exe -- --typed lib bin bench test
 
 # Telemetry smoke: the metrics file must carry the schema marker, both
 # top-level sections, and counters from every major subsystem the

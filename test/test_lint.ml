@@ -1,9 +1,11 @@
-(* Tests for the tmedb-lint static analyzer (lib/lint): each rule
-   R1-R6 fires on a minimal bad fixture, stays silent on the good
-   twin, and both suppression mechanisms ([@lint.allow] attributes and
-   the lint.allowlist file) silence exactly their target rule.  The
-   fixtures are inline sources analyzed under a virtual path, which is
-   how rule scoping is selected. *)
+(* Tests for phase 1 of the tmedb-lint static analyzer (lib/lint):
+   each parsetree rule R1-R6 fires on a minimal bad fixture, stays
+   silent on the good twin, and both suppression mechanisms
+   ([@lint.allow] attributes and the lint.allowlist file) silence
+   exactly their target rule.  The fixtures are inline sources
+   analyzed under a virtual path, which is how rule scoping is
+   selected.  The typed phase (R7-R9) is covered by
+   test_lint_typed.ml over compiled fixtures. *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -280,8 +282,67 @@ let test_reporters () =
     (contains ~affix:"\"count\": 0"
        (Format.asprintf "%a" Lint.report_json []))
 
+let test_stale_entries () =
+  let allowlist =
+    parse_allowlist "lib/core/gone.ml nondet-iteration\nlib/trace *\n"
+  in
+  (* Probe injected so the test owns the filesystem facts. *)
+  let exists p = p = "lib/trace" in
+  let stale = Lint.stale_entries ~exists allowlist in
+  check_int "only the dangling path is stale" 1 (List.length stale);
+  Alcotest.(check string)
+    "the stale entry is the dangling one" "lib/core/gone.ml"
+    (List.hd stale).Lint.pattern;
+  check_int "nothing stale when everything exists" 0
+    (List.length (Lint.stale_entries ~exists:(fun _ -> true) allowlist));
+  (* The repo's own allowlist must never rot.  Tests run from the
+     build sandbox, so walk up to the checkout that holds it and
+     resolve entry paths against that root. *)
+  let rec find_up dir =
+    if Sys.file_exists (Filename.concat dir "lint.allowlist") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_up parent
+  in
+  match find_up (Sys.getcwd ()) with
+  | None -> Alcotest.fail "repo lint.allowlist not found above the test cwd"
+  | Some root -> (
+      match Lint.load_allowlist (Filename.concat root "lint.allowlist") with
+      | Error e -> Alcotest.failf "repo allowlist unreadable: %s" e
+      | Ok entries ->
+          check_int "repo allowlist has no stale entries" 0
+            (List.length
+               (Lint.stale_entries
+                  ~exists:(fun p -> Sys.file_exists (Filename.concat root p))
+                  entries)))
+
+let test_sarif_reporter () =
+  let fs = findings ~path:"lib/core/fixture.ml" bad_fold in
+  let sarif = Format.asprintf "%a" Lint.report_sarif fs in
+  check_bool "sarif version present" true
+    (contains ~affix:"\"version\": \"2.1.0\"" sarif);
+  check_bool "result carries the rule code" true
+    (contains ~affix:"\"ruleId\": \"R1\"" sarif);
+  check_bool "result points at the file" true
+    (contains ~affix:"lib/core/fixture.ml" sarif);
+  check_bool "driver lists the typed rules too" true
+    (contains ~affix:"pool-task-purity" sarif);
+  check_bool "empty run still well-formed" true
+    (contains ~affix:"\"results\": []"
+       (Format.asprintf "%a" Lint.report_sarif []))
+
 let test_rules_catalogue () =
-  check_int "six rules" 6 (List.length Lint.rules);
+  check_int "nine rules" 9 (List.length Lint.rules);
+  check_int "three typed rules" 3 (List.length Lint.typed_rules);
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "%s is marked typed" r.Lint.id)
+        true (Lint.is_typed r))
+    Lint.typed_rules;
+  check_bool "phase-1 rules are not typed" false
+    (List.exists Lint.is_typed
+       (List.filter (fun r -> not (List.mem r Lint.typed_rules)) Lint.rules));
   List.iter
     (fun r ->
       check_bool
@@ -315,6 +376,8 @@ let () =
           tc "--only filter" test_only_filter;
           tc "syntax error handling" test_syntax_error;
           tc "reporters" test_reporters;
+          tc "sarif reporter" test_sarif_reporter;
+          tc "stale allowlist entries" test_stale_entries;
           tc "rules catalogue" test_rules_catalogue;
         ] );
     ]

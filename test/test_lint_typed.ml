@@ -1,0 +1,295 @@
+(* Tests for the typed phase of tmedb-lint (lib/lint phase 2): the
+   call-graph walker, the effect fixpoint, and the interprocedural
+   rules R7-R9.  Fixtures are real OCaml sources compiled out-of-tree
+   with `ocamlc -bin-annot -c` — the same .cmt format dune produces —
+   then loaded through Lint_callgraph.load_cmt, so the tests exercise
+   the exact binary path the CLI uses.  Each fixture carries its own
+   mini Pool / Rng module: classification is suffix-based, so the
+   analyzer treats them exactly like the real ones, and the fixtures
+   stay dependency-free. *)
+
+let check_bool = Alcotest.(check bool)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+(* ------------------------------------------------------------------ *)
+(* Fixture compilation *)
+
+let fresh_dir () =
+  let tmp = Filename.temp_file "tmedb_lint_typed" "" in
+  Sys.remove tmp;
+  if Sys.command (Printf.sprintf "mkdir -p %s" (Filename.quote tmp)) <> 0 then
+    Alcotest.fail "could not create fixture directory";
+  tmp
+
+(* [load files] writes each (name, source), compiles them in order in
+   one ocamlc invocation, and loads the resulting cmts. *)
+let load files =
+  let dir = fresh_dir () in
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc src;
+      close_out oc)
+    files;
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot -c %s >/dev/null 2>&1"
+      (Filename.quote dir)
+      (String.concat " " (List.map (fun (n, _) -> Filename.quote n) files))
+  in
+  if Sys.command cmd <> 0 then
+    Alcotest.failf "fixture did not compile: %s"
+      (String.concat " " (List.map fst files));
+  List.map
+    (fun (name, _) ->
+      let cmt = Filename.concat dir (Filename.remove_extension name ^ ".cmt") in
+      match Lint_callgraph.load_cmt cmt with
+      | Ok (Some u) -> u
+      | Ok None -> Alcotest.failf "%s: no implementation in cmt" name
+      | Error e -> Alcotest.failf "load_cmt: %s" e)
+    files
+
+let run ?only ?allowlist files = Lint_rules_typed.run ?only ?allowlist (load files)
+let ids fs = List.map (fun f -> f.Lint.rule.Lint.id) fs
+
+let fires rule ?only files =
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s fires" rule)
+    [ rule ]
+    (ids (run ?only files))
+
+let silent ?only files =
+  Alcotest.(check (list string)) "silent" [] (ids (run ?only files))
+
+(* The mini runtime every single-file fixture embeds. *)
+let pool_mod =
+  "module Pool = struct\n\
+  \  type t = unit\n\
+  \  let map (_ : t) (f : 'a -> 'b) (xs : 'a array) : 'b array = Array.map f xs\n\
+   end\n"
+
+let rng_mod =
+  "module Rng = struct\n\
+  \  type t = { mutable s : int }\n\
+  \  let create n = { s = n }\n\
+  \  let int (r : t) b = r.s <- r.s + 1; r.s mod b\n\
+  \  let split (r : t) = { s = r.s + 1 }\n\
+   end\n"
+
+(* ------------------------------------------------------------------ *)
+(* R7 pool-task-purity *)
+
+let test_r7_direct () =
+  (* Fire: the task writes a module-level ref. *)
+  fires "pool-task-purity" ~only:[ "pool-task-purity" ]
+    [
+      ( "fix_direct.ml",
+        pool_mod ^ "let hits = ref 0\n"
+        ^ "let run () = Pool.map () (fun i -> hits := !hits + i; i) [| 1; 2 |]\n"
+      );
+    ];
+  (* Fire: module-level mutable record field. *)
+  fires "pool-task-purity" ~only:[ "pool-task-purity" ]
+    [
+      ( "fix_field.ml",
+        pool_mod ^ "type s = { mutable n : int }\nlet st = { n = 0 }\n"
+        ^ "let run () = Pool.map () (fun i -> st.n <- i; i) [| 1 |]\n" );
+    ]
+
+let test_r7_chain () =
+  (* Fire: the write hides behind two calls across three modules, and
+     the finding prints the whole chain down to the write site. *)
+  let fs =
+    run ~only:[ "pool-task-purity" ]
+      [
+        ("m_c.ml", "let counter = ref 0\nlet bump () = counter := !counter + 1\n");
+        ("m_b.ml", "let relay () = M_c.bump ()\n");
+        ( "m_a.ml",
+          pool_mod
+          ^ "let run () = Pool.map () (fun i -> M_b.relay (); i) [| 1; 2 |]\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "chain fires" [ "pool-task-purity" ] (ids fs);
+  let msg = (List.hd fs).Lint.message in
+  check_bool "chain names every hop" true
+    (contains ~affix:"Pool.map -> <task> -> M_b.relay -> M_c.bump" msg);
+  check_bool "chain ends at the write site" true
+    (contains ~affix:"ref assignment on counter (m_c.ml:2)" msg)
+
+let test_r7_silent_twins () =
+  (* Atomic counter: domain-safe by construction. *)
+  silent ~only:[ "pool-task-purity" ]
+    [
+      ( "fix_atomic.ml",
+        pool_mod ^ "let hits = Atomic.make 0\n"
+        ^ "let run () = Pool.map () (fun i -> Atomic.incr hits; i) [| 1 |]\n" );
+    ];
+  (* Domain-local storage. *)
+  silent ~only:[ "pool-task-purity" ]
+    [
+      ( "fix_dls.ml",
+        pool_mod ^ "let slot = Domain.DLS.new_key (fun () -> 0)\n"
+        ^ "let run () = Pool.map () (fun i -> Domain.DLS.set slot i; i) [| 1 |]\n"
+      );
+    ];
+  (* Mutex.protect-guarded write (R9 would still flag the lock; R7 is
+     what this twin is about, hence ~only). *)
+  silent ~only:[ "pool-task-purity" ]
+    [
+      ( "fix_guarded.ml",
+        pool_mod ^ "let m = Mutex.create ()\nlet hits = ref 0\n"
+        ^ "let run () = Pool.map () (fun i -> Mutex.protect m (fun () -> incr \
+           hits); i) [| 1 |]\n" );
+    ];
+  (* Writing the enclosing function's own array is the pool result-slot
+     idiom: locals are lexically inherited, not shared. *)
+  silent ~only:[ "pool-task-purity" ]
+    [
+      ( "fix_local.ml",
+        pool_mod
+        ^ "let run () =\n  let out = Array.make 2 0 in\n\
+          \  ignore (Pool.map () (fun i -> out.(i) <- i; i) [| 0; 1 |]);\n  out\n"
+      );
+    ]
+
+let test_r7_def_site_allow () =
+  (* A justified [@lint.allow] at the write's definition clears the
+     effect before propagation: every caller stays quiet. *)
+  silent ~only:[ "pool-task-purity" ]
+    [
+      ( "m_c.ml",
+        "let counter = ref 0\n\
+         let[@lint.allow \"pool-task-purity\"] bump () = counter := !counter + 1\n"
+      );
+      ("m_b.ml", "let relay () = M_c.bump ()\n");
+      ( "m_a.ml",
+        pool_mod
+        ^ "let run () = Pool.map () (fun i -> M_b.relay (); i) [| 1; 2 |]\n" );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* R8 rng-taint *)
+
+let test_r8 () =
+  (* Fire: the task captures a shared Rng.t handle. *)
+  let fs =
+    run ~only:[ "rng-taint" ]
+      [
+        ( "fix_rng.ml",
+          pool_mod ^ rng_mod ^ "let shared = Rng.create 1\n"
+          ^ "let run () = Pool.map () (fun i -> Rng.int shared 6 + i) [| 1 |]\n"
+        );
+      ]
+  in
+  Alcotest.(check (list string)) "capture fires" [ "rng-taint" ] (ids fs);
+  check_bool "finding names the captured handle" true
+    (contains ~affix:"shared" (List.hd fs).Lint.message);
+  (* Silent twin: the split discipline — the handle is a task
+     parameter, split per task up front. *)
+  silent ~only:[ "rng-taint" ]
+    [
+      ( "fix_rng_ok.ml",
+        pool_mod ^ rng_mod
+        ^ "let run rng =\n\
+          \  let rngs = Array.init 2 (fun _ -> Rng.split rng) in\n\
+          \  Pool.map () (fun r -> Rng.int r 6) rngs\n" );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* R9 blocking-in-task *)
+
+let test_r9 () =
+  (* Fire: a lock acquired inside the task. *)
+  fires "blocking-in-task" ~only:[ "blocking-in-task" ]
+    [
+      ( "fix_lock.ml",
+        pool_mod ^ "let m = Mutex.create ()\n"
+        ^ "let run () = Pool.map () (fun i -> Mutex.lock m; Mutex.unlock m; i) \
+           [| 1 |]\n" );
+    ];
+  (* Fire: blocking reached through a named function passed as the
+     task. *)
+  fires "blocking-in-task" ~only:[ "blocking-in-task" ]
+    [
+      ( "fix_lock_ref.ml",
+        pool_mod ^ "let m = Mutex.create ()\n"
+        ^ "let work i = Mutex.lock m; Mutex.unlock m; i\n"
+        ^ "let run () = Pool.map () work [| 1 |]\n" );
+    ];
+  (* Silent twin: pure compute task. *)
+  silent ~only:[ "blocking-in-task" ]
+    [
+      ( "fix_pure.ml",
+        pool_mod ^ "let run () = Pool.map () (fun i -> i * i + 1) [| 1; 2 |]\n"
+      );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Call graph *)
+
+let test_callgraph_edges () =
+  (* Cross-module edges resolve through the normalized symbols,
+     including calls made from inside the task closure. *)
+  let units =
+    load
+      [
+        ("m_c.ml", "let counter = ref 0\nlet bump () = counter := !counter + 1\n");
+        ("m_b.ml", "let relay () = M_c.bump ()\n");
+        ( "m_a.ml",
+          pool_mod
+          ^ "let run () = Pool.map () (fun i -> M_b.relay (); i) [| 1; 2 |]\n" );
+      ]
+  in
+  let edges = Lint_callgraph.edges units in
+  let has e = List.mem e edges in
+  check_bool "task closure edge resolved" true (has ("M_a.run", "M_b.relay"));
+  check_bool "cross-module relay edge resolved" true
+    (has ("M_b.relay", "M_c.bump"))
+
+let test_effects_summaries () =
+  (* The solved signatures carry the lattice level and taints the dump
+     reports. *)
+  let units =
+    load
+      [
+        ( "fix_sum.ml",
+          "let hits = ref 0\n\
+           let poke () = hits := 1\n\
+           let peek () = !hits\n\
+           let calc x = x * 2\n" );
+      ]
+  in
+  let defs = Lint_callgraph.defs units in
+  let resolve = Lint_callgraph.resolver units in
+  let summaries, _ = Lint_effects.solve ~resolve defs in
+  let level sym =
+    match Hashtbl.find_opt summaries sym with
+    | Some s -> Lint_effects.level s
+    | None -> Alcotest.failf "no summary for %s" sym
+  in
+  Alcotest.(check string) "writer" "writes_shared" (level "Fix_sum.poke");
+  Alcotest.(check string) "reader" "reads_shared" (level "Fix_sum.peek");
+  Alcotest.(check string) "pure" "pure" (level "Fix_sum.calc")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lint_typed"
+    [
+      ( "r7",
+        [
+          tc "direct write fires" test_r7_direct;
+          tc "write behind two calls, full chain" test_r7_chain;
+          tc "silent twins (Atomic, DLS, guarded, result-slot)" test_r7_silent_twins;
+          tc "definition-site [@lint.allow]" test_r7_def_site_allow;
+        ] );
+      ("r8", [ tc "shared Rng.t capture" test_r8 ]);
+      ("r9", [ tc "blocking in task" test_r9 ]);
+      ( "callgraph",
+        [
+          tc "resolved cross-module edges" test_callgraph_edges;
+          tc "effect summaries" test_effects_summaries;
+        ] );
+    ]
