@@ -11,17 +11,19 @@
      dune exec bench/main.exe baseline   -- parallel baseline only (writes BENCH_1.json)
      dune exec bench/main.exe obs        -- telemetry overhead check (disabled-path cost)
      dune exec bench/main.exe nscale     -- lazy vs eager aux-graph scaling (add --quick for CI)
+     dune exec bench/main.exe trend      -- metric trajectory across all BENCH_*.json (add --json)
 
    Every mode accepts `--jobs K` (default: TMEDB_JOBS or the core
    count): the figure sweeps and Monte-Carlo loops fan out over K
    domains.  Results are bit-identical at any K — per-task RNG
    splitting — which the baseline mode verifies explicitly.
 
-   `--metrics FILE` / `--trace FILE` enable the telemetry registry
-   (lib/obs) and write the counters/timers snapshot, resp. the Chrome
-   trace_event span file, on exit.  The baseline mode always runs with
-   telemetry on and embeds each kernel's counter deltas in
-   BENCH_1.json.
+   `--metrics FILE` / `--trace FILE` / `--profile DIR` enable the
+   telemetry registry (lib/obs) and write the counters/timers
+   snapshot, the Chrome trace_event span file, resp. the folded
+   profile artifacts (docs/PROFILING.md), on exit — every mode accepts
+   them.  The baseline mode always runs with telemetry on and embeds
+   each kernel's counter deltas in BENCH_1.json.
 
    Figures (paper <-> here):
      fig4a/fig4b  energy vs delay constraint, (FR-)EEDCB, N in {10,20,30}
@@ -39,10 +41,11 @@ open Tmedb
 let pool : Tmedb_prelude.Pool.t option ref = ref None
 let jobs = ref 1
 
-(* Telemetry sinks, set by `--metrics` / `--trace`; either one turns
-   the lib/obs registry on for the whole run. *)
+(* Telemetry sinks, set by `--metrics` / `--trace` / `--profile`; any
+   one turns the lib/obs registry on for the whole run. *)
 let metrics_path : string option ref = ref None
 let trace_path : string option ref = ref None
+let profile_dir : string option ref = ref None
 
 (* `--speedup-floor F`: minimum fig5/fig6 sweep speedup the regress
    mode accepts.  check.sh passes a hard floor only on multi-core
@@ -770,6 +773,159 @@ let regress () =
       else Printf.printf "regress ok: no key exceeds the gate\n"
 
 (* ------------------------------------------------------------------ *)
+(* `trend` mode: informational summary of key metrics across *all*
+   committed BENCH_1..N.json — regress diffs consecutive pairs and
+   gates; trend renders the whole trajectory (markdown by default,
+   `--json` for machines) and always exits 0. *)
+
+let trend ~json () =
+  let open Tmedb_prelude in
+  let files = bench_files () in
+  if files = [] then begin
+    Printf.eprintf "trend: no BENCH_*.json baselines in the working directory\n";
+    exit 1
+  end;
+  let get_str k j =
+    match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let get_num k j = Option.bind (Json.member k j) Json.to_float in
+  let get_bool k j =
+    match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  (* One row per baseline: (seq, label, jobs, deterministic,
+     [kernel -> (seconds_jobs, speedup, counter deltas)]). *)
+  let rows =
+    List.map
+      (fun (n, path) ->
+        let doc = load_json path in
+        let kernels =
+          match Option.bind (Json.member "kernels" doc) Json.to_list with
+          | Some ks -> ks
+          | None -> []
+        in
+        let stats =
+          List.filter_map
+            (fun k ->
+              match get_str "name" k with
+              | Some name ->
+                  let metrics =
+                    match Json.member "metrics" k with
+                    | Some (Json.Obj kvs) ->
+                        List.filter_map
+                          (fun (m, v) -> Option.map (fun f -> (m, f)) (Json.to_float v))
+                          kvs
+                    | Some _ | None -> []
+                  in
+                  Some (name, (get_num "seconds_jobs" k, get_num "speedup" k, metrics))
+              | None -> None)
+            kernels
+        in
+        (n, Printf.sprintf "BENCH_%d" n, get_num "jobs" doc, get_bool "deterministic" doc, stats))
+      files
+  in
+  let kernel_names =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, _, _, _, stats) -> List.map fst stats) rows)
+  in
+  let stat_of name (_, _, _, _, stats) = List.assoc_opt name stats in
+  if json then begin
+    let kernel_json (name, (secs, speedup, metrics)) =
+      let num = function Some v -> Json.Num v | None -> Json.Null in
+      ( name,
+        Json.Obj
+          [
+            ("seconds_jobs", num secs);
+            ("speedup", num speedup);
+            ("metrics", Json.Obj (List.map (fun (m, v) -> (m, Json.Num v)) metrics));
+          ] )
+    in
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.Str "tmedb.trend/1");
+          ( "baselines",
+            Json.List
+              (List.map
+                 (fun (n, label, jobs, det, stats) ->
+                   Json.Obj
+                     [
+                       ("bench", Json.Num (float_of_int n));
+                       ("file", Json.Str (label ^ ".json"));
+                       ("jobs", match jobs with Some j -> Json.Num j | None -> Json.Null);
+                       ( "deterministic",
+                         match det with Some b -> Json.Bool b | None -> Json.Null );
+                       ("kernels", Json.Obj (List.map kernel_json stats));
+                     ])
+                 rows) );
+        ]
+    in
+    print_endline (Json.to_string ~indent:2 doc)
+  end
+  else begin
+    Printf.printf "# Bench trend (%d baselines)\n\n" (List.length rows);
+    Printf.printf "| baseline | jobs | deterministic |\n|---|---|---|\n";
+    List.iter
+      (fun (_, label, jobs, det, _) ->
+        Printf.printf "| %s | %s | %s |\n" label
+          (match jobs with Some j -> Printf.sprintf "%g" j | None -> "?")
+          (match det with Some b -> string_of_bool b | None -> "?"))
+      rows;
+    let table title cell =
+      Printf.printf "\n## %s\n\n| kernel |" title;
+      List.iter (fun (_, label, _, _, _) -> Printf.printf " %s |" label) rows;
+      Printf.printf "\n|---|";
+      List.iter (fun _ -> print_string "---|") rows;
+      print_newline ();
+      List.iter
+        (fun name ->
+          Printf.printf "| %s |" name;
+          List.iter (fun row -> Printf.printf " %s |" (cell (stat_of name row))) rows;
+          print_newline ())
+        kernel_names
+    in
+    table "Wall seconds (jobs-domain run)" (function
+      | Some (Some s, _, _) -> Printf.sprintf "%.3f" s
+      | Some (None, _, _) | None -> "-");
+    table "Speedup vs 1 domain" (function
+      | Some (_, Some s, _) -> Printf.sprintf "%.2fx" s
+      | Some (_, None, _) | None -> "-");
+    (* Deterministic counter deltas that moved between the first and
+       last baseline carrying the kernel — the PR-over-PR story the
+       wall-clock tables cannot tell. *)
+    Printf.printf "\n## Counter movement (first vs last baseline)\n\n";
+    Printf.printf "| kernel | counter | first | last |\n|---|---|---|---|\n";
+    let moved = ref 0 in
+    List.iter
+      (fun name ->
+        let carrying =
+          List.filter_map
+            (fun row ->
+              match stat_of name row with
+              | Some (_, _, metrics) -> Some metrics
+              | None -> None)
+            rows
+        in
+        match carrying with
+        | first :: (_ :: _ as later) ->
+            let last = List.nth later (List.length later - 1) in
+            let names =
+              List.sort_uniq compare (List.map fst first @ List.map fst last)
+            in
+            List.iter
+              (fun m ->
+                let a = Option.value (List.assoc_opt m first) ~default:0. in
+                let b = Option.value (List.assoc_opt m last) ~default:0. in
+                if a <> b then begin
+                  incr moved;
+                  Printf.printf "| %s | %s | %g | %g |\n" name m a b
+                end)
+              names
+        | [ _ ] | [] -> ())
+      kernel_names;
+    if !moved = 0 then Printf.printf "| - | (no counter moved) | - | - |\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the disabled registry must cost about a flag
    check on the hot path, and turning it on must not change results. *)
 
@@ -814,19 +970,64 @@ let obs_overhead () =
   let off_result = kernel !pool in
   Tmedb_obs.set_enabled true;
   let on_result = kernel !pool in
-  Tmedb_obs.set_enabled was;
   let same = List.for_all2 Float.equal off_result on_result in
   Printf.printf "mc-simulate bit-identical with telemetry off/on: %b\n%!" same;
   if not same then begin
     Printf.eprintf "telemetry changed kernel results\n";
     exit 1
   end;
+  (* Flight recorder, armed with full telemetry off: counters/timers
+     take the recording branch behind the same shared flag check, and
+     span events go only into the bounded per-domain rings — never the
+     unbounded stream — so a multi-minute run can stay armed. *)
+  Tmedb_obs.set_enabled false;
+  let stream_before = List.length (Tmedb_obs.events ()) in
+  Tmedb_obs.Flight.arm ();
+  let armed_counter = ns_per (secs counter_loop) counter_iters in
+  let armed_timer = ns_per (secs timer_loop) timer_iters in
+  let span_iters = 200_000 in
+  let span_loop () =
+    for _ = 1 to span_iters do
+      Tmedb_obs.Span.with_ "bench.obs.span" (fun () -> ())
+    done
+  in
+  let armed_span = ns_per (secs span_loop) span_iters in
+  let armed_result = kernel !pool in
+  Tmedb_obs.Flight.disarm ();
+  let stream_after = List.length (Tmedb_obs.events ()) in
+  let ring = List.length (Tmedb_obs.Flight.recent ()) in
+  Tmedb_obs.set_enabled was;
+  Printf.printf "%-24s %14s\n" "primitive (armed)" "armed ns/op";
+  Printf.printf "%-24s %14.2f\n" "Counter.incr" armed_counter;
+  Printf.printf "%-24s %14.2f\n" "Timer.start/stop" armed_timer;
+  Printf.printf "%-24s %14.2f   ring %d events (cap %d/domain)\n%!" "Span.with_" armed_span
+    ring
+    (Tmedb_obs.Flight.capacity ());
+  if stream_after <> stream_before then begin
+    Printf.eprintf "armed-only recording grew the unbounded span stream (%d -> %d)\n"
+      stream_before stream_after;
+    exit 1
+  end;
+  if ring > Tmedb_obs.Flight.capacity () * (!jobs + 1) then begin
+    Printf.eprintf "flight ring exceeded its bound (%d events)\n" ring;
+    exit 1
+  end;
+  if not (List.for_all2 Float.equal off_result armed_result) then begin
+    Printf.eprintf "arming the flight recorder changed kernel results\n";
+    exit 1
+  end;
   (* The disabled path is a single Atomic.get + branch; tens of ns
      would mean a lock or allocation crept in.  The bound is generous
-     to stay robust on loaded machines. *)
+     to stay robust on loaded machines; the armed bounds allow the
+     recording branch (clock reads, ring stores) but nothing worse. *)
   if off_counter > 50. || off_timer > 100. then begin
     Printf.eprintf "disabled-path overhead too high (%.1f / %.1f ns/op)\n" off_counter
       off_timer;
+    exit 1
+  end;
+  if armed_counter > 200. || armed_timer > 500. || armed_span > 5000. then begin
+    Printf.eprintf "armed-path overhead too high (%.1f / %.1f / %.1f ns/op)\n" armed_counter
+      armed_timer armed_span;
     exit 1
   end
 
@@ -911,10 +1112,10 @@ let all_figures config =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs K] [--chunk K] [--metrics FILE] [--trace FILE] [--threshold REL] \
-     [--speedup-floor F] \
+    "usage: main.exe [--jobs K] [--chunk K] [--metrics FILE] [--trace FILE] [--profile DIR] \
+     [--threshold REL] [--speedup-floor F] \
      [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|regress|obs|lint|nscale \
-     [--quick]]";
+     [--quick]|trend [--json]]";
   exit 2
 
 (* Strip `--jobs K` / `-j K` and the telemetry sinks anywhere in argv;
@@ -943,6 +1144,7 @@ let parse_args () =
         | Some _ | None -> usage ())
     | "--metrics" -> metrics_path := Some (file_arg ())
     | "--trace" -> trace_path := Some (file_arg ())
+    | "--profile" -> profile_dir := Some (file_arg ())
     | "--threshold" -> (
         match float_of_string_opt (file_arg ()) with
         | Some t when t >= 0. -> regress_threshold := t
@@ -954,7 +1156,8 @@ let parse_args () =
     | arg -> rest := arg :: !rest);
     incr i
   done;
-  if !metrics_path <> None || !trace_path <> None then Tmedb_obs.set_enabled true;
+  if !metrics_path <> None || !trace_path <> None || !profile_dir <> None then
+    Tmedb_obs.set_enabled true;
   let k =
     match !jobs_requested with
     | Some k -> k
@@ -993,7 +1196,12 @@ let write_telemetry () =
     (fun path ->
       Tmedb_prelude.Obs_json.write_trace ~path;
       Printf.eprintf "trace written to %s\n%!" path)
-    !trace_path
+    !trace_path;
+  Option.iter
+    (fun dir ->
+      ignore (Tmedb_prelude.Profile.write_artifacts ~dir ());
+      Printf.eprintf "profile artifacts written to %s/\n%!" dir)
+    !profile_dir
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -1023,6 +1231,8 @@ let () =
   | [ "baseline" ] -> ignore (baseline ())
   | [ "regress" ] -> regress ()
   | [ "obs" ] -> obs_overhead ()
+  | [ "trend" ] -> trend ~json:false ()
+  | [ "trend"; "--json" ] | [ "--json"; "trend" ] -> trend ~json:true ()
   | [ "nscale" ] -> nscale ~quick:false ()
   | [ "nscale"; "--quick" ] | [ "--quick"; "nscale" ] -> nscale ~quick:true ()
   | [ "lint" ] -> lint_smoke ()

@@ -93,13 +93,46 @@ let ledger_timestamp_arg =
     & opt (some string) None
     & info [ "ledger-timestamp" ] ~docv:"TS"
         ~doc:
-          "Timestamp string embedded in the ledger ($(b,now) = current UTC time).  Default: \
-           none, which emits $(b,null) and keeps the ledger byte-deterministic.")
+          "Timestamp string embedded in the ledger and profile artifacts ($(b,now) = current \
+           UTC time).  Default: none, which emits $(b,null) and keeps both \
+           byte-deterministic.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"DIR"
+        ~doc:
+          "Enable telemetry and write profile artifacts to $(docv) on exit: profile.json \
+           (tmedb.profile/1, byte-deterministic at any $(b,--jobs)), profile_detail.json, \
+           flamegraph.pl-compatible profile.folded / profile_wall.folded, and a \
+           self-contained flamegraph.html with the per-worker timeline.  Crash dumps land in \
+           $(docv)/crash.json.")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "watchdog" ] ~docv:"SECONDS"
+        ~doc:
+          "Arm a deadline watchdog: if the command runs longer than $(docv), dump a \
+           tmedb.crash/1 flight-recorder black box (the run itself continues).  0 disables.")
 
 (* Telemetry is off unless one of the flags asks for an output file;
-   results are bit-identical either way. *)
-let with_telemetry metrics trace f =
-  if metrics <> None || trace <> None then Tmedb_obs.set_enabled true;
+   results are bit-identical either way.  The flight recorder is
+   always armed here (bounded rings, one-flag-check cost), so every
+   run leaves a black box on uncaught exception, SIGUSR1 or a
+   watchdog trip. *)
+let with_telemetry ?timestamp ?(watchdog = 0.) metrics trace profile f =
+  if metrics <> None || trace <> None || profile <> None then Tmedb_obs.set_enabled true;
+  let crash_path =
+    match profile with
+    | Some dir ->
+        Profile.mkdir_p dir;
+        Filename.concat dir "crash.json"
+    | None -> "tmedb.crash.json"
+  in
+  let dump = Crash_guard.install ?timestamp ~path:crash_path () in
   let finish () =
     Option.iter
       (fun path ->
@@ -110,9 +143,27 @@ let with_telemetry metrics trace f =
       (fun path ->
         Obs_json.write_trace ~path;
         Printf.eprintf "trace written to %s\n%!" path)
-      trace
+      trace;
+    Option.iter
+      (fun dir ->
+        ignore (Profile.write_artifacts ?timestamp ~dir ());
+        Printf.eprintf "profile artifacts written to %s\n%!" dir)
+      profile
   in
-  Fun.protect ~finally:finish f
+  Fun.protect ~finally:finish (fun () ->
+      Crash_guard.guard dump (fun () ->
+          if watchdog > 0. then begin
+            let r, tripped =
+              Tmedb_report.Watchdog.with_deadline ~seconds:watchdog
+                ~on_trip:(fun () -> dump ~reason:"watchdog deadline")
+                f
+            in
+            if tripped then
+              Printf.eprintf "watchdog tripped after %g s; black box at %s\n%!" watchdog
+                crash_path;
+            r
+          end
+          else f ()))
 
 (* 0 means "not given": fall back to the TMEDB_JOBS/core-count heuristic. *)
 let make_pool jobs =
@@ -224,12 +275,18 @@ let run_cmd =
              trials (0 = skip); the delivery ratio lands in the ledger summary.")
   in
   let run algorithm deadline source seed level verbose save metrics trace_file ledger ledger_ts
-      trials jobs path =
+      profile watchdog trials jobs path =
     if ledger <> None then begin
       Tmedb_obs.set_enabled true;
       Tmedb_report.Provenance.set_enabled true
     end;
-    with_telemetry metrics trace_file @@ fun () ->
+    let timestamp =
+      match ledger_ts with
+      | Some "now" -> Some (Tmedb_report.Clock.now_iso8601 ())
+      | Some s -> Some s
+      | None -> None
+    in
+    with_telemetry ?timestamp ~watchdog metrics trace_file profile @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
@@ -275,12 +332,6 @@ let run_cmd =
     | None -> ());
     (match ledger with
     | Some file ->
-        let timestamp =
-          match ledger_ts with
-          | Some "now" -> Some (Tmedb_report.Clock.now_iso8601 ())
-          | Some s -> Some s
-          | None -> None
-        in
         let input_digest =
           Tmedb_report.Ledger.digest_string
             (In_channel.with_open_bin path In_channel.input_all)
@@ -336,8 +387,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ level_arg $ verbose_arg
-      $ save_arg $ metrics_arg $ trace_arg $ ledger_arg $ ledger_timestamp_arg $ run_trials_arg
-      $ jobs_arg $ trace_file_arg)
+      $ save_arg $ metrics_arg $ trace_arg $ ledger_arg $ ledger_timestamp_arg $ profile_arg
+      $ watchdog_arg $ run_trials_arg $ jobs_arg $ trace_file_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one broadcast algorithm on a trace.") term
 
@@ -357,8 +408,8 @@ let compare_cmd =
             "Also compare beyond-paper planners from the registry (e.g. the static BIP \
              baseline), not just the paper's six.")
   in
-  let run deadline source seed level trials jobs all metrics trace_file path =
-    with_telemetry metrics trace_file @@ fun () ->
+  let run deadline source seed level trials jobs all metrics trace_file profile watchdog path =
+    with_telemetry ~watchdog metrics trace_file profile @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
@@ -388,7 +439,7 @@ let compare_cmd =
   let term =
     Term.(
       const run $ deadline_arg $ source_arg $ seed_arg $ level_arg $ trials_arg $ jobs_arg
-      $ all_flag $ metrics_arg $ trace_arg $ trace_file_arg)
+      $ all_flag $ metrics_arg $ trace_arg $ profile_arg $ watchdog_arg $ trace_file_arg)
   in
   Cmd.v
     (Cmd.info "compare"
@@ -437,8 +488,9 @@ let simulate_cmd =
       & info [ "schedule" ] ~docv:"FILE"
           ~doc:"Replay a saved schedule CSV instead of computing one.")
   in
-  let run algorithm deadline source seed trials jobs schedule_file metrics trace_file path =
-    with_telemetry metrics trace_file @@ fun () ->
+  let run algorithm deadline source seed trials jobs schedule_file metrics trace_file profile
+      watchdog path =
+    with_telemetry ~watchdog metrics trace_file profile @@ fun () ->
     let trace = load_trace path in
     let source = pick_source trace deadline seed source in
     let config = { Experiment.default_config with Experiment.seed } in
@@ -476,7 +528,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ algorithm_arg $ deadline_arg $ source_arg $ seed_arg $ trials_arg $ jobs_arg
-      $ schedule_arg $ metrics_arg $ trace_arg $ trace_file_arg)
+      $ schedule_arg $ metrics_arg $ trace_arg $ profile_arg $ watchdog_arg $ trace_file_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo replay of a schedule in a fading channel.") term
 
@@ -505,6 +557,61 @@ let load_json path =
 let ledger_file_arg =
   Arg.(
     required & pos 0 (some file) None & info [] ~docv:"LEDGER.JSON" ~doc:"A tmedb.run/1 ledger.")
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let fmt_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.0fus" (ns /. 1e3)
+
+let profile_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Profile artifact directory written by $(b,--profile).")
+  in
+  let top_arg =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc:"Rows in the self-time table.")
+  in
+  let run top dir =
+    let detail = load_json (Filename.concat dir "profile_detail.json") in
+    let num key doc = match Json.member key doc with Some (Json.Num x) -> x | _ -> 0. in
+    (match Json.member "timeline" detail with
+    | Some tl ->
+        Format.printf
+          "makespan %.3f s  busy %.3f s  utilization %.0f%%  critical path ~%.3f s@.@."
+          (num "end_s" tl -. num "begin_s" tl)
+          (num "busy_s" tl)
+          (100. *. num "utilization" tl)
+          (num "critical_path_s" tl)
+    | None -> ());
+    let nodes = match Json.member "nodes" detail with Some (Json.Obj kvs) -> kvs | _ -> [] in
+    let rows =
+      List.map
+        (fun (path, v) ->
+          (path, num "count" v, num "wall_self_ns" v, num "wall_ns" v, num "minor_self_words" v))
+        nodes
+      |> List.sort (fun (_, _, a, _, _) (_, _, b, _, _) -> Float.compare b a)
+    in
+    Format.printf "%-56s %8s %10s %10s %12s@." "node (self-time order)" "count" "self" "total"
+      "minor self";
+    List.iteri
+      (fun i (path, count, self, total, minor) ->
+        if i < top then
+          Format.printf "%-56s %8.0f %10s %10s %12.3e@." path count (fmt_ns self) (fmt_ns total)
+            minor)
+      rows
+  in
+  let term = Term.(const run $ top_arg $ dir_arg) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Summarize a $(b,--profile) artifact directory: timeline/utilization header and the \
+          hottest nodes by self wall time (from profile_detail.json).")
+    term
 
 let scalar = function
   | Json.Str s -> s
@@ -567,7 +674,17 @@ let report_explain_cmd =
       & opt (some int) None
       & info [ "node" ] ~docv:"I" ~doc:"Node whose transmissions to explain.")
   in
-  let run node path =
+  let profile_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"DIR"
+          ~doc:
+            "Also link the ledger to profile nodes: print the planner.run subtree (span \
+             counts, plus self time when profile_detail.json is present) from a matching \
+             $(b,--profile) artifact directory.")
+  in
+  let run node profile_dir path =
     let l = load_ledger path in
     let txs =
       List.filter (fun (e : Tmedb_report.Ledger.entry) -> e.Tmedb_report.Ledger.relay = node)
@@ -624,13 +741,63 @@ let report_explain_cmd =
             Format.printf "  (no provenance event recorded)@."
           end)
         txs;
+      (* Ledger -> profile link: the schedule above was produced by the
+         planner named in the ledger config, so its profile subtree is
+         rooted at [planner.run:<algorithm>]. *)
+      (match profile_dir with
+      | Some dir ->
+          let algorithm =
+            match List.assoc_opt "algorithm" l.Tmedb_report.Ledger.config with
+            | Some (Json.Str s) -> Some s
+            | Some _ | None -> None
+          in
+          let root =
+            match algorithm with Some a -> "planner.run:" ^ a | None -> "planner.run"
+          in
+          let prof = load_json (Filename.concat dir "profile.json") in
+          let detail_nodes =
+            let p = Filename.concat dir "profile_detail.json" in
+            if Sys.file_exists p then
+              match Json.member "nodes" (load_json p) with Some (Json.Obj kvs) -> kvs | _ -> []
+            else []
+          in
+          let nodes =
+            match Json.member "nodes" prof with Some (Json.Obj kvs) -> kvs | _ -> []
+          in
+          let contains hay needle =
+            let hn = String.length hay and nn = String.length needle in
+            let rec scan i = i + nn <= hn && (String.equal (String.sub hay i nn) needle || scan (i + 1)) in
+            nn = 0 || scan 0
+          in
+          let matching = List.filter (fun (k, _) -> contains k root) nodes in
+          if matching = [] then
+            Format.printf "@.no profile nodes under %s in %s@." root dir
+          else begin
+            Format.printf "@.profile nodes under %s:@." root;
+            List.iter
+              (fun (k, v) ->
+                let count =
+                  match Json.member "count" v with Some (Json.Num c) -> c | _ -> 0.
+                in
+                let self =
+                  match List.assoc_opt k detail_nodes with
+                  | Some d -> (
+                      match Json.member "wall_self_ns" d with
+                      | Some (Json.Num ns) -> Printf.sprintf "  self %s" (fmt_ns ns)
+                      | _ -> "")
+                  | None -> ""
+                in
+                Format.printf "  %s  %.0fx%s@." k count self)
+              matching
+          end
+      | None -> ());
       if !unexplained > 0 then begin
         Printf.eprintf "%d transmission(s) of node %d lack provenance\n" !unexplained node;
         exit 1
       end
     end
   in
-  let term = Term.(const run $ node_arg $ ledger_file_arg) in
+  let term = Term.(const run $ node_arg $ profile_dir_arg $ ledger_file_arg) in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -649,4 +816,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; stats_cmd; run_cmd; compare_cmd; simulate_cmd; algorithms_cmd; report_cmd ]))
+          [
+            gen_cmd;
+            stats_cmd;
+            run_cmd;
+            compare_cmd;
+            simulate_cmd;
+            algorithms_cmd;
+            profile_cmd;
+            report_cmd;
+          ]))

@@ -120,4 +120,8 @@ let run ?ctx p problem =
   if ctx.Ctx.provenance then
     Tmedb_report.Provenance.emit
       (Tmedb_report.Provenance.Stage { stage = "planner"; detail = p.info.name });
-  p.plan ctx problem
+  (* The profiler renders this frame as [planner.run:<name>], so every
+     kernel span below attributes to the planner that drove it. *)
+  Tmedb_obs.Span.with_ "planner.run"
+    ~args:[ ("planner", p.info.name) ]
+    (fun () -> p.plan ctx problem)

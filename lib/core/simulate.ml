@@ -23,6 +23,9 @@ let h_trial_latency = Tmedb_obs.Histogram.make "simulate.trial_latency"
 
 let one_trial ~rng ~eval_channel problem schedule =
   Tmedb_obs.Counter.incr c_trials;
+  (* Span (not just the counter) so pooled trials attribute to the
+     submitting [simulate.run] in the profile at any --jobs. *)
+  Tmedb_obs.Span.with_ "simulate.trial" @@ fun () ->
   let g = problem.Problem.graph in
   let phy = problem.Problem.phy in
   let n = Tveg.n g in

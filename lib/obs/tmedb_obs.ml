@@ -1,11 +1,28 @@
 (* Registry state.  Counters and timers are Atomic cells (any domain
    may bump them); span events go to domain-local buffers so the hot
    path never takes a lock.  The [registry_mutex] guards only handle
-   registration and buffer enumeration — cold paths. *)
+   registration and buffer enumeration — cold paths.
+
+   Two independent recording switches share one hot-path gate:
+   - [enabled_flag]: full recording — events accumulate unboundedly in
+     the per-domain stream buffers for later harvest;
+   - [armed_flag]: the flight recorder — events additionally land in a
+     bounded per-domain ring so a crash dump can show the last moments.
+   [active_flag] caches their disjunction, so every primitive still
+   pays exactly one [Atomic.get] + branch when both are off. *)
 
 let enabled_flag = Atomic.make false
+let armed_flag = Atomic.make false
+let active_flag = Atomic.make false
+
+let refresh_active () =
+  Atomic.set active_flag (Atomic.get enabled_flag || Atomic.get armed_flag)
+
 let enabled () = Atomic.get enabled_flag
-let set_enabled b = Atomic.set enabled_flag b
+
+let set_enabled b =
+  Atomic.set enabled_flag b;
+  refresh_active ()
 
 let now () = Unix.gettimeofday ()
 let origin_ts = now ()
@@ -35,8 +52,8 @@ module Counter = struct
             c)
 
   let name t = t.name
-  let incr t = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell 1)
-  let add t n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell n)
+  let incr t = if Atomic.get active_flag then ignore (Atomic.fetch_and_add t.cell 1)
+  let add t n = if Atomic.get active_flag then ignore (Atomic.fetch_and_add t.cell n)
   let value t = Atomic.get t.cell
   let reset () = Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) table
 
@@ -65,7 +82,7 @@ module Timer = struct
             t)
 
   let name t = t.name
-  let start _ = if Atomic.get enabled_flag then now () else 0.
+  let start _ = if Atomic.get active_flag then now () else 0.
 
   let stop t t0 =
     if t0 > 0. then begin
@@ -153,7 +170,7 @@ module Histogram = struct
     if v > cur && not (Atomic.compare_and_set cell cur v) then cas_max cell v
 
   let observe t v =
-    if Atomic.get enabled_flag then begin
+    if Atomic.get active_flag then begin
       let v = Stdlib.max 0 v in
       ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1);
       ignore (Atomic.fetch_and_add t.total v);
@@ -220,11 +237,25 @@ type event = {
   alloc : alloc option;
 }
 
+(* Gc snapshot and routing decision taken at span open: the matching
+   End event goes to the stream buffer iff the Begin did, so the
+   stream stays Begin/End-balanced under any mid-span flag toggling
+   (across any number of domains). *)
+type open_span = {
+  o_name : string;
+  o_minor : float;
+  o_major : float;
+  o_stream : bool;  (* Begin went to [events_rev] *)
+}
+
 type buffer = {
   dom : int;
   mutable events_rev : event list;  (* newest first *)
   mutable next_seq : int;
-  mutable open_allocs : (float * float) list;  (* Gc words at span open, innermost first *)
+  mutable open_spans : open_span list;  (* innermost first *)
+  mutable ring : event array;  (* flight-recorder ring; [||] until armed *)
+  mutable ring_pos : int;  (* next write slot *)
+  mutable ring_filled : int;  (* valid slots, <= Array.length ring *)
 }
 
 let buffers : buffer list ref = ref []
@@ -232,15 +263,61 @@ let buffers : buffer list ref = ref []
 let buffer_key =
   Domain.DLS.new_key (fun () ->
       let b =
-        { dom = (Domain.self () :> int); events_rev = []; next_seq = 0; open_allocs = [] }
+        {
+          dom = (Domain.self () :> int);
+          events_rev = [];
+          next_seq = 0;
+          open_spans = [];
+          ring = [||];
+          ring_pos = 0;
+          ring_filled = 0;
+        }
       in
       with_registry (fun () -> buffers := b :: !buffers);
       b)
 
-let record b name phase args alloc =
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder ring.  Bounded, per domain, overwritten in place:
+   arming the recorder costs one array per recording domain and each
+   event thereafter one slot store — no unbounded growth, so it can
+   stay armed for a whole multi-minute run. *)
+
+let default_flight_capacity = 512
+let flight_capacity = Atomic.make default_flight_capacity
+
+let dummy_event =
+  { name = ""; domain = 0; seq = 0; ts = 0.; phase = Begin; args = []; alloc = None }
+
+let ring_push b e =
+  let cap = Atomic.get flight_capacity in
+  if Array.length b.ring <> cap then begin
+    (* (Re)size lazily on first armed write — capacity only changes at
+       [Flight.arm], so this branch is cold. *)
+    b.ring <- Array.make cap dummy_event;
+    b.ring_pos <- 0;
+    b.ring_filled <- 0
+  end;
+  if cap > 0 then begin
+    b.ring.(b.ring_pos) <- e;
+    b.ring_pos <- (b.ring_pos + 1) mod cap;
+    if b.ring_filled < cap then b.ring_filled <- b.ring_filled + 1
+  end
+
+(* Ring contents oldest-first; within one domain they are already
+   seq-ascending because the owner appends in order. *)
+let ring_events b =
+  let cap = Array.length b.ring in
+  if cap = 0 || b.ring_filled = 0 then []
+  else
+    List.init b.ring_filled (fun i ->
+        b.ring.(((b.ring_pos - b.ring_filled + i) mod cap + cap) mod cap))
+
+let emit b name phase args alloc ~stream =
   let seq = b.next_seq in
   b.next_seq <- seq + 1;
-  b.events_rev <- { name; domain = b.dom; seq; ts = now (); phase; args; alloc } :: b.events_rev
+  let e = { name; domain = b.dom; seq; ts = now (); phase; args; alloc } in
+  if stream then b.events_rev <- e :: b.events_rev;
+  if Atomic.get armed_flag then ring_push b e
 
 (* Gc words allocated so far on this domain.  [Gc.minor_words] reads
    the allocation pointer; the major count comes from [quick_stat]
@@ -248,29 +325,34 @@ let record b name phase args alloc =
 let gc_words () = (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_words)
 
 let span_open b name args =
-  b.open_allocs <- gc_words () :: b.open_allocs;
-  record b name Begin args None
+  let o_minor, o_major = gc_words () in
+  let o_stream = Atomic.get enabled_flag in
+  b.open_spans <- { o_name = name; o_minor; o_major; o_stream } :: b.open_spans;
+  emit b name Begin args None ~stream:o_stream
 
 let span_close b name =
-  let alloc =
-    match b.open_allocs with
-    | (m0, j0) :: rest ->
-        b.open_allocs <- rest;
-        let m1, j1 = gc_words () in
-        Some { minor_words = m1 -. m0; major_words = j1 -. j0 }
-    | [] -> None (* unmatched exit: no open snapshot to diff against *)
-  in
-  record b name End [] alloc
+  match b.open_spans with
+  | o :: rest ->
+      b.open_spans <- rest;
+      let m1, j1 = gc_words () in
+      let alloc =
+        Some { minor_words = m1 -. o.o_minor; major_words = j1 -. o.o_major }
+      in
+      emit b name End [] alloc ~stream:o.o_stream
+  | [] ->
+      (* Unmatched exit: nothing to diff against, and sending it to the
+         stream would unbalance the buffer — ring only. *)
+      emit b name End [] None ~stream:false
 
 module Span = struct
   let enter name args =
-    if Atomic.get enabled_flag then span_open (Domain.DLS.get buffer_key) name args
+    if Atomic.get active_flag then span_open (Domain.DLS.get buffer_key) name args
 
   let exit name =
-    if Atomic.get enabled_flag then span_close (Domain.DLS.get buffer_key) name
+    if Atomic.get active_flag then span_close (Domain.DLS.get buffer_key) name
 
   let with_ ?(args = []) name f =
-    if not (Atomic.get enabled_flag) then f ()
+    if not (Atomic.get active_flag) then f ()
     else begin
       let b = Domain.DLS.get buffer_key in
       span_open b name args;
@@ -278,6 +360,39 @@ module Span = struct
          the registry is flipped off while [f] runs. *)
       Fun.protect ~finally:(fun () -> span_close b name) f
     end
+
+  let current_names () =
+    if Atomic.get active_flag then
+      List.rev_map (fun o -> o.o_name) (Domain.DLS.get buffer_key).open_spans
+    else []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: arm/disarm plus harvest of the rings and of the
+   counter baseline captured at arm time, so a crash dump can report
+   counter deltas over the armed window. *)
+
+module Flight = struct
+  let baseline_cell : (string * int) list Atomic.t = Atomic.make []
+
+  let arm ?(capacity = default_flight_capacity) () =
+    Atomic.set flight_capacity (Stdlib.max 0 capacity);
+    Atomic.set baseline_cell (Counter.all ());
+    Atomic.set armed_flag true;
+    refresh_active ()
+
+  let disarm () =
+    Atomic.set armed_flag false;
+    refresh_active ()
+
+  let armed () = Atomic.get armed_flag
+  let capacity () = Atomic.get flight_capacity
+  let baseline () = Atomic.get baseline_cell
+
+  let recent () =
+    let bufs = with_registry (fun () -> !buffers) in
+    List.sort (fun a b -> Int.compare a.dom b.dom) bufs
+    |> List.concat_map ring_events
 end
 
 (* ------------------------------------------------------------------ *)
@@ -377,9 +492,12 @@ let reset () =
       Counter.reset ();
       Timer.reset ();
       Histogram.reset ();
+      Atomic.set Flight.baseline_cell [];
       List.iter
         (fun b ->
           b.events_rev <- [];
           b.next_seq <- 0;
-          b.open_allocs <- [])
+          b.open_spans <- [];
+          b.ring_pos <- 0;
+          b.ring_filled <- 0)
         !buffers)

@@ -34,7 +34,9 @@ val enabled : unit -> bool
 
 val set_enabled : bool -> unit
 (** Turn recording on or off.  Disabling does not clear existing data
-    (use {!reset}); handles created while disabled stay valid. *)
+    (use {!reset}); handles created while disabled stay valid.
+    Independent of the {!Flight} recorder: primitives record when
+    either switch is on, behind one shared flag check. *)
 
 val reset : unit -> unit
 (** Zero every counter and timer and drop all buffered span events.
@@ -155,9 +157,17 @@ module Span : sig
 
   val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
   (** [with_ name f] runs [f ()] between {!enter} and {!exit}; the
-      span closes on exceptions too.  If recording was enabled at
-      entry the exit is recorded even if the registry was disabled
-      meanwhile, keeping the buffer balanced. *)
+      span closes on exceptions too.  The end event is routed to the
+      stream buffer iff its begin event was, so stream buffers stay
+      Begin/End-balanced even when the registry is toggled while [f]
+      runs — on any domain. *)
+
+  val current_names : unit -> string list
+  (** Names of the spans currently open on the calling domain,
+      outermost first — the logical call path at this instant.  [[]]
+      when the registry is inactive.  The work-stealing pool captures
+      this at task submission so profile attribution can re-root
+      stolen work under its submitter's path. *)
 end
 
 type phase =
@@ -184,6 +194,44 @@ type event = {
           opening [Begin] was recorded, [None] otherwise. *)
 }
 (** One buffered span event. *)
+
+(** Always-on crash forensics: a bounded per-domain ring buffer of the
+    most recent span events (begin {e and} end, with alloc deltas),
+    plus a counter baseline captured at arm time.  Arming is
+    independent of {!set_enabled} — the ring records even when full
+    telemetry is off, at the same one-flag-check hot-path cost — and
+    never grows past its capacity, so it can stay armed for a whole
+    multi-minute run.  The crash-dump exporter
+    ({!Tmedb_prelude.Crash_guard}) turns {!recent} + {!baseline} into
+    a [tmedb.crash/1] JSON on uncaught exception, SIGUSR1 or watchdog
+    deadline. *)
+module Flight : sig
+  val arm : ?capacity:int -> unit -> unit
+  (** Start flight recording: set the per-domain ring capacity
+      ([capacity] events per domain, default 512, clamped to [>= 0])
+      and snapshot current counter values as the {!baseline}. *)
+
+  val disarm : unit -> unit
+  (** Stop flight recording.  Ring contents are kept (readable via
+      {!recent}) until {!reset}. *)
+
+  val armed : unit -> bool
+  (** Whether the flight recorder is armed.  Off at startup. *)
+
+  val capacity : unit -> int
+  (** Per-domain ring capacity set by the last {!arm}. *)
+
+  val recent : unit -> event list
+  (** The ring contents of every domain, merged oldest-first per
+      domain and ordered by ascending [(domain, seq)] — at most
+      {!capacity} events per domain.  Harvest after the workload
+      quiesced, like {!events}. *)
+
+  val baseline : unit -> (string * int) list
+  (** Counter values snapshotted by the last {!arm}, sorted by name;
+      [[]] before any arm or after {!reset}.  Subtract from a current
+      snapshot to get counter deltas over the armed window. *)
+end
 
 type timer_snapshot = {
   timer_name : string;

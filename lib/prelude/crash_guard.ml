@@ -1,0 +1,77 @@
+(* Black-box forensics over the Tmedb_obs flight recorder.  All state
+   lives in the returned closure — nothing at the toplevel — so the
+   module stays clean under lint rule R4; all timestamps in the dump
+   are origin-relative event times recorded by lib/obs, so the module
+   reads no wall clock itself (rule R3). *)
+
+let event_row (e : Tmedb_obs.event) ~origin =
+  let base =
+    [
+      ("name", Json.Str e.name);
+      ("domain", Json.Num (float_of_int e.domain));
+      ("seq", Json.Num (float_of_int e.seq));
+      ("ts_s", Json.Num (e.ts -. origin));
+      ( "phase",
+        Json.Str (match e.phase with Tmedb_obs.Begin -> "B" | Tmedb_obs.End -> "E") );
+    ]
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+  in
+  let alloc =
+    match e.alloc with
+    | Some a ->
+        [
+          ("minor_words", Json.Num a.Tmedb_obs.minor_words);
+          ("major_words", Json.Num a.Tmedb_obs.major_words);
+        ]
+    | None -> []
+  in
+  Json.Obj (base @ args @ alloc)
+
+let crash_doc ?timestamp ~reason () =
+  let origin = Tmedb_obs.origin () in
+  let counters = (Tmedb_obs.snapshot ()).Tmedb_obs.counters in
+  let baseline = Tmedb_obs.Flight.baseline () in
+  let deltas =
+    List.filter_map
+      (fun (name, v) ->
+        let b = Option.value (List.assoc_opt name baseline) ~default:0 in
+        if v - b <> 0 then Some (name, Json.Num (float_of_int (v - b))) else None)
+      counters
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "tmedb.crash/1");
+      ("reason", Json.Str reason);
+      ( "timestamp",
+        match timestamp with Some ts -> Json.Str ts | None -> Json.Null );
+      ("ring_capacity", Json.Num (float_of_int (Tmedb_obs.Flight.capacity ())));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) counters) );
+      ("counter_deltas", Json.Obj deltas);
+      ( "recent_events",
+        Json.List (List.map (event_row ~origin) (Tmedb_obs.Flight.recent ())) );
+    ]
+
+let install ?timestamp ?capacity ~path () =
+  Tmedb_obs.Flight.arm ?capacity ();
+  let dump ~reason =
+    Obs_json.write_doc ~path ~indent:2 (crash_doc ?timestamp ~reason ())
+  in
+  (* SIGUSR1: dump the black box and keep running — `kill -USR1 <pid>`
+     answers "what is that wedged solve doing" without killing it.
+     Platforms without the signal (or non-main contexts that cannot
+     install handlers) just skip this trigger. *)
+  (try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump ~reason:"sigusr1"))
+   with Invalid_argument _ | Sys_error _ -> ());
+  dump
+
+let guard dump f =
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    dump ~reason:("uncaught exception: " ^ Printexc.to_string e);
+    Printexc.raise_with_backtrace e bt

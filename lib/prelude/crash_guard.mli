@@ -1,0 +1,33 @@
+(** Crash dumps over the {!Tmedb_obs.Flight} recorder.
+
+    {!install} arms the flight recorder and returns a dump closure
+    that writes a [tmedb.crash/1] JSON — the last-K span events per
+    domain, the full counter snapshot, and counter deltas since
+    arming — to a fixed path.  Three triggers use it:
+    - {!guard} on an uncaught exception (dump, then re-raise with the
+      original backtrace);
+    - [SIGUSR1], installed by {!install} (dump and keep running);
+    - a {!Tmedb_report.Watchdog} deadline (the caller passes the dump
+      closure as [on_trip]).
+
+    Event timestamps in the dump are origin-relative seconds recorded
+    by [lib/obs]; the document's own [timestamp] is caller-injected
+    (ledger discipline) and [null] when omitted. *)
+
+val crash_doc : ?timestamp:string -> reason:string -> unit -> Json.t
+(** The [tmedb.crash/1] document for the current flight-recorder
+    contents: [{"schema", "reason", "timestamp", "ring_capacity",
+    "counters", "counter_deltas", "recent_events"}]. *)
+
+val install :
+  ?timestamp:string -> ?capacity:int -> path:string -> unit -> reason:string -> unit
+(** [install ~path ()] arms {!Tmedb_obs.Flight.arm} (with [capacity]
+    events per domain if given), installs a [SIGUSR1] handler that
+    dumps to [path], and returns the dump closure for the other
+    triggers.  Dumping overwrites [path]; each dump re-reads the rings,
+    so later dumps see later events. *)
+
+val guard : (reason:string -> unit) -> (unit -> 'a) -> 'a
+(** [guard dump f] runs [f ()]; on an uncaught exception it calls
+    [dump] with the exception as reason and re-raises with the
+    original backtrace. *)

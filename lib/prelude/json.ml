@@ -9,19 +9,73 @@ type t =
 (* ------------------------------------------------------------------ *)
 (* Emission *)
 
+(* Free-form strings (span attributes, planner names, crash reasons)
+   must emit valid JSON no matter what bytes they carry: quotes,
+   backslashes and control characters are escaped, and byte sequences
+   that are not well-formed UTF-8 are replaced with U+FFFD — RFC 8259
+   requires the document to be valid UTF-8, so passing raw >= 0x80
+   bytes through unvalidated could emit an unparseable file. *)
 let escape_string b s =
+  let n = String.length s in
+  let replacement () = Buffer.add_string b "\xef\xbf\xbd" (* U+FFFD *) in
+  let cont i = i < n && Char.code s.[i] land 0xC0 = 0x80 in
   Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let code = Char.code c in
+    (match c with
+    | '"' ->
+        Buffer.add_string b "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string b "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string b "\\n";
+        incr i
+    | '\r' ->
+        Buffer.add_string b "\\r";
+        incr i
+    | '\t' ->
+        Buffer.add_string b "\\t";
+        incr i
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+    | c when Char.code c < 0x80 ->
+        Buffer.add_char b c;
+        incr i
+    | _ when code >= 0xC2 && code <= 0xDF && cont (!i + 1) ->
+        Buffer.add_substring b s !i 2;
+        i := !i + 2
+    | _ when code >= 0xE0 && code <= 0xEF && cont (!i + 1) && cont (!i + 2) ->
+        (* Reject overlong (E0 80..9F) and surrogate (ED A0..BF)
+           encodings, which are invalid UTF-8 despite the shape. *)
+        let c1 = Char.code s.[!i + 1] in
+        if (code = 0xE0 && c1 < 0xA0) || (code = 0xED && c1 >= 0xA0) then begin
+          replacement ();
+          incr i
+        end
+        else begin
+          Buffer.add_substring b s !i 3;
+          i := !i + 3
+        end
+    | _ when code >= 0xF0 && code <= 0xF4 && cont (!i + 1) && cont (!i + 2) && cont (!i + 3)
+      ->
+        let c1 = Char.code s.[!i + 1] in
+        if (code = 0xF0 && c1 < 0x90) || (code = 0xF4 && c1 >= 0x90) then begin
+          replacement ();
+          incr i
+        end
+        else begin
+          Buffer.add_substring b s !i 4;
+          i := !i + 4
+        end
+    | _ ->
+        replacement ();
+        incr i);
+  done;
   Buffer.add_char b '"'
 
 let number_to_string x =

@@ -3,8 +3,11 @@
     Exists for the machine-readable bench baselines ([BENCH_*.json]):
     later sessions parse the previous baseline and regress against it,
     so both directions must round-trip.  Numbers are floats (ints emit
-    without a fractional part); strings must be valid UTF-8 and are
-    escaped per RFC 8259. *)
+    without a fractional part); strings are escaped per RFC 8259, and
+    byte sequences that are not well-formed UTF-8 are replaced with
+    U+FFFD at emission (free-form span attributes and crash reasons
+    flow through here, and the document must stay parseable whatever
+    they contain). *)
 
 type t =
   | Null

@@ -46,6 +46,33 @@ let metrics () = metrics_of_snapshot (Tmedb_obs.snapshot ())
 
 let trace_of_events events =
   let origin = Tmedb_obs.origin () in
+  (* Domains map to stable dense tid lanes (sorted domain ids -> 0, 1,
+     ...), not raw Domain.self ids: raw ids depend on how many domains
+     the process ever spawned, so two runs of the same workload would
+     otherwise render on different lanes in Perfetto.  A thread_name
+     metadata row labels each lane with the underlying domain id. *)
+  let domains =
+    List.sort_uniq Int.compare
+      (List.map (fun (e : Tmedb_obs.event) -> e.domain) events)
+  in
+  let lane_of =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i d -> Hashtbl.replace tbl d i) domains;
+    fun d -> float_of_int (Option.value (Hashtbl.find_opt tbl d) ~default:0)
+  in
+  let meta_rows =
+    List.mapi
+      (fun i d ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int i));
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" d)) ]);
+          ])
+      domains
+  in
   (* Microseconds since process start, clamped non-decreasing per
      domain: trace viewers sort by timestamp, so a backwards wall-clock
      step inside a span would otherwise unnest it. *)
@@ -66,7 +93,7 @@ let trace_of_events events =
             ("cat", Json.Str "tmedb");
             ("ph", Json.Str (match e.phase with Tmedb_obs.Begin -> "B" | Tmedb_obs.End -> "E"));
             ("pid", Json.Num 1.);
-            ("tid", Json.Num (float_of_int e.domain));
+            ("tid", Json.Num (lane_of e.domain));
             ("ts", Json.Num us);
           ]
         in
@@ -85,7 +112,8 @@ let trace_of_events events =
         Json.Obj (base @ args))
       events
   in
-  Json.Obj [ ("displayTimeUnit", Json.Str "ms"); ("traceEvents", Json.List rows) ]
+  Json.Obj
+    [ ("displayTimeUnit", Json.Str "ms"); ("traceEvents", Json.List (meta_rows @ rows)) ]
 
 let trace () = trace_of_events (Tmedb_obs.events ())
 

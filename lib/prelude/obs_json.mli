@@ -17,9 +17,13 @@
       ([{ "displayTimeUnit": "ms", "traceEvents": [...] }] with
       ["B"]/["E"] phase events), loadable directly in
       [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
-      Domains map to Chrome thread ids; timestamps are microseconds
-      since {!Tmedb_obs.origin}, clamped monotone per domain so a
-      wall-clock wobble cannot unnest a span. *)
+      Domains map to {e stable dense} Chrome thread ids (sorted domain
+      ids number the lanes 0, 1, ... and a ["thread_name"] metadata
+      row labels each), so per-worker lanes render identically run to
+      run; End events carry the span's minor/major alloc-word deltas
+      as [args]; timestamps are microseconds since
+      {!Tmedb_obs.origin}, clamped monotone per domain so a wall-clock
+      wobble cannot unnest a span. *)
 
 val metrics_of_snapshot : Tmedb_obs.snapshot -> Json.t
 (** The metrics document for an explicit snapshot (used by tests). *)
@@ -34,6 +38,11 @@ val trace_of_events : Tmedb_obs.event list -> Json.t
 
 val trace : unit -> Json.t
 (** [trace_of_events (Tmedb_obs.events ())]. *)
+
+val write_doc : path:string -> indent:int -> Json.t -> unit
+(** Write any document to [path] with a trailing newline ([indent:0]
+    for compact output) — shared by the telemetry, profile and crash
+    exporters. *)
 
 val write_metrics : path:string -> unit
 (** Write {!metrics} to [path], pretty-printed, with a trailing

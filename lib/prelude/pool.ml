@@ -9,6 +9,42 @@ let c_steals = Tmedb_obs.Counter.make "pool.steals"
 let t_batch = Tmedb_obs.Timer.make "pool.run_batch"
 let h_chunk = Tmedb_obs.Histogram.make "pool.chunk_size"
 
+(* Span-context propagation.  Each scheduled job runs inside a
+   ["pool.task"] span whose ["ctx"] attribute carries the submitter's
+   logical span path, so the profiler can re-root work executed on a
+   worker (or drain-helping caller) domain under the span that
+   submitted it — making attribution independent of --jobs.  The DLS
+   slot holds the logical path of the innermost task executing on this
+   domain, so a nested submission (a task that itself fans out)
+   propagates its own logical path rather than the raw domain stack.
+   Scheduling metadata only — never read by any algorithm. *)
+let task_ctx_key =
+  (Domain.DLS.new_key (fun () -> ([] : string list))
+  [@lint.allow "toplevel-mutable-state"])
+
+(* Logical span path at a submission point: the names open on this
+   domain, with pool frames made transparent — everything up to and
+   including the innermost ["pool.task"] is replaced by that task's
+   propagated logical path. *)
+let submission_ctx () =
+  match Tmedb_obs.Span.current_names () with
+  | [] -> []
+  | names ->
+      let saw_task = ref false in
+      let suffix =
+        List.fold_left
+          (fun acc n ->
+            if String.equal n "pool.task" then begin
+              saw_task := true;
+              []
+            end
+            else if String.equal n "pool.steal" then acc
+            else n :: acc)
+          [] names
+        |> List.rev
+      in
+      if !saw_task then Domain.DLS.get task_ctx_key @ suffix else suffix
+
 (* A mutex-protected ring-buffer deque.  The owner pushes and pops at
    the back (newest first, keeping nested batches cache-warm); thieves
    steal at the front (oldest first, the work the owner is least likely
@@ -153,7 +189,10 @@ let try_take t ~home =
           match Deque.steal_front t.deques.((home + k) mod n) with
           | Some job ->
               Tmedb_obs.Counter.incr c_steals;
-              Some job
+              (* A visible ["pool.steal"] frame around stolen work so
+                 the per-worker timeline can render steal lanes; the
+                 profiler treats pool frames as transparent. *)
+              Some (fun () -> Tmedb_obs.Span.with_ "pool.steal" job)
           | None -> scan (k + 1)
         end
       in
@@ -235,6 +274,24 @@ let with_pool ?num_domains f =
 let run_batch t ~count run_one =
   Tmedb_obs.Counter.incr c_batches;
   let tb = Tmedb_obs.Timer.start t_batch in
+  (* Capture the submitter's logical span path once per batch (only
+     when something is recording — the disabled path stays a flag
+     check) and wrap each job in a ["pool.task"] span carrying it. *)
+  let recording = Tmedb_obs.enabled () || Tmedb_obs.Flight.armed () in
+  let run_task =
+    if not recording then run_one
+    else begin
+      let ctx = submission_ctx () in
+      let args = match ctx with [] -> [] | _ -> [ ("ctx", String.concat ";" ctx) ] in
+      fun i ->
+        Tmedb_obs.Span.with_ "pool.task" ~args (fun () ->
+            let saved = Domain.DLS.get task_ctx_key in
+            Domain.DLS.set task_ctx_key ctx;
+            Fun.protect
+              ~finally:(fun () -> Domain.DLS.set task_ctx_key saved)
+              (fun () -> run_one i))
+    end
+  in
   let remaining = Atomic.make count in
   let error = Atomic.make None in
   let done_mutex = Mutex.create () in
@@ -243,7 +300,7 @@ let run_batch t ~count run_one =
     (match Atomic.get error with
     | Some _ -> () (* batch already failed: skip the work, still count down *)
     | None -> (
-        try run_one i
+        try run_task i
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set error None (Some (e, bt)))));

@@ -1,0 +1,592 @@
+(* Span-tree attribution over the deterministic telemetry event
+   stream.  The fold walks each domain's (seq-ordered) events with an
+   explicit stack and accumulates into *logical-path* nodes:
+
+   - pool frames are transparent.  A ["pool.task"] span carries its
+     submitter's logical path in its ["ctx"] attribute, so work
+     executed on a worker (or drain-helping caller) domain re-roots
+     under the span that submitted it — which is exactly where the
+     same work nests when `--jobs 1` runs it inline.  ["pool.steal"]
+     frames pass their parent path through.  Neither becomes a node,
+     and their own bookkeeping allocations attribute nowhere.
+   - a ["planner.run"] frame renders as [planner.run:<name>] using its
+     ["planner"] attribute, so per-planner subtrees stay separate.
+
+   Node *counts* along logical paths are therefore independent of
+   --jobs and of the adaptive chunking heuristic (pool nodes are
+   excluded; everything else runs once per logical occurrence), which
+   is what lets profile.json and profile.folded be byte-deterministic.
+   Wall time and alloc words are faithful measurements and hence vary
+   run to run; they go only to the human-facing artifacts
+   (profile_detail.json, profile_wall.folded, flamegraph.html). *)
+
+type node = {
+  path : string list;  (* logical path, root-first, display names *)
+  count : int;  (* closed spans at this path *)
+  wall_ns : float;  (* Σ span durations (total) *)
+  wall_self_ns : float;  (* total minus direct children's totals *)
+  minor_words : float;  (* Σ minor-heap alloc deltas (total) *)
+  minor_self_words : float;
+  major_words : float;
+  major_self_words : float;
+}
+
+type interval = {
+  i_domain : int;  (* raw domain id *)
+  i_start : float;  (* seconds since Tmedb_obs.origin *)
+  i_stop : float;
+  i_kind : string;  (* "task", "steal" or the span name *)
+}
+
+type lane = {
+  lane_domain : int;
+  lane_intervals : interval list;  (* start-ordered *)
+  lane_busy_s : float;
+  lane_steals : int;
+}
+
+type timeline = {
+  lanes : lane list;  (* sorted by domain id *)
+  t_begin : float;  (* earliest event, seconds since origin *)
+  t_end : float;
+  busy_s : float;  (* Σ lane busy *)
+  utilization : float;  (* busy / (lanes × makespan), 0 when empty *)
+  critical_path_s : float;  (* max(longest interval, busy / lanes) *)
+}
+
+type t = { nodes : node list; timeline : timeline }
+
+(* ------------------------------------------------------------------ *)
+(* Folding *)
+
+type acc = {
+  mutable a_count : int;
+  mutable a_wall : float;
+  mutable a_wall_self : float;
+  mutable a_minor : float;
+  mutable a_minor_self : float;
+  mutable a_major : float;
+  mutable a_major_self : float;
+}
+
+type frame = {
+  f_name : string;
+  f_node : string list option;  (* logical path of this node; None = transparent *)
+  f_child_base : string list;  (* logical path its children extend *)
+  f_ts : float;
+  mutable f_child_wall : float;
+  mutable f_child_minor : float;
+  mutable f_child_major : float;
+}
+
+let path_key path = String.concat ";" path
+
+let split_ctx s =
+  if String.equal s "" then [] else String.split_on_char ';' s
+
+let display_name (e : Tmedb_obs.event) =
+  match (e.name, List.assoc_opt "planner" e.args) with
+  | "planner.run", Some p -> "planner.run:" ^ p
+  | _ -> e.name
+
+let is_pool_frame name =
+  String.length name >= 5 && String.equal (String.sub name 0 5) "pool."
+
+let of_events events =
+  let origin = Tmedb_obs.origin () in
+  let nodes : (string, string list * acc) Hashtbl.t = Hashtbl.create 64 in
+  let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 8 in
+  let lanes : (int, interval list ref * float ref * int ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let t_min = ref Float.infinity and t_max = ref Float.neg_infinity in
+  let stack_of dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace stacks dom r;
+        r
+  in
+  let lane_of dom =
+    match Hashtbl.find_opt lanes dom with
+    | Some l -> l
+    | None ->
+        let l = (ref [], ref 0., ref 0) in
+        Hashtbl.replace lanes dom l;
+        l
+  in
+  let touch_node path =
+    let key = path_key path in
+    match Hashtbl.find_opt nodes key with
+    | Some (_, a) -> a
+    | None ->
+        let a =
+          {
+            a_count = 0;
+            a_wall = 0.;
+            a_wall_self = 0.;
+            a_minor = 0.;
+            a_minor_self = 0.;
+            a_major = 0.;
+            a_major_self = 0.;
+          }
+        in
+        Hashtbl.replace nodes key (path, a);
+        a
+  in
+  List.iter
+    (fun (e : Tmedb_obs.event) ->
+      let ts = e.ts -. origin in
+      if ts < !t_min then t_min := ts;
+      if ts > !t_max then t_max := ts;
+      let stack = stack_of e.domain in
+      match e.phase with
+      | Tmedb_obs.Begin ->
+          let parent_base =
+            match !stack with f :: _ -> f.f_child_base | [] -> []
+          in
+          let f_node, f_child_base =
+            if String.equal e.name "pool.task" then
+              let base =
+                match List.assoc_opt "ctx" e.args with
+                | Some c -> split_ctx c
+                | None -> []
+              in
+              (None, base)
+            else if is_pool_frame e.name then (None, parent_base)
+            else begin
+              let path = parent_base @ [ display_name e ] in
+              (Some path, path)
+            end
+          in
+          stack :=
+            {
+              f_name = e.name;
+              f_node;
+              f_child_base;
+              f_ts = ts;
+              f_child_wall = 0.;
+              f_child_minor = 0.;
+              f_child_major = 0.;
+            }
+            :: !stack
+      | Tmedb_obs.End -> (
+          match !stack with
+          | [] -> () (* unmatched end: nothing to attribute *)
+          | f :: rest ->
+              stack := rest;
+              let wall = Float.max 0. ((ts -. f.f_ts) *. 1e9) in
+              let minor, major =
+                match e.alloc with
+                | Some a -> (a.Tmedb_obs.minor_words, a.Tmedb_obs.major_words)
+                | None -> (0., 0.)
+              in
+              (match f.f_node with
+              | Some path ->
+                  let a = touch_node path in
+                  a.a_count <- a.a_count + 1;
+                  a.a_wall <- a.a_wall +. wall;
+                  a.a_wall_self <- a.a_wall_self +. Float.max 0. (wall -. f.f_child_wall);
+                  a.a_minor <- a.a_minor +. minor;
+                  a.a_minor_self <-
+                    a.a_minor_self +. Float.max 0. (minor -. f.f_child_minor);
+                  a.a_major <- a.a_major +. major;
+                  a.a_major_self <-
+                    a.a_major_self +. Float.max 0. (major -. f.f_child_major)
+              | None -> ());
+              (* Propagate totals to the enclosing frame either way, so
+                 a drain-helping caller's self excludes helped work. *)
+              (match rest with
+              | parent :: _ ->
+                  parent.f_child_wall <- parent.f_child_wall +. wall;
+                  parent.f_child_minor <- parent.f_child_minor +. minor;
+                  parent.f_child_major <- parent.f_child_major +. major
+              | [] ->
+                  (* Top-level span on this domain: a timeline interval. *)
+                  let ivs, busy, _ = lane_of e.domain in
+                  let i_kind =
+                    if String.equal f.f_name "pool.task" then "task"
+                    else if String.equal f.f_name "pool.steal" then "steal"
+                    else f.f_name
+                  in
+                  ivs :=
+                    { i_domain = e.domain; i_start = f.f_ts; i_stop = ts; i_kind }
+                    :: !ivs;
+                  busy := !busy +. Float.max 0. (ts -. f.f_ts));
+              if String.equal f.f_name "pool.steal" then begin
+                let _, _, steals = lane_of e.domain in
+                incr steals
+              end))
+    events;
+  let node_list =
+    Hashtbl.fold
+      (fun _ (path, a) acc ->
+        {
+          path;
+          count = a.a_count;
+          wall_ns = a.a_wall;
+          wall_self_ns = a.a_wall_self;
+          minor_words = a.a_minor;
+          minor_self_words = a.a_minor_self;
+          major_words = a.a_major;
+          major_self_words = a.a_major_self;
+        }
+        :: acc)
+      nodes []
+    |> List.filter (fun n -> n.count > 0)
+    |> List.sort (fun a b -> String.compare (path_key a.path) (path_key b.path))
+  in
+  let lane_list =
+    Hashtbl.fold
+      (fun dom (ivs, busy, steals) acc ->
+        {
+          lane_domain = dom;
+          lane_intervals =
+            List.sort (fun a b -> Float.compare a.i_start b.i_start) !ivs;
+          lane_busy_s = !busy;
+          lane_steals = !steals;
+        }
+        :: acc)
+      lanes []
+    |> List.sort (fun a b -> Int.compare a.lane_domain b.lane_domain)
+  in
+  let t0 = if Float.is_finite !t_min then !t_min else 0. in
+  let t1 = if Float.is_finite !t_max then !t_max else 0. in
+  let busy_s = List.fold_left (fun s l -> s +. l.lane_busy_s) 0. lane_list in
+  let nlanes = List.length lane_list in
+  let makespan = Float.max 0. (t1 -. t0) in
+  let utilization =
+    if nlanes = 0 || makespan <= 0. then 0.
+    else busy_s /. (float_of_int nlanes *. makespan)
+  in
+  let longest =
+    List.fold_left
+      (fun m l ->
+        List.fold_left
+          (fun m iv -> Float.max m (iv.i_stop -. iv.i_start))
+          m l.lane_intervals)
+      0. lane_list
+  in
+  let critical_path_s =
+    if nlanes = 0 then 0.
+    else Float.max longest (busy_s /. float_of_int nlanes)
+  in
+  {
+    nodes = node_list;
+    timeline =
+      {
+        lanes = lane_list;
+        t_begin = t0;
+        t_end = t1;
+        busy_s;
+        utilization;
+        critical_path_s;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Documents *)
+
+let timestamp_field = function
+  | Some ts -> ("timestamp", Json.Str ts)
+  | None -> ("timestamp", Json.Null)
+
+let profile_doc ?timestamp t =
+  Json.Obj
+    [
+      ("schema", Json.Str "tmedb.profile/1");
+      timestamp_field timestamp;
+      ( "nodes",
+        Json.Obj
+          (List.map
+             (fun n ->
+               (path_key n.path, Json.Obj [ ("count", Json.Num (float_of_int n.count)) ]))
+             t.nodes) );
+    ]
+
+let detail_doc ?timestamp t =
+  let tl = t.timeline in
+  Json.Obj
+    [
+      ("schema", Json.Str "tmedb.profile_detail/1");
+      timestamp_field timestamp;
+      ( "nodes",
+        Json.Obj
+          (List.map
+             (fun n ->
+               ( path_key n.path,
+                 Json.Obj
+                   [
+                     ("count", Json.Num (float_of_int n.count));
+                     ("wall_ns", Json.Num n.wall_ns);
+                     ("wall_self_ns", Json.Num n.wall_self_ns);
+                     ("minor_words", Json.Num n.minor_words);
+                     ("minor_self_words", Json.Num n.minor_self_words);
+                     ("major_words", Json.Num n.major_words);
+                     ("major_self_words", Json.Num n.major_self_words);
+                   ] ))
+             t.nodes) );
+      ( "timeline",
+        Json.Obj
+          [
+            ("begin_s", Json.Num tl.t_begin);
+            ("end_s", Json.Num tl.t_end);
+            ("busy_s", Json.Num tl.busy_s);
+            ("utilization", Json.Num tl.utilization);
+            ("critical_path_s", Json.Num tl.critical_path_s);
+            ( "lanes",
+              Json.List
+                (List.map
+                   (fun l ->
+                     Json.Obj
+                       [
+                         ("domain", Json.Num (float_of_int l.lane_domain));
+                         ("busy_s", Json.Num l.lane_busy_s);
+                         ("steals", Json.Num (float_of_int l.lane_steals));
+                         ( "intervals",
+                           Json.Num (float_of_int (List.length l.lane_intervals)) );
+                       ])
+                   tl.lanes) );
+          ] );
+    ]
+
+let folded_counts t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf "%s %d\n" (path_key n.path) n.count))
+    t.nodes;
+  Buffer.contents b
+
+let folded_wall t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun n ->
+      let us = int_of_float (n.wall_self_ns /. 1e3) in
+      if us > 0 then Buffer.add_string b (Printf.sprintf "%s %d\n" (path_key n.path) us))
+    t.nodes;
+  Buffer.contents b
+
+let top_self t k =
+  List.sort (fun a b -> Float.compare b.wall_self_ns a.wall_self_ns) t.nodes
+  |> List.filteri (fun i _ -> i < k)
+
+(* ------------------------------------------------------------------ *)
+(* Self-contained HTML: a server-side-rendered SVG flamegraph over
+   wall self/total time plus the per-worker timeline.  No external
+   assets, so the file opens anywhere. *)
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&#39;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Deterministic warm hue from the frame name. *)
+let color_of name =
+  let h = ref 17 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0xFFFFFF) name;
+  let hue = !h mod 55 in
+  (* 0..55 degrees: red through yellow, classic flamegraph palette *)
+  Printf.sprintf "hsl(%d,%d%%,%d%%)" hue (60 + (!h / 55 mod 30)) (52 + (!h / 1650 mod 12))
+
+let fmt_seconds ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.0f µs" (ns /. 1e3)
+
+let fmt_words w =
+  if Float.abs w >= 1e9 then Printf.sprintf "%.2fG" (w /. 1e9)
+  else if Float.abs w >= 1e6 then Printf.sprintf "%.2fM" (w /. 1e6)
+  else if Float.abs w >= 1e3 then Printf.sprintf "%.1fk" (w /. 1e3)
+  else Printf.sprintf "%.0f" w
+
+let html t =
+  let b = Buffer.create 16384 in
+  let tl = t.timeline in
+  let width = 1200. in
+  let row_h = 18. in
+  (* Tree over the node list: children of [path] are nodes one segment
+     deeper sharing the prefix.  Layout width of a node is its wall
+     self plus its children's layout widths — re-rooted subtrees can
+     overlap their parent in real time, so plain totals could exceed
+     the lane. *)
+  let children path =
+    let d = List.length path in
+    List.filter
+      (fun n ->
+        List.length n.path = d + 1
+        &&
+        let rec prefix a b =
+          match (a, b) with
+          | [], _ -> true
+          | x :: xs, y :: ys -> String.equal x y && prefix xs ys
+          | _ :: _, [] -> false
+        in
+        prefix path n.path)
+      t.nodes
+  in
+  let rec layout_w n = n.wall_self_ns +. List.fold_left (fun s c -> s +. layout_w c) 0. (children n.path) in
+  let roots = children [] in
+  let total_w = List.fold_left (fun s n -> s +. layout_w n) 0. roots in
+  let max_depth = List.fold_left (fun m n -> Stdlib.max m (List.length n.path)) 1 t.nodes in
+  let fg_h = (float_of_int max_depth *. row_h) +. 4. in
+  Buffer.add_string b
+    "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n\
+     <title>tmedb profile</title>\n\
+     <style>body{font:13px sans-serif;margin:16px;background:#fafafa;color:#222}\n\
+     h1{font-size:17px}h2{font-size:14px;margin-top:24px}\n\
+     svg{background:#fff;border:1px solid #ddd}\n\
+     .meta{color:#555}rect:hover{stroke:#000;stroke-width:0.5}</style></head><body>\n";
+  Buffer.add_string b "<h1>tmedb profile</h1>\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "<p class=\"meta\">makespan %.3f s · busy %.3f s over %d lane(s) · utilization \
+        %.0f%% · critical-path estimate %.3f s</p>\n"
+       (tl.t_end -. tl.t_begin) tl.busy_s (List.length tl.lanes)
+       (tl.utilization *. 100.) tl.critical_path_s);
+  (* Flamegraph *)
+  Buffer.add_string b "<h2>Flamegraph (wall self time, pool frames re-rooted)</h2>\n";
+  Buffer.add_string b
+    (Printf.sprintf "<svg width=\"%.0f\" height=\"%.0f\">\n" width fg_h);
+  if total_w > 0. then begin
+    let rec render x0 depth n =
+      let w = layout_w n /. total_w *. width in
+      if w >= 0.25 then begin
+        let y = fg_h -. (float_of_int (depth + 1) *. row_h) in
+        let name = List.nth n.path (List.length n.path - 1) in
+        let tip =
+          Printf.sprintf "%s — %d× · total %s · self %s · minor %s w (self %s)"
+            (path_key n.path) n.count (fmt_seconds n.wall_ns)
+            (fmt_seconds n.wall_self_ns) (fmt_words n.minor_words)
+            (fmt_words n.minor_self_words)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" height=\"%.1f\" \
+              fill=\"%s\"><title>%s</title></rect>\n"
+             x0 y (Float.max 0.5 (w -. 0.5)) (row_h -. 1.) (color_of name)
+             (html_escape tip));
+        if w > 40. then
+          Buffer.add_string b
+            (Printf.sprintf
+               "<text x=\"%.2f\" y=\"%.1f\" font-size=\"11\" \
+                pointer-events=\"none\">%s</text>\n"
+               (x0 +. 3.) (y +. 13.)
+               (html_escape
+                  (let max_chars = int_of_float (w /. 6.5) in
+                   if String.length name <= max_chars then name
+                   else if max_chars <= 1 then ""
+                   else String.sub name 0 (max_chars - 1) ^ "…")));
+        let cx = ref (x0 +. (n.wall_self_ns /. total_w *. width)) in
+        List.iter
+          (fun c ->
+            render !cx (depth + 1) c;
+            cx := !cx +. (layout_w c /. total_w *. width))
+          (children n.path)
+      end
+    in
+    let x = ref 0. in
+    List.iter
+      (fun n ->
+        render !x 0 n;
+        x := !x +. (layout_w n /. total_w *. width))
+      roots
+  end
+  else Buffer.add_string b "<text x=\"8\" y=\"20\">no closed spans</text>\n";
+  Buffer.add_string b "</svg>\n";
+  (* Timeline *)
+  let lane_h = 22. in
+  let nlanes = List.length tl.lanes in
+  let tlh = (float_of_int (Stdlib.max 1 nlanes) *. lane_h) +. 4. in
+  let span = Float.max 1e-9 (tl.t_end -. tl.t_begin) in
+  Buffer.add_string b
+    "<h2>Worker timeline (green: spans/tasks, orange: steals, white: idle)</h2>\n";
+  Buffer.add_string b (Printf.sprintf "<svg width=\"%.0f\" height=\"%.0f\">\n" width tlh);
+  List.iteri
+    (fun i l ->
+      let y = (float_of_int i *. lane_h) +. 2. in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<text x=\"4\" y=\"%.1f\" font-size=\"10\" fill=\"#777\">d%d · %.0f%% busy · \
+            %d steal(s)</text>\n"
+           (y +. 9.) l.lane_domain
+           (l.lane_busy_s /. span *. 100.)
+           l.lane_steals);
+      List.iter
+        (fun iv ->
+          let x0 = (iv.i_start -. tl.t_begin) /. span *. width in
+          let w = Float.max 0.4 ((iv.i_stop -. iv.i_start) /. span *. width) in
+          let fill = if String.equal iv.i_kind "steal" then "#e8962f" else "#4c9a52" in
+          let tip =
+            Printf.sprintf "d%d %s %.4f–%.4f s" iv.i_domain iv.i_kind iv.i_start
+              iv.i_stop
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" height=\"%.1f\" \
+                fill=\"%s\" opacity=\"0.85\"><title>%s</title></rect>\n"
+               x0 (y +. 10.) w (lane_h -. 12.) fill (html_escape tip)))
+        l.lane_intervals)
+    tl.lanes;
+  Buffer.add_string b "</svg>\n";
+  (* Hot-self table *)
+  Buffer.add_string b "<h2>Top self time</h2>\n<table cellspacing=\"0\">\n";
+  Buffer.add_string b
+    "<tr><td><b>node</b></td><td style=\"padding-left:12px\"><b>count</b></td>\
+     <td style=\"padding-left:12px\"><b>self</b></td>\
+     <td style=\"padding-left:12px\"><b>total</b></td>\
+     <td style=\"padding-left:12px\"><b>minor self</b></td></tr>\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "<tr><td>%s</td><td style=\"padding-left:12px\">%d</td>\
+            <td style=\"padding-left:12px\">%s</td>\
+            <td style=\"padding-left:12px\">%s</td>\
+            <td style=\"padding-left:12px\">%s</td></tr>\n"
+           (html_escape (path_key n.path))
+           n.count
+           (fmt_seconds n.wall_self_ns)
+           (fmt_seconds n.wall_ns)
+           (fmt_words n.minor_self_words)))
+    (top_self t 20);
+  Buffer.add_string b "</table>\n</body></html>\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Artifact writer *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_artifacts ?timestamp ~dir () =
+  mkdir_p dir;
+  let events = Tmedb_obs.events () in
+  let t = of_events events in
+  let p name = Filename.concat dir name in
+  write_file (p "profile.json") (Json.to_string ~indent:2 (profile_doc ?timestamp t) ^ "\n");
+  write_file (p "profile_detail.json")
+    (Json.to_string ~indent:2 (detail_doc ?timestamp t) ^ "\n");
+  write_file (p "profile.folded") (folded_counts t);
+  write_file (p "profile_wall.folded") (folded_wall t);
+  write_file (p "flamegraph.html") (html t);
+  t

@@ -1,0 +1,106 @@
+(** Span-tree attribution over the {!Tmedb_obs} event stream, plus the
+    profile artifacts ([--profile out/] on the CLI and bench).
+
+    The fold turns the [(domain, seq)]-ordered event stream into a
+    tree of {e logical paths}: pool frames (["pool.task"],
+    ["pool.steal"]) are transparent, and a task's subtree re-roots
+    under the span path its submitter recorded in the task's ["ctx"]
+    attribute — so attribution is the same at any [--jobs], matching
+    where the work nests when run inline.  ["planner.run"] frames
+    render as [planner.run:<name>].
+
+    Determinism contract, mirroring the run-ledger's: node {e counts}
+    along logical paths are jobs-invariant and run-invariant for a
+    deterministic workload, so [profile.json] ([tmedb.profile/1]) and
+    [profile.folded] are byte-deterministic given an injected
+    timestamp.  Wall time and alloc words are real measurements and
+    vary run to run; they appear only in the human-facing artifacts
+    ([profile_detail.json], [profile_wall.folded],
+    [flamegraph.html]). *)
+
+type node = {
+  path : string list;  (** Logical path, root-first (display names). *)
+  count : int;  (** Closed spans at this path. *)
+  wall_ns : float;  (** Σ span durations (total). *)
+  wall_self_ns : float;  (** Total minus direct children's totals. *)
+  minor_words : float;  (** Σ minor-heap alloc deltas (total). *)
+  minor_self_words : float;  (** Minor total minus children's. *)
+  major_words : float;  (** Σ major-heap alloc deltas (total). *)
+  major_self_words : float;  (** Major total minus children's. *)
+}
+(** One logical call-tree node. *)
+
+type interval = {
+  i_domain : int;  (** Raw domain id. *)
+  i_start : float;  (** Seconds since {!Tmedb_obs.origin}. *)
+  i_stop : float;  (** End of the interval, same clock. *)
+  i_kind : string;  (** ["task"], ["steal"] or the span name. *)
+}
+(** One top-level busy interval on a domain. *)
+
+type lane = {
+  lane_domain : int;  (** Raw domain id. *)
+  lane_intervals : interval list;  (** Start-ordered busy intervals. *)
+  lane_busy_s : float;  (** Σ interval durations. *)
+  lane_steals : int;  (** Closed ["pool.steal"] frames on this domain. *)
+}
+(** One worker lane of the timeline. *)
+
+type timeline = {
+  lanes : lane list;  (** Sorted by domain id. *)
+  t_begin : float;  (** Earliest event, seconds since origin. *)
+  t_end : float;  (** Latest event. *)
+  busy_s : float;  (** Σ lane busy seconds. *)
+  utilization : float;  (** [busy / (lanes × makespan)]; 0 when empty. *)
+  critical_path_s : float;
+      (** Lower-bound estimate: max(longest single interval,
+          busy ÷ lanes). *)
+}
+(** Pool activity view derived from top-level spans per domain. *)
+
+type t = { nodes : node list;  (** Sorted by path. *) timeline : timeline }
+(** A folded profile. *)
+
+val of_events : Tmedb_obs.event list -> t
+(** Fold an event stream (as {!Tmedb_obs.events} returns it: grouped
+    per domain, seq-ordered within a domain) into a profile. *)
+
+val path_key : string list -> string
+(** Join a logical path with [";"] — the node key used in every
+    artifact and in folded-stack lines. *)
+
+val profile_doc : ?timestamp:string -> t -> Json.t
+(** The deterministic [tmedb.profile/1] document: sorted node paths
+    with span counts only.  [timestamp] is caller-injected (ledger
+    discipline); omitted means [null]. *)
+
+val detail_doc : ?timestamp:string -> t -> Json.t
+(** The [tmedb.profile_detail/1] document: per-node wall self/total
+    nanoseconds and minor/major alloc words, plus timeline summary.
+    Non-deterministic (real measurements). *)
+
+val folded_counts : t -> string
+(** [flamegraph.pl]-compatible folded stacks weighted by span count —
+    deterministic. One [path count] line per node, sorted by path. *)
+
+val folded_wall : t -> string
+(** Folded stacks weighted by self wall microseconds (non-zero rows
+    only) — feed to [flamegraph.pl] for a classic time flamegraph. *)
+
+val top_self : t -> int -> node list
+(** The [k] nodes with the largest self wall time, descending. *)
+
+val html : t -> string
+(** Self-contained HTML: an SVG flamegraph (wall self time, pool
+    frames re-rooted), the per-worker timeline with busy/steal lanes,
+    utilization and critical-path header, and a top-self table. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents (no-op if present) —
+    profile output directories and crash-dump parents use this. *)
+
+val write_artifacts : ?timestamp:string -> dir:string -> unit -> t
+(** Harvest {!Tmedb_obs.events}, fold, and write every artifact into
+    [dir] (created if missing): [profile.json], [profile_detail.json],
+    [profile.folded], [profile_wall.folded], [flamegraph.html].
+    Returns the folded profile for further rendering. *)

@@ -9,3 +9,8 @@
 val now_iso8601 : unit -> string
 (** Current UTC time as ["YYYY-MM-DDThh:mm:ssZ"] (RFC 3339, second
     precision). *)
+
+val now_seconds : unit -> float
+(** Current Unix time in seconds — the {!Watchdog}'s deadline clock.
+    Never feeds any artifact; deadlines gate {e whether} a crash dump
+    fires, not what it contains. *)

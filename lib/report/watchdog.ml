@@ -1,0 +1,34 @@
+(* A deadline watchdog on its own domain.  The poll loop reads only
+   Clock.now_seconds (the ledger's single wall-clock source) and never
+   touches the watched computation: on_trip fires at most once, the
+   computation keeps running, and the result is returned unchanged —
+   the trip is forensic (typically a Crash_guard dump), not a kill. *)
+
+let with_deadline ~seconds ~on_trip f =
+  if seconds <= 0. then (f (), false)
+  else begin
+    let cancel = Atomic.make false in
+    let tripped = Atomic.make false in
+    let dog =
+      Domain.spawn (fun () ->
+          let t0 = Clock.now_seconds () in
+          let rec loop () =
+            if not (Atomic.get cancel) then
+              if Clock.now_seconds () -. t0 >= seconds then begin
+                Atomic.set tripped true;
+                on_trip ()
+              end
+              else begin
+                Unix.sleepf 0.02;
+                loop ()
+              end
+          in
+          loop ())
+    in
+    let finish () =
+      Atomic.set cancel true;
+      Domain.join dog
+    in
+    let r = Fun.protect ~finally:finish f in
+    (r, Atomic.get tripped)
+  end

@@ -1,0 +1,18 @@
+(** Deadline watchdog: fire a forensic callback if a computation runs
+    past a wall-clock budget, without interrupting it.
+
+    A watchdog domain polls {!Clock.now_seconds} (~50 Hz) while the
+    watched computation runs on the calling domain.  If the deadline
+    passes, [on_trip] fires exactly once — typically a
+    {!Tmedb_prelude.Crash_guard} dump closure, turning a wedged run
+    into a [tmedb.crash/1] black box — and the computation continues
+    to completion.  The watchdog never feeds any artifact content;
+    wall time only gates {e whether} the trip fires, so results stay
+    deterministic. *)
+
+val with_deadline : seconds:float -> on_trip:(unit -> unit) -> (unit -> 'a) -> 'a * bool
+(** [with_deadline ~seconds ~on_trip f] runs [f ()] with a [seconds]
+    deadline; returns [f]'s result and whether the watchdog tripped.
+    The watchdog domain is always joined before returning (on
+    exceptions too).  [seconds <= 0.] disables the watchdog (no domain
+    is spawned; returns [(f (), false)]). *)

@@ -37,12 +37,52 @@ for key in '"schema": "tmedb.metrics/1"' '"counters"' '"timers"' \
   }
 done
 
+# Profiling smoke: a quick figure run with --profile must leave the
+# full artifact set — a valid tmedb.profile/1 JSON, non-empty folded
+# stacks and the self-contained HTML flamegraph — and a second run at
+# a different worker count must reproduce the deterministic artifacts
+# byte for byte (docs/PROFILING.md).  The ledger must come out
+# byte-identical with and without profiling riding along.
+pdir=$(mktemp -d)
+pdir2=$(mktemp -d)
+ptrace=$(mktemp); l1=$(mktemp); l2=$(mktemp)
+trap 'rm -f "$m" "$ptrace" "$l1" "$l2"; rm -rf "$pdir" "$pdir2"' EXIT
+dune exec bin/tmedb_cli.exe -- gen --kind haggle --nodes 12 --horizon 8000 \
+  --seed 7 -o "$ptrace" >/dev/null
+dune exec bin/tmedb_cli.exe -- run -a EEDCB --seed 7 --trials 50 --jobs 2 \
+  --ledger "$l1" --ledger-timestamp 2026-01-01T00:00:00Z "$ptrace" >/dev/null
+dune exec bin/tmedb_cli.exe -- run -a EEDCB --seed 7 --trials 50 --jobs 2 \
+  --ledger "$l2" --ledger-timestamp 2026-01-01T00:00:00Z \
+  --profile "$pdir" "$ptrace" >/dev/null
+cmp -s "$l1" "$l2" || {
+  echo "check.sh: ledger changed when --profile rode along" >&2
+  exit 1
+}
+grep -q '"schema": "tmedb.profile/1"' "$pdir/profile.json" || {
+  echo "check.sh: profile.json missing the tmedb.profile/1 schema marker" >&2
+  exit 1
+}
+for f in profile.folded flamegraph.html profile_detail.json profile_wall.folded; do
+  test -s "$pdir/$f" || {
+    echo "check.sh: profile artifact $f missing or empty" >&2
+    exit 1
+  }
+done
+dune exec bin/tmedb_cli.exe -- run -a EEDCB --seed 7 --trials 50 --jobs 4 \
+  --ledger-timestamp 2026-01-01T00:00:00Z --profile "$pdir2" "$ptrace" >/dev/null
+for f in profile.json profile.folded; do
+  cmp -s "$pdir/$f" "$pdir2/$f" || {
+    echo "check.sh: $f not byte-deterministic across --jobs" >&2
+    exit 1
+  }
+done
+
 # N-scaling smoke: the lazy aux-graph path must keep its >=10x
 # materialization cut and its bit-for-bit agreement with the eager
 # build (bench exits non-zero on either), and the frontier counters
 # must reach the telemetry file.
 m2=$(mktemp)
-trap 'rm -f "$m" "$m2"' EXIT
+trap 'rm -f "$m" "$m2" "$ptrace" "$l1" "$l2"; rm -rf "$pdir" "$pdir2"' EXIT
 dune exec bench/main.exe -- nscale --quick --metrics "$m2" >/dev/null
 for key in '"aux_graph.nodes_materialized"' '"aux_graph.lazy_nodes_total"' \
            '"aux_graph.edges_materialized"'; do

@@ -159,11 +159,25 @@ let test_merge_determinism =
           (Printf.sprintf "merge ordered by (domain, seq) jobs=%d" k)
           true
           (keys = List.sort compare keys);
+        (* The pool contributes its own pool.task / pool.steal spans
+           when recording (profile attribution), so count the user
+           span by name and require overall Begin/End balance. *)
         let begins =
           List.length (List.filter (fun e -> e.Tmedb_obs.phase = Tmedb_obs.Begin) evs)
         in
-        check_int (Printf.sprintf "one Begin per task jobs=%d" k) n begins;
-        check_int (Printf.sprintf "balanced End count jobs=%d" k) n (List.length evs - begins);
+        let task_begins =
+          List.length
+            (List.filter
+               (fun e ->
+                 e.Tmedb_obs.phase = Tmedb_obs.Begin
+                 && String.equal e.Tmedb_obs.name "test.obs.task")
+               evs)
+        in
+        check_int (Printf.sprintf "one Begin per task jobs=%d" k) n task_begins;
+        check_int
+          (Printf.sprintf "balanced End count jobs=%d" k)
+          begins
+          (List.length evs - begins);
         Tmedb_obs.Counter.value c)
       [ 1; 2; 4 ]
   in
@@ -209,6 +223,104 @@ let test_histogram_merge_determinism =
           check_bool (Printf.sprintf "summary jobs-invariant (%d)" i) true (s = reference))
         rest
   | [] -> ()
+
+(* Registry flag toggles mid-span, across domains: an End event is
+   routed to the stream iff its Begin was, so every domain's buffer
+   stays Begin/End-balanced whatever the interleaving of toggles and
+   open spans on workers and the drain-helping caller. *)
+let test_mid_span_toggle_balance_multi_domain =
+  scrubbed @@ fun () ->
+  let workload pool =
+    ignore
+      (Pool.map pool
+         (fun i ->
+           Tmedb_obs.Span.with_ "test.obs.toggled"
+             ~args:[ ("i", string_of_int i) ]
+             (fun () ->
+               (* Flip the registry while this span (and its enclosing
+                  pool.task span) is open on this domain. *)
+               Tmedb_obs.set_enabled (i land 1 = 0);
+               Tmedb_obs.Span.with_ "test.obs.toggled_inner" (fun () ->
+                   Tmedb_obs.set_enabled (i land 3 < 2));
+               i))
+         (Array.init 64 Fun.id))
+  in
+  Pool.with_pool ~num_domains:4 (fun pool -> workload (Some pool));
+  Tmedb_obs.set_enabled true;
+  let evs = Tmedb_obs.events () in
+  check_bool "some events survived the toggling" true (evs <> []);
+  (* Replay each domain's stream against a name stack: every End must
+     match the innermost streamed Begin, and every stack must drain. *)
+  let stacks = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let st = Option.value (Hashtbl.find_opt stacks e.Tmedb_obs.domain) ~default:[] in
+      match e.Tmedb_obs.phase with
+      | Tmedb_obs.Begin -> Hashtbl.replace stacks e.Tmedb_obs.domain (e.Tmedb_obs.name :: st)
+      | Tmedb_obs.End -> (
+          match st with
+          | top :: rest when String.equal top e.Tmedb_obs.name ->
+              Hashtbl.replace stacks e.Tmedb_obs.domain rest
+          | _ ->
+              Alcotest.failf "domain %d: End %S does not match its Begin"
+                e.Tmedb_obs.domain e.Tmedb_obs.name))
+    evs;
+  Hashtbl.iter
+    (fun dom st ->
+      check_int (Printf.sprintf "domain %d buffer drains to balance" dom) 0 (List.length st))
+    stacks
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: bounded rings, baseline, independence from the
+   stream flag *)
+
+let test_flight_ring_semantics =
+  scrubbed @@ fun () ->
+  let c = Tmedb_obs.Counter.make "test.obs.flight" in
+  Tmedb_obs.Counter.add c 5;
+  Tmedb_obs.Flight.arm ~capacity:8 ();
+  check_bool "armed" true (Tmedb_obs.Flight.armed ());
+  check_int "capacity" 8 (Tmedb_obs.Flight.capacity ());
+  check_bool "baseline snapshots counters at arm time" true
+    (List.assoc_opt "test.obs.flight" (Tmedb_obs.Flight.baseline ()) = Some 5);
+  for i = 1 to 50 do
+    Tmedb_obs.Span.with_ "test.obs.ring" ~args:[ ("i", string_of_int i) ] (fun () -> ())
+  done;
+  let recent = Tmedb_obs.Flight.recent () in
+  check_int "ring bounded at capacity" 8 (List.length recent);
+  let seqs = List.map (fun e -> e.Tmedb_obs.seq) recent in
+  check_bool "oldest-first within the ring" true (seqs = List.sort compare seqs);
+  (* The ring keeps the *latest* events: its newest seq matches the
+     stream's newest seq on this domain. *)
+  let stream_max =
+    List.fold_left (fun m e -> Stdlib.max m e.Tmedb_obs.seq) (-1) (Tmedb_obs.events ())
+  in
+  check_int "ring holds the most recent events" stream_max
+    (List.fold_left (fun m s -> Stdlib.max m s) (-1) seqs);
+  Tmedb_obs.Flight.disarm ();
+  check_bool "disarmed" false (Tmedb_obs.Flight.armed ());
+  check_bool "ring contents survive disarm" true (Tmedb_obs.Flight.recent () <> []);
+  Tmedb_obs.reset ();
+  check_bool "reset clears the rings" true (Tmedb_obs.Flight.recent () = []);
+  check_bool "reset clears the baseline" true (Tmedb_obs.Flight.baseline () = [])
+
+let test_armed_only_skips_stream =
+  scrubbed @@ fun () ->
+  Tmedb_obs.set_enabled false;
+  Tmedb_obs.Flight.arm ~capacity:16 ();
+  for _ = 1 to 40 do
+    Tmedb_obs.Span.with_ "test.obs.armed_only" (fun () -> ())
+  done;
+  check_bool "armed-only recording never grows the stream" true (Tmedb_obs.events () = []);
+  check_int "but the ring saw the latest events" 16
+    (List.length (Tmedb_obs.Flight.recent ()));
+  (* Counters record while armed (the crash dump snapshots them). *)
+  let c = Tmedb_obs.Counter.make "test.obs.armed_counter" in
+  Tmedb_obs.Counter.add c 2;
+  check_int "counters record while armed" 2 (Tmedb_obs.Counter.value c);
+  Tmedb_obs.Flight.disarm ();
+  Tmedb_obs.Counter.add c 2;
+  check_int "disarmed+disabled is a no-op again" 2 (Tmedb_obs.Counter.value c)
 
 (* ------------------------------------------------------------------ *)
 (* Per-span Gc allocation deltas *)
@@ -273,9 +385,15 @@ let test_json_round_trip =
       match Option.bind (Json.member "traceEvents" doc) Json.to_list with
       | None -> Alcotest.fail "traceEvents missing"
       | Some rows ->
-          check_int "one B and one E" 2 (List.length rows);
+          (* One thread_name metadata row for the recording domain,
+             then the span's B and E. *)
+          check_int "one metadata row plus one B and one E" 3 (List.length rows);
           let phases = List.filter_map (Json.member "ph") rows in
-          check_bool "Chrome phases" true (phases = [ Json.Str "B"; Json.Str "E" ]);
+          check_bool "Chrome phases" true
+            (phases = [ Json.Str "M"; Json.Str "B"; Json.Str "E" ]);
+          let rows =
+            List.filter (fun r -> Json.member "ph" r <> Some (Json.Str "M")) rows
+          in
           check_bool "every event carries name/pid/tid/ts" true
             (List.for_all
                (fun row ->
@@ -288,6 +406,112 @@ let test_json_round_trip =
           in
           check_bool "timestamps non-negative and monotone" true
             (match ts with [ b; e ] -> b >= 0. && e >= b | _ -> false))
+
+(* Span attribute values are free-form: quotes, backslashes, control
+   characters and invalid UTF-8 must all survive the trace export as
+   valid JSON and round-trip through the in-repo parser (invalid bytes
+   land as U+FFFD, per the Json emitter's contract). *)
+let test_span_args_escaping_round_trip =
+  scrubbed @@ fun () ->
+  let evil = "q\"uote back\\slash nl\n tab\t cr\r ctrl\x01 utf\xe2\x9c\x93 bad\xff\xfe." in
+  let expected =
+    "q\"uote back\\slash nl\n tab\t cr\r ctrl\x01 utf\xe2\x9c\x93 \
+     bad\xef\xbf\xbd\xef\xbf\xbd."
+  in
+  Tmedb_obs.Span.with_ "test.obs.escape" ~args:[ ("k\"ey\n", evil) ] (fun () -> ());
+  match Json.parse (Json.to_string ~indent:0 (Obs_json.trace ())) with
+  | Error e -> Alcotest.fail ("trace with evil args does not parse: " ^ e)
+  | Ok doc -> (
+      let rows = Option.value (Option.bind (Json.member "traceEvents" doc) Json.to_list) ~default:[] in
+      match
+        List.find_opt (fun r -> Json.member "name" r = Some (Json.Str "test.obs.escape")) rows
+      with
+      | None -> Alcotest.fail "escaped span row missing"
+      | Some row ->
+          check_bool "attribute value round-trips (invalid bytes as U+FFFD)" true
+            (Option.bind (Json.member "args" row) (Json.member "k\"ey\n")
+            = Some (Json.Str expected)))
+
+(* Chrome trace lanes: domains map to stable dense tids with a
+   thread_name metadata row each, timestamps are monotone per lane,
+   B/E balance per lane, and End events carry their alloc deltas as
+   args — pinned at jobs 1, 2 and 4 over the (domain, seq) merge. *)
+let test_chrome_trace_lanes_jobs =
+  scrubbed @@ fun () ->
+  let workload pool =
+    ignore
+      (Pool.map pool
+         (fun i ->
+           Tmedb_obs.Span.with_ "test.obs.lane" ~args:[ ("i", string_of_int i) ] (fun () ->
+               i * 2))
+         (Array.init 48 Fun.id))
+  in
+  List.iter
+    (fun k ->
+      Tmedb_obs.reset ();
+      (if k = 1 then workload None
+       else Pool.with_pool ~num_domains:k (fun pool -> workload (Some pool)));
+      let evs = Tmedb_obs.events () in
+      let keys = List.map (fun e -> (e.Tmedb_obs.domain, e.Tmedb_obs.seq)) evs in
+      check_bool
+        (Printf.sprintf "(domain, seq) merge order jobs=%d" k)
+        true
+        (keys = List.sort compare keys);
+      match Json.parse (Json.to_string ~indent:0 (Obs_json.trace_of_events evs)) with
+      | Error e -> Alcotest.fail ("trace does not parse: " ^ e)
+      | Ok doc ->
+          let rows =
+            Option.value (Option.bind (Json.member "traceEvents" doc) Json.to_list) ~default:[]
+          in
+          let metas, events =
+            List.partition (fun r -> Json.member "ph" r = Some (Json.Str "M")) rows
+          in
+          let tid_of r =
+            match Option.bind (Json.member "tid" r) Json.to_float with
+            | Some t -> int_of_float t
+            | None -> Alcotest.fail "row without tid"
+          in
+          let tids = List.sort_uniq compare (List.map tid_of events) in
+          check_bool
+            (Printf.sprintf "tid lanes dense from 0 jobs=%d" k)
+            true
+            (tids = List.init (List.length tids) Fun.id);
+          check_int
+            (Printf.sprintf "one thread_name row per lane jobs=%d" k)
+            (List.length tids) (List.length metas);
+          check_bool
+            (Printf.sprintf "metadata rows label lanes jobs=%d" k)
+            true
+            (List.for_all
+               (fun m -> Json.member "name" m = Some (Json.Str "thread_name"))
+               metas);
+          List.iter
+            (fun tid ->
+              let lane = List.filter (fun r -> tid_of r = tid) events in
+              let ts =
+                List.filter_map (fun r -> Option.bind (Json.member "ts" r) Json.to_float) lane
+              in
+              check_bool
+                (Printf.sprintf "lane %d timestamps monotone jobs=%d" tid k)
+                true
+                (ts = List.sort compare ts);
+              let begins, ends =
+                List.partition (fun r -> Json.member "ph" r = Some (Json.Str "B")) lane
+              in
+              check_int
+                (Printf.sprintf "lane %d balanced B/E jobs=%d" tid k)
+                (List.length begins) (List.length ends);
+              check_bool
+                (Printf.sprintf "lane %d End events carry alloc deltas jobs=%d" tid k)
+                true
+                (List.for_all
+                   (fun r ->
+                     Option.bind (Json.member "args" r) (Json.member "minor_words") <> None
+                     && Option.bind (Json.member "args" r) (Json.member "major_words")
+                        <> None)
+                   ends))
+            tids)
+    [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Disabled path: a flag check, not an allocation site *)
@@ -477,10 +701,18 @@ let () =
         [
           tc "per-domain buffers merge deterministically" test_merge_determinism;
           tc "histogram summaries jobs-invariant" test_histogram_merge_determinism;
+          tc "mid-span toggles keep buffers balanced" test_mid_span_toggle_balance_multi_domain;
+        ] );
+      ( "flight",
+        [
+          tc "ring bounded, baseline, disarm" test_flight_ring_semantics;
+          tc "armed-only records rings, not the stream" test_armed_only_skips_stream;
         ] );
       ( "export",
         [
           tc "metrics and trace round-trip" test_json_round_trip;
+          tc "span args escaping round-trips" test_span_args_escaping_round_trip;
+          tc "chrome trace lanes at jobs 1/2/4" test_chrome_trace_lanes_jobs;
           tc "snapshot sorted, metrics byte-stable" test_snapshot_sorted_and_byte_stable;
         ] );
       ( "overhead",

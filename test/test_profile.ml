@@ -1,0 +1,516 @@
+(* Tests for the profiling & flight-recorder layer: span-tree
+   attribution (lib/prelude/profile.ml) — pool-frame transparency,
+   ctx re-rooting, self-time, timeline lanes — plus the determinism
+   contract (profile artifacts byte-identical at any --jobs, results
+   byte-identical with profiling on or off), and the crash-dump path
+   (Crash_guard + Watchdog black boxes). *)
+
+open Tmedb
+open Tmedb_prelude
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* The registry is process-global; run every test from a clean state
+   and leave telemetry off and disarmed for whoever runs next. *)
+let scrubbed f () =
+  Tmedb_obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Tmedb_obs.Flight.disarm ();
+      Tmedb_obs.set_enabled false;
+      Tmedb_obs.reset ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else Pool.with_pool ~num_domains:jobs (fun pool -> f (Some pool))
+
+(* ------------------------------------------------------------------ *)
+(* of_events unit tests over synthetic streams.  Timestamps ride the
+   registry origin so origin-relative arithmetic stays exact enough;
+   wall times tolerate the double-precision ulp at epoch scale. *)
+
+let ev ?(domain = 0) ?(args = []) ?alloc ~seq ~dt name phase =
+  {
+    Tmedb_obs.name;
+    domain;
+    seq;
+    ts = Tmedb_obs.origin () +. dt;
+    phase;
+    args;
+    alloc;
+  }
+
+let alloc minor major = { Tmedb_obs.minor_words = minor; major_words = major }
+
+let node_at t path =
+  match List.find_opt (fun n -> n.Profile.path = path) t.Profile.nodes with
+  | Some n -> n
+  | None -> Alcotest.failf "node %s missing" (Profile.path_key path)
+
+let check_ns what expected actual =
+  (* The event clock is Unix-epoch seconds; at ~2e9 s one double ulp
+     is ~240 ns, so give subtractions a microsecond of slack. *)
+  check_bool
+    (Printf.sprintf "%s (%.0f ns vs %.0f ns)" what expected actual)
+    true
+    (Float.abs (expected -. actual) < 1e4)
+
+let test_nesting_and_self_time =
+  scrubbed @@ fun () ->
+  let t =
+    Profile.of_events
+      [
+        ev ~seq:0 ~dt:0.0 "a" Tmedb_obs.Begin;
+        ev ~seq:1 ~dt:0.1 "b" Tmedb_obs.Begin;
+        ev ~seq:2 ~dt:0.3 ~alloc:(alloc 100. 10.) "b" Tmedb_obs.End;
+        ev ~seq:3 ~dt:0.4 ~alloc:(alloc 150. 12.) "a" Tmedb_obs.End;
+      ]
+  in
+  check_int "two nodes" 2 (List.length t.Profile.nodes);
+  let a = node_at t [ "a" ] and b = node_at t [ "a"; "b" ] in
+  check_int "a count" 1 a.Profile.count;
+  check_int "b count" 1 b.Profile.count;
+  check_ns "a total" 0.4e9 a.Profile.wall_ns;
+  check_ns "a self = total minus child" 0.2e9 a.Profile.wall_self_ns;
+  check_ns "b total" 0.2e9 b.Profile.wall_ns;
+  check_ns "b self = its total" 0.2e9 b.Profile.wall_self_ns;
+  check_bool "a minor self subtracts child's" true
+    (Float.equal a.Profile.minor_self_words 50.);
+  check_bool "a major self subtracts child's" true
+    (Float.equal a.Profile.major_self_words 2.);
+  (* One lane, one top-level interval covering [0, 0.4]. *)
+  (match t.Profile.timeline.Profile.lanes with
+  | [ lane ] ->
+      check_int "one interval" 1 (List.length lane.Profile.lane_intervals);
+      check_ns "lane busy" 0.4e9 (lane.Profile.lane_busy_s *. 1e9)
+  | lanes -> Alcotest.failf "expected 1 lane, got %d" (List.length lanes));
+  check_bool "utilization ~1 on a fully busy lane" true
+    (t.Profile.timeline.Profile.utilization > 0.99)
+
+let test_pool_transparency_and_reroot =
+  scrubbed @@ fun () ->
+  let t =
+    Profile.of_events
+      [
+        (* The submitter's inline work on domain 0... *)
+        ev ~seq:0 ~dt:0.0 "a" Tmedb_obs.Begin;
+        ev ~seq:1 ~dt:0.1 ~alloc:(alloc 0. 0.) "a" Tmedb_obs.End;
+        (* ...a task it submitted, executed on worker domain 1: the
+           ctx attribute re-roots the task's subtree under "a". *)
+        ev ~domain:1 ~seq:0 ~dt:0.2 ~args:[ ("ctx", "a") ] "pool.task" Tmedb_obs.Begin;
+        ev ~domain:1 ~seq:1 ~dt:0.2 "b" Tmedb_obs.Begin;
+        ev ~domain:1 ~seq:2 ~dt:0.3 ~alloc:(alloc 0. 0.) "b" Tmedb_obs.End;
+        ev ~domain:1 ~seq:3 ~dt:0.3 ~alloc:(alloc 0. 0.) "pool.task" Tmedb_obs.End;
+        (* The same shape reached through a steal on domain 2. *)
+        ev ~domain:2 ~seq:0 ~dt:0.2 "pool.steal" Tmedb_obs.Begin;
+        ev ~domain:2 ~seq:1 ~dt:0.2 ~args:[ ("ctx", "a") ] "pool.task" Tmedb_obs.Begin;
+        ev ~domain:2 ~seq:2 ~dt:0.2 "b" Tmedb_obs.Begin;
+        ev ~domain:2 ~seq:3 ~dt:0.4 ~alloc:(alloc 0. 0.) "b" Tmedb_obs.End;
+        ev ~domain:2 ~seq:4 ~dt:0.4 ~alloc:(alloc 0. 0.) "pool.task" Tmedb_obs.End;
+        ev ~domain:2 ~seq:5 ~dt:0.4 ~alloc:(alloc 0. 0.) "pool.steal" Tmedb_obs.End;
+      ]
+  in
+  let keys = List.map (fun n -> Profile.path_key n.Profile.path) t.Profile.nodes in
+  check_bool "pool frames are not nodes" true
+    (List.for_all (fun k -> not (String.length k >= 5 && String.sub k 0 5 = "pool.")) keys);
+  check_bool "logical paths only" true (keys = [ "a"; "a;b" ]);
+  check_int "both executions re-root under the submitter" 2
+    (node_at t [ "a"; "b" ]).Profile.count;
+  (* Timeline: three lanes; the steal lane counts its steal and its
+     top-level interval renders as "steal". *)
+  let lanes = t.Profile.timeline.Profile.lanes in
+  check_int "three lanes" 3 (List.length lanes);
+  check_bool "lanes sorted by domain" true
+    (List.map (fun l -> l.Profile.lane_domain) lanes = [ 0; 1; 2 ]);
+  (match lanes with
+  | [ _; worker; stealer ] ->
+      check_int "worker lane: no steal" 0 worker.Profile.lane_steals;
+      check_int "steal counted" 1 stealer.Profile.lane_steals;
+      check_bool "task interval kind" true
+        (List.for_all
+           (fun iv -> iv.Profile.i_kind = "task")
+           worker.Profile.lane_intervals);
+      check_bool "steal interval kind" true
+        (List.for_all
+           (fun iv -> iv.Profile.i_kind = "steal")
+           stealer.Profile.lane_intervals)
+  | _ -> Alcotest.fail "lane shape")
+
+let test_planner_display_and_edge_cases =
+  scrubbed @@ fun () ->
+  let t =
+    Profile.of_events
+      [
+        ev ~seq:0 ~dt:0.0 ~args:[ ("planner", "EEDCB") ] "planner.run" Tmedb_obs.Begin;
+        ev ~seq:1 ~dt:0.1 ~alloc:(alloc 0. 0.) "planner.run" Tmedb_obs.End;
+        (* Unmatched End: ignored.  Unclosed Begin: never counted. *)
+        ev ~domain:1 ~seq:0 ~dt:0.0 ~alloc:(alloc 0. 0.) "stray" Tmedb_obs.End;
+        ev ~domain:1 ~seq:1 ~dt:0.1 "open_forever" Tmedb_obs.Begin;
+      ]
+  in
+  let keys = List.map (fun n -> Profile.path_key n.Profile.path) t.Profile.nodes in
+  check_bool "planner frame renders with its name" true (keys = [ "planner.run:EEDCB" ]);
+  check_bool "empty stream folds to an empty profile" true
+    ((Profile.of_events []).Profile.nodes = [])
+
+let test_docs_and_folded =
+  scrubbed @@ fun () ->
+  let t =
+    Profile.of_events
+      [
+        ev ~seq:0 ~dt:0.0 "z" Tmedb_obs.Begin;
+        ev ~seq:1 ~dt:0.2 ~alloc:(alloc 0. 0.) "z" Tmedb_obs.End;
+        ev ~seq:2 ~dt:0.2 "a" Tmedb_obs.Begin;
+        ev ~seq:3 ~dt:0.3 ~alloc:(alloc 0. 0.) "a" Tmedb_obs.End;
+      ]
+  in
+  (* Nodes and folded lines come out path-sorted regardless of event
+     order, and the deterministic document round-trips. *)
+  check_string "folded counts sorted by path" "a 1\nz 1\n" (Profile.folded_counts t);
+  (match Json.parse (Json.to_string (Profile.profile_doc ~timestamp:"TS" t)) with
+  | Error e -> Alcotest.fail ("profile doc does not parse: " ^ e)
+  | Ok doc ->
+      check_bool "schema" true
+        (Json.member "schema" doc = Some (Json.Str "tmedb.profile/1"));
+      check_bool "injected timestamp" true
+        (Json.member "timestamp" doc = Some (Json.Str "TS"));
+      check_bool "counts only in the deterministic doc" true
+        (Option.bind (Json.member "nodes" doc) (Json.member "z")
+        = Some (Json.Obj [ ("count", Json.Num 1.) ])));
+  check_bool "omitted timestamp emits null" true
+    (Json.member "timestamp" (Profile.profile_doc t) = Some Json.Null);
+  (* folded_wall weights by self time and drops zero rows. *)
+  let lines = String.split_on_char '\n' (String.trim (Profile.folded_wall t)) in
+  check_int "both nodes have nonzero self wall" 2 (List.length lines);
+  (* top_self orders by self wall descending: z ran 0.2 s, a 0.1 s. *)
+  (match Profile.top_self t 1 with
+  | [ n ] -> check_string "hottest node" "z" (Profile.path_key n.Profile.path)
+  | _ -> Alcotest.fail "top_self 1 shape");
+  check_bool "html artifact is self-contained" true
+    (let h = Profile.html t in
+     let contains needle =
+       let lh = String.length h and ln = String.length needle in
+       let rec at i = i + ln <= lh && (String.sub h i ln = needle || at (i + 1)) in
+       at 0
+     in
+     contains "<!doctype html>" && contains "<svg" && contains "Flamegraph")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: profile.json and profile.folded byte-identical at
+   jobs 1/2/4 for a deterministic workload (pool frames excluded,
+   logical paths re-rooted), given the injected timestamp. *)
+
+let profile_config =
+  {
+    Experiment.default_config with
+    Experiment.n = 8;
+    horizon = 5000.;
+    deadline = 1200.;
+    sources = 1;
+    mc_trials = 24;
+    dts_cap = 400;
+  }
+
+let alg name =
+  match Experiment.algorithm_of_string name with
+  | Ok a -> a
+  | Error e -> failwith e
+
+let profile_workload pool =
+  let trace = Experiment.make_trace profile_config ~n:8 in
+  let r =
+    Experiment.run_alg profile_config ~trace ~source:0 ~deadline:1200. ~rng:(Rng.create 5)
+      (alg "EEDCB")
+  in
+  let problem =
+    Experiment.make_problem profile_config ~trace ~channel:`Rayleigh ~source:0
+      ~deadline:1200.
+  in
+  let sim =
+    Simulate.run ~trials:24 ?pool ~rng:(Rng.create 2) ~eval_channel:`Rayleigh problem
+      r.Experiment.schedule
+  in
+  ignore (Sys.opaque_identity sim.Simulate.delivery_ratio)
+
+let test_profile_bytes_jobs_invariant =
+  scrubbed @@ fun () ->
+  let artifacts_at jobs =
+    Tmedb_obs.reset ();
+    Tmedb_obs.set_enabled true;
+    with_pool jobs profile_workload;
+    let t = Profile.of_events (Tmedb_obs.events ()) in
+    let doc = Json.to_string ~indent:2 (Profile.profile_doc ~timestamp:"TS" t) in
+    (doc, Profile.folded_counts t)
+  in
+  match List.map artifacts_at [ 1; 2; 4 ] with
+  | [ (d1, f1); (d2, f2); (d4, f4) ] ->
+      check_bool "trial spans present" true
+        (let contains hay needle =
+           let lh = String.length hay and ln = String.length needle in
+           let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+           at 0
+         in
+         contains f1 "simulate.trial 24" && contains f1 "planner.run:EEDCB");
+      check_string "profile.json bytes jobs 1 = 2" d1 d2;
+      check_string "profile.json bytes jobs 1 = 4" d1 d4;
+      check_string "profile.folded bytes jobs 1 = 2" f1 f2;
+      check_string "profile.folded bytes jobs 1 = 4" f1 f4
+  | _ -> Alcotest.fail "shape"
+
+(* Profiling observes, never steers: the fig6 pipeline produces the
+   same digest with the registry off, and with registry + flight
+   recorder on, at jobs 1, 2 and 4. *)
+let fig6_digest ~jobs =
+  with_pool jobs @@ fun pool ->
+  let config = { profile_config with Experiment.sources = 1; mc_trials = 20 } in
+  let energy, delivery = Experiment.fig6 ~config ?pool ~ns:[ 6; 8 ] () in
+  let f17 = Printf.sprintf "%.17g" in
+  let fingerprint series =
+    List.concat_map
+      (fun s ->
+        s.Experiment.label
+        :: List.concat_map (fun (x, y) -> [ f17 x; f17 y ]) s.Experiment.points)
+      series
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (fingerprint energy @ fingerprint delivery)))
+
+let test_fig6_digest_profiling_on_off =
+  scrubbed @@ fun () ->
+  Tmedb_obs.set_enabled false;
+  let reference = fig6_digest ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      Tmedb_obs.reset ();
+      Tmedb_obs.set_enabled true;
+      Tmedb_obs.Flight.arm ();
+      check_string
+        (Printf.sprintf "fig6 digest with profiling on, jobs=%d" jobs)
+        reference (fig6_digest ~jobs);
+      Tmedb_obs.Flight.disarm ();
+      Tmedb_obs.set_enabled false;
+      check_string
+        (Printf.sprintf "fig6 digest with profiling off, jobs=%d" jobs)
+        reference (fig6_digest ~jobs))
+    [ 1; 2; 4 ]
+
+(* The run ledger's bytes cannot depend on whether profiling rode
+   along: spans and flight rings are outside the deterministic
+   projection, and counters are jobs-invariant sums. *)
+let test_ledger_bytes_profiling_on_off =
+  scrubbed @@ fun () ->
+  let ledger_bytes ~armed ~jobs =
+    Tmedb_obs.reset ();
+    Tmedb_obs.set_enabled true;
+    if armed then Tmedb_obs.Flight.arm ();
+    with_pool jobs profile_workload;
+    let snap = Tmedb_obs.snapshot () in
+    let ledger =
+      Tmedb_report.Ledger.make ~timestamp:"2026-08-08T00:00:00Z"
+        ~config:[ ("algorithm", Json.Str "EEDCB") ]
+        ~input_digest:(Tmedb_report.Ledger.digest_string "fixed-instance")
+        ~summary:[ ("trials", Json.Num 24.) ]
+        ~snapshot:snap ~provenance:[] ~schedule:[] ()
+    in
+    Tmedb_obs.Flight.disarm ();
+    Json.to_string ~indent:2 (Tmedb_report.Ledger.to_json ledger)
+  in
+  let reference = ledger_bytes ~armed:false ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      check_string
+        (Printf.sprintf "ledger bytes with profiling on, jobs=%d" jobs)
+        reference
+        (ledger_bytes ~armed:true ~jobs))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Artifact writer *)
+
+let test_write_artifacts =
+  scrubbed @@ fun () ->
+  Tmedb_obs.set_enabled true;
+  (* Sleep long enough that the span's self time survives the folded
+     wall file's whole-microsecond rounding. *)
+  Tmedb_obs.Span.with_ "test.profile.artifact" (fun () -> Unix.sleepf 0.002);
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "tmedb_profile_test" in
+  let t = Profile.write_artifacts ~timestamp:"TS" ~dir () in
+  check_bool "returned the folded profile" true (t.Profile.nodes <> []);
+  List.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      check_bool (name ^ " written and non-empty") true
+        (Sys.file_exists path && String.length (read_file path) > 0);
+      Sys.remove path)
+    [
+      "profile.json";
+      "profile_detail.json";
+      "profile.folded";
+      "profile_wall.folded";
+      "flamegraph.html";
+    ];
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Crash forensics: a task raising inside the pool leaves a parseable
+   tmedb.crash/1 black box with the last-K spans and the counters. *)
+
+let test_crash_dump_from_pool_task =
+  scrubbed @@ fun () ->
+  let path = Filename.temp_file "tmedb_crash" ".json" in
+  Tmedb_obs.set_enabled false;
+  let c = Tmedb_obs.Counter.make "test.profile.crash_counter" in
+  let dump = Crash_guard.install ~timestamp:"TS" ~capacity:64 ~path () in
+  check_bool "install armed the recorder" true (Tmedb_obs.Flight.armed ());
+  Tmedb_obs.Counter.add c 3;
+  (try
+     Crash_guard.guard dump (fun () ->
+         Pool.with_pool ~num_domains:2 (fun pool ->
+             ignore
+               (Pool.map (Some pool)
+                  (fun i ->
+                    Tmedb_obs.Span.with_ "test.profile.task_span" (fun () ->
+                        if i = 13 then failwith "boom in task" else i))
+                  (Array.init 32 Fun.id))));
+     Alcotest.fail "the task exception must propagate"
+   with Failure msg -> check_string "original exception re-raised" "boom in task" msg);
+  let body = read_file path in
+  Sys.remove path;
+  (match Json.parse body with
+  | Error e -> Alcotest.fail ("crash dump does not parse: " ^ e)
+  | Ok doc ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+        at 0
+      in
+      check_bool "schema" true
+        (Json.member "schema" doc = Some (Json.Str "tmedb.crash/1"));
+      check_bool "injected timestamp" true
+        (Json.member "timestamp" doc = Some (Json.Str "TS"));
+      check_bool "reason names the exception" true
+        (match Json.member "reason" doc with
+        | Some (Json.Str r) -> contains r "boom in task"
+        | _ -> false);
+      check_bool "ring capacity recorded" true
+        (Json.member "ring_capacity" doc = Some (Json.Num 64.));
+      check_bool "counter snapshot present" true
+        (Option.bind (Json.member "counters" doc)
+           (Json.member "test.profile.crash_counter")
+        = Some (Json.Num 3.));
+      check_bool "counter delta since arming" true
+        (Option.bind (Json.member "counter_deltas" doc)
+           (Json.member "test.profile.crash_counter")
+        = Some (Json.Num 3.));
+      match Option.bind (Json.member "recent_events" doc) Json.to_list with
+      | None -> Alcotest.fail "recent_events missing"
+      | Some rows ->
+          check_bool "last-K span events captured" true (rows <> []);
+          check_bool "the raising span is in the black box" true
+            (List.exists
+               (fun row ->
+                 Json.member "name" row = Some (Json.Str "test.profile.task_span"))
+               rows);
+          check_bool "every row carries domain/seq/phase" true
+            (List.for_all
+               (fun row ->
+                 List.for_all
+                   (fun k -> Json.member k row <> None)
+                   [ "name"; "domain"; "seq"; "ts_s"; "phase" ])
+               rows));
+  (* SIGUSR1 dumps and keeps running: raise it against ourselves. *)
+  let path2 = Filename.temp_file "tmedb_crash_usr1" ".json" in
+  let (_ : reason:string -> unit) = Crash_guard.install ~path:path2 () in
+  Unix.kill (Unix.getpid ()) Sys.sigusr1;
+  (* Signal delivery in OCaml is polled; force a safepoint or two. *)
+  Unix.sleepf 0.05;
+  ignore (Sys.opaque_identity (Array.init 1000 Fun.id));
+  Unix.sleepf 0.05;
+  let body2 = read_file path2 in
+  Sys.remove path2;
+  match Json.parse body2 with
+  | Error e -> Alcotest.fail ("SIGUSR1 dump does not parse: " ^ e)
+  | Ok doc ->
+      check_bool "SIGUSR1 reason" true (Json.member "reason" doc = Some (Json.Str "sigusr1"))
+
+let test_watchdog_deadline =
+  scrubbed @@ fun () ->
+  let trips = ref 0 in
+  let r, tripped =
+    Tmedb_report.Watchdog.with_deadline ~seconds:0.02
+      ~on_trip:(fun () -> incr trips)
+      (fun () ->
+        Unix.sleepf 0.1;
+        42)
+  in
+  check_int "the computation still completes" 42 r;
+  check_bool "tripped" true tripped;
+  check_int "on_trip fires exactly once" 1 !trips;
+  let r2, tripped2 =
+    Tmedb_report.Watchdog.with_deadline ~seconds:0. ~on_trip:(fun () -> incr trips)
+      (fun () -> 7)
+  in
+  check_int "disabled watchdog result" 7 r2;
+  check_bool "seconds <= 0 never trips" false tripped2;
+  let r3, tripped3 =
+    Tmedb_report.Watchdog.with_deadline ~seconds:30. ~on_trip:(fun () -> incr trips)
+      (fun () -> 9)
+  in
+  check_int "fast computation result" 9 r3;
+  check_bool "generous deadline never trips" false tripped3;
+  check_int "no extra trips" 1 !trips;
+  (* Exceptions still join the watchdog domain. *)
+  (try
+     ignore
+       (Tmedb_report.Watchdog.with_deadline ~seconds:30. ~on_trip:ignore (fun () ->
+            failwith "boom"));
+     Alcotest.fail "exception must propagate"
+   with Failure msg -> check_string "exception through the watchdog" "boom" msg);
+  (* The canonical wiring: a watchdog trip writes the black box. *)
+  let path = Filename.temp_file "tmedb_watchdog" ".json" in
+  let dump = Crash_guard.install ~path () in
+  let _, tripped =
+    Tmedb_report.Watchdog.with_deadline ~seconds:0.02
+      ~on_trip:(fun () -> dump ~reason:"watchdog deadline")
+      (fun () ->
+        Tmedb_obs.Span.with_ "test.profile.wedged" (fun () -> Unix.sleepf 0.1))
+  in
+  check_bool "watchdog tripped on the wedged span" true tripped;
+  let body = read_file path in
+  Sys.remove path;
+  match Json.parse body with
+  | Error e -> Alcotest.fail ("watchdog dump does not parse: " ^ e)
+  | Ok doc ->
+      check_bool "watchdog reason" true
+        (Json.member "reason" doc = Some (Json.Str "watchdog deadline"))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "profile"
+    [
+      ( "attribution",
+        [
+          tc "nesting and self time" test_nesting_and_self_time;
+          tc "pool transparency and ctx re-rooting" test_pool_transparency_and_reroot;
+          tc "planner display name, stray events" test_planner_display_and_edge_cases;
+          tc "documents and folded stacks" test_docs_and_folded;
+        ] );
+      ( "determinism",
+        [
+          tc "profile bytes jobs-invariant" test_profile_bytes_jobs_invariant;
+          tc "fig6 digest profiling on/off" test_fig6_digest_profiling_on_off;
+          tc "ledger bytes profiling on/off" test_ledger_bytes_profiling_on_off;
+        ] );
+      ("artifacts", [ tc "write_artifacts" test_write_artifacts ]);
+      ( "forensics",
+        [
+          tc "crash dump from a pool task" test_crash_dump_from_pool_task;
+          tc "watchdog deadline" test_watchdog_deadline;
+        ] );
+    ]
