@@ -11,6 +11,7 @@
      dune exec bench/main.exe baseline   -- parallel baseline only (writes BENCH_1.json)
      dune exec bench/main.exe obs        -- telemetry overhead check (disabled-path cost)
      dune exec bench/main.exe nscale     -- lazy vs eager aux-graph scaling (add --quick for CI)
+     dune exec bench/main.exe pareto     -- shared-state deadline sweep vs independent solves (add --quick for CI)
      dune exec bench/main.exe trend      -- metric trajectory across all BENCH_*.json (add --json)
 
    Every mode accepts `--jobs K` (default: TMEDB_JOBS or the core
@@ -475,6 +476,124 @@ let nscale ~quick () =
     eager_core_secs
 
 (* ------------------------------------------------------------------ *)
+(* Pareto sweep: a deadline grid over one shared Solve_state against
+   the same grid as independent one-shot solves.  Three gates: the
+   point lists must agree bit for bit, the shared run's DTS/DCS
+   counters must stay sublinear in the grid size (the reuse the state
+   exists for), and — full mode only — the 10-point grid must cost
+   less than 3x a single solve at the horizon. *)
+
+(* Non-round grid offsets: no grid value collides with a contact
+   arrival time, staying clear of the shared stream's exact-deadline
+   caveat (Solve_state doc). *)
+let pareto_grid ~npoints horizon =
+  let step = horizon *. 0.0437 in
+  List.init npoints (fun k -> horizon -. (float_of_int (npoints - 1 - k) *. step))
+
+let pareto_point_equal (a : Pareto.point) (b : Pareto.point) =
+  Float.equal a.Pareto.deadline b.Pareto.deadline
+  && Float.equal a.Pareto.energy b.Pareto.energy
+  && a.Pareto.transmissions = b.Pareto.transmissions
+  && Bool.equal a.Pareto.feasible b.Pareto.feasible
+  && a.Pareto.unreached = b.Pareto.unreached
+  && Bool.equal a.Pareto.dominated b.Pareto.dominated
+
+let pareto_bench ~quick () =
+  Tmedb_obs.set_enabled true;
+  section
+    (Printf.sprintf "Pareto sweep: shared solve state vs independent solves%s"
+       (if quick then " (quick)" else ""));
+  (* Uncapped on purpose: the per-node point cap truncates in
+     propagation order, which differs between the eager closure and the
+     ascending-time stream when τ = 0 ties arrival times, so capped
+     shared and capped independent runs can legitimately disagree.
+     Without the cap both closures are the full (identical) point set;
+     the sizes stay modest because the uncapped universe grows fast on
+     the clustered scenarios. *)
+  let n = if quick then 28 else 40 in
+  let p = nscale_problem n in
+  let horizon = p.Problem.deadline in
+  let npoints = 10 in
+  let grid = pareto_grid ~npoints horizon in
+  let planner = alg "SPT" in
+  let run ~share ~lazy_aux =
+    let before = Tmedb_obs.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Pareto.sweep ?pool:!pool ~share ~lazy_aux ~planner ~deadlines:grid p
+    in
+    let secs = Unix.gettimeofday () -. t0 in
+    (r, secs, before, Tmedb_obs.snapshot ())
+  in
+  let shared, shared_secs, sb, sa = run ~share:true ~lazy_aux:false in
+  let indep, indep_secs, ib, ia = run ~share:false ~lazy_aux:true in
+  Printf.printf "%-34s %9.2f s\n" "shared solve state (10 points)" shared_secs;
+  Printf.printf "%-34s %9.2f s\n%!" "independent lazy solves" indep_secs;
+  if
+    not
+      (List.length shared.Pareto.points = List.length indep.Pareto.points
+      && List.for_all2 pareto_point_equal shared.Pareto.points indep.Pareto.points)
+  then begin
+    Printf.eprintf "pareto: shared-state sweep diverged from independent solves\n";
+    exit 1
+  end;
+  Printf.printf "shared == independent on all %d points: true\n%!" npoints;
+  (* Dominance sanity: along the front, energy must strictly drop as
+     the deadline grows — otherwise the later point would have been
+     dominated by the earlier one. *)
+  let front_points =
+    List.filter (fun (pt : Pareto.point) -> not pt.Pareto.dominated) shared.Pareto.points
+  in
+  let rec staircase = function
+    | a :: (b :: _ as rest) ->
+        if b.Pareto.energy >= a.Pareto.energy || a.Pareto.unreached <> 0 then false
+        else staircase rest
+    | [ a ] -> a.Pareto.unreached = 0
+    | [] -> true
+  in
+  if not (staircase front_points) then begin
+    Printf.eprintf "pareto: front is not a strictly descending full-coverage staircase\n";
+    exit 1
+  end;
+  Printf.printf "front staircase (%d of %d points): ok\n%!" (List.length front_points) npoints;
+  (* Counter sublinearity: the shared run pays the DTS closure and the
+     DCS pass once for the whole grid; the independent runs pay them
+     per point. *)
+  let delta name before after = nscale_counter name after - nscale_counter name before in
+  let gate label shared_d indep_d =
+    Printf.printf "  %-28s shared %9d  independent %9d\n%!" label shared_d indep_d;
+    if 3 * shared_d > indep_d then begin
+      Printf.eprintf "pareto: shared %s (%d) is not sublinear vs independent (%d)\n" label
+        shared_d indep_d;
+      exit 1
+    end
+  in
+  gate "dcs.queries" (delta "dcs.queries" sb sa) (delta "dcs.queries" ib ia);
+  gate "dts closure points"
+    (delta "dts.points" sb sa + delta "dts.stream_points" sb sa)
+    (delta "dts.points" ib ia + delta "dts.stream_points" ib ia);
+  if delta "solve_state.creates" sb sa <> 1 then begin
+    Printf.eprintf "pareto: shared sweep created %d solve states, expected 1\n"
+      (delta "solve_state.creates" sb sa);
+    exit 1
+  end;
+  (* Wall gate, full mode only (quick CI boxes are too noisy): the
+     whole grid under the shared state must cost less than 3 single
+     solves. *)
+  let t0 = Unix.gettimeofday () in
+  let ctx = Planner.Ctx.make ~lazy_aux:true () in
+  ignore (Planner.run ~ctx planner p);
+  let single_secs = Unix.gettimeofday () -. t0 in
+  Printf.printf "single solve %.2f s; %d-point shared grid %.2f s (%.2fx)\n%!" single_secs
+    npoints shared_secs
+    (shared_secs /. Float.max single_secs 1e-9);
+  if (not quick) && shared_secs >= 3. *. single_secs then begin
+    Printf.eprintf "pareto: shared grid (%.2f s) is not under 3x a single solve (%.2f s)\n"
+      shared_secs single_secs;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Parallel baseline: time each figure-sweep kernel with 1 domain and
    with the configured pool, check the results are bit-identical, and
    write BENCH_1.json so later sessions have a perf trajectory. *)
@@ -539,6 +658,30 @@ let baseline_kernels : (string * (Tmedb_prelude.Pool.t option -> float list)) li
           Metrics.normalized_energy p o.Planner.Outcome.schedule;
           float_of_int (List.length o.Planner.Outcome.unreached);
         ] );
+    ( "pareto",
+      (* The grid fans out over the pool; the per-point RNG splits make
+         the fingerprint pool-independent, which the baseline machinery
+         checks.  The counter deltas it records (solve_state.*,
+         dts.stream_points, dcs.queries, pareto.points) are the shared
+         state's real payload. *)
+      fun pool ->
+        (* n = 32 and no point cap: see pareto_bench — the uncapped
+           closure is what shared and one-shot solves agree on. *)
+        let p = nscale_problem 32 in
+        let r =
+          Pareto.sweep ?pool ~planner:(alg "SPT")
+            ~deadlines:(pareto_grid ~npoints:10 p.Problem.deadline)
+            p
+        in
+        List.concat_map
+          (fun (pt : Pareto.point) ->
+            [
+              pt.Pareto.deadline;
+              pt.Pareto.energy;
+              float_of_int pt.Pareto.unreached;
+              (if pt.Pareto.dominated then 1. else 0.);
+            ])
+          r.Pareto.points );
   ]
 
 (* Baseline files form a sequence BENCH_1.json, BENCH_2.json, …: each
@@ -1115,7 +1258,7 @@ let usage () =
     "usage: main.exe [--jobs K] [--chunk K] [--metrics FILE] [--trace FILE] [--profile DIR] \
      [--threshold REL] [--speedup-floor F] \
      [quick|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7a|fig7b|ablation|bechamel|baseline|regress|obs|lint|nscale \
-     [--quick]|trend [--json]]";
+     [--quick]|pareto [--quick]|trend [--json]]";
   exit 2
 
 (* Strip `--jobs K` / `-j K` and the telemetry sinks anywhere in argv;
@@ -1235,6 +1378,8 @@ let () =
   | [ "trend"; "--json" ] | [ "--json"; "trend" ] -> trend ~json:true ()
   | [ "nscale" ] -> nscale ~quick:false ()
   | [ "nscale"; "--quick" ] | [ "--quick"; "nscale" ] -> nscale ~quick:true ()
+  | [ "pareto" ] -> pareto_bench ~quick:false ()
+  | [ "pareto"; "--quick" ] | [ "--quick"; "pareto" ] -> pareto_bench ~quick:true ()
   | [ "lint" ] -> lint_smoke ()
   | _ -> usage ());
   write_telemetry ();

@@ -533,6 +533,152 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo replay of a schedule in a fading channel.") term
 
 (* ------------------------------------------------------------------ *)
+(* pareto *)
+
+let pareto_cmd =
+  let deadlines_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deadlines" ] ~docv:"LO:HI:STEP"
+          ~doc:
+            "Deadline grid from $(b,LO) to $(b,HI) in steps of $(b,STEP) seconds ($(b,HI) \
+             included when it lies on the grid).  Exactly one of $(b,--deadlines) and \
+             $(b,--deadline-list) is required.")
+  in
+  let deadline_list_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deadline-list" ] ~docv:"T1,T2,..."
+          ~doc:"Explicit comma-separated deadline grid, strictly ascending.")
+  in
+  let pareto_ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write a tmedb.pareto/1 sweep ledger (config, input digest, \
+             per-point energy/coverage with dominance marking, Pareto front, metrics) to \
+             $(docv).  The file is byte-deterministic: identical sweeps produce identical \
+             ledgers at any $(b,--jobs).")
+  in
+  let run algorithm deadlines deadline_list source seed level jobs metrics trace_file ledger
+      ledger_ts profile watchdog path =
+    let grid =
+      match (deadlines, deadline_list) with
+      | Some r, None -> Pareto.Grid.parse_range r
+      | None, Some l -> Pareto.Grid.parse_list l
+      | Some _, Some _ -> Error "pass exactly one of --deadlines and --deadline-list"
+      | None, None ->
+          Error "one of --deadlines LO:HI:STEP or --deadline-list T1,T2,... is required"
+    in
+    let grid =
+      match grid with
+      | Ok g -> g
+      | Error e ->
+          Printf.eprintf "tmedb_cli pareto: %s\n" e;
+          exit 2
+    in
+    if ledger <> None then Tmedb_obs.set_enabled true;
+    let timestamp =
+      match ledger_ts with
+      | Some "now" -> Some (Tmedb_report.Clock.now_iso8601 ())
+      | Some s -> Some s
+      | None -> None
+    in
+    with_telemetry ?timestamp ~watchdog metrics trace_file profile @@ fun () ->
+    let trace = load_trace path in
+    let hi = List.fold_left Float.max Float.neg_infinity grid in
+    let span = Tmedb_trace.Trace.span trace in
+    if hi > span.Interval.hi then begin
+      Printf.eprintf "tmedb_cli pareto: grid deadline %g is beyond the trace span end %g\n" hi
+        span.Interval.hi;
+      exit 2
+    end;
+    let source = pick_source trace hi seed source in
+    let config = { Experiment.default_config with Experiment.seed; steiner_level = level } in
+    let channel = Planner.design_channel algorithm in
+    let problem = Experiment.make_problem config ~trace ~channel ~source ~deadline:hi in
+    let result =
+      with_jobs jobs (fun pool ->
+          Pareto.sweep ?pool ~steiner_level:level ~cap_per_node:config.Experiment.dts_cap ~seed
+            ~planner:algorithm ~deadlines:grid problem)
+    in
+    Format.printf "algorithm: %s  source: %d  grid: %d deadlines@."
+      (Experiment.algorithm_name algorithm) source (List.length grid);
+    Format.printf "%10s %14s %5s %10s %9s  %s@." "deadline" "energy" "txs" "unreached"
+      "feasible" "status";
+    List.iter
+      (fun (p : Pareto.point) ->
+        Format.printf "%10g %14.1f %5d %10d %9b  %s@." p.Pareto.deadline p.Pareto.energy
+          p.Pareto.transmissions p.Pareto.unreached p.Pareto.feasible
+          (if p.Pareto.dominated then "dominated" else "front"))
+      result.Pareto.points;
+    Format.printf "front:%a@."
+      (fun ppf -> List.iter (fun d -> Format.fprintf ppf " %g" d))
+      result.Pareto.front;
+    match ledger with
+    | Some file ->
+        let input_digest =
+          Tmedb_report.Ledger.digest_string
+            (In_channel.with_open_bin path In_channel.input_all)
+        in
+        let num f = Json.Num f in
+        let grid_spec =
+          match (deadlines, deadline_list) with
+          | Some s, _ | _, Some s -> s
+          | None, None -> ""
+        in
+        let config_fields =
+          [
+            ("algorithm", Json.Str (Experiment.algorithm_name algorithm));
+            ("grid", Json.Str grid_spec);
+            ("grid_points", num (float_of_int (List.length grid)));
+            ("source", num (float_of_int source));
+            ("seed", num (float_of_int seed));
+            ("steiner_level", num (float_of_int level));
+            ("trace", Json.Str (Filename.basename path));
+          ]
+        in
+        let points =
+          List.map
+            (fun (p : Pareto.point) ->
+              {
+                Tmedb_report.Ledger.Pareto.deadline = p.Pareto.deadline;
+                energy = p.Pareto.energy;
+                transmissions = p.Pareto.transmissions;
+                feasible = p.Pareto.feasible;
+                unreached = p.Pareto.unreached;
+                dominated = p.Pareto.dominated;
+              })
+            result.Pareto.points
+        in
+        let doc =
+          Tmedb_report.Ledger.Pareto.make ?timestamp ~config:config_fields ~input_digest
+            ~points ~front:result.Pareto.front
+            ~snapshot:(Tmedb_obs.snapshot ())
+            ()
+        in
+        Tmedb_report.Ledger.Pareto.write doc ~path:file;
+        Format.printf "ledger written to %s@." file
+    | None -> ()
+  in
+  let term =
+    Term.(
+      const run $ algorithm_arg $ deadlines_arg $ deadline_list_arg $ source_arg $ seed_arg
+      $ level_arg $ jobs_arg $ metrics_arg $ trace_arg $ pareto_ledger_arg
+      $ ledger_timestamp_arg $ profile_arg $ watchdog_arg $ trace_file_arg)
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:
+         "Sweep a deadline grid with one algorithm, sharing the deadline-independent solve \
+          state across points, and report the time-energy Pareto front.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* report *)
 
 let load_ledger path =
@@ -822,6 +968,7 @@ let () =
             run_cmd;
             compare_cmd;
             simulate_cmd;
+            pareto_cmd;
             algorithms_cmd;
             profile_cmd;
             report_cmd;

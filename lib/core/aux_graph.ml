@@ -251,6 +251,11 @@ module Lazy = struct
     edge_bound : int;  (* edges the eager build would emit, at most *)
     source_vertex : int;
     terminals : int list;
+    marginals : node:int -> time:float -> Dcs.marginal list;
+        (* DCS source for block materialisation: a direct query on the
+           instance by default, a shared-state memo under
+           [create_with] — both must describe the same universe as the
+           sizing pass that fixed [level_off]. *)
     blocks : (int, block) Hashtbl.t;  (* keyed by wait/block id *)
     touched : Bitset.t;  (* vertices expanded in either direction *)
     gen_fwd : Bitset.t;  (* vertices whose forward succs were generated *)
@@ -258,6 +263,17 @@ module Lazy = struct
     mutable nodes_materialized : int;
     mutable edges_materialized : int;
   }
+
+  (* Steiner terminals: each non-source node's last wait vertex. *)
+  let terminals_of (problem : Problem.t) dts base =
+    List.filter_map
+      (fun i ->
+        if i = problem.Problem.source then None
+        else begin
+          let len = Array.length (Dts.node_points dts i) in
+          if len = 0 then None else Some (base.(i) + len - 1)
+        end)
+      (List.init (Tveg.n problem.Problem.graph) (fun i -> i))
 
   (* The exact-count pass: per (node, point) block, the number of DCS
      levels the eager build would create — [Dcs.marginals_at] is the
@@ -286,10 +302,7 @@ module Lazy = struct
           let bid = base.(i) + l in
           let nlev, cov =
             if t +. tau <= deadline then
-              List.fold_left
-                (fun (nlev, cov) { Dcs.fresh; _ } -> (nlev + 1, cov + List.length fresh))
-                (0, 0)
-                (Dcs.marginals_at g ~phy ~channel ~node:i ~time:t)
+              Dcs.level_stats (Dcs.marginals_at g ~phy ~channel ~node:i ~time:t)
             else (0, 0)
           in
           level_off.(bid + 1) <- level_off.(bid) + nlev;
@@ -298,16 +311,6 @@ module Lazy = struct
         pts
     done;
     let nv = total_wait + level_off.(total_wait) in
-    let terminals =
-      List.filter_map
-        (fun i ->
-          if i = problem.Problem.source then None
-          else begin
-            let len = Array.length (Dts.node_points dts i) in
-            if len = 0 then None else Some (base.(i) + len - 1)
-          end)
-        (List.init n (fun i -> i))
-    in
     {
       problem;
       dts;
@@ -318,7 +321,9 @@ module Lazy = struct
       nv;
       edge_bound = !edge_bound;
       source_vertex = base.(problem.Problem.source);
-      terminals;
+      terminals = terminals_of problem dts base;
+      marginals =
+        (fun ~node ~time -> Dcs.marginals_at g ~phy ~channel ~node ~time);
       blocks = Hashtbl.create 64;
       touched = Bitset.create nv;
       gen_fwd = Bitset.create nv;
@@ -327,15 +332,44 @@ module Lazy = struct
       edges_materialized = 0;
     }
 
-  let create problem dts =
+  let with_create_telemetry body =
     Tmedb_obs.Counter.incr c_lazy_creates;
     let t0 = Tmedb_obs.Timer.start t_lazy_create in
-    let t =
-      Tmedb_obs.Span.with_ "aux_graph.lazy_create" (fun () -> create_body problem dts)
-    in
+    let t = Tmedb_obs.Span.with_ "aux_graph.lazy_create" body in
     Tmedb_obs.Timer.stop t_lazy_create t0;
     Tmedb_obs.Counter.add c_lazy_nodes_total t.nv;
     t
+
+  let create problem dts = with_create_telemetry (fun () -> create_body problem dts)
+
+  (* Same graph as [create], but the id layout arrives precomputed (a
+     shared {!Solve_state} assembles it by offset arithmetic over the
+     memoised per-block level counts) and the DCS marginals come from
+     the given provider: no block is enumerated at creation time. *)
+  let create_with ~marginals ~base ~level_off ~edge_bound (problem : Problem.t) dts =
+    with_create_telemetry @@ fun () ->
+    let n = Tveg.n problem.Problem.graph in
+    let total_wait = base.(n - 1) + Array.length (Dts.node_points dts (n - 1)) in
+    let nv = total_wait + level_off.(total_wait) in
+    {
+      problem;
+      dts;
+      tau = Tveg.tau problem.Problem.graph;
+      base;
+      total_wait;
+      level_off;
+      nv;
+      edge_bound;
+      source_vertex = base.(problem.Problem.source);
+      terminals = terminals_of problem dts base;
+      marginals;
+      blocks = Hashtbl.create 64;
+      touched = Bitset.create nv;
+      gen_fwd = Bitset.create nv;
+      gen_rev = Bitset.create nv;
+      nodes_materialized = 0;
+      edges_materialized = 0;
+    }
 
   (* Node owning wait/block id [id]: rightmost i with base.(i) <= id
      (bases are strictly increasing — every node has >= 1 DTS point). *)
@@ -372,11 +406,7 @@ module Lazy = struct
             let node = node_of_wait t bid in
             let l = bid - t.base.(node) in
             let time = (Dts.node_points t.dts node).(l) in
-            let p = t.problem in
-            let margs =
-              Dcs.marginals_at p.Problem.graph ~phy:p.Problem.phy ~channel:p.Problem.channel
-                ~node ~time
-            in
+            let margs = t.marginals ~node ~time in
             assert (List.length margs = nlev);
             let costs = Array.make nlev 0. in
             let fresh = Array.make nlev [||] in

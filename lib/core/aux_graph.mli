@@ -88,6 +88,24 @@ module Lazy : sig
       edge materialisation.  Uses the instance's design channel for
       DCS costs, exactly like {!build}. *)
 
+  val create_with :
+    marginals:(node:int -> time:float -> Tmedb_tveg.Dcs.marginal list) ->
+    base:int array ->
+    level_off:int array ->
+    edge_bound:int ->
+    Problem.t ->
+    Tmedb_tveg.Dts.t ->
+    t
+  (** {!create} with the id layout supplied instead of counted: no DCS
+      block is enumerated at creation time.  [base]/[level_off]/
+      [edge_bound] must be exactly what the counting pass would have
+      produced for this (problem, dts) — a shared [Solve_state]
+      assembles them by offset arithmetic — and [marginals] must
+      return, for every block the layout gives levels, the same
+      marginal list [Dcs.marginals_at] would on the instance (blocks
+      the layout zeroes are never asked).  Vertex ids, edges and
+      adjacency orders are then identical to {!create}'s. *)
+
   val view : t -> Digraph.view
   (** Forward successor view, adjacency order identical to the eager
       CSR graph's.  First enumeration of a vertex materialises its DCS

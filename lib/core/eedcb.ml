@@ -10,6 +10,37 @@ let node_of_terminal aux term =
   | Aux_graph.Wait { node; _ } -> node
   | Aux_graph.Level { node; _ } -> node
 
+(* Solve over a lazily expanded auxiliary graph — identical vertex
+   ids, edges and adjacency orders as the eager build (see
+   {!Aux_graph.Lazy}), so results are bit-identical; only the explored
+   frontier is ever materialised.  Shared between the per-solve lazy
+   path and the {!Solve_state} reuse path, which differ only in how
+   [aux] was created. *)
+let solve_lazy ~stage ~level aux =
+  let nv = Aux_graph.Lazy.num_vertices aux in
+  let root = Aux_graph.Lazy.source_vertex aux in
+  stage "aux_graph"
+    (Printf.sprintf "%d vertices, %d edge bound (lazy)" nv (Aux_graph.Lazy.edge_bound aux));
+  let outcome =
+    Dst.solve_views ~level ~fwd:(Aux_graph.Lazy.view aux)
+      ~rev:(Aux_graph.Lazy.rev_view aux) ~root ~terminals:(Aux_graph.Lazy.terminals aux)
+      ()
+  in
+  stage "dst"
+    (Printf.sprintf "cost %.17g, %d uncovered" outcome.Dst.tree.Dst.cost
+       (List.length outcome.Dst.uncovered));
+  let pruned =
+    Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
+        Dst.prune_within ~nv ~root outcome.Dst.tree)
+  in
+  stage "prune" (Printf.sprintf "cost %.17g" pruned.Dst.cost);
+  let schedule = Aux_graph.Lazy.extract_schedule aux pruned in
+  let node_of term =
+    match Aux_graph.Lazy.describe aux term with
+    | Aux_graph.Wait { node; _ } | Aux_graph.Level { node; _ } -> node
+  in
+  (outcome, pruned, schedule, node_of, nv, Aux_graph.Lazy.edge_bound aux)
+
 let plan (ctx : Planner.Ctx.t) problem =
   let level = ctx.Planner.Ctx.steiner_level in
   let cap_per_node = ctx.Planner.Ctx.cap_per_node in
@@ -17,6 +48,12 @@ let plan (ctx : Planner.Ctx.t) problem =
   let t0 = Tmedb_obs.Timer.start t_run in
   Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_run t0) @@ fun () ->
   Tmedb_obs.Span.with_ "eedcb.run" @@ fun () ->
+  let deadline = problem.Problem.deadline in
+  (* The shared state is keyed by the unrestricted graph value:
+     validate against the problem as handed to us, before clipping. *)
+  (match ctx.Planner.Ctx.solve_state with
+  | Some st -> Solve_state.check_compatible st problem ~cap_per_node
+  | None -> ());
   (* Contacts after the deadline can never matter: clip them away so
      the DTS closure and the DCS queries walk shorter link lists. *)
   let problem =
@@ -31,43 +68,31 @@ let plan (ctx : Planner.Ctx.t) problem =
       Tmedb_report.Provenance.emit (Tmedb_report.Provenance.Stage { stage = name; detail })
   in
   let dts =
-    Tmedb_obs.Span.with_ "eedcb.dts" (fun () -> Problem.dts ?cap_per_node problem)
+    Tmedb_obs.Span.with_ "eedcb.dts" (fun () ->
+        match ctx.Planner.Ctx.solve_state with
+        | Some st -> Solve_state.dts_at st ~deadline
+        | None -> Problem.dts ?cap_per_node problem)
   in
   stage "dts" (Printf.sprintf "%d points" (Tmedb_tveg.Dts.total_points dts));
   let outcome, pruned, schedule, node_of, aux_vertices, aux_edges =
-    if ctx.Planner.Ctx.lazy_aux then begin
-      (* Lazy frontier expansion: identical vertex ids, edges and
-         adjacency orders as the eager build (see {!Aux_graph.Lazy}),
-         so results are bit-identical — only the explored frontier is
-         ever materialised. *)
-      let aux =
-        Tmedb_obs.Span.with_ "eedcb.aux_lazy" (fun () -> Aux_graph.Lazy.create problem dts)
-      in
-      let nv = Aux_graph.Lazy.num_vertices aux in
-      let root = Aux_graph.Lazy.source_vertex aux in
-      stage "aux_graph"
-        (Printf.sprintf "%d vertices, %d edge bound (lazy)" nv (Aux_graph.Lazy.edge_bound aux));
-      let outcome =
-        Dst.solve_views ~level ~fwd:(Aux_graph.Lazy.view aux)
-          ~rev:(Aux_graph.Lazy.rev_view aux) ~root ~terminals:(Aux_graph.Lazy.terminals aux)
-          ()
-      in
-      stage "dst"
-        (Printf.sprintf "cost %.17g, %d uncovered" outcome.Dst.tree.Dst.cost
-           (List.length outcome.Dst.uncovered));
-      let pruned =
-        Tmedb_obs.Span.with_ "eedcb.prune" (fun () ->
-            Dst.prune_within ~nv ~root outcome.Dst.tree)
-      in
-      stage "prune" (Printf.sprintf "cost %.17g" pruned.Dst.cost);
-      let schedule = Aux_graph.Lazy.extract_schedule aux pruned in
-      let node_of term =
-        match Aux_graph.Lazy.describe aux term with
-        | Aux_graph.Wait { node; _ } | Aux_graph.Level { node; _ } -> node
-      in
-      (outcome, pruned, schedule, node_of, nv, Aux_graph.Lazy.edge_bound aux)
-    end
-    else begin
+    match ctx.Planner.Ctx.solve_state with
+    | Some st ->
+        let aux =
+          Tmedb_obs.Span.with_ "eedcb.aux_lazy" (fun () ->
+              let layout = Solve_state.layout st dts in
+              Aux_graph.Lazy.create_with
+                ~marginals:(Solve_state.marginals st ~deadline)
+                ~base:layout.Solve_state.base
+                ~level_off:layout.Solve_state.level_off
+                ~edge_bound:layout.Solve_state.edge_bound problem dts)
+        in
+        solve_lazy ~stage ~level aux
+    | None when ctx.Planner.Ctx.lazy_aux ->
+        let aux =
+          Tmedb_obs.Span.with_ "eedcb.aux_lazy" (fun () -> Aux_graph.Lazy.create problem dts)
+        in
+        solve_lazy ~stage ~level aux
+    | None -> begin
       let aux = Aux_graph.build problem dts in
       stage "aux_graph"
         (Printf.sprintf "%d vertices, %d edges" (Digraph.n aux.Aux_graph.graph)

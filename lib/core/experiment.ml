@@ -92,6 +92,13 @@ let run_alg ?warm config ~trace ~source ~deadline ~rng algorithm =
     unreached = outcome.Planner.Outcome.unreached;
   }
 
+(* Per-(point, algorithm) RNG split: every pool task seeds its own
+   stream from (seed, point index, algorithm) alone, so sweep results
+   are bit-identical at any worker count.  The figure chains, Fig. 6's
+   fan-out and the Pareto sweep all share this recipe. *)
+let point_rng ~seed ~k algorithm =
+  Rng.create (seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
+
 type series = { label : string; points : (float * float) list }
 
 (* One warm chain: the [npoints] x-axis points of one (series, source)
@@ -106,9 +113,7 @@ let run_chain config ~npoints ~point ~k algorithm =
   let out = Array.make npoints 0. in
   for i = 0 to npoints - 1 do
     let trace, source, deadline = point i in
-    let rng =
-      Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
-    in
+    let rng = point_rng ~seed:config.seed ~k algorithm in
     out.(i) <- (run_alg ~warm config ~trace ~source ~deadline ~rng algorithm).energy
   done;
   out
@@ -210,9 +215,7 @@ let fig6 ?(config = default_config) ?pool ~ns () =
       (fun (ni, ai, k, source) ->
         let algorithm = algs.(ai) in
         let trace = traces.(ni) in
-        let rng =
-          Rng.create (config.seed + (1009 * k) + Hashtbl.hash (algorithm_name algorithm))
-        in
+        let rng = point_rng ~seed:config.seed ~k algorithm in
         let result = run_alg config ~trace ~source ~deadline ~rng algorithm in
         let problem = make_problem config ~trace ~channel:`Rayleigh ~source ~deadline in
         let sim =

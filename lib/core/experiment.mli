@@ -77,6 +77,14 @@ val run_alg :
     contents and write the new allocation back (see {!Planner.Warm});
     all other planners ignore it. *)
 
+val point_rng : seed:int -> k:int -> algorithm -> Rng.t
+(** The canonical per-(point, algorithm) RNG split of every sweep: a
+    fresh stream seeded from [(seed, point index k, algorithm name)]
+    alone.  Because the stream depends on no shared mutable state,
+    fanning points out over a pool is bit-identical to the sequential
+    sweep at any worker count.  Used by the figure chains, Fig. 6 and
+    {!Pareto.sweep}. *)
+
 (** {1 Figures} *)
 
 type series = { label : string; points : (float * float) list }

@@ -73,6 +73,16 @@ module Ctx : sig
             ({!Aux_graph.Lazy}) instead of materialising it — same
             results bit for bit, only the explored frontier is built
             (default false, the goldens' path). *)
+    solve_state : Solve_state.t option;
+        (** Shared deadline-independent state for planners that
+            support it (EEDCB, SPT): the DTS view, DCS marginals and
+            auxiliary-graph layout come from the state instead of
+            being rebuilt per solve.  The state must be compatible
+            with the problem being planned
+            ({!Solve_state.check_compatible}); implies the lazy
+            auxiliary graph on the planners that honour it.  [None]
+            (the default): the one-shot path, byte-identical to
+            before the state existed. *)
   }
 
   val make :
@@ -83,6 +93,7 @@ module Ctx : sig
     ?provenance:bool ->
     ?warm:Warm.t ->
     ?lazy_aux:bool ->
+    ?solve_state:Solve_state.t ->
     unit ->
     t
   (** Context with the paper's defaults for every omitted field. *)

@@ -17,6 +17,13 @@ let plan (ctx : Planner.Ctx.t) problem =
   let t0 = Tmedb_obs.Timer.start t_run in
   Fun.protect ~finally:(fun () -> Tmedb_obs.Timer.stop t_run t0) @@ fun () ->
   Tmedb_obs.Span.with_ "spt.run" @@ fun () ->
+  let deadline = problem.Problem.deadline in
+  (* The shared state is keyed by the unrestricted graph value:
+     validate against the problem as handed to us, before clipping. *)
+  (match ctx.Planner.Ctx.solve_state with
+  | Some st ->
+      Solve_state.check_compatible st problem ~cap_per_node:ctx.Planner.Ctx.cap_per_node
+  | None -> ());
   let problem =
     let open Tmedb_tveg in
     let span = Tveg.span problem.Problem.graph in
@@ -28,24 +35,36 @@ let plan (ctx : Planner.Ctx.t) problem =
   in
   let dts =
     Tmedb_obs.Span.with_ "spt.dts" (fun () ->
-        Problem.dts ?cap_per_node:ctx.Planner.Ctx.cap_per_node problem)
+        match ctx.Planner.Ctx.solve_state with
+        | Some st -> Solve_state.dts_at st ~deadline
+        | None -> Problem.dts ?cap_per_node:ctx.Planner.Ctx.cap_per_node problem)
+  in
+  let lazy_views aux =
+    ( Aux_graph.Lazy.view aux,
+      Aux_graph.Lazy.source_vertex aux,
+      Aux_graph.Lazy.terminals aux,
+      Aux_graph.Lazy.num_vertices aux,
+      Aux_graph.Lazy.edge_bound aux,
+      Aux_graph.Lazy.extract_schedule aux,
+      Aux_graph.Lazy.describe aux )
   in
   (* Both representations expose the same view interface; everything
      below this point is representation-blind. *)
   let fwd, root, terminals, aux_vertices, aux_edges, extract, describe =
-    if ctx.Planner.Ctx.lazy_aux then begin
-      let aux =
-        Tmedb_obs.Span.with_ "spt.aux_lazy" (fun () -> Aux_graph.Lazy.create problem dts)
-      in
-      ( Aux_graph.Lazy.view aux,
-        Aux_graph.Lazy.source_vertex aux,
-        Aux_graph.Lazy.terminals aux,
-        Aux_graph.Lazy.num_vertices aux,
-        Aux_graph.Lazy.edge_bound aux,
-        Aux_graph.Lazy.extract_schedule aux,
-        Aux_graph.Lazy.describe aux )
-    end
-    else begin
+    match ctx.Planner.Ctx.solve_state with
+    | Some st ->
+        lazy_views
+          (Tmedb_obs.Span.with_ "spt.aux_lazy" (fun () ->
+               let layout = Solve_state.layout st dts in
+               Aux_graph.Lazy.create_with
+                 ~marginals:(Solve_state.marginals st ~deadline)
+                 ~base:layout.Solve_state.base
+                 ~level_off:layout.Solve_state.level_off
+                 ~edge_bound:layout.Solve_state.edge_bound problem dts))
+    | None when ctx.Planner.Ctx.lazy_aux ->
+        lazy_views
+          (Tmedb_obs.Span.with_ "spt.aux_lazy" (fun () -> Aux_graph.Lazy.create problem dts))
+    | None -> begin
       let aux = Tmedb_obs.Span.with_ "spt.aux" (fun () -> Aux_graph.build problem dts) in
       ( Digraph.view aux.Aux_graph.graph,
         aux.Aux_graph.source_vertex,

@@ -169,3 +169,127 @@ let load ~path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | text -> Result.bind (Json.parse text) of_json
+
+(* The tmedb.pareto/1 sweep ledger shares the run ledger's determinism
+   contract: sorted config keys, caller-injected timestamp, the
+   deterministic metrics projection — and additionally keys each sweep
+   point by the canonical string of its deadline, so Diff flattens a
+   sweep into stable dotted paths ("points.2000.energy"). *)
+module Pareto = struct
+  let schema = "tmedb.pareto/1"
+
+  type point = {
+    deadline : float;
+    energy : float;
+    transmissions : int;
+    feasible : bool;
+    unreached : int;
+    dominated : bool;
+  }
+
+  type t = {
+    timestamp : string option;
+    config : (string * Json.t) list;
+    input_digest : string;
+    points : point list;
+    front : float list;
+    metrics : Json.t;
+  }
+
+  let deadline_key d = Json.to_string ~indent:0 (Json.Num d)
+
+  let make ?timestamp ~config ~input_digest ~points ~front ~snapshot () =
+    { timestamp; config; input_digest; points; front; metrics = metrics_of_snapshot snapshot }
+
+  let point_to_json p =
+    Json.Obj
+      [
+        ("deadline", Json.Num p.deadline);
+        ("energy", Json.Num p.energy);
+        ("transmissions", Json.Num (float_of_int p.transmissions));
+        ("feasible", Json.Bool p.feasible);
+        ("unreached", Json.Num (float_of_int p.unreached));
+        ("dominated", Json.Bool p.dominated);
+      ]
+
+  let to_json t =
+    Json.Obj
+      [
+        ("schema", Json.Str schema);
+        ("timestamp", match t.timestamp with Some s -> Json.Str s | None -> Json.Null);
+        ("config", Json.Obj (sort_fields t.config));
+        ("input_digest", Json.Str t.input_digest);
+        ("points", Json.Obj (List.map (fun p -> (deadline_key p.deadline, point_to_json p)) t.points));
+        ("front", Json.List (List.map (fun d -> Json.Num d) t.front));
+        ("metrics", t.metrics);
+      ]
+
+  let bool name v =
+    match v with
+    | Json.Bool b -> Ok b
+    | _ -> Error (Printf.sprintf "ledger: field %S is not a boolean" name)
+
+  let point_of_json doc =
+    let* deadline = Result.bind (field "deadline" doc) (num "deadline") in
+    let* energy = Result.bind (field "energy" doc) (num "energy") in
+    let* transmissions = Result.bind (field "transmissions" doc) (num "transmissions") in
+    let* feasible = Result.bind (field "feasible" doc) (bool "feasible") in
+    let* unreached = Result.bind (field "unreached" doc) (num "unreached") in
+    let* dominated = Result.bind (field "dominated" doc) (bool "dominated") in
+    Ok
+      {
+        deadline;
+        energy;
+        transmissions = int_of_float transmissions;
+        feasible;
+        unreached = int_of_float unreached;
+        dominated;
+      }
+
+  let of_json doc =
+    let* s = field "schema" doc in
+    let* () =
+      match s with
+      | Json.Str s when s = schema -> Ok ()
+      | Json.Str s -> Error (Printf.sprintf "ledger: schema %S, expected %S" s schema)
+      | _ -> Error "ledger: \"schema\" is not a string"
+    in
+    let* timestamp =
+      match Json.member "timestamp" doc with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Str s) -> Ok (Some s)
+      | Some _ -> Error "ledger: \"timestamp\" is not null or a string"
+    in
+    let* config = Result.bind (field "config" doc) (obj_fields "config") in
+    let* input_digest =
+      match Json.member "input_digest" doc with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error "ledger: \"input_digest\" is not a string"
+    in
+    let* point_fields = Result.bind (field "points" doc) (obj_fields "points") in
+    let* points =
+      List.fold_left
+        (fun acc (_, v) ->
+          let* acc = acc in
+          let* p = point_of_json v in
+          Ok (p :: acc))
+        (Ok []) point_fields
+      |> Result.map List.rev
+    in
+    let* front = Result.bind (field "front" doc) (list_of "front" (num "front")) in
+    let* metrics = field "metrics" doc in
+    Ok { timestamp; config; input_digest; points; front; metrics }
+
+  let write t ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string ~indent:2 (to_json t));
+        output_char oc '\n')
+
+  let load ~path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | text -> Result.bind (Json.parse text) of_json
+end

@@ -65,3 +65,69 @@ val write : t -> path:string -> unit
 val load : path:string -> (t, string) result
 (** Read and parse a ledger file; [Error] carries the parse or I/O
     failure. *)
+
+(** The [tmedb.pareto/1] sweep ledger: one JSON artifact per Pareto
+    sweep, under the same determinism contract as the run ledger —
+    {!Pareto.write} output is a pure function of the value, keys are
+    sorted, the timestamp is caller-injected and the metrics
+    projection drops everything that varies run-to-run or with
+    [--jobs].  Each sweep point is keyed by the canonical string of
+    its deadline ({!Pareto.deadline_key}), so {!Diff} flattens a sweep
+    into stable per-point dotted paths such as
+    ["points.2000.energy"]. *)
+module Pareto : sig
+  val schema : string
+  (** The schema tag, ["tmedb.pareto/1"]. *)
+
+  type point = {
+    deadline : float;  (** Grid deadline of the point. *)
+    energy : float;  (** Normalised scheduled energy at this deadline. *)
+    transmissions : int;  (** Schedule size. *)
+    feasible : bool;  (** Feasibility verdict. *)
+    unreached : int;  (** Nodes left uncovered. *)
+    dominated : bool;  (** Whether another point dominates this one. *)
+  }
+  (** One sweep point, kept as a plain record so this library stays
+      below [lib/core] in the dependency order (mirrors
+      {!Tmedb.Pareto.point}). *)
+
+  type t = {
+    timestamp : string option;  (** Caller-injected; [None] emits [null]. *)
+    config : (string * Json.t) list;  (** Sweep parameters (algorithm, seed, grid, …). *)
+    input_digest : string;  (** Hex digest identifying the input instance. *)
+    points : point list;  (** One per grid deadline, ascending. *)
+    front : float list;  (** Non-dominated deadlines, ascending. *)
+    metrics : Json.t;  (** {!metrics_of_snapshot} of the sweep's telemetry. *)
+  }
+  (** A sweep ledger in memory. *)
+
+  val deadline_key : float -> string
+  (** Canonical object key of a point: the compact JSON rendering of
+      its deadline (["2000"] for integral values, shortest-round-trip
+      decimal otherwise). *)
+
+  val make :
+    ?timestamp:string ->
+    config:(string * Json.t) list ->
+    input_digest:string ->
+    points:point list ->
+    front:float list ->
+    snapshot:Tmedb_obs.snapshot ->
+    unit ->
+    t
+  (** Assemble a sweep ledger, projecting [snapshot] through
+      {!metrics_of_snapshot}. *)
+
+  val to_json : t -> Json.t
+  (** The [tmedb.pareto/1] document; [config] keys sorted, points
+      keyed by {!deadline_key} in grid order. *)
+
+  val of_json : Json.t -> (t, string) result
+  (** Parse a document produced by {!to_json}; round-trips. *)
+
+  val write : t -> path:string -> unit
+  (** Write {!to_json} to [path], pretty-printed, trailing newline. *)
+
+  val load : path:string -> (t, string) result
+  (** Read and parse a sweep ledger file. *)
+end

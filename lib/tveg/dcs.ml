@@ -65,6 +65,11 @@ let at g ~phy ~channel ~node ~time =
   in
   accum [] (marginals_at g ~phy ~channel ~node ~time)
 
+let level_stats margs =
+  List.fold_left
+    (fun (nlev, cov) { fresh; _ } -> (nlev + 1, cov + List.length fresh))
+    (0, 0) margs
+
 let min_cost_level = function [] -> None | level :: _ -> Some level
 
 let level_covering levels ~k =

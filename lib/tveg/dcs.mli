@@ -39,6 +39,12 @@ val marginals_at :
 val neighbour_cost : phy:Phy.t -> channel:Tveg.channel -> dist:float -> float
 (** The per-neighbour cost described above. *)
 
+val level_stats : marginal list -> int * int
+(** [(levels, covered)]: the number of levels and the total neighbours
+    covered across them — one (node, time) block's vertex and
+    coverage-edge counts in the auxiliary graph, shared by the eager
+    sizing pass and the deadline-shared solve state. *)
+
 val min_cost_level : level list -> level option
 (** First (cheapest) level, if any. *)
 

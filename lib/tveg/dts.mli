@@ -48,4 +48,58 @@ val earliest_at_or_after : t -> int -> float -> float option
 val index_of_point : t -> int -> float -> int option
 (** Position of an exact point in the node's sequence. *)
 
+module Stream : sig
+  (** Streaming τ-closure over the {e unrestricted} graph.
+
+      The eager {!compute} restricts the graph to [\[span.lo, T\]] and
+      rebuilds the closure from scratch for every deadline T.  A stream
+      generates closure points once, in ascending time order, up to the
+      largest horizon requested so far; {!dts_at} then assembles the
+      DTS of any deadline [T <= horizon] as the strict prefix below [T]
+      plus [T] itself (the restricted graph's clipped partition
+      endpoint), falling back to the sentinel for unreachable nodes.
+      Because ρ_τ is strict at interval ends, points at exactly [T]
+      never propagate in the restricted graph, so the view is the
+      eager point set exactly — with two caveats:
+
+      - a node whose earliest arrival from the source is {e exactly}
+        [T] keeps its endpoint point here but is sentinel-only in the
+        eager build (the arrival's last hop dies with the clipping);
+      - when [cap_per_node] bites, the stream keeps the cap-first
+        points in {e time} order while the eager build truncates in
+        BFS order, so capped point sets may differ (both remain valid,
+        possibly coarser, schedule spaces). *)
+
+  type stream
+
+  val create : ?cap_per_node:int -> ?source:int -> Tveg.t -> stream
+  (** A stream with no points generated yet.  [cap_per_node] and
+      [source] have the same meaning as in {!compute}; the source
+      pruning uses earliest arrivals over the full span. *)
+
+  val advance : stream -> horizon:float -> unit
+  (** Generate all closure points at or before [horizon] (monotone;
+      earlier horizons are no-ops).  @raise Invalid_argument if the
+      horizon exceeds the graph span. *)
+
+  val dts_at : stream -> deadline:float -> t
+  (** The deadline-[T] DTS view described above, advancing the stream
+      to [T] on demand.  @raise Invalid_argument if the deadline is
+      outside the graph span. *)
+
+  val min_time : stream -> int -> float
+  (** Earliest possible packet arrival of the node ([span.lo] without
+      a source). *)
+
+  val generated : stream -> int -> float array
+  (** Copy of the node's generated points (ascending), up to the
+      current horizon. *)
+
+  val truncated : stream -> bool
+  (** Whether any closure insertion has hit [cap_per_node] so far. *)
+
+  val horizon : stream -> float
+  (** Largest horizon advanced to (-∞ before the first advance). *)
+end
+
 val pp : Format.formatter -> t -> unit

@@ -92,6 +92,82 @@ for key in '"aux_graph.nodes_materialized"' '"aux_graph.lazy_nodes_total"' \
   }
 done
 
+# Pareto sweep smoke (docs/PARETO.md): the tmedb.pareto/1 ledger must
+# be byte-identical across worker counts, invalid grids must be
+# rejected up front, the dominance marking must match a tiny scenario
+# constructed by hand, report diff must speak the per-point dotted
+# paths, and the shared-state reuse gates must hold at quick scale.
+pl1=$(mktemp); pl2=$(mktemp); pl3=$(mktemp); tt=$(mktemp); m3=$(mktemp)
+trap 'rm -f "$m" "$m2" "$m3" "$ptrace" "$l1" "$l2" "$pl1" "$pl2" "$pl3" "$tt"; rm -rf "$pdir" "$pdir2"' EXIT
+dune exec bin/tmedb_cli.exe -- pareto -a EEDCB --deadlines 2000:6000:2000 --seed 7 \
+  --jobs 1 --ledger "$pl1" --ledger-timestamp 2026-01-01T00:00:00Z "$ptrace" >/dev/null
+for j in 2 4; do
+  dune exec bin/tmedb_cli.exe -- pareto -a EEDCB --deadlines 2000:6000:2000 --seed 7 \
+    --jobs $j --ledger "$pl2" --ledger-timestamp 2026-01-01T00:00:00Z "$ptrace" >/dev/null
+  cmp -s "$pl1" "$pl2" || {
+    echo "check.sh: pareto ledger not byte-deterministic at --jobs $j" >&2
+    exit 1
+  }
+done
+grep -q '"schema": "tmedb.pareto/1"' "$pl1" || {
+  echo "check.sh: pareto ledger missing the tmedb.pareto/1 schema marker" >&2
+  exit 1
+}
+if dune exec bin/tmedb_cli.exe -- pareto -a EEDCB --deadlines 6000:2000:500 "$ptrace" \
+     >/dev/null 2>&1; then
+  echo "check.sh: descending --deadlines range was accepted" >&2
+  exit 1
+fi
+if dune exec bin/tmedb_cli.exe -- pareto -a EEDCB --deadline-list 3000,2000 "$ptrace" \
+     >/dev/null 2>&1; then
+  echo "check.sh: descending --deadline-list was accepted" >&2
+  exit 1
+fi
+# Tiny scenario with a known front: by T=2 only node 1 is reachable
+# (the 0-2 contact has not opened yet), so that point is incomplete
+# and therefore dominated; by T=8 the cheap two-hop relay covers
+# everyone, so it is the whole front.
+cat > "$tt" <<'EOF'
+# tmedb-trace n=3 span=0,10
+0,1,0,10,10
+0,2,4,6,50
+1,2,5,10,10
+EOF
+pout=$(dune exec bin/tmedb_cli.exe -- pareto -a EEDCB --deadline-list 2,8 --source 0 \
+  --seed 7 "$tt")
+printf '%s\n' "$pout" | grep -Eq '^ *2 .*dominated$' || {
+  echo "check.sh: pareto did not mark the incomplete T=2 point dominated" >&2
+  exit 1
+}
+printf '%s\n' "$pout" | grep -Eq '^ *8 .*front$' || {
+  echo "check.sh: pareto did not keep the T=8 point on the front" >&2
+  exit 1
+}
+printf '%s\n' "$pout" | grep -q '^front: 8$' || {
+  echo "check.sh: pareto front line is not 'front: 8'" >&2
+  exit 1
+}
+# report diff flattens sweeps into per-point dotted paths; a shorter
+# grid makes the missing deadline show up one-sided.
+dune exec bin/tmedb_cli.exe -- pareto -a EEDCB --deadlines 2000:4000:2000 --seed 7 \
+  --jobs 1 --ledger "$pl3" --ledger-timestamp 2026-01-01T00:00:00Z "$ptrace" >/dev/null
+dout=$(dune exec bin/tmedb_cli.exe -- report diff "$pl1" "$pl3" || true)
+printf '%s\n' "$dout" | grep -q 'points\.6000\.energy' || {
+  echo "check.sh: report diff did not render per-point pareto paths" >&2
+  exit 1
+}
+# Bench gates at quick scale: shared == independent point lists and
+# sublinear reuse counters (bench exits non-zero on either), with the
+# sweep counters reaching the telemetry file.
+dune exec bench/main.exe -- pareto --quick --jobs 2 --metrics "$m3" >/dev/null
+for key in '"pareto.sweeps"' '"pareto.points"' '"solve_state.creates"' \
+           '"dts.stream_points"'; do
+  grep -q "$key" "$m3" || {
+    echo "check.sh: pareto metrics missing $key" >&2
+    exit 1
+  }
+done
+
 # Registry drift gate: the algorithm list the CLI advertises in its
 # help text must be exactly the planner registry, in registry order
 # (`algorithms --names` prints one registry name per line).

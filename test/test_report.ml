@@ -300,6 +300,76 @@ let test_provenance_completeness =
     txs
 
 (* ------------------------------------------------------------------ *)
+(* Pareto ledger: round-trip, deadline-keyed points, Diff paths *)
+
+let sample_pareto_points =
+  [
+    {
+      Ledger.Pareto.deadline = 2000.;
+      energy = 939.8;
+      transmissions = 9;
+      feasible = true;
+      unreached = 0;
+      dominated = true;
+    };
+    {
+      Ledger.Pareto.deadline = 4000.;
+      energy = 616.3;
+      transmissions = 11;
+      feasible = true;
+      unreached = 0;
+      dominated = false;
+    };
+  ]
+
+let test_pareto_ledger_round_trip =
+  scrubbed @@ fun () ->
+  Tmedb_obs.Counter.add (Tmedb_obs.Counter.make "test.pareto.counter") 3;
+  let doc =
+    Ledger.Pareto.make ~timestamp:"2026-01-01T00:00:00Z"
+      ~config:[ ("grid", Json.Str "2000:4000:2000"); ("algorithm", Json.Str "EEDCB") ]
+      ~input_digest:(Ledger.digest_string "instance")
+      ~points:sample_pareto_points ~front:[ 4000. ]
+      ~snapshot:(Tmedb_obs.snapshot ()) ()
+  in
+  check_string "schema tag" "tmedb.pareto/1" Ledger.Pareto.schema;
+  check_string "integral deadline key" "2000" (Ledger.Pareto.deadline_key 2000.);
+  (* Points are keyed by the canonical deadline string, config sorted. *)
+  (match Json.member "points" (Ledger.Pareto.to_json doc) with
+  | Some (Json.Obj kvs) ->
+      check_bool "points keyed by deadline" true (List.map fst kvs = [ "2000"; "4000" ])
+  | _ -> Alcotest.fail "points object missing");
+  (match Json.member "config" (Ledger.Pareto.to_json doc) with
+  | Some (Json.Obj kvs) ->
+      check_bool "config keys sorted" true (List.map fst kvs = [ "algorithm"; "grid" ])
+  | _ -> Alcotest.fail "config object missing");
+  (* Diff flattens a sweep into stable per-point dotted paths, so
+     `report diff` works on pareto ledgers unchanged. *)
+  let keys = List.map fst (Diff.flatten (Ledger.Pareto.to_json doc)) in
+  List.iter
+    (fun k -> check_bool ("flattened path " ^ k) true (List.mem k keys))
+    [
+      "points.2000.energy";
+      "points.2000.unreached";
+      "points.4000.transmissions";
+      "front[0]";
+      "metrics.counters.test.pareto.counter";
+    ];
+  let path = Filename.temp_file "tmedb_pareto" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Ledger.Pareto.write doc ~path;
+  let read () = In_channel.with_open_bin path In_channel.input_all in
+  let first = read () in
+  Ledger.Pareto.write doc ~path;
+  check_string "write is byte-deterministic" first (read ());
+  match Ledger.Pareto.load ~path with
+  | Error e -> Alcotest.fail ("pareto ledger does not load: " ^ e)
+  | Ok reparsed ->
+      check_string "load inverts write"
+        (Json.to_string (Ledger.Pareto.to_json doc))
+        (Json.to_string (Ledger.Pareto.to_json reparsed))
+
+(* ------------------------------------------------------------------ *)
 (* Diff: flattening, change detection, threshold gate *)
 
 let test_diff_semantics () =
@@ -360,6 +430,7 @@ let () =
         [
           tc "round-trip and deterministic projection" test_ledger_round_trip;
           tc "byte-identical across worker counts" test_ledger_jobs_invariant;
+          tc "pareto sweep ledger round-trip and diff paths" test_pareto_ledger_round_trip;
         ] );
       ("diff", [ tc "flatten/diff/gate semantics" test_diff_semantics ]);
     ]

@@ -335,6 +335,117 @@ let prop_dts_points_in_range =
       !ok)
 
 (* ------------------------------------------------------------------ *)
+(* Dts.Stream: the per-deadline view of one shared stream must be the
+   eager closure of the deadline-restricted graph — exactly what the
+   one-shot solve path computes (restrict, then Dts.compute). *)
+
+let check_dts_equal msg eager view =
+  check_int (msg ^ " nodes") (Dts.num_nodes eager) (Dts.num_nodes view);
+  for i = 0 to Dts.num_nodes eager - 1 do
+    Alcotest.(check (array (float 0.)))
+      (Printf.sprintf "%s node %d" msg i)
+      (Dts.node_points eager i) (Dts.node_points view i)
+  done
+
+let eager_at ?source g ~deadline =
+  Dts.compute ?source (Tveg.restrict g ~span:(iv 0. deadline)) ~deadline
+
+let test_stream_endpoints () =
+  let g = sample () in
+  let stream = Dts.Stream.create g in
+  (* Deadlines hit contact endpoints (3, 4, 7, 8), interior instants
+     and the span end; the final 4. re-reads an already-passed horizon. *)
+  List.iter
+    (fun deadline ->
+      check_dts_equal
+        (Printf.sprintf "tau0 T=%g" deadline)
+        (eager_at g ~deadline)
+        (Dts.Stream.dts_at stream ~deadline))
+    [ 3.; 4.; 5.; 6.5; 7.; 8.; 10.; 4. ]
+
+let test_stream_endpoints_tau_positive () =
+  let g = sample ~tau:1. () in
+  let stream = Dts.Stream.create g in
+  List.iter
+    (fun deadline ->
+      check_dts_equal
+        (Printf.sprintf "tau1 T=%g" deadline)
+        (eager_at g ~deadline)
+        (Dts.Stream.dts_at stream ~deadline))
+    [ 3.; 4.; 5.; 7.; 10. ]
+
+let test_stream_sentinel_and_source () =
+  let g = sample () in
+  let stream = Dts.Stream.create ~source:0 g in
+  (* Node 2's earliest arrival from 0 is 3 (via 1 on [3,7)): at T = 2
+     it is unreachable and must keep the single sentinel point. *)
+  let view = Dts.Stream.dts_at stream ~deadline:2. in
+  Alcotest.(check (array (float 0.))) "sentinel" [| 0. |] (Dts.node_points view 2);
+  check_dts_equal "pruned T=2" (eager_at ~source:0 g ~deadline:2.) view;
+  check_dts_equal "pruned T=5"
+    (eager_at ~source:0 g ~deadline:5.)
+    (Dts.Stream.dts_at stream ~deadline:5.)
+
+let test_stream_cap_truncates () =
+  let stream = Dts.Stream.create ~cap_per_node:1 (sample ~tau:1. ()) in
+  Dts.Stream.advance stream ~horizon:10.;
+  check_bool "truncated" true (Dts.Stream.truncated stream)
+
+let test_stream_bad_deadline () =
+  let stream = Dts.Stream.create (sample ()) in
+  Alcotest.check_raises "beyond span"
+    (Invalid_argument "Dts.Stream.advance: horizon beyond the graph span")
+    (fun () -> Dts.Stream.advance stream ~horizon:11.);
+  Alcotest.check_raises "at span start"
+    (Invalid_argument "Dts.Stream.dts_at: deadline outside the graph span")
+    (fun () -> ignore (Dts.Stream.dts_at stream ~deadline:0.))
+
+(* Satellite property: for any time cap T, the lazily generated points
+   viewed at T equal the eager closure truncated at T (i.e. computed on
+   the [0,T]-restricted graph), including the endpoint itself.  Three
+   ascending deadlines per instance exercise incremental advances. *)
+let prop_stream_matches_eager ~name ~tau ~source =
+  QCheck.Test.make ~name ~count:50 QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 4 in
+      let entries = ref [] in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if Rng.bool rng then begin
+            let lo = Rng.float rng 8. in
+            let hi = Float.min 10. (lo +. 0.5 +. Rng.float rng 2.) in
+            if hi > lo then entries := (i, j, link lo hi 10.) :: !entries
+          end
+        done
+      done;
+      let g = Tveg.create ~n ~span:span10 ~tau !entries in
+      let stream = Dts.Stream.create ?source g in
+      let points_equal a b =
+        Dts.num_nodes a = Dts.num_nodes b
+        && List.for_all
+             (fun i ->
+               let pa = Dts.node_points a i and pb = Dts.node_points b i in
+               Array.length pa = Array.length pb && Array.for_all2 Float.equal pa pb)
+             (List.init (Dts.num_nodes a) Fun.id)
+      in
+      List.for_all
+        (fun deadline ->
+          points_equal (eager_at ?source g ~deadline) (Dts.Stream.dts_at stream ~deadline))
+        [ 1. +. Rng.float rng 3.; 4. +. Rng.float rng 3.; 7. +. Rng.float rng 3. ])
+
+let prop_stream_eager_tau0 =
+  prop_stream_matches_eager ~name:"stream view = eager restricted closure (tau 0)" ~tau:0.
+    ~source:None
+
+let prop_stream_eager_tau_positive =
+  prop_stream_matches_eager ~name:"stream view = eager restricted closure (tau 1)" ~tau:1.
+    ~source:None
+
+let prop_stream_eager_source =
+  prop_stream_matches_eager ~name:"stream view = eager restricted closure (source)" ~tau:0.
+    ~source:(Some 0)
+
+(* ------------------------------------------------------------------ *)
 (* Nondet *)
 
 let nondet_sample_graph () =
@@ -478,6 +589,14 @@ let () =
           tc "bad deadline" test_dts_bad_deadline;
           tc "size bound tau0" test_dts_size_bound_tau0;
           QCheck_alcotest.to_alcotest prop_dts_points_in_range;
+          tc "stream endpoints" test_stream_endpoints;
+          tc "stream endpoints tau>0" test_stream_endpoints_tau_positive;
+          tc "stream sentinel/source" test_stream_sentinel_and_source;
+          tc "stream cap truncates" test_stream_cap_truncates;
+          tc "stream bad deadline" test_stream_bad_deadline;
+          QCheck_alcotest.to_alcotest prop_stream_eager_tau0;
+          QCheck_alcotest.to_alcotest prop_stream_eager_tau_positive;
+          QCheck_alcotest.to_alcotest prop_stream_eager_source;
         ] );
       ( "dcs",
         [
